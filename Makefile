@@ -1,0 +1,22 @@
+# Convenience targets for the causal-broadcast reproduction.
+
+.PHONY: install test bench examples demos lint-clean
+
+install:
+	python setup.py develop
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+examples:
+	@for f in examples/*.py; do echo "== $$f"; python $$f > /dev/null && echo ok; done
+
+demos:
+	python -m repro list
+
+outputs:
+	pytest tests/ 2>&1 | tee test_output.txt
+	pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt

@@ -1,0 +1,19 @@
+"""ABLATION-BATCH benchmark — see :mod:`repro.experiments.ablation_batching`."""
+
+from __future__ import annotations
+
+from repro.analysis.reporting import format_table
+from repro.experiments import get_experiment
+from repro.experiments.ablation_batching import run_batched
+
+EXPERIMENT = get_experiment("ABLATION-BATCH")
+
+
+def test_ablation_batching(benchmark):
+    rows = EXPERIMENT.rows()
+    print("\n" + format_table(EXPERIMENT.headers, rows, title=EXPERIMENT.title))
+    # Larger batches hold more messages back.
+    holdbacks = [row[4] for row in rows]
+    assert holdbacks == sorted(holdbacks)
+    assert holdbacks[-1] > holdbacks[0]
+    benchmark(run_batched, 3)

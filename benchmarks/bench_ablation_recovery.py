@@ -1,0 +1,26 @@
+"""ABLATION-RECOVERY benchmark — see :mod:`repro.experiments.ablation_recovery`."""
+
+from __future__ import annotations
+
+from repro.analysis.reporting import format_table
+from repro.experiments import get_experiment
+from repro.experiments.ablation_recovery import DROPS, run_chain
+
+EXPERIMENT = get_experiment("ABLATION-RECOVERY")
+
+
+def test_ablation_recovery(benchmark):
+    rows = EXPERIMENT.rows()
+    print("\n" + format_table(EXPERIMENT.headers, rows, title=EXPERIMENT.title))
+    by_key = {(row[0], row[1]): row for row in rows}
+    for drop in DROPS:
+        with_recovery = by_key[(drop, "on")]
+        without = by_key[(drop, "off")]
+        # Recovery always reaches full delivery; without it, loss leaves
+        # causal chains dangling.
+        assert with_recovery[2] == 1.0
+        if drop > 0:
+            assert without[2] < 1.0
+            assert with_recovery[3] > 0
+    assert by_key[(0.0, "on")][3] == 0  # no loss -> no NACK traffic
+    benchmark(run_chain, 0.25, True)

@@ -1,0 +1,25 @@
+"""CLAIM-AGREE benchmark — see :mod:`repro.experiments.claim_agree`."""
+
+from __future__ import annotations
+
+from repro.analysis.reporting import format_table
+from repro.experiments import get_experiment
+from repro.experiments.claim_agree import run_stable
+
+EXPERIMENT = get_experiment("CLAIM-AGREE")
+
+
+def test_claim_agreement_free(benchmark):
+    rows = EXPERIMENT.rows()
+    print("\n" + format_table(EXPERIMENT.headers, rows, title=EXPERIMENT.title))
+    for row in rows:
+        assert row[5] is True  # every approach reaches agreement
+    by_proto: dict = {}
+    for row in rows:
+        by_proto.setdefault(row[1], []).append(row)
+    # The paper's claim: zero extra messages for stable points, nonzero
+    # for every explicit scheme.
+    assert all(row[3] == 0 for row in by_proto["stable-point"])
+    assert all(row[3] > 0 for row in by_proto["lamport-total"])
+    assert all(row[3] > 0 for row in by_proto["2-phase"])
+    benchmark(run_stable, 5)

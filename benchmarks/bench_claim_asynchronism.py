@@ -1,0 +1,28 @@
+"""CLAIM-ASYNC benchmark — see :mod:`repro.experiments.claim_async`."""
+
+from __future__ import annotations
+
+from repro.analysis.reporting import format_table
+from repro.experiments import get_experiment
+from repro.experiments.claim_async import SKEWS, run_protocol
+
+EXPERIMENT = get_experiment("CLAIM-ASYNC")
+
+
+def test_claim_asynchronism(benchmark):
+    rows = EXPERIMENT.rows()
+    print("\n" + format_table(EXPERIMENT.headers, rows, title=EXPERIMENT.title))
+    by_skew: dict = {}
+    for row in rows:
+        by_skew.setdefault(row[0], {})[row[1]] = row
+    for skew, group in by_skew.items():
+        # Causal stable-point delivery is faster than both total orders.
+        assert group["stable-point"][2] < group["sequencer"][2]
+        assert group["stable-point"][2] < group["lamport"][2]
+    # The causal-vs-lamport gap grows with the skew.
+    gaps = [
+        by_skew[s]["lamport"][2] - by_skew[s]["stable-point"][2]
+        for s in SKEWS
+    ]
+    assert gaps == sorted(gaps)
+    benchmark(run_protocol, "stable-point", 5.0)

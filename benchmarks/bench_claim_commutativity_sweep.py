@@ -1,0 +1,29 @@
+"""CLAIM-COMMUTE benchmark — see :mod:`repro.experiments.claim_commute`."""
+
+from __future__ import annotations
+
+from repro.analysis.reporting import format_table
+from repro.experiments import get_experiment
+from repro.experiments.claim_commute import F_VALUES, run_protocol
+
+EXPERIMENT = get_experiment("CLAIM-COMMUTE")
+
+
+def test_claim_commutativity_sweep(benchmark):
+    rows = EXPERIMENT.rows()
+    print("\n" + format_table(EXPERIMENT.headers, rows, title=EXPERIMENT.title))
+    by_f = {}
+    for row in rows:
+        by_f.setdefault(row[0], {})[row[1]] = row
+    for f, pair in by_f.items():
+        stable = pair["stable-point"]
+        total = pair["total-order"]
+        assert stable[6] and total[6]
+        # Total order always sends more broadcasts (order bindings).
+        assert total[3] > stable[3]
+        # The totally ordered runs never diverge.
+        assert total[5] == 0
+    # The exploited asynchronism (divergence) grows with f.
+    divergences = [by_f[f]["stable-point"][5] for f in F_VALUES]
+    assert divergences[-1] > divergences[0]
+    benchmark(run_protocol, "stable-point", 5)

@@ -1,0 +1,23 @@
+"""CLAIM-CONCUR benchmark — see :mod:`repro.experiments.claim_concur`."""
+
+from __future__ import annotations
+
+from repro.analysis.reporting import format_table
+from repro.experiments import get_experiment
+from repro.experiments.claim_concur import run_game
+
+EXPERIMENT = get_experiment("CLAIM-CONCUR")
+
+
+def test_claim_concurrency(benchmark):
+    rows = EXPERIMENT.rows()
+    print("\n" + format_table(EXPERIMENT.headers, rows, title=EXPERIMENT.title))
+    concurrency = [row[1] for row in rows]
+    completion = [row[2] for row in rows]
+    # Concurrency strictly increases with d; completion time strictly
+    # decreases (the paper's 'higher concurrency' claim, made concrete).
+    assert concurrency == sorted(concurrency) and concurrency[0] == 0
+    assert concurrency[-1] > concurrency[0]
+    assert completion == sorted(completion, reverse=True)
+    assert rows[-1][4] > 1.5  # relaxed order at least 1.5x faster here
+    benchmark(run_game, 3)

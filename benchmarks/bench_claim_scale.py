@@ -1,0 +1,28 @@
+"""CLAIM-SCALE benchmark — see :mod:`repro.experiments.claim_scale`."""
+
+from __future__ import annotations
+
+from repro.analysis.reporting import format_table
+from repro.experiments import get_experiment
+from repro.experiments.claim_scale import SIZES, run_protocol
+
+EXPERIMENT = get_experiment("CLAIM-SCALE")
+
+
+def test_claim_scale(benchmark):
+    rows = EXPERIMENT.rows()
+    print("\n" + format_table(EXPERIMENT.headers, rows, title=EXPERIMENT.title))
+    by_key = {(row[0], row[1]): row for row in rows}
+    stable_bcasts = [by_key[(n, "stable-point")][2] for n in SIZES]
+    lamport_bcasts = [by_key[(n, "lamport")][2] for n in SIZES]
+    # Stable-point broadcast count is independent of group size; the
+    # all-ack total order grows linearly in N (hops quadratically) —
+    # the paper's "feasible when the group size is not large".
+    assert len(set(stable_bcasts)) == 1
+    assert lamport_bcasts == sorted(lamport_bcasts)
+    assert lamport_bcasts[-1] > lamport_bcasts[0] * 4
+    for n in SIZES:
+        assert (
+            by_key[(n, "stable-point")][4] < by_key[(n, "lamport")][4]
+        )
+    benchmark(run_protocol, "stable-point", 6)

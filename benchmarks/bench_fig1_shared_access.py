@@ -1,0 +1,19 @@
+"""FIG1 benchmark — see :mod:`repro.experiments.fig1` and DESIGN.md."""
+
+from __future__ import annotations
+
+from repro.analysis.reporting import format_table
+from repro.experiments import get_experiment
+from repro.experiments.fig1 import run_group
+
+EXPERIMENT = get_experiment("FIG1")
+
+
+def test_fig1_shared_access(benchmark):
+    rows = EXPERIMENT.rows()
+    print("\n" + format_table(EXPERIMENT.headers, rows, title=EXPERIMENT.title))
+    # Every configuration converges.
+    assert all(row[-1] for row in rows)
+    # Hops grow linearly with group size (one hop per member per access).
+    assert rows[-1][2] > rows[0][2]
+    benchmark(run_group, 5)

@@ -1,0 +1,32 @@
+"""FIG2 benchmark — see :mod:`repro.experiments.fig2` and DESIGN.md."""
+
+from __future__ import annotations
+
+from repro.analysis.reporting import format_table
+from repro.experiments import get_experiment
+from repro.experiments.fig2 import run_scenario, summary
+
+EXPERIMENT = get_experiment("FIG2")
+
+
+def test_fig2_causal_scenario(benchmark):
+    s = summary()
+    print(
+        "\n"
+        + format_table(
+            EXPERIMENT.headers,
+            [[
+                s["runs"],
+                s["diverged_mid_cycle"],
+                s["causal_violations"],
+                s["sync_disagreements"],
+            ]],
+            title=EXPERIMENT.title,
+        )
+    )
+    # The paper's shape: divergence happens (concurrency is real) but
+    # safety and sync-point agreement never break.
+    assert s["diverged_mid_cycle"] > 0
+    assert s["causal_violations"] == 0
+    assert s["sync_disagreements"] == 0
+    benchmark(run_scenario, 7)

@@ -1,0 +1,29 @@
+"""FIG3 benchmark — see :mod:`repro.experiments.fig3` and DESIGN.md."""
+
+from __future__ import annotations
+
+import math
+
+from repro.analysis.reporting import format_table
+from repro.experiments import get_experiment
+from repro.experiments.fig3 import build_cycles
+
+EXPERIMENT = get_experiment("FIG3")
+
+
+def test_fig3_dependency_graph(benchmark):
+    rows = EXPERIMENT.rows()
+    print("\n" + format_table(EXPERIMENT.headers, rows, title=EXPERIMENT.title))
+    # The paper's bound: a cycle with r concurrent middles has r! orders.
+    for row in rows:
+        assert row[3] == math.factorial(row[0])
+
+    def workload():
+        graph = build_cycles(4)
+        graph.transitive_reduction()
+        nodes = graph.nodes
+        for x in nodes[:10]:
+            for y in nodes[-10:]:
+                graph.precedes(x, y)
+
+    benchmark(workload)

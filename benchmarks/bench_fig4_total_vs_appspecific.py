@@ -1,0 +1,25 @@
+"""FIG4 benchmark — see :mod:`repro.experiments.fig4` and DESIGN.md."""
+
+from __future__ import annotations
+
+from repro.analysis.reporting import format_table
+from repro.experiments import get_experiment
+from repro.experiments.fig4 import run_engine
+
+EXPERIMENT = get_experiment("FIG4")
+
+
+def test_fig4_total_vs_appspecific(benchmark):
+    rows = EXPERIMENT.rows()
+    print("\n" + format_table(EXPERIMENT.headers, rows, title=EXPERIMENT.title))
+    causal_rows = [r for r in rows if "causal" in r[0]]
+    total_rows = [r for r in rows if "total" in r[0]]
+    for causal, total in zip(causal_rows, total_rows):
+        # Total order costs more broadcasts (order bindings) and latency...
+        assert total[1] > causal[1]
+        assert total[2] > causal[2]
+        # ...but never delivers inconsistent answers.
+        assert total[3] == 0
+        # App-specific flags every inconsistency it lets through.
+        assert causal[4] >= causal[3]
+    benchmark(run_engine, "causal", 0.3)

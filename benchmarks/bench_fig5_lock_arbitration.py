@@ -1,0 +1,19 @@
+"""FIG5 benchmark — see :mod:`repro.experiments.fig5` and DESIGN.md."""
+
+from __future__ import annotations
+
+from repro.analysis.reporting import format_table
+from repro.experiments import get_experiment
+from repro.experiments.fig5 import run_service
+
+EXPERIMENT = get_experiment("FIG5")
+
+
+def test_fig5_lock_arbitration(benchmark):
+    rows = EXPERIMENT.rows()
+    print("\n" + format_table(EXPERIMENT.headers, rows, title=EXPERIMENT.title))
+    for row in rows:
+        size = row[0]
+        assert row[3] is True  # consensus at every size
+        assert row[2] == 2 * size  # M LOCKs + M TFRs per cycle
+    benchmark(run_service, 3)

@@ -1,0 +1,28 @@
+"""PROTO-OVERHEAD benchmark — see :mod:`repro.experiments.proto_overhead`."""
+
+from __future__ import annotations
+
+from repro.analysis.reporting import format_table
+from repro.experiments import get_experiment
+from repro.experiments.proto_overhead import SIZES, run_osend
+
+EXPERIMENT = get_experiment("PROTO-OVERHEAD")
+
+
+def test_proto_overhead(benchmark):
+    rows = EXPERIMENT.rows()
+    print("\n" + format_table(EXPERIMENT.headers, rows, title=EXPERIMENT.title))
+    # OSend metadata tracks the declared structure and does not grow
+    # with N (the paper's point).
+    ancestors = [row[1] for row in rows]
+    assert max(ancestors) - min(ancestors) < 1.0
+    # Vector entries grow with group size; RST matrices grow faster
+    # still; the steady-state full matrix is exactly N^2.
+    vector = [row[2] for row in rows]
+    assert vector == sorted(vector)
+    rst = [row[3] for row in rows]
+    assert rst == sorted(rst)
+    assert rst[-1] > vector[-1]
+    matrix = [row[4] for row in rows]
+    assert matrix == [float(n * n) for n in SIZES]
+    benchmark(run_osend, 5)

@@ -1,0 +1,10 @@
+"""Shared benchmark configuration.
+
+Every benchmark prints the table/series its experiment reproduces (once,
+outside the timed region) and then times the core run with
+pytest-benchmark.  Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations

@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Multiplayer card game: relaxed ordering buys concurrency (§5.1).
+
+Players take turns, but a turn only depends on the card played ``d``
+turns earlier (``card_k ≺ card_l``, everything between concurrent).
+Sweeping ``d`` shows the paper's claim: weaker ordering constraints →
+more overlap → the game finishes faster.
+
+Run::
+
+    python examples/card_game_demo.py
+"""
+
+from __future__ import annotations
+
+from repro.apps.card_game import CardGame
+from repro.net.latency import UniformLatency
+
+
+def main() -> None:
+    print("4 players, 4 rounds; turn t waits only for turn t-d.\n")
+    print(f"{'d':>3}  {'concurrent pairs':>17}  {'completion time':>16}")
+    baseline = None
+    for distance in (1, 2, 3, 4):
+        game = CardGame(
+            ["north", "east", "south", "west"],
+            rounds=4,
+            dependency_distance=distance,
+            think_time=0.1,
+            latency=UniformLatency(0.2, 1.0),
+            seed=5,
+        )
+        game.play()
+        assert game.all_windows_converged()
+        if baseline is None:
+            baseline = game.completion_time
+        speedup = baseline / game.completion_time
+        print(
+            f"{distance:>3}  {game.concurrency_degree():>17}  "
+            f"{game.completion_time:>13.2f} ({speedup:4.2f}x)"
+        )
+
+    print(
+        "\nd=1 is the strict turn chain (zero concurrency).  Larger d\n"
+        "relaxes the ordering: cards flow concurrently and the same game\n"
+        "completes in a fraction of the time — every window still ends up\n"
+        "identical, because the declared causal order is enforced."
+    )
+
+
+if __name__ == "__main__":
+    main()

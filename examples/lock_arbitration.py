@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Decentralized lock arbitration — the Figure 5 scenario (§6.2).
+
+Three members contend for a shared page.  Each cycle, every member
+spontaneously broadcasts a LOCK request; the ``ASend`` total-order layer
+closes the batch, and a deterministic arbitration algorithm picks the
+holder sequence — the same sequence at every member, with zero extra
+agreement messages.  Holders pass the lock with TFR broadcasts.
+
+Run::
+
+    python examples/lock_arbitration.py
+"""
+
+from __future__ import annotations
+
+from repro.apps.lock_service import LockService
+from repro.net.latency import UniformLatency
+
+
+def main() -> None:
+    service = LockService(
+        ["A", "B", "C"],
+        cycles=3,
+        access_time=0.5,
+        latency=UniformLatency(0.2, 1.5),
+        seed=11,
+    )
+    service.run()
+
+    print("Acquisition timeline (holder, cycle, time):")
+    for holder, cycle, time in service.acquisition_times:
+        bar = " " * int(time * 2) + "■"
+        print(f"  t={time:6.2f}  cycle {cycle}  {holder} {bar}")
+
+    print("\nHolder sequence as observed by each member:")
+    for member, log in service.holder_logs().items():
+        print(f"  {member}: {log}")
+
+    assert service.consensus_reached()
+    sends = len(service.network.trace.of_kind("send"))
+    print(f"\nConsensus reached: True")
+    print(f"Broadcasts used: {sends} "
+          f"(= 2 per member per cycle: {2 * 3 * 3}; no agreement traffic)")
+
+
+if __name__ == "__main__":
+    main()

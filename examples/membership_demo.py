@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Self-healing group: heartbeats, crash detection, view-synchronous removal.
+
+Three members exchange causal traffic and heartbeats.  At t=5 one member
+is cut off (simulated crash).  The survivors' failure detectors notice
+the silence, the lowest-ranked live member proposes removal, the flush
+protocol drains in-flight old-view traffic identically everywhere, and
+the two survivors carry on in the new view.
+
+Run::
+
+    python examples/membership_demo.py
+"""
+
+from __future__ import annotations
+
+from repro.broadcast.osend import OSendBroadcast
+from repro.group.auto_membership import manage_membership
+from repro.group.membership import GroupMembership
+from repro.group.view_sync import attach_view_sync
+from repro.net.faults import FaultPlan
+from repro.net.latency import ConstantLatency
+from repro.net.network import Network
+from repro.sim.rng import RngRegistry
+from repro.sim.scheduler import Scheduler
+
+
+def main() -> None:
+    scheduler = Scheduler()
+    faults = FaultPlan()
+    network = Network(
+        scheduler,
+        latency=ConstantLatency(0.3),
+        faults=faults,
+        rng=RngRegistry(5),
+    )
+    membership = GroupMembership(["alpha", "beta", "gamma"])
+    stacks = {
+        m: network.register(OSendBroadcast(m, membership))
+        for m in membership.members
+    }
+    agents = attach_view_sync(stacks)
+    managers = manage_membership(
+        stacks, agents, heartbeat_interval=1.0, suspicion_timeout=3.0
+    )
+    for member, agent in agents.items():
+        agent.on_install(
+            lambda view, member=member: print(
+                f"  [{member}] installed view {view.view_id}: "
+                f"{list(view.members)}"
+            )
+        )
+    for manager in managers.values():
+        manager.start(duration=25.0)
+
+    # Some application traffic before and around the crash.
+    m1 = stacks["alpha"].osend("op")
+    scheduler.call_at(2.0, stacks["beta"].osend, "op", None, m1)
+
+    print("t=5.0: gamma crashes (partitioned away)")
+    scheduler.call_at(5.0, faults.partition, {"alpha", "beta"}, {"gamma"})
+    scheduler.run()
+
+    print(f"\nFinal view: {list(membership.view.members)} "
+          f"(view id {membership.view.view_id})")
+    snapshots = {m: agents[m].flush_snapshot for m in ("alpha", "beta")}
+    print(f"Flush snapshots identical: "
+          f"{snapshots['alpha'] == snapshots['beta']}")
+
+    # Survivors keep working.
+    label = stacks["alpha"].osend("post-crash-op")
+    scheduler.run()
+    print(f"Post-crash broadcast delivered at beta: "
+          f"{label in stacks['beta'].delivered}")
+
+
+if __name__ == "__main__":
+    main()

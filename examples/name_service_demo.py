@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Name service: total ordering vs application-specific protocols (§5.2).
+
+Resolutions and registrations arrive spontaneously.  The same workload
+runs twice:
+
+* **causal engine** — CBCAST ordering only; queries carry the issuer's
+  update context; stale answers are flagged for the application to
+  discard (the paper's application-specific protocol);
+* **total engine** — a sequencer totally orders everything; no staleness
+  is possible, at roughly double the broadcasts and higher latency.
+
+Run::
+
+    python examples/name_service_demo.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.analysis.metrics import latency_summary
+from repro.apps.name_service import NameServiceSystem
+from repro.net.latency import UniformLatency
+
+MEMBERS = ["ns1", "ns2", "ns3"]
+NAMES = ["www", "mail", "db"]
+
+
+def drive(system: NameServiceSystem, seed: int = 3) -> None:
+    rng = random.Random(seed)
+    time = 0.0
+    version = 0
+    for _ in range(40):
+        time += rng.expovariate(1.5)
+        member = system.members[rng.choice(MEMBERS)]
+        name = rng.choice(NAMES)
+        if rng.random() < 0.25:
+            version += 1
+            system.scheduler.call_at(time, member.update, name, f"v{version}")
+        else:
+            system.scheduler.call_at(time, member.query, name)
+    system.run()
+
+
+def report(tag: str, system: NameServiceSystem) -> None:
+    broadcasts = len(system.network.trace.of_kind("send"))
+    latency = latency_summary(system.network.trace, operations={"qry"})
+    print(f"{tag:>7}: broadcasts={broadcasts:3d}  "
+          f"mean qry latency={latency.mean:5.2f}  "
+          f"inconsistent={len(system.inconsistent_queries()):2d}  "
+          f"flagged={len(system.flagged_queries()):2d}")
+
+
+def main() -> None:
+    print("Same spontaneous qry/upd workload over two ordering engines:\n")
+    for engine in ("causal", "total"):
+        system = NameServiceSystem(
+            MEMBERS, engine=engine, latency=UniformLatency(0.2, 3.0), seed=9
+        )
+        drive(system)
+        report(engine, system)
+
+    print(
+        "\nThe causal engine is cheaper and faster; the application-level\n"
+        "context check flags every query whose answers could diverge, so\n"
+        "those can be discarded/retried (paper: worthwhile when\n"
+        "inconsistencies are infrequent)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Semantic vs incidental ordering — the Cheriton/Skeen point, measured.
+
+The same spontaneous workload (independent updates from three nodes,
+issued one after another) runs over:
+
+* ``OSend`` — the application declares *no* dependencies, so the
+  messages stay concurrent and deliverable in any order;
+* CBCAST — vector clocks chain each send after everything its sender
+  happened to deliver first, manufacturing "incidental" order the
+  application never asked for.
+
+The analyzer counts both orderings, and a space-time diagram shows the
+runs side by side.
+
+Run::
+
+    python examples/ordering_analysis.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis.incidental import compare_orderings
+from repro.analysis.timeline import render_timeline
+from repro.broadcast.cbcast import CbcastBroadcast
+from repro.broadcast.osend import OSendBroadcast
+from repro.graph.depgraph import DependencyGraph
+from repro.group.membership import GroupMembership
+from repro.net.latency import ConstantLatency
+from repro.net.network import Network
+from repro.sim.rng import RngRegistry
+from repro.sim.scheduler import Scheduler
+
+MEMBERS = ("a", "b", "c")
+
+
+def run(protocol_cls):
+    scheduler = Scheduler()
+    network = Network(
+        scheduler, latency=ConstantLatency(0.4), rng=RngRegistry(3)
+    )
+    membership = GroupMembership(MEMBERS)
+    stacks = {
+        m: network.register(protocol_cls(m, membership)) for m in MEMBERS
+    }
+    # Spontaneous updates, spaced out so each sender has delivered the
+    # previous one (maximum incidental-order exposure).
+    for i, member in enumerate(MEMBERS * 2):
+        scheduler.call_at(float(i), stacks[member].bcast, "update")
+    scheduler.run()
+    return network, stacks
+
+
+def main() -> None:
+    _, osend_stacks = run(OSendBroadcast)
+    cbcast_net, cbcast_stacks = run(CbcastBroadcast)
+
+    # The application's declared graph: all six updates spontaneous.
+    declared = DependencyGraph()
+    clocks = {}
+    for env in cbcast_stacks["a"].delivered_envelopes:
+        declared.add(env.msg_id)
+        clocks[env.msg_id] = env.metadata["vclock"]
+
+    comparison = compare_orderings(declared, clocks)
+    print("Six spontaneous updates, sent 1s apart:\n")
+    print(f"  ordered pairs the application declared : "
+          f"{comparison.semantic_pairs}")
+    print(f"  ordered pairs vector clocks imposed    : "
+          f"{comparison.clock_pairs}")
+    print(f"  incidental (never requested)           : "
+          f"{comparison.incidental_pairs} "
+          f"({comparison.incidental_fraction:.0%} of the clock order)")
+
+    osend_graph = osend_stacks["a"].graph
+    free_pairs = sum(
+        1
+        for i, x in enumerate(osend_graph.nodes)
+        for y in osend_graph.nodes[i + 1:]
+        if osend_graph.concurrent(x, y)
+    )
+    print(f"\n  OSend kept {free_pairs} of 15 unordered "
+          f"(every pair stays concurrent);")
+    print("  CBCAST ordered all of them — each send was chained after")
+    print("  whatever its sender had already seen.\n")
+    print("CBCAST run, space-time diagram:")
+    print(render_timeline(cbcast_net.trace))
+
+
+if __name__ == "__main__":
+    main()

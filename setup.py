@@ -1,0 +1,10 @@
+"""Shim for environments without the ``wheel`` package.
+
+All project metadata lives in ``pyproject.toml``; this file only enables
+``pip install -e . --no-use-pep517`` (legacy editable installs) on offline
+machines where PEP 517 editable builds cannot run.
+"""
+
+from setuptools import setup
+
+setup()

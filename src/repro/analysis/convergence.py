@@ -1,0 +1,178 @@
+"""Agreement checkers: convergence and stable-point consistency.
+
+Three levels of agreement, matching the paper's consistency story:
+
+* :func:`states_agree` — do all replicas hold the same value *right now*?
+  (Required at the end of a run, and at every stable point; **not**
+  required mid-cycle.)
+* :func:`stable_points_agree` — Section 4's claim: at each stable point
+  index, every replica passed through the identical state, even though
+  their mid-cycle sequences differed.
+* :func:`same_message_sets_between_sync_points` — Section 3.2's claim:
+  "every member observes the same set of messages between synchronization
+  points" (sequences may differ; sets must not).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.core.replica import Replica
+from repro.types import EntityId, MessageId
+
+
+@dataclass(frozen=True)
+class Disagreement:
+    """Two members disagreeing about a value at a comparison point."""
+
+    kind: str
+    index: int
+    entity_a: EntityId
+    entity_b: EntityId
+    value_a: object
+    value_b: object
+
+    def __str__(self) -> str:  # pragma: no cover - diagnostics
+        return (
+            f"{self.kind}[{self.index}]: {self.entity_a}={self.value_a!r} "
+            f"vs {self.entity_b}={self.value_b!r}"
+        )
+
+
+def states_agree(states: Mapping[EntityId, object]) -> List[Disagreement]:
+    """Pairwise-compare current states against the first member's."""
+    disagreements: List[Disagreement] = []
+    items = list(states.items())
+    if not items:
+        return disagreements
+    reference_entity, reference_state = items[0]
+    for entity, state in items[1:]:
+        if state != reference_state:
+            disagreements.append(
+                Disagreement(
+                    "state", 0, reference_entity, entity,
+                    reference_state, state,
+                )
+            )
+    return disagreements
+
+
+def stable_points_agree(
+    replicas: Mapping[EntityId, Replica],
+    require_same_count: bool = True,
+) -> List[Disagreement]:
+    """Verify identical (label, state) at each stable point index.
+
+    Checks both that members synchronized on the *same message* at each
+    point and that their states there were equal.  When
+    ``require_same_count`` is set, differing stable-point counts are also
+    reported (index ``-1``).
+    """
+    disagreements: List[Disagreement] = []
+    items = list(replicas.items())
+    if len(items) < 2:
+        return disagreements
+    reference_entity, reference = items[0]
+    reference_points = reference.stable_states
+    for entity, replica in items[1:]:
+        points = replica.stable_states
+        if require_same_count and len(points) != len(reference_points):
+            disagreements.append(
+                Disagreement(
+                    "stable_count", -1, reference_entity, entity,
+                    len(reference_points), len(points),
+                )
+            )
+        for index in range(min(len(points), len(reference_points))):
+            ref_point, ref_state = reference_points[index]
+            point, state = points[index]
+            if point.msg_id != ref_point.msg_id:
+                disagreements.append(
+                    Disagreement(
+                        "stable_label", index, reference_entity, entity,
+                        ref_point.msg_id, point.msg_id,
+                    )
+                )
+            if state != ref_state:
+                disagreements.append(
+                    Disagreement(
+                        "stable_state", index, reference_entity, entity,
+                        ref_state, state,
+                    )
+                )
+    return disagreements
+
+
+def split_by_sync_points(
+    sequence: Sequence[MessageId],
+    sync_labels: Sequence[MessageId],
+) -> List[Set[MessageId]]:
+    """Chop a delivery sequence into segments ending at each sync label.
+
+    Returns one set per segment: messages delivered up to and including
+    the first sync label, then between consecutive sync labels, then the
+    trailing open segment (possibly empty sets throughout).
+    """
+    sync_order = {label: i for i, label in enumerate(sync_labels)}
+    segments: List[Set[MessageId]] = []
+    current: Set[MessageId] = set()
+    for label in sequence:
+        current.add(label)
+        if label in sync_order:
+            segments.append(current)
+            current = set()
+    segments.append(current)
+    return segments
+
+
+def same_message_sets_between_sync_points(
+    sequences: Mapping[EntityId, Sequence[MessageId]],
+    sync_labels: Sequence[MessageId],
+) -> List[Disagreement]:
+    """Verify all members saw identical message *sets* per segment."""
+    disagreements: List[Disagreement] = []
+    items = list(sequences.items())
+    if len(items) < 2:
+        return disagreements
+    reference_entity, reference_seq = items[0]
+    reference_segments = split_by_sync_points(reference_seq, sync_labels)
+    for entity, sequence in items[1:]:
+        segments = split_by_sync_points(sequence, sync_labels)
+        for index in range(max(len(segments), len(reference_segments))):
+            ref_set = (
+                reference_segments[index]
+                if index < len(reference_segments)
+                else set()
+            )
+            this_set = segments[index] if index < len(segments) else set()
+            if ref_set != this_set:
+                disagreements.append(
+                    Disagreement(
+                        "segment_set", index, reference_entity, entity,
+                        frozenset(ref_set), frozenset(this_set),
+                    )
+                )
+    return disagreements
+
+
+def divergence_between_sync_points(
+    sequences: Mapping[EntityId, Sequence[MessageId]],
+) -> int:
+    """Count positions where members' delivery sequences differ.
+
+    A direct measure of the asynchronism the relaxed ordering permits:
+    total order forces this to zero; causal order allows it wherever
+    messages are concurrent.
+    """
+    items = list(sequences.values())
+    if len(items) < 2:
+        return 0
+    reference = items[0]
+    differing = 0
+    for sequence in items[1:]:
+        for index in range(min(len(reference), len(sequence))):
+            if reference[index] != sequence[index]:
+                differing += 1
+        differing += abs(len(reference) - len(sequence))
+    return differing

@@ -1,0 +1,114 @@
+"""Quantifying incidental vs semantic ordering.
+
+The paper's footnote 1 (citing Cheriton & Skeen's "causal controversy")
+distinguishes the *semantic* ordering an application means from the
+*incidental* ordering a clock-based transport infers: CBCAST treats every
+message a member delivered before sending as a causal predecessor of the
+send, whether or not the application cares.
+
+Given the application's declared dependency graph and the vector clocks a
+CBCAST run produced for the same message set, this module counts:
+
+* **semantic pairs** — ordered pairs the application declared
+  (transitively);
+* **clock pairs** — ordered pairs the clocks impose;
+* **incidental pairs** — clock pairs the application never asked for:
+  pure false dependencies that reduce deliverable concurrency.
+
+Clock causality is always a superset of the declared causality when
+senders respect their declarations, so ``incidental = clock - semantic``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Mapping, Tuple
+
+from repro.clocks.vector import VectorClock
+from repro.graph.depgraph import DependencyGraph
+from repro.types import MessageId
+
+
+@dataclass(frozen=True)
+class OrderingComparison:
+    """Counts of ordered pairs under each regime."""
+
+    messages: int
+    semantic_pairs: int
+    clock_pairs: int
+
+    @property
+    def incidental_pairs(self) -> int:
+        return self.clock_pairs - self.semantic_pairs
+
+    @property
+    def incidental_fraction(self) -> float:
+        """Share of clock-imposed order the application never declared."""
+        if self.clock_pairs == 0:
+            return 0.0
+        return self.incidental_pairs / self.clock_pairs
+
+
+def semantic_pairs(graph: DependencyGraph) -> List[Tuple[MessageId, MessageId]]:
+    """All (earlier, later) pairs the declared graph orders."""
+    nodes = graph.nodes
+    return [
+        (a, b)
+        for a in nodes
+        for b in nodes
+        if a != b and graph.precedes(a, b)
+    ]
+
+
+def clock_pairs(
+    clocks: Mapping[MessageId, VectorClock],
+) -> List[Tuple[MessageId, MessageId]]:
+    """All (earlier, later) pairs the vector clocks order."""
+    labels = list(clocks)
+    return [
+        (a, b)
+        for a in labels
+        for b in labels
+        if a != b and clocks[a] < clocks[b]
+    ]
+
+
+def compare_orderings(
+    graph: DependencyGraph,
+    clocks: Mapping[MessageId, VectorClock],
+) -> OrderingComparison:
+    """Count semantic vs clock-imposed ordered pairs for one message set.
+
+    Only labels present in both the graph and the clock map participate,
+    so the comparison is apples-to-apples even if one run carried extra
+    control traffic.
+    """
+    shared = [label for label in graph.nodes if label in clocks]
+    shared_set = set(shared)
+    semantic = sum(
+        1
+        for a, b in semantic_pairs(graph)
+        if a in shared_set and b in shared_set
+    )
+    clock = sum(
+        1
+        for a, b in clock_pairs({l: clocks[l] for l in shared})
+    )
+    return OrderingComparison(
+        messages=len(shared), semantic_pairs=semantic, clock_pairs=clock
+    )
+
+
+def incidental_pairs(
+    graph: DependencyGraph,
+    clocks: Mapping[MessageId, VectorClock],
+) -> List[Tuple[MessageId, MessageId]]:
+    """The concrete clock-only pairs (for diagnostics)."""
+    shared = {label for label in graph.nodes if label in clocks}
+    return [
+        (a, b)
+        for a, b in clock_pairs(
+            {l: c for l, c in clocks.items() if l in shared}
+        )
+        if not graph.precedes(a, b)
+    ]

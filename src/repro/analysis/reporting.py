@@ -1,0 +1,64 @@
+"""Plain-text tables for benchmark output.
+
+Every benchmark prints the rows/series its experiment reproduces; this
+module keeps the formatting consistent and dependency-free.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    title: str = "",
+    float_format: str = "{:.3f}",
+) -> str:
+    """Render an aligned ASCII table.
+
+    Floats are formatted with ``float_format``; everything else with
+    ``str``.  Columns are right-aligned except the first.
+    """
+    def fmt(value: Any) -> str:
+        if isinstance(value, bool):
+            return str(value)
+        if isinstance(value, float):
+            return float_format.format(value)
+        return str(value)
+
+    rendered: List[List[str]] = [[fmt(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        parts = []
+        for index, cell in enumerate(cells):
+            if index == 0:
+                parts.append(cell.ljust(widths[index]))
+            else:
+                parts.append(cell.rjust(widths[index]))
+        return "  ".join(parts)
+
+    out: List[str] = []
+    if title:
+        out.append(title)
+    out.append(line(list(headers)))
+    out.append(line(["-" * w for w in widths]))
+    for row in rendered:
+        out.append(line(row))
+    return "\n".join(out)
+
+
+def print_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    title: str = "",
+    float_format: str = "{:.3f}",
+) -> None:
+    """Print :func:`format_table` output, framed by blank lines."""
+    print()
+    print(format_table(headers, rows, title=title, float_format=float_format))
+    print()

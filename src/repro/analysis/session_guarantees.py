@@ -1,0 +1,205 @@
+"""Session-guarantee checkers over message dependency graphs.
+
+Causal ordering of data-access messages subsumes the four classic
+*session guarantees* — provided clients declare the right dependencies.
+These checkers make that claim testable for any run: given the extracted
+dependency graph and each client's issued operation sequence, they verify
+
+* **read-your-writes** — every read causally follows all earlier writes
+  of the same session;
+* **monotonic writes** — a session's writes are causally ordered among
+  themselves;
+* **monotonic reads** — each read's causal cut contains every write any
+  earlier read of the session observed;
+* **writes-follow-reads** — a write causally follows the writes its
+  session's earlier reads observed.
+
+The §6.1 front-end discipline provides all four by construction (reads
+are sync points covering the open cycle; requests chain through the
+anchor); spontaneous unordered traffic provides none — both facts are
+pinned down in the test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence, Set, Tuple
+
+from repro.graph.depgraph import DependencyGraph
+from repro.types import EntityId, MessageId
+
+
+@dataclass(frozen=True)
+class SessionOp:
+    """One operation a session issued, in issue order.
+
+    ``kind`` is ``"read"`` or ``"write"``; ``label`` is the broadcast
+    message the operation became; ``observed`` (reads only) is the set of
+    write labels whose effects the read returned — for a causally served
+    read, its causal cut intersected with writes.
+    """
+
+    kind: str
+    label: MessageId
+    observed: frozenset = frozenset()
+
+
+@dataclass(frozen=True)
+class GuaranteeViolation:
+    """A session-guarantee violation at one client."""
+
+    guarantee: str
+    session: EntityId
+    operation: MessageId
+    missing: MessageId
+
+    def __str__(self) -> str:  # pragma: no cover - diagnostics
+        return (
+            f"{self.guarantee} violated in session {self.session}: "
+            f"{self.operation} does not causally follow {self.missing}"
+        )
+
+
+def _covered(graph: DependencyGraph, later: MessageId, earlier: MessageId) -> bool:
+    """Is ``earlier`` in ``later``'s declared causal past (or equal)?"""
+    return earlier == later or (
+        earlier in graph and later in graph and graph.precedes(earlier, later)
+    )
+
+
+def check_read_your_writes(
+    graph: DependencyGraph,
+    sessions: Mapping[EntityId, Sequence[SessionOp]],
+) -> List[GuaranteeViolation]:
+    """Each read follows all earlier writes of its session."""
+    violations = []
+    for session, ops in sessions.items():
+        writes: List[MessageId] = []
+        for op in ops:
+            if op.kind == "write":
+                writes.append(op.label)
+                continue
+            for write in writes:
+                if not _covered(graph, op.label, write):
+                    violations.append(
+                        GuaranteeViolation(
+                            "read-your-writes", session, op.label, write
+                        )
+                    )
+    return violations
+
+
+def check_monotonic_writes(
+    graph: DependencyGraph,
+    sessions: Mapping[EntityId, Sequence[SessionOp]],
+) -> List[GuaranteeViolation]:
+    """A session's writes are causally chained in issue order."""
+    violations = []
+    for session, ops in sessions.items():
+        previous: MessageId | None = None
+        for op in ops:
+            if op.kind != "write":
+                continue
+            if previous is not None and not _covered(
+                graph, op.label, previous
+            ):
+                violations.append(
+                    GuaranteeViolation(
+                        "monotonic-writes", session, op.label, previous
+                    )
+                )
+            previous = op.label
+    return violations
+
+
+def check_monotonic_reads(
+    graph: DependencyGraph,
+    sessions: Mapping[EntityId, Sequence[SessionOp]],
+) -> List[GuaranteeViolation]:
+    """Each read covers the writes earlier reads of the session observed."""
+    violations = []
+    for session, ops in sessions.items():
+        observed: Set[MessageId] = set()
+        for op in ops:
+            if op.kind != "read":
+                continue
+            for write in observed:
+                if not _covered(graph, op.label, write):
+                    violations.append(
+                        GuaranteeViolation(
+                            "monotonic-reads", session, op.label, write
+                        )
+                    )
+            observed |= set(op.observed)
+    return violations
+
+
+def check_writes_follow_reads(
+    graph: DependencyGraph,
+    sessions: Mapping[EntityId, Sequence[SessionOp]],
+) -> List[GuaranteeViolation]:
+    """Each write follows the writes earlier reads of the session observed."""
+    violations = []
+    for session, ops in sessions.items():
+        observed: Set[MessageId] = set()
+        for op in ops:
+            if op.kind == "read":
+                observed |= set(op.observed)
+                continue
+            for write in observed:
+                if not _covered(graph, op.label, write):
+                    violations.append(
+                        GuaranteeViolation(
+                            "writes-follow-reads", session, op.label, write
+                        )
+                    )
+    return violations
+
+
+def check_all_session_guarantees(
+    graph: DependencyGraph,
+    sessions: Mapping[EntityId, Sequence[SessionOp]],
+) -> Dict[str, List[GuaranteeViolation]]:
+    """Run all four checkers; returns violations keyed by guarantee."""
+    return {
+        "read-your-writes": check_read_your_writes(graph, sessions),
+        "monotonic-writes": check_monotonic_writes(graph, sessions),
+        "monotonic-reads": check_monotonic_reads(graph, sessions),
+        "writes-follow-reads": check_writes_follow_reads(graph, sessions),
+    }
+
+
+def sessions_from_frontend_run(
+    graph: DependencyGraph,
+    issued: Mapping[EntityId, Sequence[Tuple[str, MessageId]]],
+    write_operations: Set[str],
+) -> Dict[EntityId, List[SessionOp]]:
+    """Build session logs from (operation, label) issue records.
+
+    ``observed`` for each read is derived from the graph: the read's
+    causal past intersected with all known write labels — what a causally
+    served read returns.
+    """
+    all_writes = {
+        label
+        for ops in issued.values()
+        for operation, label in ops
+        if operation in write_operations
+    }
+    sessions: Dict[EntityId, List[SessionOp]] = {}
+    for session, ops in issued.items():
+        log: List[SessionOp] = []
+        for operation, label in ops:
+            if operation in write_operations:
+                log.append(SessionOp("write", label))
+            else:
+                past = (
+                    graph.causal_past(label) if label in graph else frozenset()
+                )
+                log.append(
+                    SessionOp(
+                        "read", label, frozenset(past & all_writes)
+                    )
+                )
+        sessions[session] = log
+    return sessions

@@ -1,0 +1,92 @@
+"""Throughput and convergence-time metrics.
+
+Complements the latency metrics: how many application deliveries per
+unit time a run sustained, and how long after the last send the system
+took to converge (the "settle tail" — dominated by hold-back release and
+recovery traffic).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.analysis.metrics import CONTROL_OPERATIONS
+from repro.sim.trace import TraceRecorder
+from repro.types import EntityId
+
+
+@dataclass(frozen=True)
+class ThroughputReport:
+    """Delivery throughput over a run."""
+
+    app_deliveries: int
+    span: float
+    per_second: float
+    peak_window_rate: float
+    window: float
+
+
+def delivery_throughput(
+    trace: TraceRecorder, window: float = 1.0
+) -> ThroughputReport:
+    """Application deliveries per unit simulated time.
+
+    ``peak_window_rate`` is the best rate over any aligned window of the
+    given width — a burstiness indicator.
+    """
+    times = [
+        event.time
+        for event in trace.of_kind("deliver")
+        if event.get("operation") not in CONTROL_OPERATIONS
+    ]
+    if not times:
+        return ThroughputReport(0, 0.0, 0.0, 0.0, window)
+    start, end = min(times), max(times)
+    span = max(end - start, 1e-9)
+    buckets: Dict[int, int] = {}
+    for time in times:
+        buckets[int((time - start) / window)] = (
+            buckets.get(int((time - start) / window), 0) + 1
+        )
+    peak = max(buckets.values()) / window
+    return ThroughputReport(
+        app_deliveries=len(times),
+        span=span,
+        per_second=len(times) / span,
+        peak_window_rate=peak,
+        window=window,
+    )
+
+
+def settle_time(trace: TraceRecorder) -> Optional[float]:
+    """Time between the last application send and the last delivery.
+
+    ``None`` when the trace contains no application traffic.  A large
+    settle time relative to typical hop latency means deliveries were
+    gated (hold-back, epoch batching, recovery).
+    """
+    sends = [
+        event.time
+        for event in trace.of_kind("send")
+        if event.get("operation") not in CONTROL_OPERATIONS
+    ]
+    delivers = [
+        event.time
+        for event in trace.of_kind("deliver")
+        if event.get("operation") not in CONTROL_OPERATIONS
+    ]
+    if not sends or not delivers:
+        return None
+    return max(delivers) - max(sends)
+
+
+def per_member_delivery_counts(trace: TraceRecorder) -> Dict[EntityId, int]:
+    """Application deliveries per member (liveness accounting)."""
+    counts: Dict[EntityId, int] = {}
+    for event in trace.of_kind("deliver"):
+        if event.get("operation") in CONTROL_OPERATIONS:
+            continue
+        entity = event.get("entity")
+        counts[entity] = counts.get(entity, 0) + 1
+    return counts

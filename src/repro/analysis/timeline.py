@@ -1,0 +1,124 @@
+"""ASCII space-time diagrams from simulation traces.
+
+Renders the classic Lamport diagram: one row per entity, time flowing
+right, with ``b`` marking a broadcast, ``d`` a delivery, ``*`` a stable
+point and ``!`` a drop.  Useful in demos and when debugging an ordering
+protocol — a held-back message is visible as a late ``d`` far from its
+column of arrival.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.sim.trace import TraceRecorder
+from repro.types import EntityId
+
+# Priority when several events share a cell (highest wins).
+_GLYPHS = {"drop": "!", "stable_point": "*", "send": "b", "deliver": "d"}
+_PRIORITY = {"!": 3, "*": 2, "b": 1, "d": 0}
+
+
+@dataclass(frozen=True)
+class TimelineOptions:
+    """Rendering knobs."""
+
+    width: int = 72
+    include_control: bool = False
+
+
+def _entity_of(event) -> Optional[EntityId]:
+    if event.kind == "send":
+        return event.get("source")
+    if event.kind in ("deliver", "hold", "stable_point"):
+        return event.get("entity")
+    if event.kind == "drop":
+        return event.get("destination")
+    return None
+
+
+def render_timeline(
+    trace: TraceRecorder,
+    entities: Optional[Sequence[EntityId]] = None,
+    options: TimelineOptions = TimelineOptions(),
+) -> str:
+    """Render the trace as an ASCII space-time diagram.
+
+    ``entities`` fixes the row order (default: order of first appearance).
+    Control operations (``__ack__`` etc.) are skipped unless
+    ``include_control`` is set.
+    """
+    events = [
+        e
+        for e in trace
+        if e.kind in _GLYPHS
+        and (
+            options.include_control
+            or not str(e.get("operation", "")).startswith("__")
+        )
+    ]
+    if not events:
+        return "(no events)"
+    if entities is None:
+        seen: List[EntityId] = []
+        for event in events:
+            entity = _entity_of(event)
+            if entity is not None and entity not in seen:
+                seen.append(entity)
+        entities = seen
+
+    start = events[0].time
+    end = max(e.time for e in events)
+    span = max(end - start, 1e-9)
+    columns = max(options.width - 1, 1)
+
+    def column(time: float) -> int:
+        return min(columns - 1, int((time - start) / span * columns))
+
+    rows: Dict[EntityId, List[str]] = {
+        entity: ["."] * columns for entity in entities
+    }
+    for event in events:
+        entity = _entity_of(event)
+        if entity not in rows:
+            continue
+        glyph = _GLYPHS[event.kind]
+        cell = column(event.time)
+        current = rows[entity][cell]
+        if current == "." or _PRIORITY[glyph] > _PRIORITY.get(current, -1):
+            rows[entity][cell] = glyph
+
+    label_width = max(len(str(e)) for e in entities)
+    lines = [
+        f"{str(entity):>{label_width}} |{''.join(cells)}"
+        for entity, cells in rows.items()
+    ]
+    axis = (
+        " " * label_width
+        + " +"
+        + "-" * columns
+        + f"\n{'':>{label_width}}  t={start:.2f}"
+        + " " * max(0, columns - 18)
+        + f"t={end:.2f}"
+    )
+    legend = "b=broadcast  d=deliver  *=stable point  !=drop"
+    return "\n".join(lines) + "\n" + axis + "\n" + legend
+
+
+def delivery_matrix(
+    trace: TraceRecorder, digits: int = 1
+) -> Dict[EntityId, List[str]]:
+    """Per-entity delivery timeline as ``label@time`` strings.
+
+    A compact textual alternative to the diagram, convenient in tests.
+    """
+    result: Dict[EntityId, List[str]] = {}
+    for event in trace.of_kind("deliver"):
+        entity = event.get("entity")
+        label = event.get("msg_id")
+        result.setdefault(entity, []).append(
+            f"{label}@{round(event.time, digits)}"
+        )
+    return result

@@ -1,0 +1,49 @@
+"""Example applications from the paper's motivation sections."""
+
+from repro.apps.card_game import CardGame, CardPlayer
+from repro.apps.conference import (
+    ConferenceSystem,
+    document_machine,
+    document_spec,
+)
+from repro.apps.file_service import FileService, file_machine, file_spec
+from repro.apps.counter import (
+    CounterService,
+    multi_counter_machine,
+    multi_counter_spec,
+)
+from repro.apps.kvstore import (
+    KeyedFrontEnd,
+    KVStoreSystem,
+    kv_machine,
+    kv_spec,
+)
+from repro.apps.lock_service import LockMember, LockService
+from repro.apps.name_service import (
+    NameServiceMember,
+    NameServiceSystem,
+    QueryAnswer,
+)
+
+__all__ = [
+    "CardGame",
+    "CardPlayer",
+    "ConferenceSystem",
+    "CounterService",
+    "FileService",
+    "KVStoreSystem",
+    "KeyedFrontEnd",
+    "LockMember",
+    "LockService",
+    "NameServiceMember",
+    "NameServiceSystem",
+    "QueryAnswer",
+    "document_machine",
+    "document_spec",
+    "file_machine",
+    "file_spec",
+    "kv_machine",
+    "kv_spec",
+    "multi_counter_machine",
+    "multi_counter_spec",
+]

@@ -1,0 +1,122 @@
+"""Distributed conferencing — collaborative document annotation (§5.2).
+
+"Distributed conferencing in which the participants collaboratively
+annotate and/or modify a design document from their workstations" is the
+paper's canonical *loosely coupled* application: operations are generated
+spontaneously.  The document model here:
+
+* ``annotate(paragraph, note)`` — adds a note to a paragraph.  Notes are a
+  *set*, so annotations commute with everything except edits of the same
+  paragraph: the quintessential commutative operation.
+* ``edit(paragraph, text)`` — replaces a paragraph's text:
+  non-commutative per paragraph (last write wins, so order matters).
+
+Each participant's window converges with the others; edits act as
+per-document synchronization points when issued through the front-end
+discipline (they are non-commutative, so the Section 6.1 cycle applies).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Optional, Sequence, Tuple
+
+from repro.core.access_protocol import StablePointSystem
+from repro.core.commutativity import CommutativitySpec
+from repro.core.state_machine import StateMachine
+from repro.net.latency import LatencyModel
+from repro.types import EntityId, Message, MessageId
+
+# Document state: frozenset of (paragraph, text, frozenset-of-notes).
+Paragraph = Tuple[str, str, FrozenSet[str]]
+
+
+def _as_dict(state: frozenset) -> Dict[str, Tuple[str, FrozenSet[str]]]:
+    return {p: (text, notes) for p, text, notes in state}
+
+
+def _as_state(doc: Dict[str, Tuple[str, FrozenSet[str]]]) -> frozenset:
+    return frozenset(
+        (p, text, notes) for p, (text, notes) in doc.items()
+    )
+
+
+def document_machine() -> StateMachine:
+    """The shared design document."""
+
+    def annotate(state: frozenset, message: Message) -> frozenset:
+        doc = _as_dict(state)
+        paragraph = message.payload["paragraph"]
+        note = message.payload["note"]
+        text, notes = doc.get(paragraph, ("", frozenset()))
+        doc[paragraph] = (text, notes | {note})
+        return _as_state(doc)
+
+    def edit(state: frozenset, message: Message) -> frozenset:
+        doc = _as_dict(state)
+        paragraph = message.payload["paragraph"]
+        text = message.payload["text"]
+        _, notes = doc.get(paragraph, ("", frozenset()))
+        doc[paragraph] = (text, notes)
+        return _as_state(doc)
+
+    return StateMachine(frozenset(), {"annotate": annotate, "edit": edit})
+
+
+def document_spec() -> CommutativitySpec:
+    """Annotations commute (set union); edits do not.
+
+    Item scoping: operations on different paragraphs always commute.
+    """
+    return CommutativitySpec(
+        commutative_ops={"annotate"},
+        item_of=lambda m: m.payload["paragraph"] if m.payload else None,
+    )
+
+
+class ConferenceSystem:
+    """Participants sharing one design document."""
+
+    def __init__(
+        self,
+        participants: Sequence[EntityId],
+        latency: Optional[LatencyModel] = None,
+        seed: int = 0,
+    ) -> None:
+        self.system = StablePointSystem(
+            participants,
+            document_machine,
+            document_spec(),
+            latency=latency,
+            seed=seed,
+        )
+
+    # -- operations -----------------------------------------------------------
+
+    def annotate(
+        self, participant: EntityId, paragraph: str, note: str
+    ) -> MessageId:
+        return self.system.request(
+            participant, "annotate", {"paragraph": paragraph, "note": note}
+        )
+
+    def edit(
+        self, participant: EntityId, paragraph: str, text: str
+    ) -> MessageId:
+        return self.system.request(
+            participant, "edit", {"paragraph": paragraph, "text": text}
+        )
+
+    def run(self) -> None:
+        self.system.run()
+
+    # -- windows --------------------------------------------------------------
+
+    def window(
+        self, participant: EntityId
+    ) -> Dict[str, Tuple[str, FrozenSet[str]]]:
+        """The participant's current view of the document."""
+        return _as_dict(self.system.replicas[participant].read_now())
+
+    def windows_converged(self) -> bool:
+        states = [r.read_now() for r in self.system.replicas.values()]
+        return all(s == states[0] for s in states[1:])

@@ -1,0 +1,136 @@
+"""Replicated integer counter — the paper's running example.
+
+A service exposing increment/decrement (commutative) and read
+(non-commutative) on one or more named integers, with the ordering
+requirement of Section 2.2: "a rd operation cannot be concurrent with an
+inc/dec operation, while the inc and dec operations can be concurrent" —
+``‖{inc(x), dec(x)} ≺ rd(x)``.
+
+:class:`CounterService` wraps a :class:`~repro.core.access_protocol.StablePointSystem`
+with a typed API; reads are deferred to the next stable point so every
+member returns the same value (Section 5.1).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.access_protocol import StablePointSystem
+from repro.core.commutativity import CommutativitySpec
+from repro.core.stable_points import StablePoint
+from repro.core.state_machine import StateMachine
+from repro.net.faults import FaultPlan
+from repro.net.latency import LatencyModel
+from repro.types import EntityId, Message, MessageId
+
+
+def multi_counter_machine() -> StateMachine:
+    """State: immutable mapping item -> int (as a frozenset of pairs)."""
+
+    def _get(state: frozenset, item: str) -> int:
+        for key, value in state:
+            if key == item:
+                return value
+        return 0
+
+    def _set(state: frozenset, item: str, value: int) -> frozenset:
+        entries = {k: v for k, v in state}
+        entries[item] = value
+        return frozenset(entries.items())
+
+    def inc(state: frozenset, message: Message) -> frozenset:
+        item = message.payload["item"]
+        amount = message.payload.get("amount", 1)
+        return _set(state, item, _get(state, item) + amount)
+
+    def dec(state: frozenset, message: Message) -> frozenset:
+        item = message.payload["item"]
+        amount = message.payload.get("amount", 1)
+        return _set(state, item, _get(state, item) - amount)
+
+    def rd(state: frozenset, message: Message) -> frozenset:
+        return state
+
+    return StateMachine(frozenset(), {"inc": inc, "dec": dec, "rd": rd})
+
+
+def multi_counter_spec() -> CommutativitySpec:
+    """inc/dec commute; rd does not; different items always commute."""
+    return CommutativitySpec(
+        commutative_ops={"inc", "dec"},
+        item_of=lambda m: m.payload["item"] if m.payload else None,
+    )
+
+
+class CounterService:
+    """A replicated multi-counter over the stable-point protocol."""
+
+    def __init__(
+        self,
+        members: Sequence[EntityId],
+        latency: Optional[LatencyModel] = None,
+        faults: Optional[FaultPlan] = None,
+        seed: int = 0,
+    ) -> None:
+        self.system = StablePointSystem(
+            members,
+            multi_counter_machine,
+            multi_counter_spec(),
+            latency=latency,
+            faults=faults,
+            seed=seed,
+        )
+        self._read_results: List[Tuple[EntityId, MessageId, Any, StablePoint]] = []
+
+    # -- operations ----------------------------------------------------------
+
+    def increment(
+        self, member: EntityId, item: str = "x", amount: int = 1
+    ) -> MessageId:
+        return self.system.request(
+            member, "inc", {"item": item, "amount": amount}
+        )
+
+    def decrement(
+        self, member: EntityId, item: str = "x", amount: int = 1
+    ) -> MessageId:
+        return self.system.request(
+            member, "dec", {"item": item, "amount": amount}
+        )
+
+    def read(self, member: EntityId, item: str = "x") -> MessageId:
+        """Issue a read: a synchronization point for the whole group.
+
+        The returned value is captured at the next stable point at *every*
+        member via :meth:`read_results`.
+        """
+        label = self.system.request(member, "rd", {"item": item})
+        for entity, replica in self.system.replicas.items():
+            replica.read_at_next_stable_point(
+                self._capture_read(entity, label, item)
+            )
+        return label
+
+    def _capture_read(self, entity: EntityId, label: MessageId, item: str):
+        def capture(state: frozenset, point: StablePoint) -> None:
+            value = dict(state).get(item, 0)
+            self._read_results.append((entity, label, value, point))
+
+        return capture
+
+    # -- results --------------------------------------------------------------
+
+    def run(self) -> None:
+        self.system.run()
+
+    def value_at(self, member: EntityId, item: str = "x") -> int:
+        """The member's current (live) value of ``item``."""
+        state = self.system.replicas[member].read_now()
+        return dict(state).get(item, 0)
+
+    def read_results(self) -> List[Tuple[EntityId, MessageId, Any, StablePoint]]:
+        """(member, read label, value, stable point) per captured read."""
+        return list(self._read_results)
+
+    def values(self, item: str = "x") -> Dict[EntityId, int]:
+        return {m: self.value_at(m, item) for m in self.system.members}

@@ -1,0 +1,181 @@
+"""Distributed file service — the paper's opening example.
+
+"A distributed file service may be implemented by a group of servers,
+with each server maintaining a local copy of files and exchanging
+messages with other servers in the group to update the various file
+copies in response to client requests" (Section 1).
+
+The data model is log-structured, which maps the paper's commutativity
+machinery onto files naturally:
+
+* ``append(path, record)`` — adds a record to a file's record *set*:
+  commutative with every other append (set union), like the conferencing
+  annotations of §5.2;
+* ``write(path, content)`` — replaces the file's base content:
+  non-commutative per path (a synchronization point for that file);
+* ``remove(path)`` — deletes the file: non-commutative;
+* ``read(path)`` — non-commutative; served as a deferred read at the next
+  stable point so every server returns the same bytes (§5.1).
+
+Item scoping (§5.1, "decomposition of the data into distinct items")
+makes operations on different paths always commutative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.core.access_protocol import StablePointSystem
+from repro.core.commutativity import CommutativitySpec
+from repro.core.stable_points import StablePoint
+from repro.core.state_machine import StateMachine
+from repro.net.faults import FaultPlan
+from repro.net.latency import LatencyModel
+from repro.types import EntityId, Message, MessageId
+
+# A file: (base content, frozenset of appended records).
+FileValue = Tuple[str, FrozenSet[str]]
+# Filesystem state: frozenset of (path, content, records).
+FsState = FrozenSet[Tuple[str, str, FrozenSet[str]]]
+
+
+def _as_dict(state: FsState) -> Dict[str, FileValue]:
+    return {path: (content, records) for path, content, records in state}
+
+
+def _as_state(files: Dict[str, FileValue]) -> FsState:
+    return frozenset(
+        (path, content, records) for path, (content, records) in files.items()
+    )
+
+
+def file_machine() -> StateMachine:
+    """The replicated filesystem's transition function."""
+
+    def write(state: FsState, message: Message) -> FsState:
+        files = _as_dict(state)
+        path = message.payload["path"]
+        _, records = files.get(path, ("", frozenset()))
+        files[path] = (message.payload["content"], records)
+        return _as_state(files)
+
+    def append(state: FsState, message: Message) -> FsState:
+        files = _as_dict(state)
+        path = message.payload["path"]
+        content, records = files.get(path, ("", frozenset()))
+        files[path] = (content, records | {message.payload["record"]})
+        return _as_state(files)
+
+    def remove(state: FsState, message: Message) -> FsState:
+        files = _as_dict(state)
+        files.pop(message.payload["path"], None)
+        return _as_state(files)
+
+    def read(state: FsState, message: Message) -> FsState:
+        return state
+
+    return StateMachine(
+        frozenset(),
+        {"write": write, "append": append, "remove": remove, "read": read},
+    )
+
+
+def file_spec() -> CommutativitySpec:
+    """Appends commute; write/remove/read do not; paths scope items."""
+    return CommutativitySpec(
+        commutative_ops={"append"},
+        item_of=lambda m: m.payload["path"] if m.payload else None,
+    )
+
+
+@dataclass(frozen=True)
+class ReadResult:
+    """One server's answer to a deferred read."""
+
+    server: EntityId
+    path: str
+    content: str
+    records: FrozenSet[str]
+    stable_index: int
+
+
+class FileService:
+    """A group of file servers behind a typed client API."""
+
+    def __init__(
+        self,
+        servers: Sequence[EntityId],
+        latency: Optional[LatencyModel] = None,
+        faults: Optional[FaultPlan] = None,
+        seed: int = 0,
+    ) -> None:
+        self.system = StablePointSystem(
+            servers,
+            file_machine,
+            file_spec(),
+            latency=latency,
+            faults=faults,
+            seed=seed,
+        )
+        self._read_results: List[ReadResult] = []
+
+    # -- client operations ------------------------------------------------------
+
+    def write(self, server: EntityId, path: str, content: str) -> MessageId:
+        """Replace ``path``'s base content (a per-file sync point)."""
+        return self.system.request(
+            server, "write", {"path": path, "content": content}
+        )
+
+    def append(self, server: EntityId, path: str, record: str) -> MessageId:
+        """Append a record to ``path`` (commutative)."""
+        return self.system.request(
+            server, "append", {"path": path, "record": record}
+        )
+
+    def remove(self, server: EntityId, path: str) -> MessageId:
+        return self.system.request(server, "remove", {"path": path})
+
+    def read(self, server: EntityId, path: str) -> MessageId:
+        """Issue a read; every server's agreed answer is captured.
+
+        Answers appear in :meth:`read_results` once the read's stable
+        point is processed.
+        """
+        label = self.system.request(server, "read", {"path": path})
+        for entity, replica in self.system.replicas.items():
+            replica.read_at_next_stable_point(
+                self._capture(entity, path)
+            )
+        return label
+
+    def _capture(self, entity: EntityId, path: str):
+        def callback(state: FsState, point: StablePoint) -> None:
+            content, records = _as_dict(state).get(path, ("", frozenset()))
+            self._read_results.append(
+                ReadResult(entity, path, content, records, point.index)
+            )
+
+        return callback
+
+    # -- operation ------------------------------------------------------------------
+
+    def run(self) -> None:
+        self.system.run()
+
+    def read_results(self) -> List[ReadResult]:
+        return list(self._read_results)
+
+    # -- inspection -----------------------------------------------------------------
+
+    def listing(self, server: EntityId) -> Dict[str, FileValue]:
+        """The server's current (live) filesystem view."""
+        return _as_dict(self.system.replicas[server].read_now())
+
+    def file_at(self, server: EntityId, path: str) -> Optional[FileValue]:
+        return self.listing(server).get(path)
+
+    def converged(self) -> bool:
+        states = [r.read_now() for r in self.system.replicas.values()]
+        return all(s == states[0] for s in states[1:])

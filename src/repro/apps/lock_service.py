@@ -1,0 +1,218 @@
+"""Decentralized lock arbitration — the LOCK/TFR protocol of Section 6.2.
+
+Access to a shared page is arbitrated without a lock server: in each
+acquisition cycle ``S`` every member spontaneously broadcasts a
+``[LOCK, a_i, S]`` request; the requests are totally ordered by ``ASend``;
+"on receiving [a] specific predetermined number of LOCK messages, each
+member executes an arbitration algorithm.  Since the algorithm is
+deterministic, all the members choose the same next lock holder, thereby
+ensuring consensus among members" — with **zero** extra agreement
+messages.  Each holder accesses the page, then broadcasts ``[TFR, S]`` to
+transfer the lock to the next member in the arbitration sequence; "after
+the last member in the arbitration sequence has transferred the lock, the
+next lock acquisition cycle (S+1) begins" (Figure 5).
+
+Epoch layout per cycle ``S`` (with ``M`` members): epoch ``S*(M+1)``
+carries the ``M`` concurrent LOCK requests; epochs ``S*(M+1)+1+j`` each
+carry the single TFR of the ``j``-th holder.  The arbitration sequence is
+a deterministic rotation of the member ranking by ``S``, so every member
+eventually goes first.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.broadcast.asend import ASendTotalOrder
+from repro.errors import ConfigurationError
+from repro.group.membership import GroupMembership
+from repro.net.latency import LatencyModel
+from repro.net.network import Network
+from repro.sim.rng import RngRegistry
+from repro.sim.scheduler import Scheduler
+from repro.types import Envelope, EntityId
+
+
+class LockMember:
+    """One member of the arbitration group."""
+
+    def __init__(self, service: "LockService", protocol: ASendTotalOrder) -> None:
+        self.service = service
+        self.protocol = protocol
+        self.holder_log: List[EntityId] = []  # who held the lock, in order
+        self.page: List[str] = []  # the shared page, edit by edit
+        self.acquisitions = 0
+        self._locks_seen_in_cycle = 0
+        self._current_sequence: List[EntityId] = []
+        self._tfrs_seen_in_cycle = 0
+        protocol.on_deliver(self._on_delivery)
+
+    @property
+    def entity_id(self) -> EntityId:
+        return self.protocol.entity_id
+
+    # -- issuing ----------------------------------------------------------
+
+    def request_lock(self, cycle: int) -> None:
+        epoch = cycle * (len(self.service.members_order) + 1)
+        self.protocol.asend(
+            "LOCK", {"member": self.entity_id, "cycle": cycle}, epoch=epoch
+        )
+
+    def _transfer(self, cycle: int, holder_index: int) -> None:
+        epoch = cycle * (len(self.service.members_order) + 1) + 1 + holder_index
+        # The TFR doubles as the holder's page edit (paper §6.2: the
+        # holder "has completed page access" when it transfers): the edit
+        # rides the totally ordered transfer, so every member applies the
+        # same edits in the same order.
+        self.protocol.asend(
+            "TFR",
+            {
+                "member": self.entity_id,
+                "cycle": cycle,
+                "index": holder_index,
+                "edit": self.service.page_edit(self.entity_id, cycle),
+            },
+            epoch=epoch,
+        )
+
+    # -- delivery ----------------------------------------------------------
+
+    def _on_delivery(self, envelope: Envelope) -> None:
+        operation = envelope.message.operation
+        if operation == "LOCK":
+            self._on_lock(envelope)
+        elif operation == "TFR":
+            self._on_tfr(envelope)
+
+    def _on_lock(self, envelope: Envelope) -> None:
+        cycle = envelope.message.payload["cycle"]
+        self._locks_seen_in_cycle += 1
+        if self._locks_seen_in_cycle == len(self.service.members_order):
+            # All LOCKs of the cycle delivered: arbitrate deterministically.
+            self._locks_seen_in_cycle = 0
+            self._current_sequence = self.service.arbitration_sequence(cycle)
+            self._grant(cycle, holder_index=0)
+
+    def _grant(self, cycle: int, holder_index: int) -> None:
+        holder = self._current_sequence[holder_index]
+        self.holder_log.append(holder)
+        if holder == self.entity_id:
+            self.acquisitions += 1
+            self.service.note_acquisition(holder, cycle, self.protocol.now)
+            # Access the page, then transfer.
+            self.protocol.scheduler.call_in(
+                self.service.access_time, self._transfer, cycle, holder_index
+            )
+
+    def _on_tfr(self, envelope: Envelope) -> None:
+        cycle = envelope.message.payload["cycle"]
+        index = envelope.message.payload["index"]
+        edit = envelope.message.payload.get("edit")
+        if edit is not None:
+            self.page.append(edit)
+        self._tfrs_seen_in_cycle += 1
+        members = self.service.members_order
+        if index + 1 < len(members):
+            self._grant(cycle, holder_index=index + 1)
+            return
+        # Last TFR of the cycle: start the next cycle, if any remain.
+        self._tfrs_seen_in_cycle = 0
+        if cycle + 1 < self.service.cycles:
+            self.request_lock(cycle + 1)
+
+
+class LockService:
+    """The full arbitration group plus measurement hooks."""
+
+    def __init__(
+        self,
+        members: Sequence[EntityId],
+        cycles: int = 1,
+        access_time: float = 0.5,
+        latency: Optional[LatencyModel] = None,
+        seed: int = 0,
+    ) -> None:
+        if cycles < 1:
+            raise ConfigurationError(f"cycles must be >= 1, got {cycles}")
+        if len(members) < 2:
+            raise ConfigurationError("arbitration needs at least two members")
+        self.members_order = list(members)
+        self.cycles = cycles
+        self.access_time = access_time
+        self.scheduler = Scheduler()
+        self.rng = RngRegistry(seed)
+        self.network = Network(self.scheduler, latency=latency, rng=self.rng)
+        membership = GroupMembership(members)
+        group_size = len(self.members_order)
+
+        def expected(epoch: int) -> int:
+            return group_size if epoch % (group_size + 1) == 0 else 1
+
+        self.members: Dict[EntityId, LockMember] = {}
+        for entity in members:
+            protocol = ASendTotalOrder(
+                entity, membership, expected_per_epoch=expected
+            )
+            self.network.register(protocol)
+            self.members[entity] = LockMember(self, protocol)
+        self.acquisition_times: List[tuple[EntityId, int, float]] = []
+
+    # -- the shared page ------------------------------------------------------------
+
+    def page_edit(self, holder: EntityId, cycle: int) -> str:
+        """The edit a holder applies during its page access."""
+        return f"{holder}@{cycle}"
+
+    def page_copies(self) -> Dict[EntityId, List[str]]:
+        """Each member's copy of the shared page, in applied order."""
+        return {e: list(m.page) for e, m in self.members.items()}
+
+    def pages_identical(self) -> bool:
+        """Mutual-exclusion consequence: all page copies match exactly."""
+        pages = list(self.page_copies().values())
+        return all(page == pages[0] for page in pages[1:])
+
+    # -- deterministic arbitration ------------------------------------------------
+
+    def arbitration_sequence(self, cycle: int) -> List[EntityId]:
+        """Rotation of the member ranking by the cycle number.
+
+        Purely a function of shared knowledge (view ranking + cycle), so
+        every member computes the same sequence — the paper's
+        "deterministic arbitration algorithm".
+        """
+        size = len(self.members_order)
+        offset = cycle % size
+        return [
+            self.members_order[(offset + i) % size] for i in range(size)
+        ]
+
+    # -- running --------------------------------------------------------------------
+
+    def run(self) -> None:
+        """Issue cycle-0 LOCK requests everywhere and drain the simulation."""
+        for member in self.members.values():
+            member.request_lock(0)
+        self.scheduler.run()
+
+    def note_acquisition(
+        self, holder: EntityId, cycle: int, time: float
+    ) -> None:
+        self.acquisition_times.append((holder, cycle, time))
+
+    # -- analysis -------------------------------------------------------------------
+
+    def holder_logs(self) -> Dict[EntityId, List[EntityId]]:
+        return {e: list(m.holder_log) for e, m in self.members.items()}
+
+    def consensus_reached(self) -> bool:
+        """Did every member compute the identical holder sequence?"""
+        logs = list(self.holder_logs().values())
+        return all(log == logs[0] for log in logs[1:])
+
+    def expected_total_acquisitions(self) -> int:
+        return self.cycles * len(self.members_order)
+
+    def total_acquisitions(self) -> int:
+        return sum(m.acquisitions for m in self.members.values())

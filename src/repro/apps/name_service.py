@@ -1,0 +1,189 @@
+"""Distributed name service — the application-specific protocol of §5.2.
+
+Registrations (``upd``) and resolutions (``qry``) "may occur independently
+on a name repository" — spontaneous messages.  Instead of paying for total
+ordering, the application tolerates relaxed (causal) ordering and detects
+the rare inconsistency itself: "the query operation carries sufficient
+context information in terms of the ordering of [the updates]", and a
+query whose answer could differ across members "should [be] discard[ed]".
+
+Concretely, a query carries the *ordered sequence* of update labels its
+issuer had seen for the queried name (the paper: "sufficient context
+information in terms of the ordering of upd1 and upd2").  Causal delivery
+guarantees every member has those updates before answering; a member
+whose own update sequence for the name differs from the context — extra
+concurrent updates, or the same updates applied in a different order —
+may answer differently from other members, so it flags the answer stale
+for the application to discard/retry.  Sequence (not set) comparison
+matters: two members can hold the same update *set* applied in different
+orders and still return different values.
+
+:class:`NameServiceSystem` runs the same workload over either engine:
+
+* ``engine="causal"`` — CBCAST + application-level staleness detection,
+* ``engine="total"``  — sequencer total order, no inconsistency possible
+  (the Figure 4 alternative), at higher message cost and latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.broadcast.base import BroadcastProtocol
+from repro.broadcast.cbcast import CbcastBroadcast
+from repro.broadcast.sequencer import SequencerTotalOrder
+from repro.errors import ConfigurationError
+from repro.group.membership import GroupMembership
+from repro.net.faults import FaultPlan
+from repro.net.latency import LatencyModel
+from repro.net.network import Network
+from repro.sim.rng import RngRegistry
+from repro.sim.scheduler import Scheduler
+from repro.types import Envelope, EntityId, MessageId
+
+
+@dataclass(frozen=True)
+class QueryAnswer:
+    """One member's answer to one query."""
+
+    member: EntityId
+    query: MessageId
+    name: str
+    value: Optional[str]
+    stale: bool
+    extra_updates: frozenset
+    reordered: bool
+
+
+class NameServiceMember:
+    """One replica of the name registry with app-level staleness checks."""
+
+    def __init__(self, protocol: BroadcastProtocol) -> None:
+        self.protocol = protocol
+        self.registry: Dict[str, str] = {}
+        # Update labels delivered here, per name, in delivery order.
+        self.seen_updates: Dict[str, List[MessageId]] = {}
+        self.answers: List[QueryAnswer] = []
+        self.stale_answers = 0
+        protocol.on_deliver(self._on_delivery)
+
+    @property
+    def entity_id(self) -> EntityId:
+        return self.protocol.entity_id
+
+    # -- issuing ---------------------------------------------------------
+
+    def update(self, name: str, value: str) -> MessageId:
+        """Register/overwrite a binding (spontaneous broadcast)."""
+        return self.protocol.bcast("upd", {"name": name, "value": value})
+
+    def query(self, name: str) -> MessageId:
+        """Resolve a name, carrying the issuer's ordered update context."""
+        context = tuple(self.seen_updates.get(name, ()))
+        return self.protocol.bcast(
+            "qry", {"name": name, "context": context}
+        )
+
+    # -- delivery ----------------------------------------------------------
+
+    def _on_delivery(self, envelope: Envelope) -> None:
+        operation = envelope.message.operation
+        if operation == "upd":
+            self._apply_update(envelope)
+        elif operation == "qry":
+            self._answer_query(envelope)
+
+    def _apply_update(self, envelope: Envelope) -> None:
+        name = envelope.message.payload["name"]
+        value = envelope.message.payload["value"]
+        self.registry[name] = value
+        self.seen_updates.setdefault(name, []).append(envelope.msg_id)
+
+    def _answer_query(self, envelope: Envelope) -> None:
+        name = envelope.message.payload["name"]
+        context = tuple(envelope.message.payload["context"])
+        local = tuple(self.seen_updates.get(name, ()))
+        extra = frozenset(set(local) - set(context))
+        # Stale when the member's update history for the name is not the
+        # exact sequence the issuer saw: extra updates, or a different
+        # interleaving of the same concurrent updates.
+        stale = local != context
+        reordered = stale and not extra
+        if stale:
+            self.stale_answers += 1
+        self.answers.append(
+            QueryAnswer(
+                member=self.entity_id,
+                query=envelope.msg_id,
+                name=name,
+                value=self.registry.get(name),
+                stale=stale,
+                extra_updates=extra,
+                reordered=reordered,
+            )
+        )
+
+
+class NameServiceSystem:
+    """A group of name-service members over a chosen ordering engine."""
+
+    ENGINES = ("causal", "total")
+
+    def __init__(
+        self,
+        members: Sequence[EntityId],
+        engine: str = "causal",
+        latency: Optional[LatencyModel] = None,
+        faults: Optional[FaultPlan] = None,
+        seed: int = 0,
+    ) -> None:
+        if engine not in self.ENGINES:
+            raise ConfigurationError(
+                f"unknown engine {engine!r}; pick from {self.ENGINES}"
+            )
+        self.engine = engine
+        self.scheduler = Scheduler()
+        self.rng = RngRegistry(seed)
+        self.network = Network(
+            self.scheduler, latency=latency, faults=faults, rng=self.rng
+        )
+        self.membership = GroupMembership(members)
+        factory = CbcastBroadcast if engine == "causal" else SequencerTotalOrder
+        self.members: Dict[EntityId, NameServiceMember] = {}
+        for entity in members:
+            protocol = factory(entity, self.membership)
+            self.network.register(protocol)
+            self.members[entity] = NameServiceMember(protocol)
+
+    def run(self) -> None:
+        self.scheduler.run()
+
+    # -- analysis -------------------------------------------------------------
+
+    def answers_by_query(self) -> Dict[MessageId, List[QueryAnswer]]:
+        grouped: Dict[MessageId, List[QueryAnswer]] = {}
+        for member in self.members.values():
+            for answer in member.answers:
+                grouped.setdefault(answer.query, []).append(answer)
+        return grouped
+
+    def inconsistent_queries(self) -> List[MessageId]:
+        """Queries whose members returned differing values."""
+        inconsistent = []
+        for query, answers in self.answers_by_query().items():
+            values = {a.value for a in answers}
+            if len(values) > 1:
+                inconsistent.append(query)
+        return inconsistent
+
+    def flagged_queries(self) -> List[MessageId]:
+        """Queries flagged stale by at least one member."""
+        return [
+            query
+            for query, answers in self.answers_by_query().items()
+            if any(a.stale for a in answers)
+        ]
+
+    def total_stale_answers(self) -> int:
+        return sum(m.stale_answers for m in self.members.values())

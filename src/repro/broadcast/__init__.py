@@ -1,0 +1,44 @@
+"""Broadcast protocol stack.
+
+All protocols share the :class:`~repro.broadcast.base.BroadcastProtocol`
+chassis (hold-back queue + delivery predicate):
+
+===========================  ====================================================
+:class:`UnorderedBroadcast`  no guarantees (baseline)
+:class:`FifoBroadcast`       per-sender order (baseline)
+:class:`CbcastBroadcast`     vector-clock causal order (ISIS CBCAST)
+:class:`OSendBroadcast`      explicit-graph causal order (the paper's ``OSend``)
+:class:`ASendTotalOrder`     epoch-batched total order (the paper's ``ASend``)
+:class:`SequencerTotalOrder` fixed-sequencer total order (interposed layer)
+:class:`LamportTotalOrder`   all-ack decentralized total order (baseline)
+===========================  ====================================================
+"""
+
+from repro.broadcast.asend import ASendTotalOrder
+from repro.broadcast.base import BroadcastProtocol, make_group
+from repro.broadcast.recovery import RecoveryAgent, protect_group
+from repro.broadcast.gc import StabilityTracker, track_group
+from repro.broadcast.rst import RstBroadcast
+from repro.broadcast.cbcast import CbcastBroadcast
+from repro.broadcast.fifo import FifoBroadcast
+from repro.broadcast.lamport_total import LamportTotalOrder
+from repro.broadcast.osend import OSendBroadcast
+from repro.broadcast.sequencer import SequencerTotalOrder
+from repro.broadcast.unordered import UnorderedBroadcast
+
+__all__ = [
+    "ASendTotalOrder",
+    "BroadcastProtocol",
+    "CbcastBroadcast",
+    "FifoBroadcast",
+    "LamportTotalOrder",
+    "OSendBroadcast",
+    "RecoveryAgent",
+    "RstBroadcast",
+    "StabilityTracker",
+    "SequencerTotalOrder",
+    "UnorderedBroadcast",
+    "make_group",
+    "protect_group",
+    "track_group",
+]

@@ -1,0 +1,263 @@
+"""Common machinery for broadcast protocols.
+
+Every protocol in this package is the same machine with a different
+*delivery predicate*:
+
+1. a send path that stamps protocol metadata onto an :class:`Envelope`
+   and hands it to the network,
+2. a receive path that deduplicates copies and places them in a
+   *hold-back queue*,
+3. a delivery loop that repeatedly releases queued envelopes whose
+   predicate is satisfied, in deterministic order.
+
+Keeping the chassis identical means measured differences between
+protocols are exactly their ordering semantics — the comparison the
+paper's Sections 3, 5 and 6 make qualitatively.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set
+
+from repro.errors import ProtocolError
+from repro.group.membership import GroupMembership
+from repro.sim.node import SimNode
+from repro.types import (
+    DeliveryRecord,
+    Envelope,
+    EntityId,
+    Message,
+    MessageId,
+    MessageIdAllocator,
+)
+
+DeliveryCallback = Callable[[Envelope], None]
+
+
+class BroadcastProtocol(SimNode):
+    """Base class: hold-back queue + pluggable delivery predicate.
+
+    Parameters
+    ----------
+    entity_id:
+        This member's identity.
+    group:
+        Shared :class:`~repro.group.membership.GroupMembership`; the
+        protocol consults the current view for member lists and ranks.
+    """
+
+    protocol_name = "base"
+
+    def __init__(self, entity_id: EntityId, group: GroupMembership) -> None:
+        super().__init__(entity_id)
+        self.group = group
+        self._allocator = MessageIdAllocator(entity_id)
+        self._pending: List[Envelope] = []
+        self._seen: Set[MessageId] = set()
+        self._delivered_ids: Set[MessageId] = set()
+        self._delivery_log: List[DeliveryRecord] = []
+        self._delivered_envelopes: List[Envelope] = []
+        self._envelopes_by_id: Dict[MessageId, Envelope] = {}
+        self._callbacks: List[DeliveryCallback] = []
+        self._send_times: Dict[MessageId, float] = {}
+        self._recovery: Optional[Any] = None
+        self._interceptors: List[Any] = []
+        self.duplicates_discarded = 0
+        self.max_holdback = 0
+
+    # -- public API ----------------------------------------------------------
+
+    def on_deliver(self, callback: DeliveryCallback) -> None:
+        """Register an application upcall invoked at each delivery."""
+        self._callbacks.append(callback)
+
+    def bcast(self, operation: str, payload: Any = None, **options: Any) -> MessageId:
+        """Broadcast an application operation to the group.
+
+        ``options`` are protocol-specific (e.g. ``occurs_after=`` for
+        :class:`~repro.broadcast.osend.OSendBroadcast`).  Returns the new
+        message's label.
+        """
+        message = Message(self._allocator.next_id(), operation, payload)
+        envelope = self._stamp(Envelope(message), **options)
+        self._send_times[message.msg_id] = self.now
+        # Keep our own stamped copy: if every network copy (including the
+        # self-delivery hop) is lost, retransmission must still be possible.
+        self._envelopes_by_id[message.msg_id] = envelope
+        self.broadcast(envelope)
+        return message.msg_id
+
+    # -- hooks for subclasses ---------------------------------------------------
+
+    def _stamp(self, envelope: Envelope, **options: Any) -> Envelope:
+        """Attach protocol metadata to an outgoing envelope."""
+        if options:
+            raise ProtocolError(
+                f"{self.protocol_name} does not accept options: {options}"
+            )
+        return envelope
+
+    def _deliverable(self, envelope: Envelope) -> bool:
+        """Whether ``envelope`` may be delivered now.  Subclasses override."""
+        return True
+
+    def _on_delivered(self, envelope: Envelope) -> None:
+        """Bookkeeping after a delivery (clock merges etc.)."""
+
+    def _on_received(self, sender: EntityId, envelope: Envelope) -> None:
+        """Bookkeeping when a fresh (non-duplicate) envelope arrives."""
+
+    def _is_control(self, envelope: Envelope) -> bool:
+        """Control-plane envelopes skip application callbacks."""
+        return False
+
+    def missing_for(self, envelope: Envelope) -> frozenset[MessageId]:
+        """Labels whose absence is blocking delivery of ``envelope``.
+
+        Used by the recovery layer to know *what* to NACK.  Protocols that
+        can name their blockers override this; the base implementation
+        (and protocols whose blockers are anonymous, like an unclosed
+        ASend epoch) report nothing.
+        """
+        return frozenset()
+
+    # -- recovery integration -----------------------------------------------
+
+    def add_interceptor(self, agent: Any) -> None:
+        """Register a control-plane agent.
+
+        Each incoming envelope is offered to interceptors in registration
+        order; an interceptor returning ``True`` from ``intercept(sender,
+        envelope)`` consumes it before ordering-protocol processing.
+        """
+        self._interceptors.append(agent)
+
+    def attach_recovery(self, agent: Any) -> None:
+        """Give a recovery agent first look at incoming envelopes."""
+        self._recovery = agent
+        self.add_interceptor(agent)
+
+    def envelope_of(self, msg_id: MessageId) -> Optional[Envelope]:
+        """Any stored copy of ``msg_id`` (sent or received), for repair."""
+        return self._envelopes_by_id.get(msg_id)
+
+    # -- receive path -------------------------------------------------------------
+
+    def on_receive(self, sender: EntityId, envelope: Envelope) -> None:
+        for interceptor in self._interceptors:
+            if interceptor.intercept(sender, envelope):
+                return
+        msg_id = envelope.msg_id
+        if msg_id in self._seen:
+            self.duplicates_discarded += 1
+            return
+        self._seen.add(msg_id)
+        self._envelopes_by_id[msg_id] = envelope
+        self._on_received(sender, envelope)
+        self._pending.append(envelope)
+        if len(self._pending) > self.max_holdback:
+            self.max_holdback = len(self._pending)
+        self.network.trace.record(
+            self.now,
+            "hold",
+            entity=self.entity_id,
+            msg_id=msg_id,
+            queue=len(self._pending),
+        )
+        self._drain()
+        if self._recovery is not None and self._pending:
+            self._recovery.notify_blocked()
+
+    def _drain(self) -> None:
+        """Deliver queued envelopes until no predicate is satisfied.
+
+        Each pass scans the queue in arrival order, so among
+        simultaneously-deliverable envelopes the earliest-received goes
+        first — deterministic given the scheduler's determinism.
+        """
+        progress = True
+        while progress:
+            progress = False
+            for envelope in list(self._pending):
+                if envelope not in self._pending:
+                    continue  # delivered by a nested drain
+                if self._deliverable(envelope):
+                    self._pending.remove(envelope)
+                    self._deliver(envelope)
+                    progress = True
+
+    def _deliver(self, envelope: Envelope) -> None:
+        msg_id = envelope.msg_id
+        if msg_id in self._delivered_ids:
+            raise ProtocolError(f"double delivery of {msg_id}")
+        self._delivered_ids.add(msg_id)
+        record = DeliveryRecord(
+            entity=self.entity_id,
+            msg_id=msg_id,
+            position=len(self._delivery_log),
+            time=self.now,
+        )
+        self._delivery_log.append(record)
+        self._delivered_envelopes.append(envelope)
+        self._on_delivered(envelope)
+        self.network.trace.record(
+            self.now,
+            "deliver",
+            entity=self.entity_id,
+            msg_id=msg_id,
+            operation=envelope.message.operation,
+            position=record.position,
+        )
+        if not self._is_control(envelope):
+            for callback in self._callbacks:
+                callback(envelope)
+
+    # -- introspection ------------------------------------------------------------
+
+    @property
+    def delivered(self) -> List[MessageId]:
+        """Labels delivered so far, in local delivery order."""
+        return [record.msg_id for record in self._delivery_log]
+
+    @property
+    def delivery_log(self) -> List[DeliveryRecord]:
+        return list(self._delivery_log)
+
+    @property
+    def delivered_envelopes(self) -> List[Envelope]:
+        return list(self._delivered_envelopes)
+
+    @property
+    def holdback_size(self) -> int:
+        """Envelopes received but not yet deliverable."""
+        return len(self._pending)
+
+    @property
+    def holdback_ids(self) -> List[MessageId]:
+        return [e.msg_id for e in self._pending]
+
+    def has_delivered(self, msg_id: MessageId) -> bool:
+        return msg_id in self._delivered_ids
+
+    def send_time(self, msg_id: MessageId) -> Optional[float]:
+        """When this member broadcast ``msg_id`` (None if not ours)."""
+        return self._send_times.get(msg_id)
+
+
+def make_group(
+    network: Any,
+    members: Sequence[EntityId],
+    protocol_factory: Callable[[EntityId, GroupMembership], BroadcastProtocol],
+) -> Dict[EntityId, BroadcastProtocol]:
+    """Instantiate and register one protocol stack per member.
+
+    Convenience used throughout tests, examples and benchmarks: all stacks
+    share one :class:`GroupMembership`.
+    """
+    membership = GroupMembership(members)
+    stacks: Dict[EntityId, BroadcastProtocol] = {}
+    for member in members:
+        stack = protocol_factory(member, membership)
+        network.register(stack)
+        stacks[member] = stack
+    return stacks

@@ -1,0 +1,44 @@
+"""FIFO broadcast: per-sender order, no cross-sender guarantees.
+
+A message from sender *s* with sequence number *n* is delivered only after
+*s*'s messages 0..n-1.  Causally related messages from *different* senders
+may still be reordered — the anomaly causal broadcast exists to fix.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.broadcast.base import BroadcastProtocol
+from repro.group.membership import GroupMembership
+from repro.types import Envelope, EntityId
+
+
+class FifoBroadcast(BroadcastProtocol):
+    """Deliver each sender's messages in send order."""
+
+    protocol_name = "fifo"
+
+    def __init__(self, entity_id: EntityId, group: GroupMembership) -> None:
+        super().__init__(entity_id, group)
+        self._next_from: Dict[EntityId, int] = {}
+
+    def _deliverable(self, envelope: Envelope) -> bool:
+        sender = envelope.msg_id.sender
+        return envelope.msg_id.seqno == self._next_from.get(sender, 0)
+
+    def _on_delivered(self, envelope: Envelope) -> None:
+        sender = envelope.msg_id.sender
+        self._next_from[sender] = envelope.msg_id.seqno + 1
+
+    def missing_for(self, envelope: Envelope) -> frozenset:
+        """The sender's sequence gap below this envelope."""
+        from repro.types import MessageId
+
+        sender = envelope.msg_id.sender
+        next_expected = self._next_from.get(sender, 0)
+        return frozenset(
+            MessageId(sender, seqno)
+            for seqno in range(next_expected, envelope.msg_id.seqno)
+            if MessageId(sender, seqno) not in self._seen
+        )

@@ -1,0 +1,129 @@
+"""Stability tracking and garbage collection of message stores.
+
+A message is *stable* once every member of the group has delivered it: no
+member can ever need a retransmission, so stored copies can be discarded.
+This is the classic matrix-clock application — each member needs to know
+"how much everyone else has delivered from everyone".
+
+:class:`StabilityTracker` gossips, per origin, the member's *contiguous
+delivered prefix* (delivered seqnos ``0..k-1`` with no holes).  The
+minimum prefix across all members is the stable frontier per origin;
+envelope bodies below it are dropped from the protocol's repair store.
+Gossip rounds are explicitly scheduled (like anti-entropy in
+:mod:`repro.broadcast.recovery`) so simulations terminate.
+
+The tracker composes with :class:`~repro.broadcast.recovery.RecoveryAgent`
+through the chassis interceptor chain; dropping only *stable* bodies never
+hurts recovery, because a stable message by definition needs no repair.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set
+
+from repro.broadcast.base import BroadcastProtocol
+from repro.types import Envelope, EntityId, Message, MessageIdAllocator
+
+GC_VECTOR_OPERATION = "__gcvec__"
+
+
+class StabilityTracker:
+    """Gossips delivered prefixes; compacts the envelope store."""
+
+    def __init__(self, protocol: BroadcastProtocol) -> None:
+        self.protocol = protocol
+        self._allocator = MessageIdAllocator(f"{protocol.entity_id}!gc")
+        # member -> origin -> contiguous delivered prefix length.
+        self._prefixes: Dict[EntityId, Dict[EntityId, int]] = {}
+        self.envelopes_reclaimed = 0
+        protocol.add_interceptor(self)
+        protocol.on_deliver(self._on_delivery)
+        # Track contiguity of our own deliveries per origin; seed with any
+        # deliveries that happened before the tracker was attached.
+        self._delivered_seqnos: Dict[EntityId, Set[int]] = {}
+        self._own_prefix: Dict[EntityId, int] = {}
+        for envelope in protocol.delivered_envelopes:
+            self._on_delivery(envelope)
+
+    # -- local prefix maintenance ------------------------------------------------
+
+    def _on_delivery(self, envelope: Envelope) -> None:
+        origin = envelope.msg_id.sender
+        seqnos = self._delivered_seqnos.setdefault(origin, set())
+        seqnos.add(envelope.msg_id.seqno)
+        prefix = self._own_prefix.get(origin, 0)
+        while prefix in seqnos:
+            seqnos.discard(prefix)
+            prefix += 1
+        self._own_prefix[origin] = prefix
+
+    def local_prefix(self, origin: EntityId) -> int:
+        """Our contiguous delivered prefix from ``origin``."""
+        return self._own_prefix.get(origin, 0)
+
+    # -- gossip --------------------------------------------------------------------
+
+    def gossip_round(self) -> None:
+        """Broadcast our delivered prefixes to the group."""
+        message = Message(
+            self._allocator.next_id(),
+            GC_VECTOR_OPERATION,
+            dict(self._own_prefix),
+        )
+        self.protocol.network.broadcast(
+            self.protocol.entity_id, Envelope(message)
+        )
+
+    def schedule_gossip(self, period: float, rounds: int) -> None:
+        for i in range(1, rounds + 1):
+            self.protocol.scheduler.call_in(period * i, self.gossip_round)
+
+    def intercept(self, sender: EntityId, envelope: Envelope) -> bool:
+        if envelope.message.operation != GC_VECTOR_OPERATION:
+            return False
+        self._prefixes[sender] = dict(envelope.message.payload)
+        self._compact()
+        return True
+
+    # -- compaction ------------------------------------------------------------------
+
+    def stable_frontier(self, origin: EntityId) -> int:
+        """Seqnos below this are delivered at every member (as known)."""
+        members = self.protocol.group.view.members
+        frontier = self.local_prefix(origin)
+        for member in members:
+            if member == self.protocol.entity_id:
+                continue
+            reported = self._prefixes.get(member, {}).get(origin, 0)
+            frontier = min(frontier, reported)
+        return frontier
+
+    def _compact(self) -> None:
+        store = self.protocol._envelopes_by_id
+        droppable = []
+        frontiers: Dict[EntityId, int] = {}
+        for label in store:
+            frontier = frontiers.get(label.sender)
+            if frontier is None:
+                frontier = self.stable_frontier(label.sender)
+                frontiers[label.sender] = frontier
+            if label.seqno < frontier:
+                droppable.append(label)
+        for label in droppable:
+            del store[label]
+        self.envelopes_reclaimed += len(droppable)
+
+    @property
+    def store_size(self) -> int:
+        """Envelope bodies currently retained for repair."""
+        return len(self.protocol._envelopes_by_id)
+
+
+def track_group(
+    protocols: Dict[EntityId, BroadcastProtocol],
+) -> Dict[EntityId, StabilityTracker]:
+    """Attach one stability tracker per protocol stack."""
+    return {
+        entity: StabilityTracker(protocol)
+        for entity, protocol in protocols.items()
+    }

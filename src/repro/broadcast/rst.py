@@ -1,0 +1,117 @@
+"""Raynal-Schiper-Toueg (RST) causal broadcast.
+
+The third classic causal-ordering realisation, alongside explicit graphs
+(``OSend``) and vector clocks (CBCAST).  Each member maintains a matrix
+``SENT[i][j]`` — how many broadcasts from ``i`` it knows have been made
+visible to ``j`` — and every outgoing message carries a snapshot of it.
+A message from sender ``s`` is deliverable at member ``p`` once ``p`` has
+delivered at least ``SENT_msg[q][p]`` messages from every ``q``: all the
+broadcasts the sender knew ``p`` was owed have arrived.
+
+Metadata is O(n²), the worst of the three — which is exactly why the
+paper's explicit graphs are interesting; ``bench_proto_overhead``
+includes RST in its comparison.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.broadcast.base import BroadcastProtocol
+from repro.errors import ProtocolError
+from repro.group.membership import GroupMembership
+from repro.types import Envelope, EntityId
+
+SentMatrix = Dict[EntityId, Dict[EntityId, int]]
+
+
+def _copy_matrix(matrix: SentMatrix) -> SentMatrix:
+    return {row: dict(cols) for row, cols in matrix.items()}
+
+
+class RstBroadcast(BroadcastProtocol):
+    """Causal broadcast with sent-count matrices (RST 1991)."""
+
+    protocol_name = "rst"
+
+    def __init__(self, entity_id: EntityId, group: GroupMembership) -> None:
+        super().__init__(entity_id, group)
+        self._sent: SentMatrix = {}
+        self._delivered_from: Dict[EntityId, int] = {}
+
+    # -- matrix helpers -------------------------------------------------------
+
+    def _get(self, matrix: SentMatrix, row: EntityId, col: EntityId) -> int:
+        return matrix.get(row, {}).get(col, 0)
+
+    def _bump(self, matrix: SentMatrix, row: EntityId, col: EntityId) -> None:
+        matrix.setdefault(row, {})[col] = self._get(matrix, row, col) + 1
+
+    def _merge(self, into: SentMatrix, other: SentMatrix) -> None:
+        for row, cols in other.items():
+            for col, count in cols.items():
+                if count > self._get(into, row, col):
+                    into.setdefault(row, {})[col] = count
+
+    def matrix_entries(self) -> int:
+        """Non-zero matrix entries currently held (metadata size proxy)."""
+        return sum(
+            1 for cols in self._sent.values() for c in cols.values() if c
+        )
+
+    # -- protocol hooks -----------------------------------------------------------
+
+    def _stamp(self, envelope: Envelope, **options: object) -> Envelope:
+        if options:
+            raise ProtocolError(f"rst does not accept options: {options}")
+        snapshot = _copy_matrix(self._sent)
+        # Record this broadcast as sent to every current member (after
+        # snapshotting: the constraint applies to *prior* traffic).
+        for member in self.group.view.members:
+            self._bump(self._sent, self.entity_id, member)
+        return envelope.with_metadata(sent_matrix=snapshot)
+
+    def _deliverable(self, envelope: Envelope) -> bool:
+        matrix = envelope.metadata.get("sent_matrix")
+        if not isinstance(matrix, dict):
+            raise ProtocolError(
+                f"envelope {envelope.msg_id} lacks an RST sent-matrix"
+            )
+        me = self.entity_id
+        for origin in matrix:
+            owed = self._get(matrix, origin, me)
+            if self._delivered_from.get(origin, 0) < owed:
+                return False
+        return True
+
+    def _on_delivered(self, envelope: Envelope) -> None:
+        origin = envelope.msg_id.sender
+        self._delivered_from[origin] = self._delivered_from.get(origin, 0) + 1
+        matrix = envelope.metadata["sent_matrix"]
+        self._merge(self._sent, matrix)
+        # The delivered message itself is now known sent to us and (by the
+        # broadcast) to every member of the sender's view.
+        for member in self.group.view.members:
+            current = self._get(self._sent, origin, member)
+            floor = self._delivered_from[origin]
+            if current < floor:
+                self._sent.setdefault(origin, {})[member] = floor
+
+    def missing_for(self, envelope: Envelope) -> frozenset:
+        """FIFO gaps per origin implied by the owed counts.
+
+        RST counts are per-(origin, destination) totals, and label seqnos
+        are per-origin send counters, so owed broadcasts can be named.
+        """
+        from repro.types import MessageId
+
+        matrix = envelope.metadata.get("sent_matrix", {})
+        me = self.entity_id
+        missing = set()
+        for origin in matrix:
+            owed = self._get(matrix, origin, me)
+            for seqno in range(self._delivered_from.get(origin, 0), owed):
+                label = MessageId(origin, seqno)
+                if label not in self._seen:
+                    missing.add(label)
+        return frozenset(missing)

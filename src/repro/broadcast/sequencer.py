@@ -1,0 +1,137 @@
+"""Fixed-sequencer total order.
+
+The simplest realisation of the "function interposed between the causal
+broadcast and application layers" of Section 5.2 / Figure 4: one designated
+member (the sequencer, by convention the rank-0 member of the view) assigns
+consecutive global sequence numbers, and every member delivers in sequence
+order.
+
+Mechanically: every broadcast travels twice — the sender broadcasts a
+``data`` envelope; the sequencer, on receiving it, broadcasts a small
+``order`` envelope binding the data message's label to the next global
+sequence number.  Members deliver data message *n+1* once both its payload
+and its order binding have arrived and *0..n* are delivered.  The doubled
+message cost and the sequencer round-trip are exactly the overhead the
+paper's stable-point protocol avoids for commutative traffic.
+
+Limitation: the sequencer is the rank-0 member of the *current* view.  A
+view change that removes the sequencer mid-stream would need a binding
+handoff (re-issuing unassigned orders from the new rank-0 member), which
+this implementation does not attempt — quiesce data traffic around
+sequencer-affecting view changes, or use
+:class:`~repro.broadcast.lamport_total.LamportTotalOrder` /
+:class:`~repro.broadcast.asend.ASendTotalOrder`, which have no
+distinguished member.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.broadcast.base import BroadcastProtocol
+from repro.errors import ProtocolError
+from repro.group.membership import GroupMembership
+from repro.types import Envelope, EntityId, Message, MessageId
+
+
+class SequencerTotalOrder(BroadcastProtocol):
+    """Total order via a rank-0 sequencer member."""
+
+    protocol_name = "sequencer"
+
+    ORDER_OPERATION = "__order__"
+
+    def __init__(self, entity_id: EntityId, group: GroupMembership) -> None:
+        super().__init__(entity_id, group)
+        # Bindings learned from the sequencer: global seq -> data label.
+        self._seq_to_msg: Dict[int, MessageId] = {}
+        self._msg_to_seq: Dict[MessageId, int] = {}
+        self._next_to_deliver = 0
+        # Sequencer-only state.
+        self._next_seq_to_assign = 0
+        self.order_messages_sent = 0
+
+    # -- roles -------------------------------------------------------------
+
+    @property
+    def sequencer_id(self) -> EntityId:
+        return self.group.view.members[0]
+
+    @property
+    def is_sequencer(self) -> bool:
+        return self.entity_id == self.sequencer_id
+
+    # -- receive path ---------------------------------------------------------
+
+    def _on_received(self, sender: EntityId, envelope: Envelope) -> None:
+        if envelope.message.operation == self.ORDER_OPERATION:
+            seq, data_label = envelope.message.payload
+            existing = self._seq_to_msg.get(seq)
+            if existing is not None and existing != data_label:
+                raise ProtocolError(
+                    f"conflicting order bindings for seq {seq}: "
+                    f"{existing} vs {data_label}"
+                )
+            self._seq_to_msg[seq] = data_label
+            self._msg_to_seq[data_label] = seq
+            return
+        if self.is_sequencer:
+            self._assign_order(envelope.msg_id)
+
+    def _assign_order(self, data_label: MessageId) -> None:
+        seq = self._next_seq_to_assign
+        self._next_seq_to_assign += 1
+        self.order_messages_sent += 1
+        order_message = Message(
+            self._allocator.next_id(), self.ORDER_OPERATION, (seq, data_label)
+        )
+        self.broadcast(Envelope(order_message))
+
+    # -- delivery predicate -------------------------------------------------------
+
+    def _deliverable(self, envelope: Envelope) -> bool:
+        if envelope.message.operation == self.ORDER_OPERATION:
+            # Order bindings are control traffic: absorb immediately so the
+            # application never sees them held back behind data.
+            return True
+        seq = self._msg_to_seq.get(envelope.msg_id)
+        return seq is not None and seq == self._next_to_deliver
+
+    def _on_delivered(self, envelope: Envelope) -> None:
+        if envelope.message.operation == self.ORDER_OPERATION:
+            return
+        self._next_to_deliver += 1
+
+    def _is_control(self, envelope: Envelope) -> bool:
+        return envelope.message.operation == self.ORDER_OPERATION
+
+    def missing_for(self, envelope: Envelope) -> frozenset:
+        """Data messages with known bindings below our delivery horizon.
+
+        A lost *binding* cannot be named (we never learned the label), but
+        a lost *data* message whose binding arrived can: anything bound to
+        a sequence number in ``[next_to_deliver, seq(envelope))`` that we
+        have not received.
+        """
+        seq = self._msg_to_seq.get(envelope.msg_id)
+        if seq is None:
+            return frozenset()
+        return frozenset(
+            self._seq_to_msg[s]
+            for s in range(self._next_to_deliver, seq)
+            if s in self._seq_to_msg and self._seq_to_msg[s] not in self._seen
+        )
+
+    # -- filtering control traffic out of the app-visible log ----------------------
+
+    @property
+    def app_delivered(self) -> list[MessageId]:
+        """Delivered *data* labels, in total order (order bindings hidden)."""
+        return [
+            e.msg_id
+            for e in self._delivered_envelopes
+            if e.message.operation != self.ORDER_OPERATION
+        ]
+
+    def global_sequence_of(self, msg_id: MessageId) -> Optional[int]:
+        return self._msg_to_seq.get(msg_id)

@@ -1,0 +1,21 @@
+"""Unordered reliable broadcast — the no-guarantee baseline.
+
+Delivers every envelope immediately on receipt.  Members generally observe
+different delivery orders, so replicated state diverges unless *all*
+operations commute.  This is the floor against which the ordered protocols
+are compared in the consistency experiments.
+"""
+
+from __future__ import annotations
+
+from repro.broadcast.base import BroadcastProtocol
+from repro.types import Envelope
+
+
+class UnorderedBroadcast(BroadcastProtocol):
+    """Deliver in arrival order, no constraints."""
+
+    protocol_name = "unordered"
+
+    def _deliverable(self, envelope: Envelope) -> bool:
+        return True

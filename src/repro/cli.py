@@ -1,0 +1,273 @@
+"""Command-line interface: quick demos of the paper's scenarios.
+
+Usage::
+
+    python -m repro list
+    python -m repro demo counter --seed 7
+    python -m repro demo lock --members 4 --cycles 3
+    python -m repro graph [--dot]
+
+Every demo is deterministic given ``--seed``.  The full experiment suite
+(with assertions and timing) lives in ``benchmarks/`` and runs with
+``pytest benchmarks/ --benchmark-only``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List
+
+from repro.analysis.convergence import stable_points_agree, states_agree
+from repro.analysis.metrics import latency_summary
+from repro.analysis.reporting import format_table
+from repro.apps.card_game import CardGame
+from repro.apps.lock_service import LockService
+from repro.apps.name_service import NameServiceSystem
+from repro.broadcast.osend import OSendBroadcast
+from repro.core.access_protocol import StablePointSystem
+from repro.core.commutativity import counter_spec
+from repro.core.state_machine import counter_machine
+from repro.graph.render import to_ascii, to_dot
+from repro.group.membership import GroupMembership
+from repro.net.latency import UniformLatency
+from repro.net.network import Network
+from repro.sim.rng import RngRegistry
+from repro.sim.scheduler import Scheduler
+
+
+def demo_counter(args: argparse.Namespace) -> int:
+    """Replicated counter with a deferred read at a stable point."""
+    members = [f"r{i}" for i in range(args.members)]
+    system = StablePointSystem(
+        members, counter_machine, counter_spec(),
+        latency=UniformLatency(0.2, 2.0), seed=args.seed,
+    )
+    scheduler = system.scheduler
+    scheduler.call_at(0.0, system.request, members[0], "inc", {"item": "x"})
+    scheduler.call_at(1.0, system.request, members[-1], "dec", {"item": "x"})
+    scheduler.call_at(2.0, system.request, members[0], "inc", {"item": "x"})
+    answers = []
+    for name, replica in system.replicas.items():
+        replica.read_at_next_stable_point(
+            lambda value, point, name=name: answers.append((name, value))
+        )
+    scheduler.call_at(3.0, system.request, members[0], "rd", {"item": "x"})
+    system.run()
+    print(format_table(
+        ["replica", "VAL(rd)"], sorted(answers),
+        title="Deferred read answers (agreed at the stable point)",
+    ))
+    disagreements = stable_points_agree(system.replicas)
+    print(f"\nstable-point agreement: {'OK' if not disagreements else disagreements}")
+    return 0
+
+
+def demo_lock(args: argparse.Namespace) -> int:
+    """LOCK/TFR arbitration (Figure 5)."""
+    members = [chr(ord("A") + i) for i in range(args.members)]
+    service = LockService(
+        members, cycles=args.cycles, access_time=0.5,
+        latency=UniformLatency(0.2, 1.5), seed=args.seed,
+    )
+    service.run()
+    rows = [
+        [holder, cycle, time]
+        for holder, cycle, time in service.acquisition_times
+    ]
+    print(format_table(
+        ["holder", "cycle", "time"], rows, title="Lock acquisitions",
+    ))
+    print(f"\nconsensus on holder sequence: {service.consensus_reached()}")
+    return 0
+
+
+def demo_cardgame(args: argparse.Namespace) -> int:
+    """Relaxed turn ordering (Section 5.1)."""
+    rows = []
+    players = [f"p{i}" for i in range(args.members)]
+    for distance in range(1, args.members + 1):
+        game = CardGame(
+            players, rounds=args.cycles, dependency_distance=distance,
+            latency=UniformLatency(0.2, 1.0), seed=args.seed,
+        )
+        game.play()
+        rows.append(
+            [distance, game.concurrency_degree(), game.completion_time]
+        )
+    print(format_table(
+        ["dependency distance", "concurrent pairs", "completion time"],
+        rows,
+        title="Card game: ordering relaxation vs concurrency",
+    ))
+    return 0
+
+
+def demo_nameservice(args: argparse.Namespace) -> int:
+    """Causal vs total engines for spontaneous qry/upd traffic (§5.2)."""
+    import random
+
+    rows = []
+    for engine in ("causal", "total"):
+        system = NameServiceSystem(
+            [f"ns{i}" for i in range(args.members)],
+            engine=engine,
+            latency=UniformLatency(0.2, 3.0),
+            seed=args.seed,
+        )
+        rng = random.Random(args.seed)
+        time, version = 0.0, 0
+        for _ in range(40):
+            time += rng.expovariate(1.5)
+            member = system.members[rng.choice(list(system.members))]
+            if rng.random() < 0.25:
+                version += 1
+                system.scheduler.call_at(
+                    time, member.update, "www", f"v{version}"
+                )
+            else:
+                system.scheduler.call_at(time, member.query, "www")
+        system.run()
+        stats = latency_summary(system.network.trace, operations={"qry"})
+        rows.append([
+            engine,
+            len(system.network.trace.of_kind("send")),
+            stats.mean,
+            len(system.inconsistent_queries()),
+            len(system.flagged_queries()),
+        ])
+    print(format_table(
+        ["engine", "broadcasts", "qry latency", "inconsistent", "flagged"],
+        rows,
+        title="Name service: total order vs app-specific checks",
+    ))
+    return 0
+
+
+def demo_graph(args: argparse.Namespace) -> int:
+    """Run the Figure 2 scenario and render the extracted graph."""
+    scheduler = Scheduler()
+    network = Network(
+        scheduler, latency=UniformLatency(0.2, 3.0),
+        rng=RngRegistry(args.seed),
+    )
+    membership = GroupMembership(["ai", "aj", "ak"])
+    stacks = {
+        m: network.register(OSendBroadcast(m, membership))
+        for m in ("ai", "aj", "ak")
+    }
+    mk = stacks["ak"].osend("mk")
+    mi = stacks["ai"].osend("mi", occurs_after=mk)
+    mj = stacks["aj"].osend("mj", occurs_after=mk)
+    ml = stacks["ai"].osend("ml", occurs_after=[mi, mj])
+    scheduler.run()
+    graph = stacks["ai"].graph
+    if args.dot:
+        print(to_dot(graph, title="Figure 2", highlight={ml}))
+    else:
+        print("Figure 2 scenario — graph extracted by member 'ai':\n")
+        print(to_ascii(graph, highlight={ml}))
+        print("\n(* marks the synchronizing message; run with --dot for Graphviz)")
+    return 0
+
+
+def demo_timeline(args: argparse.Namespace) -> int:
+    """Run the Figure 2 scenario and draw its space-time diagram."""
+    from repro.analysis.timeline import render_timeline
+
+    scheduler = Scheduler()
+    network = Network(
+        scheduler, latency=UniformLatency(0.2, 3.0),
+        rng=RngRegistry(args.seed),
+    )
+    membership = GroupMembership(["ai", "aj", "ak"])
+    stacks = {
+        m: network.register(OSendBroadcast(m, membership))
+        for m in ("ai", "aj", "ak")
+    }
+    mk = stacks["ak"].osend("mk")
+    mi = stacks["ai"].osend("mi", occurs_after=mk)
+    mj = stacks["aj"].osend("mj", occurs_after=mk)
+    stacks["ai"].osend("ml", occurs_after=[mi, mj])
+    scheduler.run()
+    print("Figure 2 scenario — space-time diagram:\n")
+    print(render_timeline(network.trace))
+    return 0
+
+
+DEMOS: Dict[str, Callable[[argparse.Namespace], int]] = {
+    "counter": demo_counter,
+    "lock": demo_lock,
+    "cardgame": demo_cardgame,
+    "nameservice": demo_nameservice,
+    "timeline": demo_timeline,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Demos for the causal-broadcast reproduction "
+        "(Ravindran & Shah, ICDCS 1994).",
+    )
+    subparsers = parser.add_subparsers(dest="command")
+
+    subparsers.add_parser("list", help="list available demos")
+
+    demo = subparsers.add_parser("demo", help="run a demo scenario")
+    demo.add_argument("name", choices=sorted(DEMOS))
+    demo.add_argument("--seed", type=int, default=42)
+    demo.add_argument("--members", type=int, default=3)
+    demo.add_argument("--cycles", type=int, default=3)
+
+    graph = subparsers.add_parser(
+        "graph", help="render the Figure 2 dependency graph"
+    )
+    graph.add_argument("--seed", type=int, default=42)
+    graph.add_argument("--dot", action="store_true", help="emit Graphviz DOT")
+
+    experiment = subparsers.add_parser(
+        "experiment", help="run a reproduced experiment and print its table"
+    )
+    experiment.add_argument(
+        "exp_id",
+        metavar="ID",
+        help="experiment id, e.g. FIG2 or CLAIM-COMMUTE (see 'repro list')",
+    )
+
+    return parser
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        from repro.experiments import EXPERIMENTS
+
+        print("demos:", ", ".join(sorted(DEMOS)))
+        print("also: graph (Figure 2 rendering)")
+        print("experiments:", ", ".join(sorted(EXPERIMENTS)))
+        print("  (run with: python -m repro experiment <ID>; "
+              "timed + asserted via pytest benchmarks/)")
+        return 0
+    if args.command == "demo":
+        return DEMOS[args.name](args)
+    if args.command == "graph":
+        return demo_graph(args)
+    if args.command == "experiment":
+        from repro.errors import ConfigurationError
+        from repro.experiments import get_experiment
+
+        try:
+            experiment = get_experiment(args.exp_id)
+        except ConfigurationError as exc:
+            print(exc)
+            return 1
+        print(experiment.table())
+        return 0
+    parser.print_help()
+    return 1
+
+
+if __name__ == "__main__":  # pragma: no cover - module entry
+    sys.exit(main())

@@ -1,0 +1,13 @@
+"""Logical clocks: Lamport scalar, vector, and matrix clocks."""
+
+from repro.clocks.lamport import LamportClock, Timestamp
+from repro.clocks.matrix import MatrixClock
+from repro.clocks.vector import VectorClock, cbcast_deliverable
+
+__all__ = [
+    "LamportClock",
+    "MatrixClock",
+    "Timestamp",
+    "VectorClock",
+    "cbcast_deliverable",
+]

@@ -1,0 +1,53 @@
+"""Lamport scalar clocks.
+
+The paper's '≺' is "basically Lamport's happens-before relation on
+externally observed events" (Section 2.1, citing [6]).  Scalar clocks give
+a total order *consistent with* causality and are the basis of the
+:class:`~repro.broadcast.lamport_total.LamportTotalOrder` baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.types import EntityId
+
+
+@dataclass(frozen=True, order=True)
+class Timestamp:
+    """A Lamport timestamp with entity-id tiebreak.
+
+    Ordering is lexicographic on ``(counter, entity)``, which yields the
+    classic total order consistent with happens-before: if event *a*
+    happens-before event *b* then ``a.stamp < b.stamp`` (never the reverse),
+    and concurrent events are ordered deterministically by entity id.
+    """
+
+    counter: int
+    entity: EntityId
+
+
+class LamportClock:
+    """A per-entity scalar logical clock."""
+
+    def __init__(self, entity: EntityId, start: int = 0) -> None:
+        self.entity = entity
+        self._counter = int(start)
+
+    @property
+    def counter(self) -> int:
+        return self._counter
+
+    def tick(self) -> Timestamp:
+        """Advance for a local event (e.g. a send); return the new stamp."""
+        self._counter += 1
+        return Timestamp(self._counter, self.entity)
+
+    def observe(self, other: Timestamp) -> Timestamp:
+        """Merge a received stamp: ``c := max(c, other) + 1``."""
+        self._counter = max(self._counter, other.counter) + 1
+        return Timestamp(self._counter, self.entity)
+
+    def peek(self) -> Timestamp:
+        """Current stamp without advancing."""
+        return Timestamp(self._counter, self.entity)

@@ -1,0 +1,124 @@
+"""Vector clocks and the CBCAST causal-delivery predicate.
+
+Vector clocks represent causality *exactly*: ``u < v`` iff the event
+stamped ``u`` happens-before the event stamped ``v``.  They are the
+metadata carried by the ISIS CBCAST protocol [Birman, Schiper & Stephenson
+1991], which the paper uses as the clock-based point of comparison for its
+explicit-graph ``OSend`` primitive (Section 3.2).
+
+The implementation is immutable: operations return new clocks.  Entities
+absent from a clock implicitly have component 0, so clocks over different
+member sets compare sensibly during membership change.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, Mapping, Tuple
+
+from repro.types import EntityId
+
+
+class VectorClock:
+    """An immutable mapping ``entity -> count`` with causal comparisons."""
+
+    __slots__ = ("_counts",)
+
+    def __init__(self, counts: Mapping[EntityId, int] | None = None) -> None:
+        # Zero components are normalised away so equal clocks hash equal.
+        self._counts: Dict[EntityId, int] = {
+            e: int(c) for e, c in (counts or {}).items() if c
+        }
+
+    # -- construction -----------------------------------------------------
+
+    @classmethod
+    def zero(cls) -> "VectorClock":
+        return cls()
+
+    def increment(self, entity: EntityId) -> "VectorClock":
+        """Return a copy with ``entity``'s component advanced by one."""
+        counts = dict(self._counts)
+        counts[entity] = counts.get(entity, 0) + 1
+        return VectorClock(counts)
+
+    def merge(self, other: "VectorClock") -> "VectorClock":
+        """Componentwise maximum (join in the clock lattice)."""
+        counts = dict(self._counts)
+        for entity, count in other._counts.items():
+            if count > counts.get(entity, 0):
+                counts[entity] = count
+        return VectorClock(counts)
+
+    # -- access ----------------------------------------------------------
+
+    def __getitem__(self, entity: EntityId) -> int:
+        return self._counts.get(entity, 0)
+
+    def entities(self) -> Iterable[EntityId]:
+        return self._counts.keys()
+
+    def items(self) -> Iterator[Tuple[EntityId, int]]:
+        return iter(self._counts.items())
+
+    def as_dict(self) -> Dict[EntityId, int]:
+        return dict(self._counts)
+
+    def size_entries(self) -> int:
+        """Number of non-zero components (metadata size proxy)."""
+        return len(self._counts)
+
+    # -- comparisons ---------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, VectorClock):
+            return NotImplemented
+        return self._counts == other._counts
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._counts.items()))
+
+    def __le__(self, other: "VectorClock") -> bool:
+        """True iff every component of self is <= other's."""
+        return all(
+            count <= other._counts.get(entity, 0)
+            for entity, count in self._counts.items()
+        )
+
+    def __lt__(self, other: "VectorClock") -> bool:
+        """Strict causal precedence: ``self <= other`` and not equal."""
+        return self != other and self <= other
+
+    def concurrent_with(self, other: "VectorClock") -> bool:
+        """Neither clock causally precedes the other (the paper's ‖)."""
+        return not self <= other and not other <= self
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        inner = ", ".join(
+            f"{e}:{c}" for e, c in sorted(self._counts.items())
+        )
+        return f"VC({inner})"
+
+
+def cbcast_deliverable(
+    msg_clock: VectorClock, sender: EntityId, local_clock: VectorClock
+) -> bool:
+    """The CBCAST causal-delivery predicate (BSS 1991).
+
+    A message broadcast by ``sender`` carrying ``msg_clock`` (the sender's
+    clock *after* incrementing its own component for the send) may be
+    delivered at a receiver whose delivered-state clock is ``local_clock``
+    iff:
+
+    1. ``msg_clock[sender] == local_clock[sender] + 1`` — it is the next
+       broadcast from that sender (FIFO from each sender), and
+    2. ``msg_clock[e] <= local_clock[e]`` for every other entity ``e`` —
+       every broadcast the sender had seen before sending has already been
+       delivered here.
+    """
+    if msg_clock[sender] != local_clock[sender] + 1:
+        return False
+    return all(
+        count <= local_clock[entity]
+        for entity, count in msg_clock.items()
+        if entity != sender
+    )

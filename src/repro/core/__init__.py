@@ -1,0 +1,52 @@
+"""The paper's core model: activities, stable points, replicas, protocols."""
+
+from repro.core.access_protocol import (
+    CausalSystem,
+    DataAccessSystem,
+    StablePointSystem,
+    TotalOrderSystem,
+)
+from repro.core.activity import CausalActivity
+from repro.core.commutativity import (
+    CommutativitySpec,
+    counter_spec,
+    registry_spec,
+)
+from repro.core.frontend import FrontEndManager
+from repro.core.replica import Replica
+from repro.core.stable_points import StablePoint, StablePointDetector
+from repro.core.state_transfer import (
+    Snapshot,
+    bootstrap_joiner,
+    install_snapshot,
+    replayable_envelopes,
+    take_snapshot,
+)
+from repro.core.state_machine import (
+    StateMachine,
+    counter_machine,
+    registry_machine,
+)
+
+__all__ = [
+    "CausalActivity",
+    "CausalSystem",
+    "CommutativitySpec",
+    "DataAccessSystem",
+    "FrontEndManager",
+    "Replica",
+    "Snapshot",
+    "StablePoint",
+    "StablePointDetector",
+    "StablePointSystem",
+    "StateMachine",
+    "TotalOrderSystem",
+    "bootstrap_joiner",
+    "counter_machine",
+    "counter_spec",
+    "install_snapshot",
+    "registry_machine",
+    "registry_spec",
+    "replayable_envelopes",
+    "take_snapshot",
+]

@@ -1,0 +1,221 @@
+"""Assembled data-access systems — the protocols of Section 6.
+
+Three ready-to-run system shapes, each wiring a network, a group of
+protocol stacks and one replica per member:
+
+* :class:`StablePointSystem` — the paper's base protocol (Section 6.1):
+  ``OSend`` causal broadcast, front-end managers generating the
+  commutative/non-commutative cycle ordering, consistency at stable
+  points only.
+* :class:`TotalOrderSystem` — the traditional alternative (Section 5.2):
+  every message totally ordered (choose the sequencer or the all-ack
+  Lamport engine), consistency at every message.
+* :class:`CausalSystem` — raw causal broadcast without the front-end
+  discipline, for experiments that drive ``OSend`` directly.
+
+All three share :class:`DataAccessSystem`, so benchmarks can swap the
+consistency strategy while keeping workload, topology and seeds fixed.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.broadcast.base import BroadcastProtocol
+from repro.broadcast.lamport_total import LamportTotalOrder
+from repro.broadcast.osend import OSendBroadcast
+from repro.broadcast.sequencer import SequencerTotalOrder
+from repro.core.commutativity import CommutativitySpec
+from repro.core.frontend import FrontEndManager
+from repro.core.replica import Replica
+from repro.core.state_machine import StateMachine
+from repro.errors import ConfigurationError
+from repro.group.membership import GroupMembership
+from repro.net.faults import FaultPlan
+from repro.net.latency import LatencyModel
+from repro.net.network import Network
+from repro.sim.rng import RngRegistry
+from repro.sim.scheduler import Scheduler
+from repro.types import EntityId, MessageId
+
+
+class DataAccessSystem:
+    """A simulated group of replicas over one network.
+
+    Parameters
+    ----------
+    members:
+        Replica entity ids (they double as request issuers, matching the
+        paper's single ``RPC-GRP`` containing clients and replicas).
+    machine_factory:
+        Builds a fresh :class:`StateMachine` per replica, so replicas never
+        share mutable state by accident.
+    spec:
+        The application's commutativity knowledge.
+    protocol_factory:
+        Builds each member's broadcast stack.
+    """
+
+    def __init__(
+        self,
+        members: Sequence[EntityId],
+        machine_factory: Callable[[], StateMachine],
+        spec: CommutativitySpec,
+        protocol_factory: Callable[
+            [EntityId, GroupMembership], BroadcastProtocol
+        ],
+        latency: Optional[LatencyModel] = None,
+        faults: Optional[FaultPlan] = None,
+        seed: int = 0,
+        service_time: float = 0.0,
+    ) -> None:
+        if not members:
+            raise ConfigurationError("a system needs at least one member")
+        self.scheduler = Scheduler()
+        self.rng = RngRegistry(seed)
+        self.network = Network(
+            self.scheduler,
+            latency=latency,
+            faults=faults,
+            rng=self.rng,
+            service_time=service_time,
+        )
+        self.membership = GroupMembership(members)
+        self.spec = spec
+        self.protocols: Dict[EntityId, BroadcastProtocol] = {}
+        self.replicas: Dict[EntityId, Replica] = {}
+        for member in members:
+            protocol = protocol_factory(member, self.membership)
+            self.network.register(protocol)
+            self.protocols[member] = protocol
+            self.replicas[member] = Replica(protocol, machine_factory(), spec)
+
+    @property
+    def members(self) -> List[EntityId]:
+        return list(self.membership.members)
+
+    def run(self, max_events: Optional[int] = None) -> int:
+        """Drain the simulation; returns events fired."""
+        return self.scheduler.run(max_events=max_events)
+
+    def run_until(self, deadline: float) -> int:
+        return self.scheduler.run_until(deadline)
+
+    def states(self) -> Dict[EntityId, object]:
+        """Each replica's current state."""
+        return {m: r.read_now() for m, r in self.replicas.items()}
+
+    def delivered_sequences(self) -> Dict[EntityId, List[MessageId]]:
+        """Each member's local delivery order."""
+        return {m: p.delivered for m, p in self.protocols.items()}
+
+
+class StablePointSystem(DataAccessSystem):
+    """Section 6.1: OSend + front-end managers + stable points."""
+
+    def __init__(
+        self,
+        members: Sequence[EntityId],
+        machine_factory: Callable[[], StateMachine],
+        spec: CommutativitySpec,
+        latency: Optional[LatencyModel] = None,
+        faults: Optional[FaultPlan] = None,
+        seed: int = 0,
+        service_time: float = 0.0,
+    ) -> None:
+        super().__init__(
+            members,
+            machine_factory,
+            spec,
+            OSendBroadcast,
+            latency=latency,
+            faults=faults,
+            seed=seed,
+            service_time=service_time,
+        )
+        self.frontends: Dict[EntityId, FrontEndManager] = {
+            member: FrontEndManager(protocol, spec)  # type: ignore[arg-type]
+            for member, protocol in self.protocols.items()
+        }
+
+    def request(
+        self, member: EntityId, operation: str, payload: object = None
+    ) -> MessageId:
+        """Issue a client request through ``member``'s front-end."""
+        return self.frontends[member].request(operation, payload)
+
+
+class TotalOrderSystem(DataAccessSystem):
+    """Section 5.2 baseline: total order on every message."""
+
+    ENGINES = ("sequencer", "lamport")
+
+    def __init__(
+        self,
+        members: Sequence[EntityId],
+        machine_factory: Callable[[], StateMachine],
+        spec: CommutativitySpec,
+        engine: str = "sequencer",
+        latency: Optional[LatencyModel] = None,
+        faults: Optional[FaultPlan] = None,
+        seed: int = 0,
+        service_time: float = 0.0,
+    ) -> None:
+        if engine not in self.ENGINES:
+            raise ConfigurationError(
+                f"unknown total-order engine {engine!r}; pick from {self.ENGINES}"
+            )
+        factory = SequencerTotalOrder if engine == "sequencer" else LamportTotalOrder
+        super().__init__(
+            members,
+            machine_factory,
+            spec,
+            factory,
+            latency=latency,
+            faults=faults,
+            seed=seed,
+            service_time=service_time,
+        )
+        self.engine = engine
+
+    def request(
+        self, member: EntityId, operation: str, payload: object = None
+    ) -> MessageId:
+        """Broadcast a request in total order from ``member``."""
+        return self.protocols[member].bcast(operation, payload)
+
+
+class CausalSystem(DataAccessSystem):
+    """Raw OSend group without the front-end discipline."""
+
+    def __init__(
+        self,
+        members: Sequence[EntityId],
+        machine_factory: Callable[[], StateMachine],
+        spec: CommutativitySpec,
+        latency: Optional[LatencyModel] = None,
+        faults: Optional[FaultPlan] = None,
+        seed: int = 0,
+        service_time: float = 0.0,
+    ) -> None:
+        super().__init__(
+            members,
+            machine_factory,
+            spec,
+            OSendBroadcast,
+            latency=latency,
+            faults=faults,
+            seed=seed,
+            service_time=service_time,
+        )
+
+    def osend(
+        self,
+        member: EntityId,
+        operation: str,
+        payload: object = None,
+        occurs_after: object = None,
+    ) -> MessageId:
+        protocol = self.protocols[member]
+        assert isinstance(protocol, OSendBroadcast)
+        return protocol.osend(operation, payload, occurs_after=occurs_after)

@@ -1,0 +1,112 @@
+"""Commutativity specifications.
+
+Section 6 of the paper categorises application operations as *commutative*
+and *non-commutative* and embeds that knowledge in the data access
+protocol: commutative requests may be processed in any order between
+stable points, while non-commutative requests are the synchronization
+points themselves.
+
+A :class:`CommutativitySpec` answers two questions:
+
+* :meth:`is_commutative` — is this *operation* in the commutative
+  category?  (Drives the front-end manager's ordering decisions.)
+* :meth:`commute` — do these two *messages* commute pairwise?  (Drives the
+  static stability check of
+  :func:`repro.graph.stability.commutativity_guarantees_stability`.)
+
+Pairwise commutativity is finer than the category: the paper's Section 5.1
+notes that operations on *distinct data items* commute regardless of
+category ("decomposition of the data into distinct items and scoping out
+the effects of messages") — captured by ``item_of``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, FrozenSet, Iterable, Optional
+
+from repro.types import Message
+
+
+class CommutativitySpec:
+    """Which operations commute, by category, pair rule, and item scoping.
+
+    Parameters
+    ----------
+    commutative_ops:
+        Operation names in the commutative category (e.g. ``{"inc", "dec"}``).
+        Two messages whose operations are both in this set commute.
+    item_of:
+        Optional function extracting the data item a message touches;
+        messages on different items always commute, whatever their
+        category.  ``None`` disables item scoping.
+    extra_rule:
+        Optional override: a predicate on two messages consulted *before*
+        the category rules; return ``True``/``False`` to decide, ``None``
+        to fall through.
+    """
+
+    def __init__(
+        self,
+        commutative_ops: Iterable[str] = (),
+        item_of: Optional[Callable[[Message], object]] = None,
+        extra_rule: Optional[Callable[[Message, Message], Optional[bool]]] = None,
+    ) -> None:
+        self._commutative_ops: FrozenSet[str] = frozenset(commutative_ops)
+        self._item_of = item_of
+        self._extra_rule = extra_rule
+
+    @property
+    def commutative_ops(self) -> FrozenSet[str]:
+        return self._commutative_ops
+
+    def is_commutative(self, operation: str) -> bool:
+        """Category test used by the front-end manager (Section 6.1)."""
+        return operation in self._commutative_ops
+
+    def commute(self, a: Message, b: Message) -> bool:
+        """Pairwise test: may ``a`` and ``b`` be processed in either order?
+
+        Rules, in priority order:
+
+        1. ``extra_rule`` if it returns a decision,
+        2. different data items (when ``item_of`` is given) -> commute,
+        3. both operations in the commutative category -> commute,
+        4. otherwise -> do not commute.
+        """
+        if self._extra_rule is not None:
+            decision = self._extra_rule(a, b)
+            if decision is not None:
+                return decision
+        if self._item_of is not None:
+            if self._item_of(a) != self._item_of(b):
+                return True
+        return (
+            a.operation in self._commutative_ops
+            and b.operation in self._commutative_ops
+        )
+
+
+def counter_spec() -> CommutativitySpec:
+    """The paper's running example (Section 2.2, 5.1).
+
+    ``inc`` and ``dec`` on an integer commute with each other; ``rd`` is
+    not commutative with respect to either: ``‖{inc(x), dec(x)} ≺ rd(x)``.
+    Item scoping: operations on different counters commute.
+    """
+    return CommutativitySpec(
+        commutative_ops={"inc", "dec"},
+        item_of=lambda m: m.payload.get("item") if isinstance(m.payload, dict) else None,
+    )
+
+
+def registry_spec() -> CommutativitySpec:
+    """The name-service example (Section 5.2).
+
+    Queries commute with each other; updates do not commute with anything
+    (two updates to the same name conflict, and a query does not commute
+    with an update).
+    """
+    return CommutativitySpec(
+        commutative_ops={"qry"},
+        item_of=lambda m: m.payload.get("name") if isinstance(m.payload, dict) else None,
+    )

@@ -1,0 +1,150 @@
+"""Server replicas: state machine + delivery stream + stable points.
+
+A :class:`Replica` binds a broadcast protocol's delivery stream to an
+application :class:`~repro.core.state_machine.StateMachine` and runs a
+:class:`~repro.core.stable_points.StablePointDetector` over it.
+
+Two views of the data coexist, following the paper:
+
+* the **live state** (:meth:`read_now`) — every delivered message applied
+  in local delivery order; members may legitimately disagree mid-cycle;
+* the **stable state** at each synchronization message ``m`` — the paper's
+  agreed value ``VAL(m)`` (Section 1): the fold of exactly ``m``'s *causal
+  past* plus ``m`` itself.  Causal delivery guarantees every member has
+  that same message set when it delivers ``m``; if the activity's
+  concurrent pairs commute, every member computes the identical value —
+  with no agreement traffic.  Messages *concurrent* with ``m`` (e.g. a
+  racing update from an unrelated client) are excluded at every member
+  alike, even if some member happened to deliver them early.
+
+It also implements the paper's *deferred read* (Section 5.1): "a read
+operation on X requested at a member may be deferred to occur at the next
+stable point so that the value of X returned by the member is the same as
+that by every other member."
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional, Set, Tuple
+
+from repro.broadcast.base import BroadcastProtocol
+from repro.core.commutativity import CommutativitySpec
+from repro.core.stable_points import StablePoint, StablePointDetector
+from repro.core.state_machine import StateMachine
+from repro.types import Envelope, EntityId, MessageId
+
+DeferredReadCallback = Callable[[Any, StablePoint], None]
+
+
+class Replica:
+    """One member's copy of the shared data."""
+
+    def __init__(
+        self,
+        protocol: BroadcastProtocol,
+        machine: StateMachine,
+        spec: CommutativitySpec,
+    ) -> None:
+        self.protocol = protocol
+        self.machine = machine
+        self.spec = spec
+        self._state: Any = machine.initial_state
+        self.detector = StablePointDetector(protocol.entity_id, spec)
+        self._delivered: List[Envelope] = []
+        self._stable_states: List[Tuple[StablePoint, Any]] = []
+        self._deferred_reads: List[DeferredReadCallback] = []
+        # Incremental causal-cut fold: the labels already folded into
+        # _stable_fold_state, in the order they were applied.
+        self._stable_fold_state: Any = machine.initial_state
+        self._stable_fold_labels: Set[MessageId] = set()
+        self.messages_applied = 0
+        protocol.on_deliver(self._on_delivery)
+
+    @property
+    def entity_id(self) -> EntityId:
+        return self.protocol.entity_id
+
+    # -- delivery path ---------------------------------------------------------
+
+    def _on_delivery(self, envelope: Envelope) -> None:
+        self._state = self.machine.apply(self._state, envelope.message)
+        self._delivered.append(envelope)
+        self.messages_applied += 1
+        point = self.detector.observe(envelope, self.protocol.now)
+        if point is not None:
+            self._at_stable_point(point, envelope)
+
+    def _at_stable_point(self, point: StablePoint, envelope: Envelope) -> None:
+        stable_value = self._stable_cut_state(envelope)
+        self._stable_states.append((point, stable_value))
+        self.protocol.network.trace.record(
+            self.protocol.now,
+            "stable_point",
+            entity=self.entity_id,
+            msg_id=point.msg_id,
+            index=point.index,
+        )
+        pending, self._deferred_reads = self._deferred_reads, []
+        for callback in pending:
+            callback(stable_value, point)
+
+    def _stable_cut_state(self, sync_envelope: Envelope) -> Any:
+        """Compute ``VAL(m)``: fold of the sync message's causal cut.
+
+        Requires the protocol to expose a dependency ``graph`` (OSend).
+        Protocols without one (total order) agree at *every* message, so
+        the live state is already the agreed value.
+        """
+        graph = getattr(self.protocol, "graph", None)
+        if graph is None or sync_envelope.msg_id not in graph:
+            return self._state
+        cut = set(graph.causal_past(sync_envelope.msg_id))
+        cut.add(sync_envelope.msg_id)
+        if not self._stable_fold_labels <= cut:
+            # Non-chained sync points (racing managers): refold from scratch.
+            self._stable_fold_state = self.machine.initial_state
+            self._stable_fold_labels = set()
+        state = self._stable_fold_state
+        for delivered in self._delivered:
+            label = delivered.msg_id
+            if label in cut and label not in self._stable_fold_labels:
+                state = self.machine.apply(state, delivered.message)
+                self._stable_fold_labels.add(label)
+        self._stable_fold_state = state
+        return state
+
+    # -- reads -------------------------------------------------------------------
+
+    def read_now(self) -> Any:
+        """The current local state — may differ across members mid-cycle."""
+        return self._state
+
+    def read_at_next_stable_point(self, callback: DeferredReadCallback) -> None:
+        """Defer a read to the next stable point (paper Section 5.1).
+
+        ``callback(value, stable_point)`` fires when the point occurs; the
+        value passed is the agreed ``VAL(m)``, identical at every member
+        reading at the same point (given a commuting activity).
+        """
+        self._deferred_reads.append(callback)
+
+    # -- history -----------------------------------------------------------------
+
+    @property
+    def stable_states(self) -> List[Tuple[StablePoint, Any]]:
+        """(stable point, agreed value) pairs, in cycle order."""
+        return list(self._stable_states)
+
+    def stable_state_at(self, index: int) -> Optional[Any]:
+        """Agreed value at the ``index``-th stable point, if reached."""
+        if 0 <= index < len(self._stable_states):
+            return self._stable_states[index][1]
+        return None
+
+    @property
+    def stable_point_count(self) -> int:
+        return len(self._stable_states)
+
+    @property
+    def delivered_envelopes(self) -> List[Envelope]:
+        return list(self._delivered)

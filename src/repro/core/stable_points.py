@@ -1,0 +1,117 @@
+"""Local stable-point detection (paper Section 4.2, 6.1).
+
+Under the Section 6.1 cycle structure every *non-commutative* message is a
+synchronization point: its ``Occurs-After`` AND-dependency covers all the
+commutative messages of the finishing cycle, so by causal delivery every
+member has processed exactly the same message *set* when it delivers the
+non-commutative message — their states agree there, with **no extra
+agreement traffic** ("protocols reach agreement without requiring separate
+message exchanges across entities", Section 7).
+
+:class:`StablePointDetector` watches a replica's delivery stream and fires
+a callback at each stable point.  Detection is purely local, driven by the
+commutativity category of the delivered operation (plus any explicitly
+registered synchronization labels) — exactly the paper's claim that "each
+member has the same view of when stable points occur".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Set
+
+from repro.core.commutativity import CommutativitySpec
+from repro.types import Envelope, EntityId, MessageId
+
+
+@dataclass(frozen=True)
+class StablePoint:
+    """One detected stable point at one member.
+
+    ``index`` is the ordinal of the stable point (cycle number ``r``),
+    ``position`` the delivery-log position of the synchronizing message,
+    ``pending_commutative`` how many commutative messages were absorbed
+    since the previous stable point.
+    """
+
+    entity: EntityId
+    index: int
+    msg_id: MessageId
+    position: int
+    time: float
+    pending_commutative: int
+
+
+StablePointListener = Callable[[StablePoint], None]
+
+
+class StablePointDetector:
+    """Fires at every synchronization message in a delivery stream."""
+
+    def __init__(
+        self,
+        entity: EntityId,
+        spec: CommutativitySpec,
+        sync_labels: Optional[Set[MessageId]] = None,
+    ) -> None:
+        self._entity = entity
+        self._spec = spec
+        self._sync_labels: Set[MessageId] = set(sync_labels or ())
+        self._listeners: List[StablePointListener] = []
+        self._points: List[StablePoint] = []
+        self._position = 0
+        self._commutative_since_last = 0
+
+    # -- configuration ------------------------------------------------------
+
+    def mark_sync(self, label: MessageId) -> None:
+        """Explicitly declare ``label`` a synchronization message.
+
+        Used when an application builds custom activities whose closing
+        message is itself commutative by category.
+        """
+        self._sync_labels.add(label)
+
+    def subscribe(self, listener: StablePointListener) -> None:
+        self._listeners.append(listener)
+
+    # -- feed ---------------------------------------------------------------
+
+    def observe(self, envelope: Envelope, time: float) -> Optional[StablePoint]:
+        """Feed one delivery; returns the stable point if one occurred."""
+        position = self._position
+        self._position += 1
+        is_sync = (
+            envelope.msg_id in self._sync_labels
+            or not self._spec.is_commutative(envelope.message.operation)
+        )
+        if not is_sync:
+            self._commutative_since_last += 1
+            return None
+        point = StablePoint(
+            entity=self._entity,
+            index=len(self._points),
+            msg_id=envelope.msg_id,
+            position=position,
+            time=time,
+            pending_commutative=self._commutative_since_last,
+        )
+        self._commutative_since_last = 0
+        self._points.append(point)
+        for listener in self._listeners:
+            listener(point)
+        return point
+
+    # -- results ------------------------------------------------------------
+
+    @property
+    def points(self) -> List[StablePoint]:
+        return list(self._points)
+
+    @property
+    def count(self) -> int:
+        return len(self._points)
+
+    def labels(self) -> List[MessageId]:
+        """Synchronizing labels, in stable-point order."""
+        return [p.msg_id for p in self._points]

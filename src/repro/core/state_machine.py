@@ -1,0 +1,117 @@
+"""Application state machines — the paper's ``F: M x S -> S``.
+
+Each member is "simply a 'state-machine' replica, and consistency is
+achieved by producing the same set of transitions at every replica as
+allowed by the causal order" (Section 4.2, citing Schneider's state-machine
+approach).  :class:`StateMachine` maps operation names to *pure* transition
+functions over an immutable (or at least value-comparable) state; replicas
+fold delivered messages through it.
+
+Purity matters: the stability analyses compare final states across
+different linear extensions, which is only meaningful if transitions have
+no hidden effects.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Mapping, Optional
+
+from repro.errors import ProtocolError
+from repro.types import Message
+
+TransitionFn = Callable[[Any, Message], Any]
+
+
+class StateMachine:
+    """A registry of per-operation transition functions.
+
+    Parameters
+    ----------
+    initial_state:
+        The state every replica starts from (``s_old`` in the paper).
+    transitions:
+        Mapping from operation name to ``f(state, message) -> new_state``.
+    strict:
+        When ``True`` (default), applying an unknown operation raises
+        :class:`ProtocolError`; when ``False``, unknown operations are
+        identity transitions (useful when control traffic shares a stream).
+    """
+
+    def __init__(
+        self,
+        initial_state: Any,
+        transitions: Mapping[str, TransitionFn],
+        strict: bool = True,
+    ) -> None:
+        self.initial_state = initial_state
+        self._transitions: Dict[str, TransitionFn] = dict(transitions)
+        self._strict = strict
+
+    def operations(self) -> frozenset[str]:
+        return frozenset(self._transitions)
+
+    def handles(self, operation: str) -> bool:
+        return operation in self._transitions
+
+    def apply(self, state: Any, message: Message) -> Any:
+        """One invocation of ``F`` (paper relation (1))."""
+        transition = self._transitions.get(message.operation)
+        if transition is None:
+            if self._strict:
+                raise ProtocolError(
+                    f"no transition for operation {message.operation!r}"
+                )
+            return state
+        return transition(state, message)
+
+    def run(self, messages: Any, state: Optional[Any] = None) -> Any:
+        """Fold a message sequence from ``state`` (default: initial)."""
+        current = self.initial_state if state is None else state
+        for message in messages:
+            current = self.apply(current, message)
+        return current
+
+
+def counter_machine(initial: int = 0) -> StateMachine:
+    """Integer data with inc/dec/rd (the paper's running example).
+
+    ``rd`` is an identity transition — reads do not change state; their
+    *ordering* relative to writes is what consistency constrains.
+    """
+
+    def inc(state: int, message: Message) -> int:
+        amount = 1
+        if isinstance(message.payload, dict):
+            amount = message.payload.get("amount", 1)
+        return state + amount
+
+    def dec(state: int, message: Message) -> int:
+        amount = 1
+        if isinstance(message.payload, dict):
+            amount = message.payload.get("amount", 1)
+        return state - amount
+
+    def rd(state: int, message: Message) -> int:
+        return state
+
+    return StateMachine(initial, {"inc": inc, "dec": dec, "rd": rd})
+
+
+def registry_machine() -> StateMachine:
+    """Name registry with qry/upd (Section 5.2 example).
+
+    State is an immutable mapping name -> value, represented as a
+    frozenset of items for cheap value comparison.
+    """
+
+    def upd(state: frozenset, message: Message) -> frozenset:
+        name = message.payload["name"]
+        value = message.payload["value"]
+        entries = {k: v for k, v in state}
+        entries[name] = value
+        return frozenset(entries.items())
+
+    def qry(state: frozenset, message: Message) -> frozenset:
+        return state
+
+    return StateMachine(frozenset(), {"upd": upd, "qry": qry})

@@ -1,0 +1,95 @@
+"""The experiment registry: every reproduced figure, claim and ablation.
+
+Each experiment module exposes ``TITLE``, ``HEADERS`` and ``rows()``;
+the registry makes them runnable from anywhere:
+
+* the benchmarks (``benchmarks/bench_*.py``) time them and assert the
+  paper's expected shape;
+* the CLI (``python -m repro experiment FIG2``) prints their tables;
+* EXPERIMENTS.md records their output.
+
+``rows()`` returns the table body for the experiment's reported series —
+the same rows the paper's figure or claim describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence
+
+from repro.analysis.reporting import format_table
+from repro.errors import ConfigurationError
+
+from repro.experiments import (
+    ablation_batching,
+    ablation_gc,
+    ablation_recovery,
+    claim_agree,
+    claim_async,
+    claim_commute,
+    claim_concur,
+    claim_scale,
+    fig1,
+    fig2,
+    fig3,
+    fig4,
+    fig5,
+    proto_overhead,
+)
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One runnable experiment."""
+
+    exp_id: str
+    title: str
+    headers: Sequence[str]
+    rows: Callable[[], List[list]]
+
+    def table(self) -> str:
+        """Run the experiment and format its table."""
+        return format_table(self.headers, self.rows(), title=self.title)
+
+
+def _register(module, exp_id: str) -> Experiment:
+    return Experiment(
+        exp_id=exp_id,
+        title=module.TITLE,
+        headers=module.HEADERS,
+        rows=module.rows,
+    )
+
+
+EXPERIMENTS: Dict[str, Experiment] = {
+    exp.exp_id: exp
+    for exp in (
+        _register(fig1, "FIG1"),
+        _register(fig2, "FIG2"),
+        _register(fig3, "FIG3"),
+        _register(fig4, "FIG4"),
+        _register(fig5, "FIG5"),
+        _register(claim_commute, "CLAIM-COMMUTE"),
+        _register(claim_async, "CLAIM-ASYNC"),
+        _register(claim_concur, "CLAIM-CONCUR"),
+        _register(claim_agree, "CLAIM-AGREE"),
+        _register(claim_scale, "CLAIM-SCALE"),
+        _register(proto_overhead, "PROTO-OVERHEAD"),
+        _register(ablation_recovery, "ABLATION-RECOVERY"),
+        _register(ablation_batching, "ABLATION-BATCH"),
+        _register(ablation_gc, "ABLATION-GC"),
+    )
+}
+
+
+def get_experiment(exp_id: str) -> Experiment:
+    """Look up an experiment by id (case-insensitive)."""
+    experiment = EXPERIMENTS.get(exp_id.upper())
+    if experiment is None:
+        raise ConfigurationError(
+            f"unknown experiment {exp_id!r}; known: {sorted(EXPERIMENTS)}"
+        )
+    return experiment
+
+
+__all__ = ["EXPERIMENTS", "Experiment", "get_experiment"]

@@ -1,0 +1,68 @@
+"""ABLATION-BATCH — ASend epoch granularity.
+
+Sweeps the batch size for a fixed message budget; larger batches
+synchronize less often but each waits for its slowest member.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.analysis.metrics import latency_summary
+from repro.broadcast.asend import ASendTotalOrder
+from repro.group.membership import GroupMembership
+from repro.net.latency import UniformLatency
+from repro.net.network import Network
+from repro.sim.rng import RngRegistry
+from repro.sim.scheduler import Scheduler
+
+TITLE = "ABLATION-BATCH — ASend epoch size vs delivery latency"
+HEADERS = ["batch size", "epochs", "mean latency", "p95 latency", "max holdback"]
+
+MEMBERS = ("a", "b", "c", "d", "e", "f")
+TOTAL_MESSAGES = 24
+BATCH_SIZES = (1, 2, 3, 6)
+
+
+def run_batched(batch: int, seed: int = 19) -> dict:
+    """One run with a fixed message budget split into epochs of ``batch``."""
+    assert TOTAL_MESSAGES % batch == 0
+    scheduler = Scheduler()
+    network = Network(
+        scheduler, latency=UniformLatency(0.2, 3.0), rng=RngRegistry(seed)
+    )
+    membership = GroupMembership(MEMBERS)
+    stacks = {
+        m: network.register(
+            ASendTotalOrder(m, membership, expected_per_epoch=batch)
+        )
+        for m in MEMBERS
+    }
+    epochs = TOTAL_MESSAGES // batch
+    index = 0
+    for epoch in range(epochs):
+        for _ in range(batch):
+            sender = MEMBERS[index % len(MEMBERS)]
+            scheduler.call_at(
+                index * 0.5, stacks[sender].asend, "op", None, epoch
+            )
+            index += 1
+    scheduler.run()
+    for stack in stacks.values():
+        assert len(stack.delivered) == TOTAL_MESSAGES
+    orders = [s.delivered for s in stacks.values()]
+    assert all(order == orders[0] for order in orders)
+    stats = latency_summary(network.trace)
+    return {
+        "epochs": epochs,
+        "mean": stats.mean,
+        "p95": stats.p95,
+        "max_holdback": max(s.max_holdback for s in stacks.values()),
+    }
+
+
+def rows() -> List[list]:
+    return [
+        [batch, r["epochs"], r["mean"], r["p95"], r["max_holdback"]]
+        for batch, r in ((b, run_batched(b)) for b in BATCH_SIZES)
+    ]

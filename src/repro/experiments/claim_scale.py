@@ -1,0 +1,77 @@
+"""CLAIM-SCALE — §5.2: "Total ordering may be feasible when the group
+size is not large [12]."
+
+Fixed workload, growing group: per-message agreement cost makes the
+all-ack total order scale as O(N²) messages, the sequencer doubles every
+broadcast and serializes through one member, while the stable-point
+protocol stays at one broadcast per request (N hops each, like any
+broadcast) with latency independent of N.  Nodes have a small per-arrival
+processing cost (``SERVICE_TIME``), so the O(N) arrivals-per-request of
+the ack-based scheme also show up as queueing delay.
+
+Reported series per N: protocol, broadcasts, hops, mean latency.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.analysis.metrics import latency_summary
+from repro.core.access_protocol import StablePointSystem, TotalOrderSystem
+from repro.core.commutativity import counter_spec
+from repro.core.state_machine import counter_machine
+from repro.net.latency import UniformLatency
+from repro.workload.generators import WorkloadDriver, cycle_schedule
+
+TITLE = "CLAIM-SCALE — ordering cost as the group grows"
+HEADERS = ["N", "protocol", "broadcasts", "hops", "mean latency"]
+
+CYCLES = 3
+F = 4
+SIZES = (3, 6, 12, 24)
+SERVICE_TIME = 0.02
+APP_OPS = {"inc", "dec", "rd"}
+PROTOCOLS = ("stable-point", "sequencer", "lamport")
+
+
+def run_protocol(protocol: str, size: int, seed: int = 23) -> dict:
+    """One (protocol, group size) cell of the sweep."""
+    members = [f"m{i}" for i in range(size)]
+    if protocol == "stable-point":
+        system = StablePointSystem(
+            members, counter_machine, counter_spec(),
+            latency=UniformLatency(0.2, 2.0), seed=seed,
+            service_time=SERVICE_TIME,
+        )
+    else:
+        system = TotalOrderSystem(
+            members, counter_machine, counter_spec(),
+            engine=protocol, latency=UniformLatency(0.2, 2.0), seed=seed,
+            service_time=SERVICE_TIME,
+        )
+    schedule = cycle_schedule(
+        members, ["inc", "dec"], "rd",
+        cycles=CYCLES, f=F, rng=random.Random(seed),
+        payload_factory=lambda op, i: {"item": "x", "amount": 1},
+        issuer=members[0],
+    )
+    WorkloadDriver(system.scheduler, system.request, schedule)
+    system.run()
+    stats = latency_summary(system.network.trace, operations=APP_OPS)
+    return {
+        "broadcasts": len(system.network.trace.of_kind("send")),
+        "hops": system.network.hops_sent,
+        "latency": stats.mean,
+    }
+
+
+def rows() -> List[list]:
+    result = []
+    for size in SIZES:
+        for protocol in PROTOCOLS:
+            r = run_protocol(protocol, size)
+            result.append(
+                [size, protocol, r["broadcasts"], r["hops"], r["latency"]]
+            )
+    return result

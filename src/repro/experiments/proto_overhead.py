@@ -1,0 +1,148 @@
+"""PROTO-OVERHEAD — ablation: explicit graphs vs clock metadata.
+
+Per-message metadata entries for OSend (declared ancestors), CBCAST
+(vector clocks), RST (sent-matrices) and steady-state full matrix clocks,
+swept over group size; plus the clock-implied (incidental) ordered pairs.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.broadcast.cbcast import CbcastBroadcast
+from repro.broadcast.rst import RstBroadcast
+from repro.clocks.matrix import MatrixClock
+from repro.clocks.vector import VectorClock
+from repro.core.access_protocol import StablePointSystem
+from repro.core.commutativity import counter_spec
+from repro.core.state_machine import counter_machine
+from repro.group.membership import GroupMembership
+from repro.net.latency import UniformLatency
+from repro.net.network import Network
+from repro.sim.rng import RngRegistry
+from repro.sim.scheduler import Scheduler
+from repro.workload.generators import WorkloadDriver, cycle_schedule
+
+TITLE = "PROTO-OVERHEAD — metadata cost: explicit graph vs clocks"
+HEADERS = [
+    "N",
+    "OSend ancestors/msg",
+    "vclock entries/msg",
+    "RST entries/msg",
+    "matrix entries (steady)",
+    "clock-implied pairs",
+]
+
+CYCLES = 3
+F = 5
+SIZES = (3, 5, 8, 12)
+
+
+def run_osend(size: int, seed: int = 13) -> dict:
+    """Mean declared ancestors per message under the cycle workload."""
+    members = [f"m{i}" for i in range(size)]
+    system = StablePointSystem(
+        members, counter_machine, counter_spec(),
+        latency=UniformLatency(0.2, 2.0), seed=seed,
+    )
+    schedule = cycle_schedule(
+        members, ["inc", "dec"], "rd",
+        cycles=CYCLES, f=F, rng=random.Random(seed),
+        payload_factory=lambda op, i: {"item": "x", "amount": 1},
+        issuer=members[0],
+    )
+    WorkloadDriver(system.scheduler, system.request, schedule)
+    system.run()
+    graph = system.protocols[members[0]].graph
+    return {"mean_ancestors": graph.edge_count() / max(1, len(graph))}
+
+
+def run_cbcast(size: int, seed: int = 13) -> dict:
+    """Mean vector entries per message + clock-implied ordered pairs."""
+    members = [f"m{i}" for i in range(size)]
+    scheduler = Scheduler()
+    network = Network(
+        scheduler, latency=UniformLatency(0.2, 2.0), rng=RngRegistry(seed)
+    )
+    membership = GroupMembership(members)
+    stacks = {
+        m: network.register(CbcastBroadcast(m, membership)) for m in members
+    }
+    rng = random.Random(seed)
+    for i in range(CYCLES * (F + 1)):
+        scheduler.call_at(i * 0.7, stacks[rng.choice(members)].bcast, "op")
+    scheduler.run()
+    entries = 0
+    count = 0
+    false_deps = 0
+    envelopes = stacks[members[0]].delivered_envelopes
+    for index, env in enumerate(envelopes):
+        clock: VectorClock = env.metadata["vclock"]
+        entries += clock.size_entries()
+        count += 1
+        for earlier in envelopes[:index]:
+            if earlier.metadata["vclock"] < clock:
+                false_deps += 1
+    return {
+        "mean_entries": entries / max(1, count),
+        "clock_implied_pairs": false_deps,
+    }
+
+
+def run_rst(size: int, seed: int = 13) -> dict:
+    """Measured RST sent-matrix entries per message."""
+    members = [f"m{i}" for i in range(size)]
+    scheduler = Scheduler()
+    network = Network(
+        scheduler, latency=UniformLatency(0.2, 2.0), rng=RngRegistry(seed)
+    )
+    membership = GroupMembership(members)
+    stacks = {
+        m: network.register(RstBroadcast(m, membership)) for m in members
+    }
+    rng = random.Random(seed)
+    for i in range(CYCLES * (F + 1)):
+        scheduler.call_at(i * 0.7, stacks[rng.choice(members)].bcast, "op")
+    scheduler.run()
+    entries = 0
+    count = 0
+    for env in stacks[members[0]].delivered_envelopes:
+        matrix = env.metadata["sent_matrix"]
+        entries += sum(
+            1 for cols in matrix.values() for c in cols.values() if c
+        )
+        count += 1
+    return {"mean_entries": entries / max(1, count)}
+
+
+def matrix_entries(size: int) -> float:
+    """Steady-state matrix clock entries after everyone has spoken."""
+    members = [f"m{i}" for i in range(size)]
+    clock = MatrixClock.zero()
+    for member in members:
+        clock = clock.record_event(member)
+    for member in members:
+        for other in members:
+            if member != other:
+                clock = clock.receive_at(member, other, clock)
+    return float(clock.size_entries())
+
+
+def rows() -> List[list]:
+    result = []
+    for size in SIZES:
+        osend = run_osend(size)
+        cbcast = run_cbcast(size)
+        rst = run_rst(size)
+        result.append(
+            [
+                size,
+                osend["mean_ancestors"],
+                cbcast["mean_entries"],
+                rst["mean_entries"],
+                matrix_entries(size),
+                cbcast["clock_implied_pairs"],
+            ]
+        )
+    return result

@@ -1,0 +1,27 @@
+"""Message dependency graphs, Occurs-After predicates, stability analysis."""
+
+from repro.graph.antichain import chain_cover_size, maximum_antichain, width
+from repro.graph.depgraph import DependencyGraph
+from repro.graph.render import depth_levels, to_ascii, to_dot
+from repro.graph.predicates import OccursAfter
+from repro.graph.stability import (
+    commutativity_guarantees_stability,
+    concurrent_pairs,
+    is_transition_preserving,
+    run_sequence,
+)
+
+__all__ = [
+    "DependencyGraph",
+    "chain_cover_size",
+    "OccursAfter",
+    "commutativity_guarantees_stability",
+    "concurrent_pairs",
+    "depth_levels",
+    "is_transition_preserving",
+    "maximum_antichain",
+    "run_sequence",
+    "to_ascii",
+    "to_dot",
+    "width",
+]

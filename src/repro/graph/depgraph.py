@@ -1,0 +1,293 @@
+"""Message dependency graphs.
+
+Section 3.2 of the paper represents the causal dependency ``R(M)`` "by a
+graph in which the dependency of ``Msg`` on ``m`` is represented with a
+directed edge connecting an ancestor node to a descendant node".  The graph
+supports:
+
+* *many-to-one* dependencies — several messages depend on one ancestor and
+  are mutually concurrent,
+* *one-to-many* AND dependencies — one message depends on all of a set,
+* the derived relations the rest of the library needs: causal precedence
+  (reachability), concurrency (paper's ‖), topological orders, and the set
+  of linear extensions (used by the stability analysis of Section 4).
+
+Edges point **ancestor → descendant** (the direction of time), so a
+topological order of the graph is a legal processing sequence.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    AbstractSet,
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Set,
+    Union,
+)
+
+from repro.errors import DependencyError
+from repro.graph.predicates import OccursAfter
+from repro.types import MessageId, freeze_ancestors
+
+AncestorSpec = Union[None, MessageId, Iterable[MessageId], OccursAfter]
+
+
+class DependencyGraph:
+    """A DAG of message labels with ancestor→descendant edges."""
+
+    def __init__(self) -> None:
+        self._ancestors: Dict[MessageId, FrozenSet[MessageId]] = {}
+        self._descendants: Dict[MessageId, Set[MessageId]] = {}
+
+    # -- construction -----------------------------------------------------
+
+    def add(self, msg_id: MessageId, occurs_after: AncestorSpec = None) -> None:
+        """Add ``msg_id`` with its ``Occurs-After`` ancestors.
+
+        Ancestors need not be present yet (a member may learn of a
+        dependency before the ancestor's own broadcast arrives); such
+        *dangling* ancestors are materialised as root nodes when they are
+        later added, and :meth:`dangling` reports them meanwhile.
+
+        Raises
+        ------
+        DependencyError
+            If ``msg_id`` was already added, depends on itself, or the new
+            edges would create a cycle among known nodes.
+        """
+        if msg_id in self._ancestors:
+            raise DependencyError(f"duplicate message label: {msg_id}")
+        if isinstance(occurs_after, OccursAfter):
+            ancestors = occurs_after.ancestors
+        else:
+            ancestors = freeze_ancestors(occurs_after)
+        if msg_id in ancestors:
+            raise DependencyError(f"{msg_id} cannot occur after itself")
+        for ancestor in ancestors:
+            if ancestor in self._ancestors and self.precedes(msg_id, ancestor):
+                raise DependencyError(
+                    f"edge {ancestor} -> {msg_id} would create a cycle"
+                )
+        self._ancestors[msg_id] = ancestors
+        self._descendants.setdefault(msg_id, set())
+        for ancestor in ancestors:
+            self._descendants.setdefault(ancestor, set()).add(msg_id)
+
+    # -- basic queries -------------------------------------------------------
+
+    def __contains__(self, msg_id: MessageId) -> bool:
+        return msg_id in self._ancestors
+
+    def __len__(self) -> int:
+        return len(self._ancestors)
+
+    def __iter__(self) -> Iterator[MessageId]:
+        return iter(self._ancestors)
+
+    @property
+    def nodes(self) -> List[MessageId]:
+        """All added labels, in insertion order."""
+        return list(self._ancestors)
+
+    def ancestors_of(self, msg_id: MessageId) -> FrozenSet[MessageId]:
+        """Direct ancestors (the ``Occurs-After`` set) of ``msg_id``."""
+        try:
+            return self._ancestors[msg_id]
+        except KeyError:
+            raise DependencyError(f"unknown message label: {msg_id}") from None
+
+    def descendants_of(self, msg_id: MessageId) -> FrozenSet[MessageId]:
+        """Direct descendants of ``msg_id`` among added nodes."""
+        if msg_id not in self._ancestors:
+            raise DependencyError(f"unknown message label: {msg_id}")
+        return frozenset(self._descendants.get(msg_id, ()))
+
+    def roots(self) -> List[MessageId]:
+        """Added nodes with no *added* ancestors (spontaneous messages)."""
+        return [
+            m
+            for m, ancestors in self._ancestors.items()
+            if not any(a in self._ancestors for a in ancestors)
+        ]
+
+    def dangling(self) -> FrozenSet[MessageId]:
+        """Labels referenced as ancestors but not themselves added."""
+        referenced: Set[MessageId] = set()
+        for ancestors in self._ancestors.values():
+            referenced |= ancestors
+        return frozenset(referenced - self._ancestors.keys())
+
+    # -- causal relations -------------------------------------------------------
+
+    def precedes(self, earlier: MessageId, later: MessageId) -> bool:
+        """True iff ``earlier ≺ later`` (transitively) among added nodes."""
+        if earlier == later:
+            return False
+        # Walk ancestor links upward from `later`.
+        stack = [later]
+        seen: Set[MessageId] = set()
+        while stack:
+            current = stack.pop()
+            for ancestor in self._ancestors.get(current, frozenset()):
+                if ancestor == earlier:
+                    return True
+                if ancestor not in seen:
+                    seen.add(ancestor)
+                    stack.append(ancestor)
+        return False
+
+    def concurrent(self, a: MessageId, b: MessageId) -> bool:
+        """The paper's ‖ relation: neither precedes the other."""
+        if a == b:
+            return False
+        return not self.precedes(a, b) and not self.precedes(b, a)
+
+    def causal_past(self, msg_id: MessageId) -> FrozenSet[MessageId]:
+        """All added transitive ancestors of ``msg_id``."""
+        past: Set[MessageId] = set()
+        stack = [msg_id]
+        while stack:
+            current = stack.pop()
+            for ancestor in self._ancestors.get(current, frozenset()):
+                if ancestor in self._ancestors and ancestor not in past:
+                    past.add(ancestor)
+                    stack.append(ancestor)
+        return frozenset(past)
+
+    def concurrency_classes(self) -> List[FrozenSet[MessageId]]:
+        """Maximal antichains found greedily in insertion order.
+
+        Gives a quick report of which messages the graph allows to proceed
+        in parallel; exact maximum-antichain computation is not needed by
+        the protocols, only by diagnostics.
+        """
+        classes: List[Set[MessageId]] = []
+        for node in self._ancestors:
+            for cls in classes:
+                if all(self.concurrent(node, member) for member in cls):
+                    cls.add(node)
+                    break
+            else:
+                classes.append({node})
+        return [frozenset(c) for c in classes]
+
+    # -- orders ----------------------------------------------------------------
+
+    def topological_order(self) -> List[MessageId]:
+        """One legal processing sequence (Kahn's algorithm).
+
+        Ties are broken by insertion order so the result is deterministic.
+        Dangling ancestors are ignored (treated as already processed).
+        """
+        insertion_index = {n: i for i, n in enumerate(self._ancestors)}
+        indegree: Dict[MessageId, int] = {}
+        for node, ancestors in self._ancestors.items():
+            indegree[node] = sum(1 for a in ancestors if a in self._ancestors)
+        ready = [n for n in self._ancestors if indegree[n] == 0]
+        order: List[MessageId] = []
+        position = 0
+        while position < len(ready):
+            node = ready[position]
+            position += 1
+            order.append(node)
+            for descendant in sorted(
+                self._descendants.get(node, ()),
+                key=insertion_index.__getitem__,
+            ):
+                indegree[descendant] -= 1
+                if indegree[descendant] == 0:
+                    ready.append(descendant)
+        if len(order) != len(self._ancestors):
+            raise DependencyError("graph contains a cycle")
+        return order
+
+    def linear_extensions(
+        self, limit: Optional[int] = None
+    ) -> Iterator[List[MessageId]]:
+        """Yield every legal processing sequence (all linear extensions).
+
+        This is the paper's ``{EvSeq_1 ... EvSeq_L}`` with ``L <= (r+1)!``
+        (Section 4.1).  Exponential in the worst case — intended for the
+        small activity graphs the stability analysis inspects.  ``limit``
+        bounds the number of sequences yielded.
+        """
+        nodes = list(self._ancestors)
+        ancestors = {
+            n: {a for a in self._ancestors[n] if a in self._ancestors}
+            for n in nodes
+        }
+        yielded = 0
+        prefix: List[MessageId] = []
+        chosen: Set[MessageId] = set()
+
+        def extend() -> Iterator[List[MessageId]]:
+            nonlocal yielded
+            if len(prefix) == len(nodes):
+                yield list(prefix)
+                return
+            for node in nodes:
+                if node in chosen or not ancestors[node] <= chosen:
+                    continue
+                prefix.append(node)
+                chosen.add(node)
+                yield from extend()
+                chosen.discard(node)
+                prefix.pop()
+
+        for seq in extend():
+            yield seq
+            yielded += 1
+            if limit is not None and yielded >= limit:
+                return
+
+    def count_linear_extensions(self, cap: int = 1_000_000) -> int:
+        """Count linear extensions, stopping at ``cap``."""
+        count = 0
+        for _ in self.linear_extensions(limit=cap):
+            count += 1
+        return count
+
+    # -- reductions ---------------------------------------------------------
+
+    def transitive_reduction(self) -> "DependencyGraph":
+        """A new graph with redundant (implied) edges removed.
+
+        An edge ``a -> b`` is redundant if some other path ``a ≺ ... ≺ b``
+        exists.  The reduction is what an efficient ``OSend`` implementation
+        would actually transmit — carrying only *direct* dependencies.
+        """
+        reduced = DependencyGraph()
+        for node in self.topological_order():
+            direct = {a for a in self._ancestors[node] if a in self._ancestors}
+            keep = set()
+            for candidate in direct:
+                implied = any(
+                    other != candidate and self.precedes(candidate, other)
+                    for other in direct
+                )
+                if not implied:
+                    keep.add(candidate)
+            # Preserve dangling ancestors verbatim: we cannot reason about
+            # paths through labels we have not seen.
+            keep |= {
+                a for a in self._ancestors[node] if a not in self._ancestors
+            }
+            reduced.add(node, keep)
+        return reduced
+
+    def subgraph(self, labels: AbstractSet[MessageId]) -> "DependencyGraph":
+        """The induced subgraph on ``labels`` (edges inside the set only)."""
+        sub = DependencyGraph()
+        for node in self._ancestors:
+            if node in labels:
+                sub.add(node, self._ancestors[node] & labels)
+        return sub
+
+    def edge_count(self) -> int:
+        """Number of ancestor references (metadata size proxy for OSend)."""
+        return sum(len(a) for a in self._ancestors.values())

@@ -1,0 +1,81 @@
+"""Rendering message dependency graphs (DOT and ASCII).
+
+The paper communicates its model through dependency-graph pictures
+(Figures 2, 3, 5); these helpers produce the same pictures from live
+graphs — extracted by any member from ``OSend`` traffic — for debugging,
+documentation and the CLI's ``show-graph`` command.
+"""
+
+from __future__ import annotations
+
+from typing import AbstractSet, Dict, List, Optional
+
+from repro.graph.depgraph import DependencyGraph
+from repro.types import MessageId
+
+
+def to_dot(
+    graph: DependencyGraph,
+    title: str = "R(M)",
+    highlight: Optional[AbstractSet[MessageId]] = None,
+) -> str:
+    """Render as Graphviz DOT (ancestor -> descendant edges).
+
+    ``highlight`` nodes (e.g. detected stable points) are drawn doubled.
+    """
+    highlight = highlight or frozenset()
+    lines = [f'digraph "{title}" {{', "  rankdir=TB;"]
+    for node in graph.nodes:
+        shape = "doublecircle" if node in highlight else "ellipse"
+        lines.append(f'  "{node}" [shape={shape}];')
+    for node in graph.nodes:
+        for ancestor in sorted(graph.ancestors_of(node), key=str):
+            lines.append(f'  "{ancestor}" -> "{node}";')
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def depth_levels(graph: DependencyGraph) -> List[List[MessageId]]:
+    """Group nodes by longest-path depth from the roots.
+
+    Level 0 holds the roots; a node's level is 1 + max level of its
+    (known) ancestors.  Concurrent messages of one activity share a level,
+    which makes the ASCII rendering read like the paper's figures.
+    """
+    depth: Dict[MessageId, int] = {}
+    for node in graph.topological_order():
+        ancestors = [a for a in graph.ancestors_of(node) if a in graph]
+        depth[node] = 1 + max((depth[a] for a in ancestors), default=-1)
+    levels: List[List[MessageId]] = []
+    for node, d in depth.items():
+        while len(levels) <= d:
+            levels.append([])
+        levels[d].append(node)
+    return levels
+
+
+def to_ascii(
+    graph: DependencyGraph,
+    highlight: Optional[AbstractSet[MessageId]] = None,
+) -> str:
+    """Render as indented levels with the paper's ‖ notation.
+
+    Each line is one logical-time level; multiple labels on a line are
+    concurrent.  Highlighted labels are marked with ``*``.
+    """
+    highlight = highlight or frozenset()
+    if not len(graph):
+        return "(empty graph)"
+    lines = []
+    for index, level in enumerate(depth_levels(graph)):
+        names = [
+            f"{label}*" if label in highlight else str(label)
+            for label in sorted(level, key=str)
+        ]
+        if len(names) > 1:
+            body = "‖{" + ", ".join(names) + "}"
+        else:
+            body = names[0]
+        prefix = "      " if index == 0 else "  ≺   "
+        lines.append(f"t={index:<2} {prefix}{body}")
+    return "\n".join(lines)

@@ -1,0 +1,126 @@
+"""Stability analysis: causal activities and transition-preserving sequences.
+
+Section 4.1 of the paper defines a *stable point*: given an activity
+``R(K)`` with message set ``K`` and an initial state, the state reached is
+*stable* iff **every** allowed event sequence (linear extension of the
+activity graph) reaches the same state.  Such an ``R(K)`` is a *causal
+activity* and its sequences are *transition-preserving*.
+
+Two analyses are provided:
+
+* :func:`is_transition_preserving` — the exhaustive check: execute every
+  linear extension through a state-transition function and compare final
+  states.  Exact but exponential; suitable for the small activity graphs
+  applications declare.
+* :func:`commutativity_guarantees_stability` — the sufficient static check
+  the paper relies on in Section 5.1/6.1: if all *concurrent* pairs in the
+  activity commute (per a :class:`~repro.core.commutativity.CommutativitySpec`),
+  every linear extension reaches the same state, so the activity is stable
+  without enumerating sequences.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Mapping, Optional, Tuple
+
+from repro.graph.depgraph import DependencyGraph
+from repro.types import Message, MessageId
+
+StateTransition = Callable[[object, Message], object]
+"""``F: S x M -> S`` — apply one message to a state, returning the new state.
+
+(The paper writes ``F: M x S -> S``; argument order here follows the Python
+convention of `reduce`.)"""
+
+
+def run_sequence(
+    transition: StateTransition,
+    initial_state: object,
+    sequence: Iterable[Message],
+) -> object:
+    """Fold ``sequence`` through ``transition`` starting at ``initial_state``.
+
+    This is the paper's ``s_new := F([e1 -> e2 -> ... ], s_old)``.
+    """
+    state = initial_state
+    for message in sequence:
+        state = transition(state, message)
+    return state
+
+
+def is_transition_preserving(
+    graph: DependencyGraph,
+    messages: Mapping[MessageId, Message],
+    transition: StateTransition,
+    initial_state: object,
+    max_sequences: int = 50_000,
+) -> Tuple[bool, Optional[object]]:
+    """Exhaustively check whether ``R(K)`` yields a stable point.
+
+    Returns ``(stable, final_state)``; ``final_state`` is the common final
+    state when stable, else the first diverging state encountered.
+
+    Raises
+    ------
+    ValueError
+        If the graph references a label missing from ``messages`` or the
+        number of linear extensions exceeds ``max_sequences``.
+    """
+    missing = [m for m in graph.nodes if m not in messages]
+    if missing:
+        raise ValueError(f"messages missing for labels: {missing}")
+
+    reference: Optional[object] = None
+    checked = 0
+    for sequence in graph.linear_extensions():
+        checked += 1
+        if checked > max_sequences:
+            raise ValueError(
+                f"more than {max_sequences} linear extensions; "
+                "use commutativity_guarantees_stability instead"
+            )
+        final = run_sequence(
+            transition, initial_state, (messages[m] for m in sequence)
+        )
+        if reference is None:
+            reference = final
+        elif final != reference:
+            return False, final
+    return True, reference
+
+
+def concurrent_pairs(graph: DependencyGraph) -> List[Tuple[MessageId, MessageId]]:
+    """All unordered pairs of concurrent (‖) labels in the graph."""
+    nodes = graph.nodes
+    pairs = []
+    for i, a in enumerate(nodes):
+        for b in nodes[i + 1 :]:
+            if graph.concurrent(a, b):
+                pairs.append((a, b))
+    return pairs
+
+
+def commutativity_guarantees_stability(
+    graph: DependencyGraph,
+    messages: Mapping[MessageId, Message],
+    commutes: Callable[[Message, Message], bool],
+) -> Tuple[bool, List[Tuple[MessageId, MessageId]]]:
+    """Static sufficient condition for stability.
+
+    If every concurrent pair of messages commutes, then all linear
+    extensions are equivalent by a sequence of adjacent transpositions of
+    commuting operations, hence reach the same final state (the paper's
+    ``F(mb, F(ma, s)) = F(ma, F(mb, s))`` for concurrent ``ma, mb``).
+
+    Returns ``(guaranteed, violating_pairs)`` where ``violating_pairs``
+    lists the concurrent pairs that do *not* commute (empty when
+    guaranteed).  Note this is sufficient but not necessary: an activity
+    may still be transition-preserving for a particular initial state even
+    with non-commuting concurrent pairs.
+    """
+    violations = [
+        (a, b)
+        for a, b in concurrent_pairs(graph)
+        if not commutes(messages[a], messages[b])
+    ]
+    return not violations, violations

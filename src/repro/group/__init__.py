@@ -1,0 +1,17 @@
+"""Group membership, views, failure detection, view-synchronous changes."""
+
+from repro.group.auto_membership import MembershipManager, manage_membership
+from repro.group.failure_detector import HeartbeatFailureDetector
+from repro.group.membership import GroupMembership, GroupView
+from repro.group.view_sync import ViewChange, ViewSyncAgent, attach_view_sync
+
+__all__ = [
+    "GroupMembership",
+    "GroupView",
+    "HeartbeatFailureDetector",
+    "MembershipManager",
+    "ViewChange",
+    "ViewSyncAgent",
+    "attach_view_sync",
+    "manage_membership",
+]

@@ -1,0 +1,141 @@
+"""Failure-driven membership: detector suspicion → view change.
+
+Glues the :class:`~repro.group.failure_detector.HeartbeatFailureDetector`
+to the :class:`~repro.group.view_sync.ViewSyncAgent`: each member
+broadcasts periodic heartbeats; when a member falls silent past the
+detector's timeout, the lowest-ranked *live* member proposes its removal
+and the flush protocol installs the shrunken view (the departed member is
+excluded from the flush quorum).
+
+This closes the loop the paper leaves to the group substrate: the
+computation keeps running, with stable points and consistency intact,
+after a member crashes.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Optional
+
+from repro.errors import ProtocolError
+from repro.group.failure_detector import HeartbeatFailureDetector
+from repro.group.view_sync import ViewSyncAgent
+from repro.types import Envelope, EntityId, Message, MessageIdAllocator
+
+if TYPE_CHECKING:  # pragma: no cover - circular import guard
+    from repro.broadcast.base import BroadcastProtocol
+
+HEARTBEAT_OPERATION = "__heartbeat__"
+
+
+class MembershipManager:
+    """Heartbeats + suspicion + automatic leave proposal for one member."""
+
+    def __init__(
+        self,
+        protocol: "BroadcastProtocol",
+        view_sync: ViewSyncAgent,
+        heartbeat_interval: float = 1.0,
+        suspicion_timeout: float = 4.0,
+    ) -> None:
+        if heartbeat_interval <= 0:
+            raise ProtocolError("heartbeat_interval must be positive")
+        self.protocol = protocol
+        self.view_sync = view_sync
+        self.heartbeat_interval = heartbeat_interval
+        self._allocator = MessageIdAllocator(f"{protocol.entity_id}!hb")
+        others = [
+            m
+            for m in protocol.group.view.members
+            if m != protocol.entity_id
+        ]
+        self.detector = HeartbeatFailureDetector(
+            protocol.scheduler, others, timeout=suspicion_timeout
+        )
+        self.detector.subscribe(self._on_suspicion)
+        self._running = False
+        self.removals_proposed = 0
+        protocol.add_interceptor(self)
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self, duration: float) -> None:
+        """Heartbeat (and monitor) for ``duration`` simulated time.
+
+        Bounded so simulations terminate; production deployments would
+        run unbounded.
+        """
+        if self._running:
+            return
+        self._running = True
+        self.detector.start()
+        beats = int(duration / self.heartbeat_interval)
+        for i in range(1, beats + 1):
+            self.protocol.scheduler.call_in(
+                i * self.heartbeat_interval, self._beat
+            )
+        self.protocol.scheduler.call_in(duration, self._stop)
+
+    def _stop(self) -> None:
+        self._running = False
+        self.detector.stop()
+
+    def _beat(self) -> None:
+        if not self._running:
+            return
+        message = Message(
+            self._allocator.next_id(), HEARTBEAT_OPERATION, None
+        )
+        self.protocol.network.broadcast(
+            self.protocol.entity_id, Envelope(message)
+        )
+
+    # -- control plane ---------------------------------------------------------
+
+    def intercept(self, sender: EntityId, envelope: Envelope) -> bool:
+        if envelope.message.operation != HEARTBEAT_OPERATION:
+            return False
+        if sender != self.protocol.entity_id and sender in (
+            self.detector._last_heard
+        ):
+            self.detector.heartbeat(sender)
+        return True
+
+    # -- suspicion handling -------------------------------------------------------
+
+    def _live_members(self) -> list:
+        return [
+            m
+            for m in self.protocol.group.view.members
+            if m == self.protocol.entity_id or not self.detector.is_suspected(m)
+        ]
+
+    def _on_suspicion(self, suspect: EntityId) -> None:
+        if suspect not in self.protocol.group.view:
+            return
+        # The lowest-ranked live member coordinates the removal, so only
+        # one proposal is broadcast.
+        live = self._live_members()
+        if not live or live[0] != self.protocol.entity_id:
+            return
+        if self.view_sync._pending_change is not None:
+            return  # a change is already in flight; detector will re-fire
+        self.removals_proposed += 1
+        self.view_sync.propose("leave", suspect)
+
+
+def manage_membership(
+    protocols: Dict[EntityId, "BroadcastProtocol"],
+    view_sync_agents: Dict[EntityId, ViewSyncAgent],
+    heartbeat_interval: float = 1.0,
+    suspicion_timeout: float = 4.0,
+) -> Dict[EntityId, MembershipManager]:
+    """One manager per member (does not start them)."""
+    return {
+        entity: MembershipManager(
+            protocol,
+            view_sync_agents[entity],
+            heartbeat_interval=heartbeat_interval,
+            suspicion_timeout=suspicion_timeout,
+        )
+        for entity, protocol in protocols.items()
+    }

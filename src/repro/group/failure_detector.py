@@ -1,0 +1,104 @@
+"""Heartbeat failure detection.
+
+A simple eventually-perfect-style detector for the simulated environment:
+each monitored entity is expected to produce a heartbeat at least every
+``heartbeat_interval``; an entity silent for ``timeout`` is *suspected*.
+Suspicion feeds :class:`~repro.group.membership.GroupMembership` in the
+dynamic-membership integration tests, exercising the protocols' behaviour
+when a member departs mid-activity.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Set
+
+from repro.errors import ConfigurationError
+from repro.sim.scheduler import EventHandle, Scheduler
+from repro.types import EntityId
+
+SuspicionListener = Callable[[EntityId], None]
+
+
+class HeartbeatFailureDetector:
+    """Tracks last-heard times and raises suspicion on silence."""
+
+    def __init__(
+        self,
+        scheduler: Scheduler,
+        monitored: Iterable[EntityId],
+        timeout: float,
+        check_interval: Optional[float] = None,
+    ) -> None:
+        if timeout <= 0:
+            raise ConfigurationError(f"timeout must be positive, got {timeout}")
+        self._scheduler = scheduler
+        self._timeout = timeout
+        self._check_interval = (
+            check_interval if check_interval is not None else timeout / 2
+        )
+        self._last_heard: Dict[EntityId, float] = {
+            entity: scheduler.now for entity in monitored
+        }
+        self._suspected: Set[EntityId] = set()
+        self._listeners: List[SuspicionListener] = []
+        self._tick_handle: Optional[EventHandle] = None
+        self._running = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> None:
+        """Begin periodic checking."""
+        if self._running:
+            return
+        self._running = True
+        self._schedule_tick()
+
+    def stop(self) -> None:
+        self._running = False
+        if self._tick_handle is not None:
+            self._tick_handle.cancel()
+            self._tick_handle = None
+
+    def _schedule_tick(self) -> None:
+        self._tick_handle = self._scheduler.call_in(
+            self._check_interval, self._tick
+        )
+
+    def _tick(self) -> None:
+        if not self._running:
+            return
+        now = self._scheduler.now
+        for entity, last in self._last_heard.items():
+            if entity in self._suspected:
+                continue
+            if now - last > self._timeout:
+                self._suspected.add(entity)
+                for listener in self._listeners:
+                    listener(entity)
+        self._schedule_tick()
+
+    # -- inputs --------------------------------------------------------------
+
+    def heartbeat(self, entity: EntityId) -> None:
+        """Record a sign of life from ``entity``.
+
+        A suspected entity that speaks again is un-suspected (the detector
+        is only eventually accurate, like any timeout-based detector).
+        """
+        if entity not in self._last_heard:
+            raise ConfigurationError(f"{entity!r} is not monitored")
+        self._last_heard[entity] = self._scheduler.now
+        self._suspected.discard(entity)
+
+    # -- outputs --------------------------------------------------------------
+
+    def subscribe(self, listener: SuspicionListener) -> None:
+        """Invoke ``listener(entity)`` when ``entity`` becomes suspected."""
+        self._listeners.append(listener)
+
+    def is_suspected(self, entity: EntityId) -> bool:
+        return entity in self._suspected
+
+    @property
+    def suspected(self) -> Set[EntityId]:
+        return set(self._suspected)

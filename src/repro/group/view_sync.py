@@ -1,0 +1,285 @@
+"""View-synchronous membership change (flush protocol).
+
+The paper's model assumes a group substrate in which "members can
+deterministically process messages ... and have the same view of
+application level state at every distinct point in logical time"
+(Section 3).  When membership changes, that requires *view synchrony*:
+every message broadcast in the old view is delivered at every surviving
+member **before** the new view takes effect, so the view change is itself
+a synchronization point.
+
+The flush protocol here is the classic one:
+
+1. any member proposes a change by broadcasting ``VCHG(change)``;
+2. on delivering the proposal, each member **freezes** its application
+   sending and waits for its hold-back queue to drain;
+3. once drained, it broadcasts ``FLUSH_OK`` carrying a *digest* of every
+   old-view application label it knows exists (delivered, held, or sent
+   by itself) — senders always know their own broadcasts, so the union
+   of all digests covers the complete old-view traffic;
+4. when a member has collected ``FLUSH_OK`` from every old-view member
+   *and* has itself delivered the digest union, it installs the new
+   view, unfreezes, and notifies listeners.
+
+Step 4's delivery condition is what makes the change view-synchronous:
+every member delivers exactly the same old-view message set before the
+new view, even for messages still in flight when the flush began.
+
+Control traffic flows through the chassis interceptor chain like the
+recovery layer's, so it composes with every ordering protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Set, Tuple
+
+from repro.errors import MembershipError, ProtocolError
+
+if TYPE_CHECKING:  # pragma: no cover - avoids a circular import at runtime
+    from repro.broadcast.base import BroadcastProtocol
+from repro.group.membership import GroupView
+from repro.types import Envelope, EntityId, Message, MessageIdAllocator
+
+VCHG_OPERATION = "__vchg__"
+FLUSH_OK_OPERATION = "__flushok__"
+
+
+@dataclass(frozen=True)
+class ViewChange:
+    """A proposed membership change."""
+
+    kind: str  # "join" | "leave"
+    entity: EntityId
+    old_view_id: int
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("join", "leave"):
+            raise ProtocolError(f"unknown view-change kind: {self.kind}")
+
+
+InstallListener = Callable[[GroupView], None]
+
+
+class ViewSyncAgent:
+    """Runs the flush protocol for one member.
+
+    All members of a simulated group share one
+    :class:`~repro.group.membership.GroupMembership`; the *first* agent to
+    complete the flush installs the change there (subsequent completions
+    see it already applied).  What the protocol guarantees — and the tests
+    verify — is the view-synchrony property: at installation, every
+    member's delivered set for the old view is identical.
+    """
+
+    def __init__(
+        self,
+        protocol: "BroadcastProtocol",
+        drain_poll_interval: float = 0.5,
+        flush_resend_interval: float = 3.0,
+        max_flush_resends: int = 25,
+    ) -> None:
+        self.protocol = protocol
+        self.drain_poll_interval = drain_poll_interval
+        self.flush_resend_interval = flush_resend_interval
+        self.max_flush_resends = max_flush_resends
+        self._allocator = MessageIdAllocator(f"{protocol.entity_id}!vs")
+        self.frozen = False
+        self._pending_change: Optional[ViewChange] = None
+        self._flush_acks: Set[EntityId] = set()
+        self._digests: Dict[EntityId, frozenset] = {}
+        self._old_members: Tuple[EntityId, ...] = ()
+        self._sent_flush_ok = False
+        self._listeners: List[InstallListener] = []
+        self.changes_installed = 0
+        # Delivered-set snapshot taken when we sent FLUSH_OK (diagnostics).
+        self.flush_snapshot: Optional[frozenset] = None
+        protocol.add_interceptor(self)
+        # Event-driven install check: the digest union may only become
+        # delivered later (e.g. repaired by the recovery layer), so every
+        # delivery re-checks instead of an open-ended poll timer.
+        protocol.on_deliver(lambda _envelope: self._try_install())
+
+    # -- API --------------------------------------------------------------
+
+    def on_install(self, listener: InstallListener) -> None:
+        self._listeners.append(listener)
+
+    def propose(self, kind: str, entity: EntityId) -> None:
+        """Propose a membership change to the group."""
+        if self._pending_change is not None:
+            raise ProtocolError("a view change is already in progress")
+        view = self.protocol.group.view
+        if kind == "join" and entity in view:
+            raise MembershipError(f"{entity!r} is already a member")
+        if kind == "leave" and entity not in view:
+            raise MembershipError(f"{entity!r} is not a member")
+        change = ViewChange(kind, entity, view.view_id)
+        message = Message(self._allocator.next_id(), VCHG_OPERATION, change)
+        self.protocol.network.broadcast(
+            self.protocol.entity_id, Envelope(message)
+        )
+
+    def guard_send(self) -> None:
+        """Raise if application sends are frozen mid-flush.
+
+        Applications integrate by calling this before ``bcast``; see
+        :func:`attach_view_sync`.
+        """
+        if self.frozen:
+            raise ProtocolError(
+                f"{self.protocol.entity_id}: sends are frozen during a "
+                "view change flush"
+            )
+
+    # -- control plane ------------------------------------------------------
+
+    def intercept(self, sender: EntityId, envelope: Envelope) -> bool:
+        operation = envelope.message.operation
+        if operation == VCHG_OPERATION:
+            self._on_proposal(envelope.message.payload)
+            return True
+        if operation == FLUSH_OK_OPERATION:
+            self._on_flush_ok(envelope.message.payload)
+            return True
+        return False
+
+    def _on_proposal(self, change: ViewChange) -> None:
+        current = self.protocol.group.view
+        if change.old_view_id != current.view_id:
+            return  # stale proposal for an already-changed view
+        if self._pending_change is not None:
+            return  # already flushing this change
+        self._pending_change = change
+        self._old_members = current.members
+        self._flush_acks = set()
+        self._digests = {}
+        self._sent_flush_ok = False
+        self.frozen = True
+        self._poll_drained()
+
+    def _known_labels(self) -> frozenset:
+        """Every application label this member knows exists."""
+        return frozenset(self.protocol._seen) | frozenset(
+            self.protocol._envelopes_by_id
+        )
+
+    def _poll_drained(self) -> None:
+        if self._pending_change is None or self._sent_flush_ok:
+            return
+        if self.protocol.holdback_size == 0:
+            self._sent_flush_ok = True
+            self._send_flush_ok(resends_left=self.max_flush_resends)
+            return
+        self.protocol.scheduler.call_in(
+            self.drain_poll_interval, self._poll_drained
+        )
+
+    def _send_flush_ok(self, resends_left: int) -> None:
+        """Broadcast FLUSH_OK, re-broadcasting until the change installs.
+
+        FLUSH_OK is control traffic outside the ordering protocol's
+        repair store, so a lossy network can eat it; the digest payload
+        is idempotent, so bounded re-broadcast is the simple cure.
+        """
+        if self._pending_change is None:
+            return  # installed meanwhile
+        message = Message(
+            self._allocator.next_id(),
+            FLUSH_OK_OPERATION,
+            (
+                self.protocol.entity_id,
+                self._pending_change,
+                self._known_labels(),
+            ),
+        )
+        self.protocol.network.broadcast(
+            self.protocol.entity_id, Envelope(message)
+        )
+        if resends_left > 0:
+            self.protocol.scheduler.call_in(
+                self.flush_resend_interval,
+                self._send_flush_ok,
+                resends_left - 1,
+            )
+
+    def _on_flush_ok(
+        self, payload: Tuple[EntityId, ViewChange, frozenset]
+    ) -> None:
+        member, change, digest = payload
+        if self._pending_change is None:
+            # We may receive FLUSH_OKs before the proposal (reordering):
+            # process the proposal implicitly first.
+            self._on_proposal(change)
+        if self._pending_change != change:
+            return
+        self._flush_acks.add(member)
+        self._digests[member] = digest
+        self._try_install()
+
+    def _required_ackers(self) -> Set[EntityId]:
+        """Old-view members whose FLUSH_OK we must collect.
+
+        A member being removed is presumed unable to participate (the
+        common reason for removal is a crash), so it is excluded — the
+        survivors' digests still cover everything they can ever deliver.
+        """
+        assert self._pending_change is not None
+        required = set(self._old_members)
+        if self._pending_change.kind == "leave":
+            required.discard(self._pending_change.entity)
+        return required
+
+    def _try_install(self) -> None:
+        if self._pending_change is None:
+            return
+        if not self._required_ackers() <= self._flush_acks:
+            return
+        target: Set = set()
+        for digest in self._digests.values():
+            target |= digest
+        delivered = set(self.protocol.delivered)
+        if not target <= delivered:
+            # Old-view traffic still in flight (or being repaired by the
+            # recovery layer); the per-delivery hook re-checks when it
+            # lands.
+            return
+        self.flush_snapshot = frozenset(delivered)
+        self._install()
+
+    def _install(self) -> None:
+        change = self._pending_change
+        assert change is not None
+        membership = self.protocol.group
+        if membership.view.view_id == change.old_view_id:
+            # First completed agent applies the (shared) change.
+            if change.kind == "join":
+                membership.join(change.entity)
+            else:
+                membership.leave(change.entity)
+        view = membership.view
+        self._pending_change = None
+        self._flush_acks = set()
+        self.frozen = False
+        self.changes_installed += 1
+        for listener in self._listeners:
+            listener(view)
+
+
+def attach_view_sync(
+    protocols: Dict[EntityId, "BroadcastProtocol"],
+    drain_poll_interval: float = 0.5,
+) -> Dict[EntityId, ViewSyncAgent]:
+    """One agent per stack, with sends guarded during flushes."""
+    agents = {}
+    for entity, protocol in protocols.items():
+        agent = ViewSyncAgent(protocol, drain_poll_interval)
+        agents[entity] = agent
+        original_bcast = protocol.bcast
+
+        def guarded(operation, payload=None, _agent=agent, _orig=original_bcast, **options):
+            _agent.guard_send()
+            return _orig(operation, payload, **options)
+
+        protocol.bcast = guarded  # type: ignore[method-assign]
+    return agents

@@ -1,0 +1,22 @@
+"""Simulated network substrate: latency models, faults, transport."""
+
+from repro.net.faults import RELIABLE, FaultPlan
+from repro.net.latency import (
+    ConstantLatency,
+    LatencyModel,
+    LognormalLatency,
+    PerPairLatency,
+    UniformLatency,
+)
+from repro.net.network import Network
+
+__all__ = [
+    "RELIABLE",
+    "ConstantLatency",
+    "FaultPlan",
+    "LatencyModel",
+    "LognormalLatency",
+    "Network",
+    "PerPairLatency",
+    "UniformLatency",
+]

@@ -1,0 +1,113 @@
+"""Network fault injection.
+
+The causal broadcast protocols must preserve their delivery guarantees in
+the face of message loss (with retransmission at the transport), duplication
+and partitions.  :class:`FaultPlan` decides, per hop, whether a copy is
+dropped, duplicated, or blocked by a partition.
+
+Faults are applied *below* the broadcast protocols: a dropped copy simply
+never arrives, letting tests exercise the protocols' hold-back behaviour
+(messages whose causal ancestors were lost stay undelivered — detectably).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from repro.errors import ConfigurationError
+from repro.types import EntityId
+
+
+class FaultPlan:
+    """Per-hop fault decisions.
+
+    Parameters
+    ----------
+    drop_probability:
+        Probability that a hop's copy is silently dropped.
+    duplicate_probability:
+        Probability that a hop's copy is delivered twice (protocols must
+        deduplicate; the paper's labels make that trivial).
+    """
+
+    def __init__(
+        self,
+        drop_probability: float = 0.0,
+        duplicate_probability: float = 0.0,
+    ) -> None:
+        for name, p in (
+            ("drop_probability", drop_probability),
+            ("duplicate_probability", duplicate_probability),
+        ):
+            if not 0.0 <= p <= 1.0:
+                raise ConfigurationError(f"{name} must be in [0, 1], got {p}")
+        self.drop_probability = drop_probability
+        self.duplicate_probability = duplicate_probability
+        self._partitions: List[FrozenSet[EntityId]] = []
+
+    # -- partitions ----------------------------------------------------------
+
+    def partition(self, *groups: Iterable[EntityId]) -> None:
+        """Split the network into the given disjoint groups.
+
+        Hops between different groups are blocked; hops within one group
+        (or touching entities in no group) proceed normally.
+        """
+        frozen = [frozenset(g) for g in groups]
+        seen: Set[EntityId] = set()
+        for group in frozen:
+            if seen & group:
+                raise ConfigurationError("partition groups must be disjoint")
+            seen |= group
+        self._partitions = frozen
+
+    def heal(self) -> None:
+        """Remove all partitions."""
+        self._partitions = []
+
+    @property
+    def partitioned(self) -> bool:
+        return bool(self._partitions)
+
+    def _group_of(self, entity: EntityId) -> Optional[FrozenSet[EntityId]]:
+        for group in self._partitions:
+            if entity in group:
+                return group
+        return None
+
+    def blocked(self, source: EntityId, destination: EntityId) -> bool:
+        """True if a partition separates ``source`` from ``destination``."""
+        if not self._partitions:
+            return False
+        src_group = self._group_of(source)
+        dst_group = self._group_of(destination)
+        if src_group is None and dst_group is None:
+            return False
+        return src_group is not dst_group
+
+    # -- per-hop decision ------------------------------------------------------
+
+    def decide(
+        self, source: EntityId, destination: EntityId, rng: random.Random
+    ) -> Tuple[int, bool]:
+        """Decide a hop's fate.
+
+        Returns ``(copies, blocked)``: the number of copies to deliver
+        (0 = dropped, 1 = normal, 2 = duplicated) and whether a partition
+        blocked the hop entirely.
+        """
+        if self.blocked(source, destination):
+            return 0, True
+        if self.drop_probability and rng.random() < self.drop_probability:
+            return 0, False
+        if (
+            self.duplicate_probability
+            and rng.random() < self.duplicate_probability
+        ):
+            return 2, False
+        return 1, False
+
+
+RELIABLE = FaultPlan()
+"""A shared fault plan that never drops, duplicates or partitions."""

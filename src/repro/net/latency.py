@@ -1,0 +1,110 @@
+"""Link latency models.
+
+A latency model answers one question: *how long does this hop take?*
+Different models reproduce different network conditions the paper's
+protocols must tolerate:
+
+* :class:`ConstantLatency` — an idealised LAN where every hop costs the
+  same; delivery order equals send order.
+* :class:`UniformLatency` — jitter; messages overtaking each other is the
+  interesting case for causal ordering.
+* :class:`LognormalLatency` — heavy-ish tail, the classic WAN shape.
+* :class:`PerPairLatency` — asymmetric topologies (e.g. one distant
+  replica), used by the asynchronism experiments to create skew.
+
+All stochastic models draw from a stream supplied at sample time so the
+network owns seeding policy, not the model.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Dict, Mapping, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.types import EntityId
+
+
+class LatencyModel:
+    """Interface: sample the latency of one hop."""
+
+    def sample(
+        self, source: EntityId, destination: EntityId, rng: random.Random
+    ) -> float:
+        raise NotImplementedError
+
+
+class ConstantLatency(LatencyModel):
+    """Every hop takes exactly ``delay`` time units."""
+
+    def __init__(self, delay: float = 1.0) -> None:
+        if delay < 0:
+            raise ConfigurationError(f"negative delay: {delay}")
+        self.delay = float(delay)
+
+    def sample(
+        self, source: EntityId, destination: EntityId, rng: random.Random
+    ) -> float:
+        return self.delay
+
+
+class UniformLatency(LatencyModel):
+    """Latency drawn uniformly from ``[low, high]``."""
+
+    def __init__(self, low: float = 0.5, high: float = 1.5) -> None:
+        if low < 0 or high < low:
+            raise ConfigurationError(
+                f"invalid uniform latency bounds: [{low}, {high}]"
+            )
+        self.low = float(low)
+        self.high = float(high)
+
+    def sample(
+        self, source: EntityId, destination: EntityId, rng: random.Random
+    ) -> float:
+        return rng.uniform(self.low, self.high)
+
+
+class LognormalLatency(LatencyModel):
+    """Log-normally distributed latency.
+
+    Parameters are the *target* median and an approximate spread factor
+    ``sigma`` (the standard deviation of the underlying normal).
+    """
+
+    def __init__(self, median: float = 1.0, sigma: float = 0.5) -> None:
+        if median <= 0 or sigma < 0:
+            raise ConfigurationError(
+                f"invalid lognormal parameters: median={median}, sigma={sigma}"
+            )
+        self.median = float(median)
+        self.sigma = float(sigma)
+        self._mu = math.log(median)
+
+    def sample(
+        self, source: EntityId, destination: EntityId, rng: random.Random
+    ) -> float:
+        return rng.lognormvariate(self._mu, self.sigma)
+
+
+class PerPairLatency(LatencyModel):
+    """Different latency model per (source, destination) pair.
+
+    ``default`` handles pairs absent from the table.  Entries may be given
+    for ``(src, dst)`` exactly; the model is directional.
+    """
+
+    def __init__(
+        self,
+        pairs: Mapping[Tuple[EntityId, EntityId], LatencyModel],
+        default: Optional[LatencyModel] = None,
+    ) -> None:
+        self._pairs: Dict[Tuple[EntityId, EntityId], LatencyModel] = dict(pairs)
+        self._default = default if default is not None else ConstantLatency(1.0)
+
+    def sample(
+        self, source: EntityId, destination: EntityId, rng: random.Random
+    ) -> float:
+        model = self._pairs.get((source, destination), self._default)
+        return model.sample(source, destination, rng)

@@ -1,0 +1,195 @@
+"""The simulated network: node registry, unicast and broadcast fan-out.
+
+The paper realises globally distributed data "by a message broadcast
+facility that allows each access message to be seen by [all entities]"
+(Section 2, Figure 1).  :class:`Network` is that facility's transport:
+a broadcast is modelled as one independent hop per destination, each with
+its own sampled latency and fault decision — exactly the conditions under
+which copies arrive at different members in different orders, which the
+ordering protocols above must repair.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.errors import ConfigurationError, MembershipError
+from repro.net.faults import FaultPlan, RELIABLE
+from repro.net.latency import ConstantLatency, LatencyModel
+from repro.sim.node import SimNode
+from repro.sim.rng import RngRegistry
+from repro.sim.scheduler import Scheduler
+from repro.sim.trace import TraceRecorder
+from repro.types import Envelope, EntityId
+
+
+class Network:
+    """A set of nodes joined by a broadcast-capable transport.
+
+    Parameters
+    ----------
+    scheduler:
+        The discrete-event loop delivering hops.
+    latency:
+        Hop latency model (default: constant 1.0).
+    faults:
+        Fault plan (default: reliable).
+    rng:
+        Registry from which the latency/fault streams are drawn.
+    trace:
+        Optional shared trace recorder; a fresh one is created if omitted.
+    service_time:
+        CPU cost of processing one arrival at a node.  Each node is a
+        single server: arrivals queue FIFO and each occupies the node for
+        ``service_time`` before being handed to the protocol.  The
+        default 0 models infinitely fast nodes (arrival order only);
+        a positive value makes *message-processing load* visible —
+        protocols that send O(N) messages per request saturate nodes as
+        the group grows.
+    """
+
+    def __init__(
+        self,
+        scheduler: Scheduler,
+        latency: Optional[LatencyModel] = None,
+        faults: Optional[FaultPlan] = None,
+        rng: Optional[RngRegistry] = None,
+        trace: Optional[TraceRecorder] = None,
+        service_time: float = 0.0,
+    ) -> None:
+        if service_time < 0:
+            raise ConfigurationError(
+                f"service_time must be >= 0, got {service_time}"
+            )
+        self.scheduler = scheduler
+        self.latency = latency if latency is not None else ConstantLatency(1.0)
+        self.faults = faults if faults is not None else RELIABLE
+        rng = rng if rng is not None else RngRegistry(0)
+        self._latency_rng = rng.stream("net.latency")
+        self._fault_rng = rng.stream("net.faults")
+        self.trace = trace if trace is not None else TraceRecorder()
+        self.service_time = service_time
+        self._node_free_at: Dict[EntityId, float] = {}
+        self._nodes: Dict[EntityId, SimNode] = {}
+        self.hops_sent = 0
+        self.hops_delivered = 0
+        self.hops_dropped = 0
+
+    # -- membership -----------------------------------------------------------
+
+    def register(self, node: SimNode) -> SimNode:
+        """Attach ``node`` to this network.  Returns the node for chaining."""
+        if node.entity_id in self._nodes:
+            raise ConfigurationError(
+                f"duplicate entity id: {node.entity_id!r}"
+            )
+        self._nodes[node.entity_id] = node
+        node.attach(self)
+        return node
+
+    def deregister(self, entity_id: EntityId) -> SimNode:
+        """Detach a node (simulating a crash).
+
+        Hops already in flight toward the node are silently dropped on
+        arrival; future broadcasts simply no longer fan out to it.
+        """
+        try:
+            return self._nodes.pop(entity_id)
+        except KeyError:
+            raise MembershipError(f"unknown entity: {entity_id!r}") from None
+
+    def node(self, entity_id: EntityId) -> SimNode:
+        try:
+            return self._nodes[entity_id]
+        except KeyError:
+            raise MembershipError(f"unknown entity: {entity_id!r}") from None
+
+    @property
+    def entity_ids(self) -> List[EntityId]:
+        """All registered entity ids, in registration order."""
+        return list(self._nodes)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    # -- transport -------------------------------------------------------------
+
+    def unicast(
+        self, source: EntityId, destination: EntityId, envelope: Envelope
+    ) -> None:
+        """Queue one hop from ``source`` to ``destination``."""
+        if destination not in self._nodes:
+            raise MembershipError(f"unknown destination: {destination!r}")
+        self._hop(source, destination, envelope)
+
+    def broadcast(self, source: EntityId, envelope: Envelope) -> None:
+        """Queue one hop to every registered node, including the sender.
+
+        Each hop samples latency and faults independently, so destinations
+        generally observe broadcasts in different relative orders.
+        """
+        self.trace.record(
+            self.scheduler.now,
+            "send",
+            source=source,
+            msg_id=envelope.msg_id,
+            operation=envelope.message.operation,
+        )
+        for destination in self._nodes:
+            self._hop(source, destination, envelope)
+
+    def _hop(
+        self, source: EntityId, destination: EntityId, envelope: Envelope
+    ) -> None:
+        self.hops_sent += 1
+        copies, blocked = self.faults.decide(
+            source, destination, self._fault_rng
+        )
+        if copies == 0:
+            self.hops_dropped += 1
+            self.trace.record(
+                self.scheduler.now,
+                "drop",
+                source=source,
+                destination=destination,
+                msg_id=envelope.msg_id,
+                blocked=blocked,
+            )
+            return
+        for _ in range(copies):
+            delay = self.latency.sample(source, destination, self._latency_rng)
+            self.scheduler.call_in(
+                delay, self._arrive, source, destination, envelope
+            )
+
+    def _arrive(
+        self, source: EntityId, destination: EntityId, envelope: Envelope
+    ) -> None:
+        if self.service_time:
+            now = self.scheduler.now
+            start = max(now, self._node_free_at.get(destination, 0.0))
+            done = start + self.service_time
+            self._node_free_at[destination] = done
+            self.scheduler.call_at(
+                done, self._process, source, destination, envelope
+            )
+            return
+        self._process(source, destination, envelope)
+
+    def _process(
+        self, source: EntityId, destination: EntityId, envelope: Envelope
+    ) -> None:
+        node = self._nodes.get(destination)
+        if node is None:
+            # Destination departed while the hop was in flight.
+            self.hops_dropped += 1
+            return
+        self.hops_delivered += 1
+        self.trace.record(
+            self.scheduler.now,
+            "receive",
+            source=source,
+            destination=destination,
+            msg_id=envelope.msg_id,
+        )
+        node.on_receive(source, envelope)

@@ -1,0 +1,11 @@
+"""Real-time (asyncio) runtime and wire codec for the protocol stacks."""
+
+from repro.runtime.asyncio_transport import AsyncioClock, AsyncioNetwork
+from repro.runtime.codec import decode_envelope, encode_envelope
+
+__all__ = [
+    "AsyncioClock",
+    "AsyncioNetwork",
+    "decode_envelope",
+    "encode_envelope",
+]

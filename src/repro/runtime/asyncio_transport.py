@@ -1,0 +1,200 @@
+"""Run the protocol stacks on a real asyncio event loop.
+
+The broadcast protocols only ask three things of their environment:
+a clock (``network.scheduler.now``), delayed callbacks
+(``scheduler.call_in``) and a transport (``network.broadcast`` /
+``network.unicast``).  :class:`AsyncioNetwork` provides all three over a
+live event loop, so the *same* protocol and application classes that run
+deterministically in the simulator also run in real time — the separation
+the paper advocates between the communication substrate and the data
+access protocols layered on it.
+
+Latency models still apply (each hop sleeps its sampled delay), which
+makes the asyncio runtime useful for demos and soak tests; deterministic
+experiments should use :class:`repro.sim.scheduler.Scheduler`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Callable, Dict, Optional
+
+from repro.errors import ConfigurationError, MembershipError
+from repro.net.faults import FaultPlan, RELIABLE
+from repro.net.latency import ConstantLatency, LatencyModel
+from repro.sim.node import SimNode
+from repro.sim.rng import RngRegistry
+from repro.sim.trace import TraceRecorder
+from repro.types import Envelope, EntityId
+
+
+class AsyncioClock:
+    """Scheduler-compatible facade over an asyncio event loop."""
+
+    def __init__(self, loop: asyncio.AbstractEventLoop, on_done: Callable[[], None]) -> None:
+        self._loop = loop
+        self._epoch = loop.time()
+        self._outstanding = 0
+        self._on_done = on_done
+
+    @property
+    def now(self) -> float:
+        """Seconds since this network was created."""
+        return self._loop.time() - self._epoch
+
+    @property
+    def outstanding(self) -> int:
+        """Scheduled callbacks not yet run."""
+        return self._outstanding
+
+    def call_in(self, delay: float, callback: Callable[..., Any], *args: Any):
+        if delay < 0:
+            raise ConfigurationError(f"negative delay: {delay}")
+        self._outstanding += 1
+
+        def run() -> None:
+            self._outstanding -= 1
+            try:
+                callback(*args)
+            finally:
+                if self._outstanding == 0:
+                    self._on_done()
+
+        return self._loop.call_later(delay, run)
+
+    def call_at(self, time: float, callback: Callable[..., Any], *args: Any):
+        return self.call_in(max(0.0, time - self.now), callback, *args)
+
+    def call_now(self, callback: Callable[..., Any], *args: Any):
+        return self.call_in(0.0, callback, *args)
+
+
+class AsyncioNetwork:
+    """Drop-in replacement for :class:`repro.net.network.Network`.
+
+    Use :meth:`quiesce` to await the point where no deliveries remain in
+    flight.
+    """
+
+    def __init__(
+        self,
+        loop: Optional[asyncio.AbstractEventLoop] = None,
+        latency: Optional[LatencyModel] = None,
+        faults: Optional[FaultPlan] = None,
+        rng: Optional[RngRegistry] = None,
+        trace: Optional[TraceRecorder] = None,
+    ) -> None:
+        self._loop = loop if loop is not None else asyncio.get_event_loop()
+        self._idle = asyncio.Event()
+        self._idle.set()
+        self.scheduler = AsyncioClock(self._loop, self._idle.set)
+        self.latency = latency if latency is not None else ConstantLatency(0.001)
+        self.faults = faults if faults is not None else RELIABLE
+        rng = rng if rng is not None else RngRegistry(0)
+        self._latency_rng = rng.stream("net.latency")
+        self._fault_rng = rng.stream("net.faults")
+        self.trace = trace if trace is not None else TraceRecorder()
+        self._nodes: Dict[EntityId, SimNode] = {}
+        self.hops_sent = 0
+        self.hops_delivered = 0
+        self.hops_dropped = 0
+
+    # -- membership (mirrors Network) -----------------------------------------
+
+    def register(self, node: SimNode) -> SimNode:
+        if node.entity_id in self._nodes:
+            raise ConfigurationError(f"duplicate entity id: {node.entity_id!r}")
+        self._nodes[node.entity_id] = node
+        node.attach(self)  # type: ignore[arg-type]
+        return node
+
+    def node(self, entity_id: EntityId) -> SimNode:
+        try:
+            return self._nodes[entity_id]
+        except KeyError:
+            raise MembershipError(f"unknown entity: {entity_id!r}") from None
+
+    @property
+    def entity_ids(self):
+        return list(self._nodes)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    # -- transport ----------------------------------------------------------------
+
+    def unicast(
+        self, source: EntityId, destination: EntityId, envelope: Envelope
+    ) -> None:
+        if destination not in self._nodes:
+            raise MembershipError(f"unknown destination: {destination!r}")
+        self._hop(source, destination, envelope)
+
+    def broadcast(self, source: EntityId, envelope: Envelope) -> None:
+        self.trace.record(
+            self.scheduler.now,
+            "send",
+            source=source,
+            msg_id=envelope.msg_id,
+            operation=envelope.message.operation,
+        )
+        for destination in self._nodes:
+            self._hop(source, destination, envelope)
+
+    def _hop(
+        self, source: EntityId, destination: EntityId, envelope: Envelope
+    ) -> None:
+        self.hops_sent += 1
+        copies, blocked = self.faults.decide(
+            source, destination, self._fault_rng
+        )
+        if copies == 0:
+            self.hops_dropped += 1
+            self.trace.record(
+                self.scheduler.now,
+                "drop",
+                source=source,
+                destination=destination,
+                msg_id=envelope.msg_id,
+                blocked=blocked,
+            )
+            return
+        self._idle.clear()
+        for _ in range(copies):
+            delay = self.latency.sample(source, destination, self._latency_rng)
+            self.scheduler.call_in(
+                delay, self._arrive, source, destination, envelope
+            )
+
+    def _arrive(
+        self, source: EntityId, destination: EntityId, envelope: Envelope
+    ) -> None:
+        node = self._nodes.get(destination)
+        if node is None:
+            self.hops_dropped += 1
+            return
+        self.hops_delivered += 1
+        self.trace.record(
+            self.scheduler.now,
+            "receive",
+            source=source,
+            destination=destination,
+            msg_id=envelope.msg_id,
+        )
+        node.on_receive(source, envelope)
+
+    # -- quiescence -----------------------------------------------------------------
+
+    async def quiesce(self, timeout: Optional[float] = None) -> None:
+        """Wait until no deliveries are outstanding.
+
+        Deliveries may schedule further sends, so waits in a loop until
+        the idle event survives a zero-delay check.
+        """
+        while True:
+            if self.scheduler.outstanding == 0:
+                return
+            self._idle.clear()
+            await asyncio.wait_for(self._idle.wait(), timeout)
+            # Yield once so freshly-scheduled zero-delay work registers.
+            await asyncio.sleep(0)

@@ -1,0 +1,26 @@
+"""Deterministic discrete-event simulation engine.
+
+The paper's experiments ran on a LAN of workstations; we substitute a
+seeded discrete-event simulator so that every interleaving is exactly
+reproducible (see DESIGN.md, "Substitutions").  The engine is deliberately
+small:
+
+* :class:`~repro.sim.scheduler.Scheduler` — the event loop,
+* :class:`~repro.sim.rng.RngRegistry` — independent named random streams,
+* :class:`~repro.sim.trace.TraceRecorder` — structured event traces,
+* :class:`~repro.sim.node.SimNode` — base class for protocol endpoints.
+"""
+
+from repro.sim.node import SimNode
+from repro.sim.rng import RngRegistry
+from repro.sim.scheduler import EventHandle, Scheduler
+from repro.sim.trace import TraceEvent, TraceRecorder
+
+__all__ = [
+    "EventHandle",
+    "RngRegistry",
+    "Scheduler",
+    "SimNode",
+    "TraceEvent",
+    "TraceRecorder",
+]

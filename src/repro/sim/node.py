@@ -1,0 +1,76 @@
+"""Base class for simulated protocol endpoints.
+
+A :class:`SimNode` is an application entity (``a_i`` in the paper) attached
+to a scheduler and a network.  Subclasses — broadcast protocol stacks,
+replicas, clients — override :meth:`on_receive` to process incoming
+envelopes and use :meth:`send`/:meth:`broadcast` via the attached network.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.errors import ConfigurationError
+from repro.types import Envelope, EntityId
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.net.network import Network
+    from repro.sim.scheduler import Scheduler
+
+
+class SimNode:
+    """A named endpoint living on a simulated network."""
+
+    def __init__(self, entity_id: EntityId) -> None:
+        self.entity_id = entity_id
+        self._network: Optional["Network"] = None
+
+    # -- wiring -------------------------------------------------------------
+
+    def attach(self, network: "Network") -> None:
+        """Called by :class:`~repro.net.network.Network` on registration."""
+        self._network = network
+
+    @property
+    def network(self) -> "Network":
+        if self._network is None:
+            raise ConfigurationError(
+                f"node {self.entity_id!r} is not attached to a network"
+            )
+        return self._network
+
+    @property
+    def scheduler(self) -> "Scheduler":
+        return self.network.scheduler
+
+    @property
+    def now(self) -> float:
+        """Current simulation time (shortcut for ``self.scheduler.now``)."""
+        return self.scheduler.now
+
+    # -- sending ------------------------------------------------------------
+
+    def send(self, destination: EntityId, envelope: Envelope) -> None:
+        """Send ``envelope`` point-to-point to ``destination``."""
+        self.network.unicast(self.entity_id, destination, envelope)
+
+    def broadcast(self, envelope: Envelope) -> None:
+        """Send ``envelope`` to every registered node (including self).
+
+        Self-delivery goes through the network like any other copy so that
+        protocols treat the local replica uniformly — matching the paper's
+        model where a member's own access message is "seen by all entities".
+        """
+        self.network.broadcast(self.entity_id, envelope)
+
+    # -- receiving ------------------------------------------------------------
+
+    def on_receive(self, sender: EntityId, envelope: Envelope) -> None:
+        """Handle an envelope arriving from the network.
+
+        Subclasses must override.
+        """
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.entity_id}>"

@@ -1,0 +1,148 @@
+"""Core value types shared across the library.
+
+The paper models a distributed application as a set of entities
+``{a_i, a_j, a_k}`` exchanging *data access messages* ``M`` under causal
+constraints ``R(M)``.  This module defines the identifiers and message
+containers every other subsystem builds on:
+
+* :class:`EntityId` / :class:`MessageId` — hashable identifiers,
+* :class:`Message` — an application-level message (operation + payload),
+* :class:`Envelope` — a message in flight, carrying protocol metadata such
+  as ``Occurs-After`` ancestor labels or a vector clock,
+* :class:`DeliveryRecord` — what a replica observed, used by the analysis
+  and consistency-checking layers.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Hashable, Mapping
+
+# ---------------------------------------------------------------------------
+# Identifiers
+# ---------------------------------------------------------------------------
+
+EntityId = str
+"""Identifier of an application entity (client, server replica, player...)."""
+
+
+@dataclass(frozen=True, order=True)
+class MessageId:
+    """Globally unique message label.
+
+    The paper's ``OSend`` primitive names messages so that causal relations
+    can reference them explicitly ("message labels", Section 6.1).  A label
+    is the pair *(sender, per-sender sequence number)*, which is unique
+    without coordination.
+    """
+
+    sender: EntityId
+    seqno: int
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"{self.sender}:{self.seqno}"
+
+
+class MessageIdAllocator:
+    """Allocates consecutive :class:`MessageId` values for one sender."""
+
+    def __init__(self, sender: EntityId, start: int = 0) -> None:
+        self._sender = sender
+        self._counter = itertools.count(start)
+
+    @property
+    def sender(self) -> EntityId:
+        return self._sender
+
+    def next_id(self) -> MessageId:
+        return MessageId(self._sender, next(self._counter))
+
+
+# ---------------------------------------------------------------------------
+# Messages
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Message:
+    """An application-level data access message.
+
+    ``operation`` names the service operation being invoked (e.g. ``"inc"``,
+    ``"rd"``, ``"qry"``, ``"upd"``, ``"LOCK"``) and ``payload`` carries its
+    arguments.  The pair is interpreted by the application's state-machine
+    transition function ``F: M x S -> S`` (paper Section 3.2, relation (1)).
+    """
+
+    msg_id: MessageId
+    operation: str
+    payload: Any = None
+
+    @property
+    def sender(self) -> EntityId:
+        return self.msg_id.sender
+
+
+@dataclass(frozen=True)
+class Envelope:
+    """A message in flight, together with protocol metadata.
+
+    ``metadata`` is a protocol-specific mapping.  The causal broadcast
+    protocols of :mod:`repro.broadcast` use (among others):
+
+    ``"occurs_after"``
+        A frozenset of ancestor :class:`MessageId` labels (the paper's
+        ``Occurs-After`` AND-dependency, relation (3)).
+    ``"vclock"``
+        A vector clock snapshot (CBCAST).
+    ``"total_seq"``
+        A total-order sequence number assigned by the ordering layer
+        (``ASend``, Section 5.2).
+    """
+
+    message: Message
+    metadata: Mapping[str, Any] = field(default_factory=dict)
+
+    @property
+    def msg_id(self) -> MessageId:
+        return self.message.msg_id
+
+    def with_metadata(self, **extra: Any) -> "Envelope":
+        """Return a copy of this envelope with additional metadata keys."""
+        merged = dict(self.metadata)
+        merged.update(extra)
+        return Envelope(self.message, merged)
+
+
+@dataclass(frozen=True)
+class DeliveryRecord:
+    """One delivery event observed at a replica.
+
+    ``position`` is the index in the replica's local delivery sequence and
+    ``time`` is the simulation time of delivery.  The analysis layer uses
+    sequences of these records to verify causal delivery and to locate the
+    stable points of Section 4.
+    """
+
+    entity: EntityId
+    msg_id: MessageId
+    position: int
+    time: float
+
+
+def freeze_ancestors(ancestors: Any) -> frozenset[MessageId]:
+    """Normalise an ``Occurs-After`` specification to a frozenset of labels.
+
+    Accepts ``None`` (no constraint — the paper's ``Occurs-After(NULL)``),
+    a single :class:`MessageId`, or any iterable of them.
+    """
+    if ancestors is None:
+        return frozenset()
+    if isinstance(ancestors, MessageId):
+        return frozenset((ancestors,))
+    return frozenset(ancestors)
+
+
+def is_hashable(value: Any) -> bool:
+    """Return ``True`` if ``value`` can be used as a dict key / set member."""
+    return isinstance(value, Hashable)

@@ -1,0 +1,37 @@
+"""Workload generators and drivers."""
+
+from repro.workload.exploration import (
+    ExplorationReport,
+    explore_orderings,
+    ordering_diversity_ratio,
+)
+from repro.workload.persistence import (
+    load_schedule,
+    save_schedule,
+    schedule_from_json,
+    schedule_to_json,
+)
+from repro.workload.generators import (
+    ScheduledRequest,
+    WorkloadDriver,
+    cycle_schedule,
+    mixed_schedule,
+    poisson_arrivals,
+    uniform_arrivals,
+)
+
+__all__ = [
+    "ExplorationReport",
+    "ScheduledRequest",
+    "WorkloadDriver",
+    "cycle_schedule",
+    "explore_orderings",
+    "load_schedule",
+    "mixed_schedule",
+    "ordering_diversity_ratio",
+    "poisson_arrivals",
+    "save_schedule",
+    "schedule_from_json",
+    "schedule_to_json",
+    "uniform_arrivals",
+]

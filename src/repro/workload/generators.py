@@ -1,0 +1,171 @@
+"""Workload generation: request schedules and drivers.
+
+The paper parameterises workloads by the commutative/non-commutative mix:
+"a repetitive cycle of processing a non-commutative message ... followed
+by a set of f (>= 0) commutative messages (on an average).  Typically, 90%
+of the operations are commutative ... Thus, for example, f = 20"
+(Section 6.1).  :func:`cycle_schedule` generates exactly that shape;
+:class:`WorkloadDriver` injects a schedule into a running system through
+its front-ends at simulated arrival times.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.types import EntityId, MessageId
+
+
+@dataclass(frozen=True)
+class ScheduledRequest:
+    """One client request to inject at a simulated time."""
+
+    time: float
+    member: EntityId
+    operation: str
+    payload: Any = None
+
+
+def poisson_arrivals(
+    rate: float, count: int, rng: random.Random, start: float = 0.0
+) -> List[float]:
+    """``count`` arrival times of a Poisson process with intensity ``rate``."""
+    if rate <= 0:
+        raise ConfigurationError(f"rate must be positive, got {rate}")
+    times: List[float] = []
+    now = start
+    for _ in range(count):
+        now += rng.expovariate(rate)
+        times.append(now)
+    return times
+
+
+def uniform_arrivals(
+    spacing: float, count: int, start: float = 0.0
+) -> List[float]:
+    """``count`` evenly spaced arrival times."""
+    if spacing <= 0:
+        raise ConfigurationError(f"spacing must be positive, got {spacing}")
+    return [start + spacing * (i + 1) for i in range(count)]
+
+
+def cycle_schedule(
+    members: Sequence[EntityId],
+    commutative_ops: Sequence[str],
+    non_commutative_op: str,
+    cycles: int,
+    f: int,
+    rng: random.Random,
+    arrival_rate: float = 1.0,
+    payload_factory: Optional[Callable[[str, int], Any]] = None,
+    issuer: Optional[EntityId] = None,
+) -> List[ScheduledRequest]:
+    """The Section 6.1 cycle workload.
+
+    Per cycle: ``f`` commutative requests (operation drawn uniformly from
+    ``commutative_ops``, issuing member drawn uniformly from ``members``
+    unless ``issuer`` pins all requests to one front-end), then one
+    non-commutative request.  Arrivals form a Poisson process.
+
+    ``payload_factory(operation, request_index)`` builds payloads
+    (default: ``None``).
+
+    Note: non-commutative requests are always issued by ``issuer`` or, if
+    unset, by the *first* member — the paper's protocol relies on a chain
+    of sync points, which racing NC issuers would break (Section 5.2 routes
+    that case to total ordering instead).
+    """
+    if cycles < 0 or f < 0:
+        raise ConfigurationError(f"cycles={cycles} and f={f} must be >= 0")
+    if not members:
+        raise ConfigurationError("need at least one member")
+    if not commutative_ops and f > 0:
+        raise ConfigurationError("f > 0 requires commutative operations")
+    nc_issuer = issuer if issuer is not None else members[0]
+    times = poisson_arrivals(arrival_rate, cycles * (f + 1), rng)
+    schedule: List[ScheduledRequest] = []
+    index = 0
+    for _cycle in range(cycles):
+        for _ in range(f):
+            member = issuer if issuer is not None else rng.choice(list(members))
+            operation = rng.choice(list(commutative_ops))
+            payload = (
+                payload_factory(operation, index) if payload_factory else None
+            )
+            schedule.append(
+                ScheduledRequest(times[index], member, operation, payload)
+            )
+            index += 1
+        payload = (
+            payload_factory(non_commutative_op, index)
+            if payload_factory
+            else None
+        )
+        schedule.append(
+            ScheduledRequest(times[index], nc_issuer, non_commutative_op, payload)
+        )
+        index += 1
+    return schedule
+
+
+def mixed_schedule(
+    members: Sequence[EntityId],
+    operations: Dict[str, float],
+    count: int,
+    rng: random.Random,
+    arrival_rate: float = 1.0,
+    payload_factory: Optional[Callable[[str, int], Any]] = None,
+) -> List[ScheduledRequest]:
+    """Spontaneous workload: each request drawn from a weighted mix.
+
+    Models the "loosely coupled applications [where] messages may be
+    generated spontaneously" of Section 5.2 (conferencing, name service).
+    """
+    if count < 0:
+        raise ConfigurationError(f"count must be >= 0, got {count}")
+    if not operations:
+        raise ConfigurationError("need at least one operation")
+    names = list(operations)
+    weights = [operations[n] for n in names]
+    if min(weights) < 0 or sum(weights) <= 0:
+        raise ConfigurationError(f"invalid weights: {operations}")
+    times = poisson_arrivals(arrival_rate, count, rng)
+    schedule: List[ScheduledRequest] = []
+    for index in range(count):
+        member = rng.choice(list(members))
+        operation = rng.choices(names, weights=weights)[0]
+        payload = (
+            payload_factory(operation, index) if payload_factory else None
+        )
+        schedule.append(
+            ScheduledRequest(times[index], member, operation, payload)
+        )
+    return schedule
+
+
+class WorkloadDriver:
+    """Feeds a schedule into a system's request interface.
+
+    ``submit`` is any callable ``(member, operation, payload) -> MessageId``
+    — both :class:`~repro.core.access_protocol.StablePointSystem` and
+    :class:`~repro.core.access_protocol.TotalOrderSystem` expose a matching
+    ``request`` method.
+    """
+
+    def __init__(
+        self,
+        scheduler: Any,
+        submit: Callable[[EntityId, str, Any], MessageId],
+        schedule: Sequence[ScheduledRequest],
+    ) -> None:
+        self._submit = submit
+        self.issued: List[MessageId] = []
+        for request in schedule:
+            scheduler.call_at(request.time, self._issue, request)
+
+    def _issue(self, request: ScheduledRequest) -> None:
+        label = self._submit(request.member, request.operation, request.payload)
+        self.issued.append(label)

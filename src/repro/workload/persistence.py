@@ -1,0 +1,89 @@
+"""Saving and loading request schedules.
+
+Experiments become shareable when their workloads are artifacts: a
+schedule generated once (seeded) can be saved to JSON, attached to a
+report, and replayed bit-for-bit on another machine — the workload
+equivalent of the simulator's determinism guarantee.
+
+Payloads must be JSON-representable (the built-in workloads use dicts of
+scalars); anything else raises at save time rather than corrupting the
+file.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import List, Sequence, Union
+
+from repro.errors import ConfigurationError
+from repro.workload.generators import ScheduledRequest
+
+FORMAT_VERSION = 1
+
+
+def schedule_to_json(schedule: Sequence[ScheduledRequest]) -> str:
+    """Serialize a schedule to a JSON document string."""
+    entries = []
+    for request in schedule:
+        try:
+            json.dumps(request.payload)
+        except (TypeError, ValueError) as exc:
+            raise ConfigurationError(
+                f"payload of request at t={request.time} is not "
+                f"JSON-representable: {exc}"
+            ) from exc
+        entries.append(
+            {
+                "time": request.time,
+                "member": request.member,
+                "operation": request.operation,
+                "payload": request.payload,
+            }
+        )
+    return json.dumps(
+        {"version": FORMAT_VERSION, "requests": entries}, indent=2
+    )
+
+
+def schedule_from_json(document: str) -> List[ScheduledRequest]:
+    """Parse a schedule from a JSON document string."""
+    try:
+        data = json.loads(document)
+    except json.JSONDecodeError as exc:
+        raise ConfigurationError(f"invalid schedule JSON: {exc}") from exc
+    if not isinstance(data, dict) or "requests" not in data:
+        raise ConfigurationError("schedule JSON lacks a 'requests' list")
+    version = data.get("version")
+    if version != FORMAT_VERSION:
+        raise ConfigurationError(
+            f"unsupported schedule format version: {version!r}"
+        )
+    schedule = []
+    for index, entry in enumerate(data["requests"]):
+        try:
+            schedule.append(
+                ScheduledRequest(
+                    time=float(entry["time"]),
+                    member=entry["member"],
+                    operation=entry["operation"],
+                    payload=entry.get("payload"),
+                )
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ConfigurationError(
+                f"malformed request #{index}: {exc}"
+            ) from exc
+    return schedule
+
+
+def save_schedule(
+    schedule: Sequence[ScheduledRequest], path: Union[str, Path]
+) -> None:
+    """Write a schedule to ``path`` as JSON."""
+    Path(path).write_text(schedule_to_json(schedule), encoding="utf-8")
+
+
+def load_schedule(path: Union[str, Path]) -> List[ScheduledRequest]:
+    """Read a schedule previously written by :func:`save_schedule`."""
+    return schedule_from_json(Path(path).read_text(encoding="utf-8"))

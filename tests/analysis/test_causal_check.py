@@ -1,0 +1,101 @@
+"""Tests for causal-delivery verification."""
+
+from __future__ import annotations
+
+from repro.analysis.causal_check import (
+    sequences_respect_fifo,
+    verify_against_clocks,
+    verify_against_graph,
+)
+from repro.clocks.vector import VectorClock
+from repro.graph.depgraph import DependencyGraph
+from repro.types import MessageId
+
+
+def mid(name: str, seqno: int = 0) -> MessageId:
+    return MessageId(name, seqno)
+
+
+def chain_graph() -> DependencyGraph:
+    graph = DependencyGraph()
+    graph.add(mid("m1"))
+    graph.add(mid("m2"), mid("m1"))
+    return graph
+
+
+class TestGraphVerification:
+    def test_correct_sequence_passes(self):
+        sequences = {"a": [mid("m1"), mid("m2")]}
+        assert verify_against_graph(chain_graph(), sequences) == []
+
+    def test_inverted_sequence_flagged(self):
+        sequences = {"a": [mid("m2"), mid("m1")]}
+        violations = verify_against_graph(chain_graph(), sequences)
+        assert len(violations) == 1
+        violation = violations[0]
+        assert violation.entity == "a"
+        assert violation.ancestor == mid("m1")
+        assert violation.descendant == mid("m2")
+
+    def test_missing_ancestor_flagged(self):
+        sequences = {"a": [mid("m2")]}
+        violations = verify_against_graph(chain_graph(), sequences)
+        assert len(violations) == 1
+        assert violations[0].ancestor_position == -1
+
+    def test_unknown_labels_ignored(self):
+        sequences = {"a": [mid("stranger"), mid("m1"), mid("m2")]}
+        assert verify_against_graph(chain_graph(), sequences) == []
+
+    def test_multiple_members_checked_independently(self):
+        sequences = {
+            "good": [mid("m1"), mid("m2")],
+            "bad": [mid("m2"), mid("m1")],
+        }
+        violations = verify_against_graph(chain_graph(), sequences)
+        assert [v.entity for v in violations] == ["bad"]
+
+
+class TestClockVerification:
+    def test_respecting_clock_order_passes(self):
+        clocks = {
+            mid("m1"): VectorClock({"a": 1}),
+            mid("m2"): VectorClock({"a": 1, "b": 1}),
+        }
+        sequences = {"x": [mid("m1"), mid("m2")]}
+        assert verify_against_clocks(clocks, sequences) == []
+
+    def test_violating_clock_order_flagged(self):
+        clocks = {
+            mid("m1"): VectorClock({"a": 1}),
+            mid("m2"): VectorClock({"a": 1, "b": 1}),
+        }
+        sequences = {"x": [mid("m2"), mid("m1")]}
+        assert len(verify_against_clocks(clocks, sequences)) == 1
+
+    def test_concurrent_any_order_passes(self):
+        clocks = {
+            mid("m1"): VectorClock({"a": 1}),
+            mid("m2"): VectorClock({"b": 1}),
+        }
+        for order in ([mid("m1"), mid("m2")], [mid("m2"), mid("m1")]):
+            assert verify_against_clocks(clocks, {"x": order}) == []
+
+    def test_unstamped_labels_ignored(self):
+        clocks = {mid("m1"): VectorClock({"a": 1})}
+        sequences = {"x": [mid("ghost"), mid("m1")]}
+        assert verify_against_clocks(clocks, sequences) == []
+
+
+class TestFifoVerification:
+    def test_monotone_seqnos_pass(self):
+        sequences = {"x": [mid("a", 0), mid("b", 0), mid("a", 1)]}
+        assert sequences_respect_fifo(sequences) == []
+
+    def test_decreasing_seqno_flagged(self):
+        sequences = {"x": [mid("a", 1), mid("a", 0)]}
+        assert len(sequences_respect_fifo(sequences)) == 1
+
+    def test_duplicate_seqno_flagged(self):
+        sequences = {"x": [mid("a", 0), mid("a", 0)]}
+        assert len(sequences_respect_fifo(sequences)) == 1

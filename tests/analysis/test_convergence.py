@@ -1,0 +1,94 @@
+"""Tests for agreement checkers."""
+
+from __future__ import annotations
+
+from repro.analysis.convergence import (
+    divergence_between_sync_points,
+    same_message_sets_between_sync_points,
+    split_by_sync_points,
+    states_agree,
+)
+from repro.types import MessageId
+
+
+def mid(name: str, seqno: int = 0) -> MessageId:
+    return MessageId(name, seqno)
+
+
+class TestStatesAgree:
+    def test_equal_states_pass(self):
+        assert states_agree({"a": 1, "b": 1, "c": 1}) == []
+
+    def test_unequal_states_reported(self):
+        disagreements = states_agree({"a": 1, "b": 2, "c": 1})
+        assert len(disagreements) == 1
+        d = disagreements[0]
+        assert {d.entity_a, d.entity_b} == {"a", "b"}
+        assert {d.value_a, d.value_b} == {1, 2}
+
+    def test_empty_and_singleton(self):
+        assert states_agree({}) == []
+        assert states_agree({"a": object()}) == []
+
+
+class TestSegments:
+    def test_split_by_sync_points(self):
+        sequence = [mid("c1"), mid("s1"), mid("c2"), mid("c3"), mid("s2")]
+        segments = split_by_sync_points(sequence, [mid("s1"), mid("s2")])
+        assert segments[0] == {mid("c1"), mid("s1")}
+        assert segments[1] == {mid("c2"), mid("c3"), mid("s2")}
+        assert segments[2] == set()
+
+    def test_same_sets_different_orders_pass(self):
+        sync = [mid("s")]
+        sequences = {
+            "a": [mid("c1"), mid("c2"), mid("s")],
+            "b": [mid("c2"), mid("c1"), mid("s")],
+        }
+        assert same_message_sets_between_sync_points(sequences, sync) == []
+
+    def test_differing_sets_flagged(self):
+        sync = [mid("s")]
+        sequences = {
+            "a": [mid("c1"), mid("s")],
+            "b": [mid("c1"), mid("c2"), mid("s")],
+        }
+        disagreements = same_message_sets_between_sync_points(sequences, sync)
+        assert len(disagreements) == 1
+        assert disagreements[0].kind == "segment_set"
+
+    def test_trailing_open_segment_compared(self):
+        sequences = {
+            "a": [mid("s"), mid("c1")],
+            "b": [mid("s")],
+        }
+        disagreements = same_message_sets_between_sync_points(
+            sequences, [mid("s")]
+        )
+        assert len(disagreements) == 1
+
+
+class TestDivergence:
+    def test_identical_sequences_have_zero_divergence(self):
+        sequences = {
+            "a": [mid("m1"), mid("m2")],
+            "b": [mid("m1"), mid("m2")],
+        }
+        assert divergence_between_sync_points(sequences) == 0
+
+    def test_swapped_positions_counted(self):
+        sequences = {
+            "a": [mid("m1"), mid("m2")],
+            "b": [mid("m2"), mid("m1")],
+        }
+        assert divergence_between_sync_points(sequences) == 2
+
+    def test_length_difference_counted(self):
+        sequences = {
+            "a": [mid("m1"), mid("m2")],
+            "b": [mid("m1")],
+        }
+        assert divergence_between_sync_points(sequences) == 1
+
+    def test_single_member_trivially_zero(self):
+        assert divergence_between_sync_points({"a": [mid("m")]}) == 0

@@ -1,0 +1,98 @@
+"""Tests for the incidental-vs-semantic ordering analyzer."""
+
+from __future__ import annotations
+
+from repro.analysis.incidental import (
+    compare_orderings,
+    incidental_pairs,
+    semantic_pairs,
+)
+from repro.broadcast.cbcast import CbcastBroadcast
+from repro.clocks.vector import VectorClock
+from repro.graph.depgraph import DependencyGraph
+from repro.net.latency import ConstantLatency
+from repro.types import MessageId
+from tests.conftest import build_group
+
+
+def mid(name: str, seqno: int = 0) -> MessageId:
+    return MessageId(name, seqno)
+
+
+class TestStaticComparison:
+    def test_declared_chain_vs_matching_clocks(self):
+        graph = DependencyGraph()
+        graph.add(mid("m1"))
+        graph.add(mid("m2"), mid("m1"))
+        clocks = {
+            mid("m1"): VectorClock({"a": 1}),
+            mid("m2"): VectorClock({"a": 1, "b": 1}),
+        }
+        comparison = compare_orderings(graph, clocks)
+        assert comparison.semantic_pairs == 1
+        assert comparison.clock_pairs == 1
+        assert comparison.incidental_pairs == 0
+
+    def test_clock_only_ordering_counted_as_incidental(self):
+        # Application declares both spontaneous; clocks chain them.
+        graph = DependencyGraph()
+        graph.add(mid("m1"))
+        graph.add(mid("m2"))
+        clocks = {
+            mid("m1"): VectorClock({"a": 1}),
+            mid("m2"): VectorClock({"a": 1, "b": 1}),
+        }
+        comparison = compare_orderings(graph, clocks)
+        assert comparison.semantic_pairs == 0
+        assert comparison.incidental_pairs == 1
+        assert comparison.incidental_fraction == 1.0
+        assert incidental_pairs(graph, clocks) == [(mid("m1"), mid("m2"))]
+
+    def test_labels_outside_intersection_ignored(self):
+        graph = DependencyGraph()
+        graph.add(mid("known"))
+        graph.add(mid("graph_only"))
+        clocks = {
+            mid("known"): VectorClock({"a": 1}),
+            mid("clock_only"): VectorClock({"b": 1}),
+        }
+        comparison = compare_orderings(graph, clocks)
+        assert comparison.messages == 1
+        assert comparison.clock_pairs == 0
+
+    def test_semantic_pairs_transitive(self):
+        graph = DependencyGraph()
+        graph.add(mid("a"))
+        graph.add(mid("b"), mid("a"))
+        graph.add(mid("c"), mid("b"))
+        assert len(semantic_pairs(graph)) == 3  # ab, bc, ac
+
+    def test_zero_clock_pairs_fraction(self):
+        graph = DependencyGraph()
+        graph.add(mid("a"))
+        clocks = {mid("a"): VectorClock({"a": 1})}
+        assert compare_orderings(graph, clocks).incidental_fraction == 0.0
+
+
+class TestLiveCbcastRun:
+    def test_sequential_senders_create_incidental_order(self):
+        """Independent requests sent after seeing each other become
+        clock-ordered though no application dependency exists."""
+        scheduler, _, stacks = build_group(
+            CbcastBroadcast, latency=ConstantLatency(0.5)
+        )
+        stacks["a"].bcast("op")
+        scheduler.run()  # b sees a's message before sending...
+        stacks["b"].bcast("op")
+        scheduler.run()
+
+        # The application meant them spontaneous:
+        declared = DependencyGraph()
+        clocks = {}
+        for env in stacks["c"].delivered_envelopes:
+            declared.add(env.msg_id)
+            clocks[env.msg_id] = env.metadata["vclock"]
+
+        comparison = compare_orderings(declared, clocks)
+        assert comparison.semantic_pairs == 0
+        assert comparison.incidental_pairs == 1

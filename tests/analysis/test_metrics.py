@@ -1,0 +1,110 @@
+"""Tests for trace-derived metrics."""
+
+from __future__ import annotations
+
+import math
+
+from repro.analysis.metrics import (
+    SummaryStats,
+    delivery_latencies,
+    hold_durations,
+    holdback_summary,
+    latency_summary,
+    message_cost,
+)
+from repro.sim.trace import TraceRecorder
+from repro.types import MessageId
+
+
+def mid(name: str, seqno: int = 0) -> MessageId:
+    return MessageId(name, seqno)
+
+
+class TestSummaryStats:
+    def test_of_empty_sample(self):
+        stats = SummaryStats.of([])
+        assert stats.count == 0
+        assert math.isnan(stats.mean)
+
+    def test_of_single_value(self):
+        stats = SummaryStats.of([2.0])
+        assert stats.count == 1
+        assert stats.mean == 2.0
+        assert stats.median == 2.0
+        assert stats.p95 == 2.0
+
+    def test_basic_statistics(self):
+        stats = SummaryStats.of([1.0, 2.0, 3.0, 4.0])
+        assert stats.mean == 2.5
+        assert stats.minimum == 1.0
+        assert stats.maximum == 4.0
+        assert stats.median == 2.5
+
+    def test_p95_below_max(self):
+        stats = SummaryStats.of(list(map(float, range(100))))
+        assert stats.median == 49.5
+        assert 90 < stats.p95 < 99
+
+
+def sample_trace() -> TraceRecorder:
+    trace = TraceRecorder()
+    trace.record(0.0, "send", msg_id=mid("m"), operation="inc")
+    trace.record(0.5, "hold", entity="a", msg_id=mid("m"), queue=1)
+    trace.record(1.0, "deliver", entity="a", msg_id=mid("m"), operation="inc")
+    trace.record(2.0, "deliver", entity="b", msg_id=mid("m"), operation="inc")
+    trace.record(3.0, "send", msg_id=mid("ack"), operation="__ack__")
+    trace.record(4.0, "deliver", entity="a", msg_id=mid("ack"), operation="__ack__")
+    return trace
+
+
+class TestLatency:
+    def test_delivery_latencies_per_member(self):
+        latencies = delivery_latencies(sample_trace())
+        assert latencies[(mid("m"), "a")] == 1.0
+        assert latencies[(mid("m"), "b")] == 2.0
+
+    def test_latency_summary_all(self):
+        stats = latency_summary(sample_trace())
+        assert stats.count == 3  # includes the ack
+
+    def test_latency_summary_filtered(self):
+        stats = latency_summary(sample_trace(), operations={"inc"})
+        assert stats.count == 2
+        assert stats.mean == 1.5
+
+    def test_earliest_send_wins_for_rebroadcasts(self):
+        trace = TraceRecorder()
+        trace.record(0.0, "send", msg_id=mid("m"), operation="op")
+        trace.record(5.0, "send", msg_id=mid("m"), operation="op")
+        trace.record(6.0, "deliver", entity="a", msg_id=mid("m"), operation="op")
+        latencies = delivery_latencies(trace)
+        assert latencies[(mid("m"), "a")] == 6.0
+
+
+class TestHoldback:
+    def test_holdback_summary(self):
+        stats = holdback_summary(sample_trace())
+        assert stats.count == 1
+        assert stats.mean == 1.0
+
+    def test_hold_durations(self):
+        stats = hold_durations(sample_trace())
+        assert stats.count == 1
+        assert stats.mean == 0.5
+
+
+class TestMessageCost:
+    def test_splits_app_and_control(self):
+        class FakeNetwork:
+            hops_sent = 6
+            hops_delivered = 6
+
+        cost = message_cost(sample_trace(), FakeNetwork())
+        assert cost.app_broadcasts == 1
+        assert cost.control_broadcasts == 1
+        assert cost.control_overhead_ratio == 1.0
+        assert cost.hops_sent == 6
+
+    def test_zero_app_broadcasts(self):
+        cost = message_cost(TraceRecorder(), object())
+        assert cost.control_overhead_ratio == 0.0

@@ -1,0 +1,38 @@
+"""Tests for ASCII table rendering."""
+
+from __future__ import annotations
+
+from repro.analysis.reporting import format_table
+
+
+class TestFormatTable:
+    def test_headers_and_rows_present(self):
+        table = format_table(["name", "value"], [["x", 1], ["y", 2]])
+        lines = table.splitlines()
+        assert "name" in lines[0] and "value" in lines[0]
+        assert any("x" in line for line in lines)
+
+    def test_title_prepended(self):
+        table = format_table(["h"], [["v"]], title="My Table")
+        assert table.splitlines()[0] == "My Table"
+
+    def test_float_formatting(self):
+        table = format_table(["h"], [[1.23456]], float_format="{:.2f}")
+        assert "1.23" in table
+        assert "1.2345" not in table
+
+    def test_bools_not_formatted_as_floats(self):
+        table = format_table(["h"], [[True]])
+        assert "True" in table
+
+    def test_columns_aligned(self):
+        table = format_table(
+            ["metric", "n"], [["long-metric-name", 1], ["x", 22]]
+        )
+        lines = table.splitlines()
+        # All rows same width.
+        assert len({len(line) for line in lines[1:]}) == 1
+
+    def test_empty_rows(self):
+        table = format_table(["a", "b"], [])
+        assert len(table.splitlines()) == 2

@@ -1,0 +1,89 @@
+"""Tests for 1-copy serializability checking."""
+
+from __future__ import annotations
+
+from repro.analysis.serializability import (
+    check_one_copy_serializability,
+    check_sequence_legal,
+)
+from repro.core.state_machine import counter_machine
+from repro.graph.depgraph import DependencyGraph
+from repro.types import Message, MessageId
+
+
+def mid(name: str) -> MessageId:
+    return MessageId(name, 0)
+
+
+def inc_graph():
+    graph = DependencyGraph()
+    graph.add(mid("i1"))
+    graph.add(mid("i2"))
+    graph.add(mid("rd"), [mid("i1"), mid("i2")])
+    messages = {
+        mid("i1"): Message(mid("i1"), "inc"),
+        mid("i2"): Message(mid("i2"), "inc"),
+        mid("rd"): Message(mid("rd"), "rd"),
+    }
+    return graph, messages
+
+
+class TestSerializability:
+    def test_agreeing_states_with_witness(self):
+        graph, messages = inc_graph()
+        report = check_one_copy_serializability(
+            graph, messages, counter_machine(), {"a": 2, "b": 2}
+        )
+        assert report.serializable
+        assert report.witness is not None
+        assert report.witness[-1] == mid("rd")
+
+    def test_disagreeing_states_fail_fast(self):
+        graph, messages = inc_graph()
+        report = check_one_copy_serializability(
+            graph, messages, counter_machine(), {"a": 2, "b": 3}
+        )
+        assert not report.serializable
+        assert report.sequences_examined == 0
+
+    def test_state_unreachable_by_any_serial_order(self):
+        graph, messages = inc_graph()
+        report = check_one_copy_serializability(
+            graph, messages, counter_machine(), {"a": 99, "b": 99}
+        )
+        assert not report.serializable
+        assert report.witness is None
+        assert report.sequences_examined == 2  # both extensions tried
+
+    def test_empty_states_trivially_serializable(self):
+        graph, messages = inc_graph()
+        report = check_one_copy_serializability(
+            graph, messages, counter_machine(), {}
+        )
+        assert report.serializable
+
+    def test_report_truthiness(self):
+        graph, messages = inc_graph()
+        assert check_one_copy_serializability(
+            graph, messages, counter_machine(), {"a": 2}
+        )
+
+
+class TestSequenceLegality:
+    def test_legal_sequence(self):
+        graph, _ = inc_graph()
+        assert check_sequence_legal(
+            graph, [mid("i1"), mid("i2"), mid("rd")]
+        )
+
+    def test_illegal_sequence(self):
+        graph, _ = inc_graph()
+        assert not check_sequence_legal(
+            graph, [mid("rd"), mid("i1"), mid("i2")]
+        )
+
+    def test_unknown_labels_unconstrained(self):
+        graph, _ = inc_graph()
+        assert check_sequence_legal(
+            graph, [mid("stranger"), mid("i1"), mid("i2"), mid("rd")]
+        )

@@ -1,0 +1,155 @@
+"""Tests for session-guarantee checkers."""
+
+from __future__ import annotations
+
+from repro.analysis.session_guarantees import (
+    SessionOp,
+    check_all_session_guarantees,
+    check_monotonic_reads,
+    check_monotonic_writes,
+    check_read_your_writes,
+    check_writes_follow_reads,
+    sessions_from_frontend_run,
+)
+from repro.broadcast.osend import OSendBroadcast
+from repro.core.commutativity import CommutativitySpec
+from repro.core.frontend import FrontEndManager
+from repro.graph.depgraph import DependencyGraph
+from repro.net.latency import ConstantLatency
+from repro.types import MessageId
+from tests.conftest import build_group
+
+
+def mid(name: str, seqno: int = 0) -> MessageId:
+    return MessageId(name, seqno)
+
+
+def chained_graph() -> DependencyGraph:
+    graph = DependencyGraph()
+    graph.add(mid("w1"))
+    graph.add(mid("r1"), mid("w1"))
+    graph.add(mid("w2"), mid("r1"))
+    graph.add(mid("r2"), mid("w2"))
+    return graph
+
+
+class TestCheckers:
+    def test_chained_session_satisfies_everything(self):
+        graph = chained_graph()
+        sessions = {
+            "c": [
+                SessionOp("write", mid("w1")),
+                SessionOp("read", mid("r1"), frozenset({mid("w1")})),
+                SessionOp("write", mid("w2")),
+                SessionOp("read", mid("r2"), frozenset({mid("w1"), mid("w2")})),
+            ]
+        }
+        results = check_all_session_guarantees(graph, sessions)
+        assert all(not v for v in results.values())
+
+    def test_read_your_writes_violation(self):
+        graph = DependencyGraph()
+        graph.add(mid("w1"))
+        graph.add(mid("r1"))  # read does NOT follow the write
+        sessions = {
+            "c": [
+                SessionOp("write", mid("w1")),
+                SessionOp("read", mid("r1")),
+            ]
+        }
+        violations = check_read_your_writes(graph, sessions)
+        assert len(violations) == 1
+        assert violations[0].missing == mid("w1")
+
+    def test_monotonic_writes_violation(self):
+        graph = DependencyGraph()
+        graph.add(mid("w1"))
+        graph.add(mid("w2"))  # concurrent with w1
+        sessions = {
+            "c": [
+                SessionOp("write", mid("w1")),
+                SessionOp("write", mid("w2")),
+            ]
+        }
+        assert len(check_monotonic_writes(graph, sessions)) == 1
+
+    def test_monotonic_reads_violation(self):
+        graph = DependencyGraph()
+        graph.add(mid("w1"))
+        graph.add(mid("r1"), mid("w1"))
+        graph.add(mid("r2"))  # later read missing w1
+        sessions = {
+            "c": [
+                SessionOp("read", mid("r1"), frozenset({mid("w1")})),
+                SessionOp("read", mid("r2"), frozenset()),
+            ]
+        }
+        violations = check_monotonic_reads(graph, sessions)
+        assert [v.missing for v in violations] == [mid("w1")]
+
+    def test_writes_follow_reads_violation(self):
+        graph = DependencyGraph()
+        graph.add(mid("w_other"))
+        graph.add(mid("r1"), mid("w_other"))
+        graph.add(mid("w_mine"))  # does not follow w_other
+        sessions = {
+            "c": [
+                SessionOp("read", mid("r1"), frozenset({mid("w_other")})),
+                SessionOp("write", mid("w_mine")),
+            ]
+        }
+        assert len(check_writes_follow_reads(graph, sessions)) == 1
+
+    def test_sessions_are_independent(self):
+        graph = DependencyGraph()
+        graph.add(mid("w1"))
+        graph.add(mid("r1"))
+        sessions = {
+            "writer": [SessionOp("write", mid("w1"))],
+            "reader": [SessionOp("read", mid("r1"))],
+        }
+        # reader never wrote: no guarantee couples it to writer's write.
+        results = check_all_session_guarantees(graph, sessions)
+        assert all(not v for v in results.values())
+
+
+class TestFrontEndDiscipline:
+    def test_frontend_runs_satisfy_all_guarantees(self):
+        """The §6.1 discipline provides the session guarantees."""
+        spec = CommutativitySpec(commutative_ops={"inc", "dec"})
+        scheduler, _, stacks = build_group(
+            OSendBroadcast, latency=ConstantLatency(0.5)
+        )
+        frontends = {
+            m: FrontEndManager(stacks[m], spec) for m in ("a", "b")
+        }
+        issued: dict = {"a": [], "b": []}
+        script = [
+            ("a", "inc"), ("a", "rd"), ("b", "inc"), ("a", "inc"),
+            ("b", "rd"), ("a", "rd"), ("b", "dec"), ("b", "rd"),
+        ]
+        for session, operation in script:
+            scheduler.run()  # let knowledge propagate between requests
+            label = frontends[session].request(operation)
+            issued[session].append((operation, label))
+        scheduler.run()
+        graph = stacks["c"].graph
+        sessions = sessions_from_frontend_run(
+            graph, issued, write_operations={"inc", "dec"}
+        )
+        results = check_all_session_guarantees(graph, sessions)
+        assert all(not v for v in results.values()), results
+
+    def test_spontaneous_traffic_violates_guarantees(self):
+        scheduler, _, stacks = build_group(
+            OSendBroadcast, latency=ConstantLatency(0.5)
+        )
+        w = stacks["a"].osend("inc")
+        r = stacks["a"].osend("rd")  # spontaneous: no declared dependency
+        scheduler.run()
+        graph = stacks["c"].graph
+        sessions = sessions_from_frontend_run(
+            graph, {"a": [("inc", w), ("rd", r)]}, write_operations={"inc"}
+        )
+        violations = check_read_your_writes(graph, sessions)
+        assert len(violations) == 1

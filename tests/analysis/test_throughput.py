@@ -1,0 +1,74 @@
+"""Tests for throughput and settle-time metrics."""
+
+from __future__ import annotations
+
+from repro.analysis.throughput import (
+    delivery_throughput,
+    per_member_delivery_counts,
+    settle_time,
+)
+from repro.sim.trace import TraceRecorder
+from repro.types import MessageId
+
+
+def mid(name: str, seqno: int = 0) -> MessageId:
+    return MessageId(name, seqno)
+
+
+def sample_trace() -> TraceRecorder:
+    trace = TraceRecorder()
+    trace.record(0.0, "send", msg_id=mid("m", 0), operation="inc")
+    trace.record(1.0, "deliver", entity="a", msg_id=mid("m", 0), operation="inc")
+    trace.record(1.5, "deliver", entity="b", msg_id=mid("m", 0), operation="inc")
+    trace.record(2.0, "send", msg_id=mid("m", 1), operation="inc")
+    trace.record(5.0, "deliver", entity="a", msg_id=mid("m", 1), operation="inc")
+    trace.record(5.0, "deliver", entity="b", msg_id=mid("m", 1), operation="inc")
+    trace.record(5.5, "deliver", entity="a", msg_id=mid("k", 0), operation="__ack__")
+    return trace
+
+
+class TestThroughput:
+    def test_counts_only_app_deliveries(self):
+        report = delivery_throughput(sample_trace())
+        assert report.app_deliveries == 4
+
+    def test_rate_over_span(self):
+        report = delivery_throughput(sample_trace())
+        assert report.span == 4.0  # 1.0 .. 5.0
+        assert report.per_second == 1.0
+
+    def test_peak_window(self):
+        report = delivery_throughput(sample_trace(), window=1.0)
+        assert report.peak_window_rate == 2.0  # two deliveries at t=5
+
+    def test_empty_trace(self):
+        report = delivery_throughput(TraceRecorder())
+        assert report.app_deliveries == 0
+        assert report.per_second == 0.0
+
+
+class TestSettleTime:
+    def test_tail_after_last_send(self):
+        assert settle_time(sample_trace()) == 3.0  # 5.0 - 2.0
+
+    def test_none_without_traffic(self):
+        assert settle_time(TraceRecorder()) is None
+
+
+class TestPerMemberCounts:
+    def test_counts_exclude_control(self):
+        counts = per_member_delivery_counts(sample_trace())
+        assert counts == {"a": 2, "b": 2}
+
+    def test_live_run(self):
+        from repro.broadcast.osend import OSendBroadcast
+        from tests.conftest import build_group
+
+        scheduler, net, stacks = build_group(OSendBroadcast, seed=1)
+        for _ in range(3):
+            stacks["a"].osend("op")
+        scheduler.run()
+        counts = per_member_delivery_counts(net.trace)
+        assert counts == {"a": 3, "b": 3, "c": 3}
+        report = delivery_throughput(net.trace)
+        assert report.app_deliveries == 9

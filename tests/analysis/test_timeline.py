@@ -1,0 +1,90 @@
+"""Tests for timeline rendering."""
+
+from __future__ import annotations
+
+from repro.analysis.timeline import (
+    TimelineOptions,
+    delivery_matrix,
+    render_timeline,
+)
+from repro.sim.trace import TraceRecorder
+from repro.types import MessageId
+
+
+def mid(name: str, seqno: int = 0) -> MessageId:
+    return MessageId(name, seqno)
+
+
+def sample_trace() -> TraceRecorder:
+    trace = TraceRecorder()
+    trace.record(0.0, "send", source="a", msg_id=mid("a"), operation="inc")
+    trace.record(1.0, "deliver", entity="a", msg_id=mid("a"), operation="inc")
+    trace.record(2.0, "deliver", entity="b", msg_id=mid("a"), operation="inc")
+    trace.record(2.5, "stable_point", entity="b", msg_id=mid("a"), index=0)
+    trace.record(3.0, "drop", source="a", destination="c", msg_id=mid("a"))
+    return trace
+
+
+class TestRenderTimeline:
+    def test_rows_for_each_entity(self):
+        text = render_timeline(sample_trace())
+        lines = text.splitlines()
+        assert lines[0].startswith("a |")
+        assert lines[1].startswith("b |")
+        assert lines[2].startswith("c |")
+
+    def test_glyphs_present(self):
+        text = render_timeline(sample_trace())
+        assert "b" in text.splitlines()[0]  # broadcast at a
+        assert "*" in text.splitlines()[1]  # stable point at b
+        assert "!" in text.splitlines()[2]  # drop toward c
+
+    def test_priority_when_cells_collide(self):
+        trace = TraceRecorder()
+        trace.record(0.0, "deliver", entity="x", msg_id=mid("m"), operation="op")
+        trace.record(0.0, "stable_point", entity="x", msg_id=mid("m"), index=0)
+        text = render_timeline(trace, options=TimelineOptions(width=4))
+        assert "*" in text.splitlines()[0]
+
+    def test_control_traffic_hidden_by_default(self):
+        trace = TraceRecorder()
+        trace.record(0.0, "send", source="a", msg_id=mid("a"), operation="__ack__")
+        assert render_timeline(trace) == "(no events)"
+        shown = render_timeline(
+            trace, options=TimelineOptions(include_control=True)
+        )
+        assert shown != "(no events)"
+
+    def test_explicit_entity_order(self):
+        text = render_timeline(sample_trace(), entities=["c", "a"])
+        lines = text.splitlines()
+        assert lines[0].startswith("c |")
+        assert lines[1].startswith("a |")
+
+    def test_axis_and_legend(self):
+        text = render_timeline(sample_trace())
+        assert "t=0.00" in text
+        assert "legend" not in text  # legend is symbols, not the word
+        assert "b=broadcast" in text
+
+    def test_empty_trace(self):
+        assert render_timeline(TraceRecorder()) == "(no events)"
+
+
+class TestDeliveryMatrix:
+    def test_labels_and_times(self):
+        matrix = delivery_matrix(sample_trace())
+        assert matrix["a"] == ["a:0@1.0"]
+        assert matrix["b"] == ["a:0@2.0"]
+
+    def test_from_live_run(self):
+        from repro.broadcast.osend import OSendBroadcast
+        from tests.conftest import build_group
+
+        scheduler, net, stacks = build_group(OSendBroadcast, seed=2)
+        stacks["a"].osend("op")
+        scheduler.run()
+        matrix = delivery_matrix(net.trace)
+        assert set(matrix) == {"a", "b", "c"}
+        text = render_timeline(net.trace)
+        assert text.count("d") >= 3

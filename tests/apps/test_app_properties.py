@@ -1,0 +1,153 @@
+"""Property-based tests across the applications.
+
+Randomized workloads against the app-level invariants: the name
+service's staleness flag always covers divergence; the conference and
+file-service documents always converge once traffic quiesces; the lock
+service reaches consensus for arbitrary sizes/seeds.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.conference import ConferenceSystem
+from repro.apps.file_service import FileService
+from repro.apps.lock_service import LockService
+from repro.apps.name_service import NameServiceSystem
+from repro.net.latency import UniformLatency
+
+NS_MEMBERS = ["n1", "n2", "n3"]
+
+
+class TestNameServiceProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        seed=st.integers(0, 50_000),
+        script=st.lists(
+            st.tuples(
+                st.sampled_from(NS_MEMBERS),
+                st.sampled_from(["qry", "upd"]),
+                st.sampled_from(["www", "db"]),
+            ),
+            min_size=1,
+            max_size=14,
+        ),
+    )
+    def test_flagged_always_covers_inconsistent(self, seed, script):
+        system = NameServiceSystem(
+            NS_MEMBERS,
+            engine="causal",
+            latency=UniformLatency(0.1, 4.0),
+            seed=seed,
+        )
+        version = 0
+        for index, (member, operation, name) in enumerate(script):
+            target = system.members[member]
+            if operation == "upd":
+                version += 1
+                system.scheduler.call_at(
+                    index * 0.5, target.update, name, f"v{version}"
+                )
+            else:
+                system.scheduler.call_at(index * 0.5, target.query, name)
+        system.run()
+        inconsistent = set(system.inconsistent_queries())
+        flagged = set(system.flagged_queries())
+        assert inconsistent <= flagged
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 50_000))
+    def test_total_engine_never_diverges(self, seed):
+        system = NameServiceSystem(
+            NS_MEMBERS,
+            engine="total",
+            latency=UniformLatency(0.1, 4.0),
+            seed=seed,
+        )
+        for index in range(8):
+            member = system.members[NS_MEMBERS[index % 3]]
+            if index % 3 == 0:
+                system.scheduler.call_at(
+                    index * 0.5, member.update, "www", f"v{index}"
+                )
+            else:
+                system.scheduler.call_at(index * 0.5, member.query, "www")
+        system.run()
+        assert system.inconsistent_queries() == []
+
+
+class TestDocumentProperties:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        seed=st.integers(0, 50_000),
+        notes=st.lists(
+            st.tuples(
+                st.sampled_from(["u1", "u2", "u3"]),
+                st.sampled_from(["p1", "p2"]),
+                st.integers(0, 99),
+            ),
+            min_size=1,
+            max_size=10,
+        ),
+    )
+    def test_annotations_always_converge(self, seed, notes):
+        conference = ConferenceSystem(
+            ["u1", "u2", "u3"],
+            latency=UniformLatency(0.1, 3.0),
+            seed=seed,
+        )
+        for user, paragraph, note in notes:
+            conference.annotate(user, paragraph, f"note-{note}")
+        conference.run()
+        assert conference.windows_converged()
+        # Every note is present in the final window.
+        window = conference.window("u1")
+        seen_notes = {
+            note for _, notes_set in window.values() for note in notes_set
+        }
+        assert seen_notes == {f"note-{n}" for _, __, n in notes}
+
+
+class TestFileServiceProperties:
+    @settings(max_examples=10, deadline=None)
+    @given(
+        seed=st.integers(0, 50_000),
+        records=st.lists(
+            st.tuples(st.sampled_from(["s1", "s2"]), st.integers(0, 50)),
+            min_size=1,
+            max_size=8,
+            unique_by=lambda t: t[1],
+        ),
+    )
+    def test_appends_from_any_server_all_land(self, seed, records):
+        service = FileService(
+            ["s1", "s2"], latency=UniformLatency(0.1, 3.0), seed=seed
+        )
+        for server, n in records:
+            service.append(server, "/log", f"r{n}")
+        service.run()
+        assert service.converged()
+        _, appended = service.file_at("s1", "/log")
+        assert appended == {f"r{n}" for _, n in records}
+
+
+class TestLockServiceProperties:
+    @settings(max_examples=12, deadline=None)
+    @given(
+        seed=st.integers(0, 50_000),
+        size=st.integers(2, 6),
+        cycles=st.integers(1, 3),
+    )
+    def test_consensus_for_arbitrary_configurations(self, seed, size, cycles):
+        members = [f"m{i}" for i in range(size)]
+        service = LockService(
+            members,
+            cycles=cycles,
+            access_time=0.3,
+            latency=UniformLatency(0.1, 1.5),
+            seed=seed,
+        )
+        service.run()
+        assert service.consensus_reached()
+        assert service.total_acquisitions() == cycles * size

@@ -1,0 +1,93 @@
+"""Tests for the card game (Section 5.1 relaxed-ordering example)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.card_game import CardGame
+from repro.errors import ConfigurationError
+from repro.net.latency import UniformLatency
+
+
+def play(distance: int, rounds: int = 3, seed: int = 3) -> CardGame:
+    game = CardGame(
+        ["p0", "p1", "p2", "p3"],
+        rounds=rounds,
+        dependency_distance=distance,
+        latency=UniformLatency(0.2, 1.0),
+        seed=seed,
+    )
+    game.play()
+    return game
+
+
+class TestSchedule:
+    def test_owner_rotation(self):
+        game = CardGame(["p0", "p1"], rounds=2)
+        assert game.owner_of(0) == "p0"
+        assert game.owner_of(1) == "p1"
+        assert game.owner_of(2) == "p0"
+        assert game.total_turns == 4
+
+    def test_turns_owned_by(self):
+        game = CardGame(["p0", "p1"], rounds=2)
+        assert game.turns_owned_by("p1") == [1, 3]
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            CardGame(["p0"], rounds=0)
+        with pytest.raises(ConfigurationError):
+            CardGame(["p0"], rounds=1, dependency_distance=0)
+
+
+class TestGamePlay:
+    def test_all_turns_played_and_seen(self):
+        game = play(distance=2)
+        assert game.all_windows_converged()
+        assert game.completion_time is not None
+        assert len(game.turn_labels) == game.total_turns
+
+    def test_strict_order_has_no_concurrency(self):
+        game = play(distance=1)
+        assert game.concurrency_degree() == 0
+
+    def test_relaxed_order_has_concurrency(self):
+        game = play(distance=3)
+        assert game.concurrency_degree() > 0
+
+    def test_relaxed_order_finishes_faster(self):
+        strict = play(distance=1)
+        relaxed = play(distance=3)
+        assert relaxed.completion_time < strict.completion_time
+
+    def test_dependency_edges_match_distance(self):
+        game = play(distance=2)
+        graph = game.dependency_graph()
+        for turn in range(2, game.total_turns):
+            label = game.turn_labels[turn]
+            dependency = game.turn_labels[turn - 2]
+            assert graph.ancestors_of(label) == frozenset({dependency})
+
+    def test_cards_delivered_in_dependency_order(self):
+        game = play(distance=2)
+        for player in game.players.values():
+            position = {turn: i for i, turn in enumerate(player.window)}
+            for turn in range(2, game.total_turns):
+                assert position[turn - 2] < position[turn]
+
+    def test_deterministic_given_seed(self):
+        first = play(distance=2, seed=9)
+        second = play(distance=2, seed=9)
+        assert first.completion_time == second.completion_time
+        assert first.delivery_times == second.delivery_times
+
+
+class TestConcurrencyWidth:
+    def test_strict_game_has_width_one(self):
+        game = play(distance=1)
+        assert game.concurrency_width() == 1
+
+    def test_width_tracks_dependency_distance(self):
+        widths = [play(distance=d).concurrency_width() for d in (1, 2, 3)]
+        assert widths == sorted(widths)
+        assert widths[-1] > widths[0]

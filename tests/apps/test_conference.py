@@ -1,0 +1,90 @@
+"""Tests for the conferencing (document annotation) application."""
+
+from __future__ import annotations
+
+from repro.apps.conference import (
+    ConferenceSystem,
+    document_machine,
+    document_spec,
+)
+from repro.net.latency import UniformLatency
+from repro.types import Message, MessageId
+
+
+class TestMachine:
+    def test_annotate_accumulates_notes(self):
+        machine = document_machine()
+        state = machine.initial_state
+        state = machine.apply(
+            state,
+            Message(MessageId("t", 0), "annotate", {"paragraph": "p1", "note": "a"}),
+        )
+        state = machine.apply(
+            state,
+            Message(MessageId("t", 1), "annotate", {"paragraph": "p1", "note": "b"}),
+        )
+        paragraphs = {p: (text, notes) for p, text, notes in state}
+        assert paragraphs["p1"][1] == frozenset({"a", "b"})
+
+    def test_edit_replaces_text_keeps_notes(self):
+        machine = document_machine()
+        state = machine.initial_state
+        state = machine.apply(
+            state,
+            Message(MessageId("t", 0), "annotate", {"paragraph": "p1", "note": "n"}),
+        )
+        state = machine.apply(
+            state,
+            Message(MessageId("t", 1), "edit", {"paragraph": "p1", "text": "v2"}),
+        )
+        paragraphs = {p: (text, notes) for p, text, notes in state}
+        assert paragraphs["p1"] == ("v2", frozenset({"n"}))
+
+    def test_annotations_commute_as_set_union(self):
+        machine = document_machine()
+        m1 = Message(MessageId("t", 0), "annotate", {"paragraph": "p", "note": "a"})
+        m2 = Message(MessageId("t", 1), "annotate", {"paragraph": "p", "note": "b"})
+        s0 = machine.initial_state
+        forward = machine.apply(machine.apply(s0, m1), m2)
+        backward = machine.apply(machine.apply(s0, m2), m1)
+        assert forward == backward
+
+    def test_spec(self):
+        spec = document_spec()
+        a1 = Message(MessageId("t", 0), "annotate", {"paragraph": "p", "note": "x"})
+        a2 = Message(MessageId("t", 1), "annotate", {"paragraph": "p", "note": "y"})
+        e1 = Message(MessageId("t", 2), "edit", {"paragraph": "p", "text": "t"})
+        e2 = Message(MessageId("t", 3), "edit", {"paragraph": "q", "text": "t"})
+        assert spec.commute(a1, a2)
+        assert not spec.commute(a1, e1)
+        assert spec.commute(a1, e2)  # different paragraphs
+
+
+class TestSystem:
+    def test_windows_converge_after_annotations(self):
+        conference = ConferenceSystem(
+            ["u1", "u2", "u3"], latency=UniformLatency(0.2, 2.0), seed=1
+        )
+        conference.annotate("u1", "p1", "typo in line 3")
+        conference.annotate("u2", "p1", "needs citation")
+        conference.annotate("u3", "p2", "great point")
+        conference.run()
+        assert conference.windows_converged()
+        window = conference.window("u1")
+        assert window["p1"][1] == frozenset({"typo in line 3", "needs citation"})
+
+    def test_edit_acts_as_sync_point(self):
+        conference = ConferenceSystem(
+            ["u1", "u2"], latency=UniformLatency(0.2, 2.0), seed=2
+        )
+        conference.annotate("u1", "p1", "note")
+        conference.edit("u1", "p1", "revised text")
+        conference.run()
+        for replica in conference.system.replicas.values():
+            assert replica.stable_point_count == 1
+
+    def test_window_shows_current_document(self):
+        conference = ConferenceSystem(["u1", "u2"], seed=3)
+        conference.edit("u1", "intro", "Hello world")
+        conference.run()
+        assert conference.window("u2")["intro"][0] == "Hello world"

@@ -1,0 +1,92 @@
+"""Tests for the replicated counter service."""
+
+from __future__ import annotations
+
+from repro.apps.counter import (
+    CounterService,
+    multi_counter_machine,
+    multi_counter_spec,
+)
+from repro.net.latency import UniformLatency
+from repro.types import Message, MessageId
+
+
+class TestMachine:
+    def test_independent_items(self):
+        machine = multi_counter_machine()
+        state = machine.initial_state
+        state = machine.apply(
+            state, Message(MessageId("t", 0), "inc", {"item": "x"})
+        )
+        state = machine.apply(
+            state, Message(MessageId("t", 1), "dec", {"item": "y", "amount": 2})
+        )
+        as_dict = dict(state)
+        assert as_dict["x"] == 1
+        assert as_dict["y"] == -2
+
+    def test_spec_item_scoping(self):
+        spec = multi_counter_spec()
+        rd_x = Message(MessageId("t", 0), "rd", {"item": "x"})
+        inc_y = Message(MessageId("t", 1), "inc", {"item": "y"})
+        inc_x = Message(MessageId("t", 2), "inc", {"item": "x"})
+        assert spec.commute(rd_x, inc_y)
+        assert not spec.commute(rd_x, inc_x)
+
+
+class TestService:
+    def test_convergence_after_mixed_updates(self):
+        service = CounterService(
+            ["a", "b", "c"], latency=UniformLatency(0.2, 2.0), seed=1
+        )
+        service.increment("a")
+        service.increment("b")
+        service.decrement("c")
+        service.read("a")
+        service.run()
+        assert set(service.values().values()) == {1}
+
+    def test_read_results_agree_across_members(self):
+        service = CounterService(
+            ["a", "b", "c"], latency=UniformLatency(0.2, 2.0), seed=2
+        )
+        service.increment("a", amount=3)
+        service.increment("b", amount=2)
+        service.run()  # both increments now delivered: the read covers them
+        service.read("a")
+        service.run()
+        results = service.read_results()
+        assert len(results) == 3  # one capture per member
+        assert {value for _, __, value, ___ in results} == {5}
+
+    def test_read_racing_an_increment_excludes_it_consistently(self):
+        """VAL(m) excludes concurrent updates at *every* member alike."""
+        service = CounterService(
+            ["a", "b", "c"], latency=UniformLatency(0.2, 2.0), seed=2
+        )
+        service.increment("a", amount=3)
+        service.increment("b", amount=2)  # concurrent with the read below
+        service.read("a")
+        service.run()
+        results = service.read_results()
+        # All members return the same agreed value; the racing increment
+        # (not in the read's causal cut) is excluded everywhere.
+        assert {value for _, __, value, ___ in results} == {3}
+        # The live states still converge to 5 once everything is delivered.
+        assert set(service.values().values()) == {5}
+
+    def test_multiple_items_tracked_separately(self):
+        service = CounterService(["a", "b"], seed=3)
+        service.increment("a", item="apples")
+        service.increment("a", item="apples")
+        service.decrement("b", item="oranges")
+        service.read("a", item="apples")
+        service.run()
+        assert service.value_at("a", "apples") == 2
+        assert service.value_at("a", "oranges") == -1
+
+    def test_values_snapshot(self):
+        service = CounterService(["a", "b"], seed=4)
+        service.increment("a")
+        service.run()
+        assert service.values() == {"a": 1, "b": 1}

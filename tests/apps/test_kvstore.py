@@ -1,0 +1,126 @@
+"""Tests for the replicated key-value store with item-scoped ordering."""
+
+from __future__ import annotations
+
+from repro.apps.kvstore import KVStoreSystem, kv_machine, kv_spec
+from repro.net.latency import ConstantLatency, PerPairLatency, UniformLatency
+from repro.types import Message, MessageId
+
+
+class TestSpec:
+    def test_different_keys_commute(self):
+        spec = kv_spec()
+        a = Message(MessageId("t", 0), "put", {"key": "x", "value": 1})
+        b = Message(MessageId("t", 1), "put", {"key": "y", "value": 2})
+        assert spec.commute(a, b)
+
+    def test_same_key_puts_conflict(self):
+        spec = kv_spec()
+        a = Message(MessageId("t", 0), "put", {"key": "x", "value": 1})
+        b = Message(MessageId("t", 1), "put", {"key": "x", "value": 2})
+        assert not spec.commute(a, b)
+
+    def test_get_conflicts_on_same_key(self):
+        spec = kv_spec()
+        a = Message(MessageId("t", 0), "get", {"key": "x"})
+        b = Message(MessageId("t", 1), "put", {"key": "x", "value": 2})
+        assert not spec.commute(a, b)
+
+
+class TestMachine:
+    def test_put_get_delete(self):
+        machine = kv_machine()
+        state = machine.apply(
+            machine.initial_state,
+            Message(MessageId("t", 0), "put", {"key": "x", "value": 7}),
+        )
+        assert dict(state)["x"] == 7
+        state = machine.apply(
+            state, Message(MessageId("t", 1), "del", {"key": "x"})
+        )
+        assert "x" not in dict(state)
+
+    def test_delete_missing_key_is_noop(self):
+        machine = kv_machine()
+        state = machine.apply(
+            machine.initial_state,
+            Message(MessageId("t", 0), "del", {"key": "ghost"}),
+        )
+        assert state == machine.initial_state
+
+
+class TestSystem:
+    def test_same_key_writes_apply_in_issue_order(self):
+        # Even with adversarial reordering, the per-key chain holds.
+        latency = PerPairLatency(
+            {("a", "c"): ConstantLatency(8.0)}, default=ConstantLatency(1.0)
+        )
+        system = KVStoreSystem(["a", "b", "c"], latency=latency)
+        system.put("a", "x", "first")
+        system.put("a", "x", "second")
+        system.run()
+        assert system.converged()
+        assert system.value_at("c", "x") == "second"
+
+    def test_different_keys_stay_concurrent(self):
+        system = KVStoreSystem(["a", "b"], seed=2)
+        l1 = system.put("a", "x", 1)
+        l2 = system.put("a", "y", 2)
+        system.run()
+        graph = system.protocols["b"].graph
+        assert graph.concurrent(l1, l2)
+
+    def test_cross_frontend_chaining_after_delivery(self):
+        system = KVStoreSystem(
+            ["a", "b"], latency=ConstantLatency(0.5), seed=3
+        )
+        l1 = system.put("a", "x", 1)
+        system.run()
+        l2 = system.put("b", "x", 2)  # b has seen l1: must chain
+        system.run()
+        graph = system.protocols["a"].graph
+        assert graph.ancestors_of(l2) == frozenset({l1})
+        assert system.value_at("a", "x") == 2
+
+    def test_get_depends_on_known_writes(self):
+        system = KVStoreSystem(["a", "b"], seed=4)
+        l1 = system.put("a", "x", 1)
+        g = system.get("a", "x")
+        system.run()
+        graph = system.protocols["b"].graph
+        assert l1 in graph.ancestors_of(g)
+
+    def test_multi_member_convergence(self):
+        system = KVStoreSystem(
+            ["a", "b", "c"], latency=UniformLatency(0.2, 2.0), seed=5
+        )
+        system.put("a", "x", 1)
+        system.put("b", "y", 2)
+        system.put("c", "z", 3)
+        system.run()
+        system.delete("a", "y")  # a has seen b's put: delete chains after it
+        system.run()
+        assert system.converged()
+        assert system.value_at("b", "y") is None
+
+    def test_truly_concurrent_same_key_writes_may_diverge(self):
+        """The documented limit: spontaneous same-key conflicts need total
+        order (paper Section 5.2) — declared causality cannot help when
+        neither writer knew of the other."""
+        latency = PerPairLatency(
+            {
+                ("a", "a"): ConstantLatency(0.1),
+                ("b", "a"): ConstantLatency(5.0),
+                ("b", "b"): ConstantLatency(0.1),
+                ("a", "b"): ConstantLatency(5.0),
+            },
+            default=ConstantLatency(1.0),
+        )
+        system = KVStoreSystem(["a", "b"], latency=latency)
+        system.put("a", "x", "from-a")
+        system.put("b", "x", "from-b")
+        system.run()
+        # Each member applied its own write last: divergence.
+        assert system.value_at("a", "x") == "from-b"
+        assert system.value_at("b", "x") == "from-a"
+        assert not system.converged()

@@ -1,0 +1,100 @@
+"""Tests for the LOCK/TFR arbitration protocol (Section 6.2, Figure 5)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.lock_service import LockService
+from repro.errors import ConfigurationError
+from repro.net.latency import UniformLatency
+
+
+def run_service(members=("A", "B", "C"), cycles=2, seed=7) -> LockService:
+    service = LockService(
+        list(members),
+        cycles=cycles,
+        access_time=0.5,
+        latency=UniformLatency(0.2, 1.5),
+        seed=seed,
+    )
+    service.run()
+    return service
+
+
+class TestArbitration:
+    def test_consensus_without_agreement_messages(self):
+        service = run_service()
+        assert service.consensus_reached()
+
+    def test_every_member_acquires_once_per_cycle(self):
+        service = run_service(cycles=3)
+        assert service.total_acquisitions() == service.expected_total_acquisitions()
+        for member in service.members.values():
+            assert member.acquisitions == 3
+
+    def test_holder_sequence_follows_rotation(self):
+        service = run_service(cycles=2)
+        log = service.members["A"].holder_log
+        assert log[:3] == service.arbitration_sequence(0)
+        assert log[3:6] == service.arbitration_sequence(1)
+
+    def test_rotation_is_fair(self):
+        service = LockService(["A", "B", "C"], cycles=3)
+        first_holders = [
+            service.arbitration_sequence(cycle)[0] for cycle in range(3)
+        ]
+        assert sorted(first_holders) == ["A", "B", "C"]
+
+    def test_acquisition_times_are_ordered(self):
+        service = run_service(cycles=2)
+        times = [t for _, __, t in service.acquisition_times]
+        assert times == sorted(times)
+        assert len(times) == 6
+
+    def test_message_cost_is_two_per_member_per_cycle(self):
+        service = run_service(cycles=2, members=("A", "B", "C"))
+        sends = service.network.trace.of_kind("send")
+        # 3 LOCKs + 3 TFRs per cycle, 2 cycles.
+        assert len(sends) == 12
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            LockService(["A"], cycles=1)
+        with pytest.raises(ConfigurationError):
+            LockService(["A", "B"], cycles=0)
+
+
+class TestSharedPage:
+    def test_page_copies_identical(self):
+        service = run_service(cycles=2)
+        assert service.pages_identical()
+
+    def test_page_reflects_holder_order(self):
+        service = run_service(cycles=2)
+        page = service.members["A"].page
+        expected = [
+            service.page_edit(holder, cycle)
+            for cycle in range(2)
+            for holder in service.arbitration_sequence(cycle)
+        ]
+        assert page == expected
+
+    def test_every_holder_edited_once_per_cycle(self):
+        service = run_service(cycles=3, members=("A", "B", "C", "D"))
+        page = service.members["B"].page
+        assert len(page) == 3 * 4
+        assert len(set(page)) == len(page)  # no duplicate edits
+
+
+class TestScale:
+    @pytest.mark.parametrize("size", [2, 4, 6])
+    def test_consensus_at_various_group_sizes(self, size):
+        members = [f"m{i}" for i in range(size)]
+        service = run_service(members=members, cycles=2, seed=size)
+        assert service.consensus_reached()
+        assert service.total_acquisitions() == 2 * size
+
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4])
+    def test_consensus_across_seeds(self, seed):
+        service = run_service(seed=seed)
+        assert service.consensus_reached()

@@ -1,0 +1,95 @@
+"""Tests for the name service and its app-level inconsistency detection."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.name_service import NameServiceSystem
+from repro.errors import ConfigurationError
+from repro.net.latency import ConstantLatency, PerPairLatency, UniformLatency
+
+
+class TestBasicOperation:
+    def test_update_visible_everywhere(self):
+        system = NameServiceSystem(["n1", "n2", "n3"], seed=1)
+        system.members["n1"].update("www", "1.1.1.1")
+        system.run()
+        for member in system.members.values():
+            assert member.registry["www"] == "1.1.1.1"
+
+    def test_causally_ordered_query_is_fresh(self):
+        system = NameServiceSystem(
+            ["n1", "n2"], latency=ConstantLatency(1.0), seed=2
+        )
+        system.members["n1"].update("www", "1.1.1.1")
+        system.run()
+        # Query issued after the issuer saw the update: carries it in
+        # context, so no member flags it.
+        system.members["n2"].query("www")
+        system.run()
+        answers = list(system.answers_by_query().values())[0]
+        assert all(not a.stale for a in answers)
+        assert {a.value for a in answers} == {"1.1.1.1"}
+
+    def test_unknown_name_resolves_to_none(self):
+        system = NameServiceSystem(["n1", "n2"], seed=3)
+        system.members["n1"].query("missing")
+        system.run()
+        answers = list(system.answers_by_query().values())[0]
+        assert {a.value for a in answers} == {None}
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ConfigurationError):
+            NameServiceSystem(["n1"], engine="quantum")
+
+
+class TestInconsistencyDetection:
+    def _racy_system(self) -> NameServiceSystem:
+        """Query racing a concurrent update: members may answer differently."""
+        latency = PerPairLatency(
+            # n3 receives the second update before the query; n2 after.
+            {
+                ("n1", "n2"): ConstantLatency(1.0),
+                ("n3", "n2"): ConstantLatency(8.0),
+                ("n3", "n3"): ConstantLatency(0.5),
+            },
+            default=ConstantLatency(1.0),
+        )
+        system = NameServiceSystem(
+            ["n1", "n2", "n3"], engine="causal", latency=latency, seed=4
+        )
+        system.members["n1"].query("www")  # concurrent with the update
+        system.members["n3"].update("www", "9.9.9.9")
+        system.run()
+        return system
+
+    def test_divergent_answers_detected(self):
+        system = self._racy_system()
+        # The query answered differently across members...
+        assert len(system.inconsistent_queries()) == 1
+        # ...and the staleness flag caught it.
+        assert system.flagged_queries() == system.inconsistent_queries()
+        assert system.total_stale_answers() >= 1
+
+    def test_stale_answer_names_extra_updates(self):
+        system = self._racy_system()
+        stale = [
+            a
+            for m in system.members.values()
+            for a in m.answers
+            if a.stale
+        ]
+        assert all(a.extra_updates for a in stale)
+
+    def test_total_order_engine_prevents_divergence(self):
+        system = NameServiceSystem(
+            ["n1", "n2", "n3"],
+            engine="total",
+            latency=UniformLatency(0.2, 4.0),
+            seed=5,
+        )
+        system.members["n1"].query("www")
+        system.members["n3"].update("www", "9.9.9.9")
+        system.members["n2"].query("www")
+        system.run()
+        assert system.inconsistent_queries() == []

@@ -1,0 +1,137 @@
+"""Tests for the paper's ASend epoch-batched total order."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.broadcast.asend import ASendTotalOrder
+from repro.errors import ProtocolError
+from repro.net.latency import UniformLatency
+from tests.conftest import build_group
+
+
+class TestEpochBatching:
+    def test_identical_total_order_at_all_members(self):
+        scheduler, _, stacks = build_group(
+            ASendTotalOrder, latency=UniformLatency(0.1, 4.0), seed=5
+        )
+        for member in ("a", "b", "c"):
+            stacks[member].asend("op", epoch=0)
+        scheduler.run()
+        orders = [s.delivered for s in stacks.values()]
+        assert all(order == orders[0] for order in orders)
+        assert len(orders[0]) == 3
+
+    def test_epoch_delivery_is_label_sorted(self):
+        scheduler, _, stacks = build_group(
+            ASendTotalOrder, latency=UniformLatency(0.1, 4.0), seed=6
+        )
+        for member in ("c", "a", "b"):
+            stacks[member].asend("op", epoch=0)
+        scheduler.run()
+        delivered = stacks["a"].delivered
+        assert delivered == sorted(delivered)
+
+    def test_nothing_delivered_until_epoch_closes(self):
+        scheduler, _, stacks = build_group(ASendTotalOrder, seed=7)
+        stacks["a"].asend("op", epoch=0)
+        stacks["b"].asend("op", epoch=0)
+        scheduler.run()
+        # Only 2 of 3 expected messages: everything held back.
+        assert all(s.delivered == [] for s in stacks.values())
+        assert all(s.holdback_size == 2 for s in stacks.values())
+        assert all(not s.epoch_closed(0) for s in stacks.values())
+        # The third message unblocks the batch.
+        stacks["c"].asend("op", epoch=0)
+        scheduler.run()
+        assert all(len(s.delivered) == 3 for s in stacks.values())
+
+    def test_epochs_delivered_in_order(self):
+        scheduler, _, stacks = build_group(
+            ASendTotalOrder, latency=UniformLatency(0.1, 4.0), seed=8
+        )
+        # Issue epoch 1 traffic before epoch 0 finishes.
+        for member in ("a", "b", "c"):
+            stacks[member].asend("late", epoch=1)
+            stacks[member].asend("early", epoch=0)
+        scheduler.run()
+        operations = [
+            env.message.operation for env in stacks["b"].delivered_envelopes
+        ]
+        assert operations == ["early"] * 3 + ["late"] * 3
+        assert stacks["b"].current_epoch == 2
+
+    def test_custom_expected_count(self):
+        scheduler, _, stacks = build_group(
+            ASendTotalOrder, seed=9, expected_per_epoch=1
+        )
+        stacks["a"].asend("solo", epoch=0)
+        scheduler.run()
+        assert all(len(s.delivered) == 1 for s in stacks.values())
+
+    def test_callable_expected_count(self):
+        scheduler, _, stacks = build_group(
+            ASendTotalOrder,
+            seed=10,
+            expected_per_epoch=lambda epoch: 3 if epoch == 0 else 1,
+        )
+        for member in ("a", "b", "c"):
+            stacks[member].asend("batch", epoch=0)
+        stacks["a"].asend("single", epoch=1)
+        scheduler.run()
+        assert all(len(s.delivered) == 4 for s in stacks.values())
+
+    def test_causal_ancestor_respected_within_epoch_order(self):
+        scheduler, _, stacks = build_group(
+            ASendTotalOrder, latency=UniformLatency(0.1, 2.0), seed=11
+        )
+        anchor = stacks["a"].asend("anchor", epoch=0, occurs_after=None)
+        stacks["b"].asend("dep", epoch=0, occurs_after=None)
+        stacks["c"].asend("dep", epoch=0, occurs_after=None)
+        scheduler.run()
+        assert all(len(s.delivered) == 3 for s in stacks.values())
+
+
+class TestValidation:
+    def test_negative_epoch_rejected(self):
+        _, __, stacks = build_group(ASendTotalOrder)
+        with pytest.raises(ProtocolError):
+            stacks["a"].asend("op", epoch=-1)
+
+    def test_zero_expected_rejected(self):
+        from repro.group.membership import GroupMembership
+
+        with pytest.raises(ProtocolError):
+            ASendTotalOrder(
+                "a", GroupMembership(["a"]), expected_per_epoch=0
+            )
+
+    def test_overfull_epoch_rejected(self):
+        scheduler, _, stacks = build_group(
+            ASendTotalOrder, seed=12, expected_per_epoch=1
+        )
+        stacks["a"].asend("op", epoch=0)
+        stacks["b"].asend("op", epoch=0)
+        with pytest.raises(ProtocolError):
+            scheduler.run()
+
+
+class TestTotalOrderProperty:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        seed=st.integers(0, 10_000),
+        epochs=st.integers(1, 4),
+    )
+    def test_random_runs_agree_on_total_order(self, seed, epochs):
+        scheduler, _, stacks = build_group(
+            ASendTotalOrder, latency=UniformLatency(0.1, 3.0), seed=seed
+        )
+        for epoch in range(epochs):
+            for member in ("a", "b", "c"):
+                stacks[member].asend("op", epoch=epoch)
+        scheduler.run()
+        orders = [s.delivered for s in stacks.values()]
+        assert all(order == orders[0] for order in orders)
+        assert len(orders[0]) == 3 * epochs

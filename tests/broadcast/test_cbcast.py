@@ -1,0 +1,109 @@
+"""Tests for vector-clock causal broadcast (CBCAST)."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.causal_check import verify_against_clocks
+from repro.broadcast.cbcast import CbcastBroadcast
+from repro.clocks.vector import VectorClock
+from repro.net.latency import ConstantLatency, PerPairLatency, UniformLatency
+from tests.conftest import build_group
+
+
+class TestCausalDelivery:
+    def test_reply_never_overtakes_original(self):
+        # a broadcasts m1; b replies m2 after delivering m1; even if m1 is
+        # slow to c, c must deliver m1 before m2.
+        latency = PerPairLatency(
+            {("a", "c"): ConstantLatency(10.0)}, default=ConstantLatency(1.0)
+        )
+        scheduler, _, stacks = build_group(CbcastBroadcast, latency=latency)
+        m1 = stacks["a"].bcast("ask")
+        stacks["b"].on_deliver(
+            lambda env: stacks["b"].bcast("reply")
+            if env.msg_id == m1
+            else None
+        )
+        scheduler.run()
+        order_at_c = stacks["c"].delivered
+        assert order_at_c.index(m1) < order_at_c.index(
+            next(l for l in order_at_c if l.sender == "b")
+        )
+
+    def test_own_messages_self_delivered_in_order(self):
+        scheduler, _, stacks = build_group(CbcastBroadcast, seed=2)
+        labels = [stacks["a"].bcast("op") for _ in range(5)]
+        scheduler.run()
+        delivered_own = [l for l in stacks["a"].delivered if l.sender == "a"]
+        assert delivered_own == labels
+
+    def test_two_sends_before_self_delivery_get_distinct_clocks(self):
+        scheduler, _, stacks = build_group(CbcastBroadcast, seed=2)
+        stacks["a"].bcast("op")
+        stacks["a"].bcast("op")
+        scheduler.run()
+        clocks = [
+            env.metadata["vclock"]
+            for env in stacks["b"].delivered_envelopes
+        ]
+        assert clocks[0] != clocks[1]
+        assert clocks[0] < clocks[1]
+
+    def test_concurrent_messages_may_arrive_in_any_order(self):
+        latency = PerPairLatency(
+            {("a", "b"): ConstantLatency(9.0)}, default=ConstantLatency(1.0)
+        )
+        scheduler, _, stacks = build_group(CbcastBroadcast, latency=latency)
+        ma = stacks["a"].bcast("op")
+        mc = stacks["c"].bcast("op")
+        scheduler.run()
+        at_b = stacks["b"].delivered
+        at_c = stacks["c"].delivered
+        assert at_b.index(mc) < at_b.index(ma)
+        assert at_c.index(mc) < at_c.index(ma) or at_c.index(ma) < at_c.index(mc)
+
+    def test_local_clock_reflects_deliveries(self):
+        scheduler, _, stacks = build_group(CbcastBroadcast, seed=5)
+        stacks["a"].bcast("op")
+        stacks["b"].bcast("op")
+        scheduler.run()
+        assert stacks["c"].clock["a"] == 1
+        assert stacks["c"].clock["b"] == 1
+
+    def test_metadata_entries_counts_clock_size(self):
+        scheduler, _, stacks = build_group(CbcastBroadcast, seed=5)
+        stacks["a"].bcast("op")
+        scheduler.run()
+        env = stacks["b"].delivered_envelopes[0]
+        assert stacks["b"].metadata_entries(env) == 1
+
+
+class TestCausalSafetyProperty:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(0, 10_000),
+        script=st.lists(
+            st.tuples(st.sampled_from(["a", "b", "c"]), st.floats(0.0, 5.0)),
+            min_size=1,
+            max_size=12,
+        ),
+    )
+    def test_no_causal_violations_under_random_traffic(self, seed, script):
+        """Random senders/times/latencies never violate clock causality."""
+        scheduler, _, stacks = build_group(
+            CbcastBroadcast, latency=UniformLatency(0.1, 4.0), seed=seed
+        )
+        for sender, time in script:
+            scheduler.call_at(time, stacks[sender].bcast, "op")
+        scheduler.run()
+        clocks: dict = {}
+        for stack in stacks.values():
+            for env in stack.delivered_envelopes:
+                clocks[env.msg_id] = env.metadata["vclock"]
+        sequences = {m: s.delivered for m, s in stacks.items()}
+        assert verify_against_clocks(clocks, sequences) == []
+        # Liveness: everything delivered everywhere.
+        total = len(script)
+        assert all(len(s.delivered) == total for s in stacks.values())

@@ -1,0 +1,88 @@
+"""Tests for the all-ack Lamport total order baseline."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.broadcast.lamport_total import LamportTotalOrder
+from repro.net.latency import UniformLatency
+from tests.conftest import build_group
+
+
+class TestTotalOrder:
+    def test_identical_app_order_at_all_members(self):
+        scheduler, _, stacks = build_group(
+            LamportTotalOrder, latency=UniformLatency(0.1, 4.0), seed=2
+        )
+        for member in ("a", "b", "c"):
+            stacks[member].total_send("op")
+        scheduler.run()
+        orders = [s.app_delivered for s in stacks.values()]
+        assert all(order == orders[0] for order in orders)
+        assert len(orders[0]) == 3
+
+    def test_order_follows_lamport_stamps(self):
+        scheduler, _, stacks = build_group(
+            LamportTotalOrder, latency=UniformLatency(0.1, 4.0), seed=3
+        )
+        labels = [stacks[m].total_send("op") for m in ("a", "b", "c")]
+        scheduler.run()
+        delivered = stacks["a"].app_delivered
+        stamps = [stacks["a"].stamp_of(label) for label in delivered]
+        assert stamps == sorted(stamps)
+
+    def test_acks_hidden_from_callbacks(self):
+        scheduler, _, stacks = build_group(LamportTotalOrder, seed=4)
+        seen = []
+        stacks["b"].on_deliver(lambda env: seen.append(env.message.operation))
+        stacks["a"].total_send("app_op")
+        scheduler.run()
+        assert seen == ["app_op"]
+
+    def test_ack_cost_is_group_size_minus_one_per_broadcast(self):
+        scheduler, _, stacks = build_group(
+            LamportTotalOrder, latency=UniformLatency(0.1, 2.0), seed=5
+        )
+        stacks["a"].total_send("op")
+        scheduler.run()
+        total_acks = sum(s.acks_sent for s in stacks.values())
+        assert total_acks == 2  # b and c ack; a does not ack its own
+
+    def test_single_member_group_self_delivers(self):
+        scheduler, _, stacks = build_group(LamportTotalOrder, members=("solo",))
+        label = stacks["solo"].total_send("op")
+        scheduler.run()
+        assert stacks["solo"].app_delivered == [label]
+
+    def test_interleaved_sends_converge(self):
+        scheduler, _, stacks = build_group(
+            LamportTotalOrder, latency=UniformLatency(0.1, 3.0), seed=6
+        )
+        for round_ in range(3):
+            for member in ("a", "b", "c"):
+                scheduler.call_at(
+                    round_ * 2.0 + 0.1, stacks[member].total_send, "op"
+                )
+        scheduler.run()
+        orders = [s.app_delivered for s in stacks.values()]
+        assert all(order == orders[0] for order in orders)
+        assert len(orders[0]) == 9
+
+
+class TestTotalOrderProperty:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        seed=st.integers(0, 10_000),
+        sends=st.lists(st.sampled_from(["a", "b", "c"]), min_size=1, max_size=8),
+    )
+    def test_random_runs_agree(self, seed, sends):
+        scheduler, _, stacks = build_group(
+            LamportTotalOrder, latency=UniformLatency(0.1, 3.0), seed=seed
+        )
+        for sender in sends:
+            stacks[sender].total_send("op")
+        scheduler.run()
+        orders = [s.app_delivered for s in stacks.values()]
+        assert all(order == orders[0] for order in orders)
+        assert len(orders[0]) == len(sends)

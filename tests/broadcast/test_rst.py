@@ -1,0 +1,108 @@
+"""Tests for Raynal-Schiper-Toueg causal broadcast."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.broadcast.rst import RstBroadcast
+from repro.net.latency import ConstantLatency, PerPairLatency, UniformLatency
+from tests.conftest import build_group
+
+
+class TestCausalDelivery:
+    def test_reply_never_overtakes_original(self):
+        latency = PerPairLatency(
+            {("a", "c"): ConstantLatency(10.0)}, default=ConstantLatency(1.0)
+        )
+        scheduler, _, stacks = build_group(RstBroadcast, latency=latency)
+        m1 = stacks["a"].bcast("ask")
+        replied = []
+
+        def reply(env):
+            if env.msg_id == m1 and not replied:
+                replied.append(stacks["b"].bcast("reply"))
+
+        stacks["b"].on_deliver(reply)
+        scheduler.run()
+        at_c = stacks["c"].delivered
+        assert at_c.index(m1) < at_c.index(replied[0])
+
+    def test_own_messages_in_fifo_order(self):
+        scheduler, _, stacks = build_group(
+            RstBroadcast, latency=UniformLatency(0.1, 4.0), seed=3
+        )
+        labels = [stacks["a"].bcast("op") for _ in range(5)]
+        scheduler.run()
+        for stack in stacks.values():
+            from_a = [l for l in stack.delivered if l.sender == "a"]
+            assert from_a == labels
+
+    def test_concurrent_messages_any_order(self):
+        latency = PerPairLatency(
+            {("a", "b"): ConstantLatency(9.0)}, default=ConstantLatency(1.0)
+        )
+        scheduler, _, stacks = build_group(RstBroadcast, latency=latency)
+        ma = stacks["a"].bcast("op")
+        mc = stacks["c"].bcast("op")
+        scheduler.run()
+        at_b = stacks["b"].delivered
+        assert at_b.index(mc) < at_b.index(ma)
+
+    def test_matrix_entries_grow(self):
+        scheduler, _, stacks = build_group(RstBroadcast, seed=4)
+        for member in ("a", "b", "c"):
+            stacks[member].bcast("op")
+        scheduler.run()
+        assert stacks["a"].matrix_entries() > 0
+
+    def test_missing_for_names_owed_labels(self):
+        from repro.net.faults import FaultPlan
+        from repro.group.membership import GroupMembership
+        from repro.net.network import Network
+        from repro.sim.rng import RngRegistry
+        from repro.sim.scheduler import Scheduler
+
+        scheduler = Scheduler()
+        faults = FaultPlan()
+        net = Network(
+            scheduler, latency=ConstantLatency(1.0), faults=faults,
+            rng=RngRegistry(0),
+        )
+        membership = GroupMembership(["a", "b", "c"])
+        stacks = {
+            m: net.register(RstBroadcast(m, membership))
+            for m in ("a", "b", "c")
+        }
+        faults.partition({"a", "b"}, {"c"})
+        m1 = stacks["a"].bcast("lost-to-c")
+        scheduler.run()
+        faults.heal()
+        stacks["b"].bcast("dependent")
+        scheduler.run()
+        pending = stacks["c"]._pending
+        assert pending
+        assert stacks["c"].missing_for(pending[0]) == frozenset({m1})
+
+
+class TestCausalSafetyProperty:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        seed=st.integers(0, 10_000),
+        sends=st.lists(st.sampled_from(["a", "b", "c"]), min_size=1, max_size=10),
+    )
+    def test_random_traffic_causally_safe_and_live(self, seed, sends):
+        scheduler, _, stacks = build_group(
+            RstBroadcast, latency=UniformLatency(0.1, 4.0), seed=seed
+        )
+        for sender in sends:
+            stacks[sender].bcast("op")
+        scheduler.run()
+        # Liveness.
+        assert all(len(s.delivered) == len(sends) for s in stacks.values())
+        # Per-sender FIFO (implied by causal order).
+        for stack in stacks.values():
+            seen = {}
+            for label in stack.delivered:
+                assert label.seqno == seen.get(label.sender, -1) + 1
+                seen[label.sender] = label.seqno

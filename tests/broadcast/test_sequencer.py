@@ -1,0 +1,98 @@
+"""Tests for the fixed-sequencer total order."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.broadcast.sequencer import SequencerTotalOrder
+from repro.net.latency import UniformLatency
+from tests.conftest import build_group
+
+
+class TestRoles:
+    def test_rank_zero_member_is_sequencer(self):
+        _, __, stacks = build_group(SequencerTotalOrder)
+        assert stacks["a"].is_sequencer
+        assert not stacks["b"].is_sequencer
+        assert stacks["b"].sequencer_id == "a"
+
+
+class TestTotalOrder:
+    def test_identical_app_order_at_all_members(self):
+        scheduler, _, stacks = build_group(
+            SequencerTotalOrder, latency=UniformLatency(0.1, 4.0), seed=3
+        )
+        for member in ("a", "b", "c"):
+            for _ in range(3):
+                stacks[member].bcast("op")
+        scheduler.run()
+        orders = [s.app_delivered for s in stacks.values()]
+        assert all(order == orders[0] for order in orders)
+        assert len(orders[0]) == 9
+
+    def test_order_bindings_hidden_from_callbacks(self):
+        scheduler, _, stacks = build_group(SequencerTotalOrder, seed=4)
+        seen = []
+        stacks["b"].on_deliver(lambda env: seen.append(env.message.operation))
+        stacks["a"].bcast("app_op")
+        scheduler.run()
+        assert seen == ["app_op"]
+
+    def test_global_sequence_numbers_are_consecutive(self):
+        scheduler, _, stacks = build_group(
+            SequencerTotalOrder, latency=UniformLatency(0.1, 2.0), seed=5
+        )
+        labels = [stacks[m].bcast("op") for m in ("a", "b", "c")]
+        scheduler.run()
+        sequences = sorted(
+            stacks["c"].global_sequence_of(label) for label in labels
+        )
+        assert sequences == [0, 1, 2]
+
+    def test_order_message_cost_is_one_per_app_broadcast(self):
+        scheduler, _, stacks = build_group(
+            SequencerTotalOrder, latency=UniformLatency(0.1, 2.0), seed=6
+        )
+        for member in ("a", "b", "c"):
+            stacks[member].bcast("op")
+        scheduler.run()
+        assert stacks["a"].order_messages_sent == 3
+
+    def test_delivery_blocked_until_binding_arrives(self):
+        # Make the sequencer's responses very slow: data arrives long
+        # before bindings, so nothing is app-delivered in between.
+        from repro.net.latency import ConstantLatency, PerPairLatency
+
+        latency = PerPairLatency(
+            {
+                ("a", "b"): ConstantLatency(10.0),
+                ("a", "c"): ConstantLatency(10.0),
+                ("a", "a"): ConstantLatency(10.0),
+            },
+            default=ConstantLatency(0.5),
+        )
+        scheduler, _, stacks = build_group(SequencerTotalOrder, latency=latency)
+        stacks["b"].bcast("op")
+        scheduler.run_until(5.0)
+        assert stacks["c"].app_delivered == []
+        scheduler.run()
+        assert len(stacks["c"].app_delivered) == 1
+
+
+class TestTotalOrderProperty:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        seed=st.integers(0, 10_000),
+        sends=st.lists(st.sampled_from(["a", "b", "c"]), min_size=1, max_size=12),
+    )
+    def test_random_runs_agree(self, seed, sends):
+        scheduler, _, stacks = build_group(
+            SequencerTotalOrder, latency=UniformLatency(0.1, 3.0), seed=seed
+        )
+        for sender in sends:
+            stacks[sender].bcast("op")
+        scheduler.run()
+        orders = [s.app_delivered for s in stacks.values()]
+        assert all(order == orders[0] for order in orders)
+        assert len(orders[0]) == len(sends)

@@ -1,0 +1,82 @@
+"""Tests for the unordered and FIFO baselines."""
+
+from __future__ import annotations
+
+from repro.analysis.causal_check import sequences_respect_fifo
+from repro.broadcast.fifo import FifoBroadcast
+from repro.broadcast.unordered import UnorderedBroadcast
+from repro.net.latency import PerPairLatency, ConstantLatency, UniformLatency
+from tests.conftest import build_group
+
+
+class TestUnordered:
+    def test_everyone_delivers_everything(self):
+        scheduler, _, stacks = build_group(UnorderedBroadcast, seed=1)
+        labels = {stacks[m].bcast("op") for m in ("a", "b", "c")}
+        scheduler.run()
+        for stack in stacks.values():
+            assert set(stack.delivered) == labels
+
+    def test_orders_may_differ_across_members(self):
+        # Make a's messages slow to b but fast to c.
+        latency = PerPairLatency(
+            {("a", "b"): ConstantLatency(9.0)}, default=ConstantLatency(1.0)
+        )
+        scheduler, _, stacks = build_group(UnorderedBroadcast, latency=latency)
+        stacks["a"].bcast("op")
+        stacks["c"].bcast("op")
+        scheduler.run()
+        assert stacks["b"].delivered != stacks["c"].delivered
+
+    def test_no_holdback_ever(self):
+        scheduler, _, stacks = build_group(UnorderedBroadcast, seed=3)
+        for _ in range(5):
+            stacks["a"].bcast("op")
+        scheduler.run()
+        assert all(s.max_holdback <= 1 for s in stacks.values())
+
+
+class TestFifo:
+    def test_per_sender_order_restored_under_reordering(self):
+        scheduler, _, stacks = build_group(
+            FifoBroadcast, latency=UniformLatency(0.1, 5.0), seed=7
+        )
+        labels = [stacks["a"].bcast("op") for _ in range(10)]
+        scheduler.run()
+        for stack in stacks.values():
+            assert stack.delivered == labels
+
+    def test_fifo_property_checker_passes(self):
+        scheduler, _, stacks = build_group(
+            FifoBroadcast, latency=UniformLatency(0.1, 5.0), seed=11
+        )
+        for member in ("a", "b", "c"):
+            for _ in range(5):
+                stacks[member].bcast("op")
+        scheduler.run()
+        sequences = {m: s.delivered for m, s in stacks.items()}
+        assert sequences_respect_fifo(sequences) == []
+
+    def test_cross_sender_interleavings_can_differ(self):
+        latency = PerPairLatency(
+            {("a", "b"): ConstantLatency(9.0)}, default=ConstantLatency(1.0)
+        )
+        scheduler, _, stacks = build_group(FifoBroadcast, latency=latency)
+        stacks["a"].bcast("op")
+        stacks["c"].bcast("op")
+        scheduler.run()
+        assert stacks["b"].delivered != stacks["c"].delivered
+
+    def test_all_messages_eventually_delivered(self):
+        scheduler, _, stacks = build_group(
+            FifoBroadcast, latency=UniformLatency(0.1, 3.0), seed=13
+        )
+        total = 0
+        for member in ("a", "b", "c"):
+            for _ in range(4):
+                stacks[member].bcast("op")
+                total += 1
+        scheduler.run()
+        for stack in stacks.values():
+            assert len(stack.delivered) == total
+            assert stack.holdback_size == 0

@@ -1,0 +1,58 @@
+"""Tests for Lamport scalar clocks."""
+
+from __future__ import annotations
+
+from repro.clocks.lamport import LamportClock, Timestamp
+
+
+class TestTick:
+    def test_tick_increments(self):
+        clock = LamportClock("a")
+        assert clock.tick() == Timestamp(1, "a")
+        assert clock.tick() == Timestamp(2, "a")
+
+    def test_peek_does_not_advance(self):
+        clock = LamportClock("a")
+        clock.tick()
+        assert clock.peek() == Timestamp(1, "a")
+        assert clock.peek() == Timestamp(1, "a")
+
+    def test_custom_start(self):
+        clock = LamportClock("a", start=10)
+        assert clock.tick() == Timestamp(11, "a")
+
+
+class TestObserve:
+    def test_observe_jumps_past_received_stamp(self):
+        clock = LamportClock("a")
+        clock.observe(Timestamp(7, "b"))
+        assert clock.counter == 8
+
+    def test_observe_smaller_stamp_still_advances(self):
+        clock = LamportClock("a", start=5)
+        clock.observe(Timestamp(2, "b"))
+        assert clock.counter == 6
+
+    def test_send_receive_preserves_happens_before(self):
+        sender = LamportClock("a")
+        receiver = LamportClock("b")
+        send_stamp = sender.tick()
+        receive_stamp = receiver.observe(send_stamp)
+        assert send_stamp < receive_stamp
+
+
+class TestTimestampOrdering:
+    def test_total_order_by_counter_then_entity(self):
+        assert Timestamp(1, "b") < Timestamp(2, "a")
+        assert Timestamp(1, "a") < Timestamp(1, "b")
+
+    def test_equality(self):
+        assert Timestamp(3, "x") == Timestamp(3, "x")
+
+    def test_sorting_is_deterministic(self):
+        stamps = [Timestamp(2, "a"), Timestamp(1, "b"), Timestamp(1, "a")]
+        assert sorted(stamps) == [
+            Timestamp(1, "a"),
+            Timestamp(1, "b"),
+            Timestamp(2, "a"),
+        ]

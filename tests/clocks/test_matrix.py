@@ -1,0 +1,66 @@
+"""Tests for matrix clocks."""
+
+from __future__ import annotations
+
+from repro.clocks.matrix import MatrixClock
+from repro.clocks.vector import VectorClock
+
+
+class TestBasics:
+    def test_zero_has_empty_rows(self):
+        clock = MatrixClock.zero()
+        assert clock.row("a") == VectorClock.zero()
+        assert clock.size_entries() == 0
+
+    def test_record_event_advances_own_row(self):
+        clock = MatrixClock.zero().record_event("a")
+        assert clock.row("a")["a"] == 1
+        assert clock.row("b")["a"] == 0
+
+    def test_record_event_is_pure(self):
+        base = MatrixClock.zero()
+        base.record_event("a")
+        assert base.row("a")["a"] == 0
+
+    def test_merge_joins_rows(self):
+        left = MatrixClock.zero().record_event("a")
+        right = MatrixClock.zero().record_event("b")
+        merged = left.merge(right)
+        assert merged.row("a")["a"] == 1
+        assert merged.row("b")["b"] == 1
+
+    def test_equality_and_hash(self):
+        a = MatrixClock.zero().record_event("a")
+        b = MatrixClock.zero().record_event("a")
+        assert a == b
+        assert hash(a) == hash(b)
+
+
+class TestKnowledgePropagation:
+    def test_receive_absorbs_sender_knowledge(self):
+        sender = MatrixClock.zero().record_event("a")
+        receiver = MatrixClock.zero().receive_at("b", "a", sender)
+        # b now knows a's event.
+        assert receiver.row("b")["a"] == 1
+
+    def test_min_known_tracks_global_knowledge(self):
+        # a produces one event; only a knows it at first.
+        a_view = MatrixClock.zero().record_event("a")
+        members = ["a", "b"]
+        assert a_view.min_known("a", members) == 0
+        # b receives a's message: now both rows record a's event.
+        b_view = MatrixClock.zero().receive_at("b", "a", a_view)
+        combined = a_view.merge(b_view)
+        assert combined.min_known("a", members) == 1
+
+    def test_min_known_empty_members(self):
+        assert MatrixClock.zero().min_known("a", []) == 0
+
+    def test_size_entries_grows_quadratically_in_principle(self):
+        clock = MatrixClock.zero()
+        for entity in ("a", "b", "c"):
+            clock = clock.record_event(entity)
+        # three rows each with one entry
+        assert clock.size_entries() == 3
+        merged = clock.receive_at("a", "b", clock)
+        assert merged.size_entries() >= 3

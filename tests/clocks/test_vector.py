@@ -1,0 +1,122 @@
+"""Tests for vector clocks, including algebraic properties."""
+
+from __future__ import annotations
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.clocks.vector import VectorClock, cbcast_deliverable
+
+ENTITIES = ["a", "b", "c", "d"]
+
+
+def clocks() -> st.SearchStrategy[VectorClock]:
+    return st.builds(
+        VectorClock,
+        st.dictionaries(
+            st.sampled_from(ENTITIES), st.integers(0, 8), max_size=4
+        ),
+    )
+
+
+class TestBasics:
+    def test_zero_clock_has_zero_components(self):
+        assert VectorClock.zero()["anything"] == 0
+
+    def test_increment_is_pure(self):
+        base = VectorClock.zero()
+        bumped = base.increment("a")
+        assert base["a"] == 0
+        assert bumped["a"] == 1
+
+    def test_zero_components_are_normalised(self):
+        assert VectorClock({"a": 0}) == VectorClock.zero()
+        assert VectorClock({"a": 0}).size_entries() == 0
+
+    def test_merge_takes_componentwise_max(self):
+        left = VectorClock({"a": 3, "b": 1})
+        right = VectorClock({"a": 1, "c": 2})
+        merged = left.merge(right)
+        assert merged.as_dict() == {"a": 3, "b": 1, "c": 2}
+
+    def test_hash_consistent_with_equality(self):
+        assert hash(VectorClock({"a": 1})) == hash(VectorClock({"a": 1, "b": 0}))
+
+
+class TestComparisons:
+    def test_causal_precedence(self):
+        earlier = VectorClock({"a": 1})
+        later = VectorClock({"a": 1, "b": 1})
+        assert earlier < later
+        assert earlier <= later
+        assert not later <= earlier
+
+    def test_concurrency(self):
+        left = VectorClock({"a": 1})
+        right = VectorClock({"b": 1})
+        assert left.concurrent_with(right)
+        assert right.concurrent_with(left)
+
+    def test_clock_not_concurrent_with_itself(self):
+        clock = VectorClock({"a": 2})
+        assert not clock.concurrent_with(clock)
+
+    def test_not_less_than_self(self):
+        clock = VectorClock({"a": 1})
+        assert not clock < clock
+
+
+class TestAlgebraicProperties:
+    @given(clocks(), clocks())
+    def test_merge_commutative(self, u, v):
+        assert u.merge(v) == v.merge(u)
+
+    @given(clocks(), clocks(), clocks())
+    def test_merge_associative(self, u, v, w):
+        assert u.merge(v).merge(w) == u.merge(v.merge(w))
+
+    @given(clocks())
+    def test_merge_idempotent(self, u):
+        assert u.merge(u) == u
+
+    @given(clocks(), clocks())
+    def test_merge_is_upper_bound(self, u, v):
+        merged = u.merge(v)
+        assert u <= merged and v <= merged
+
+    @given(clocks(), clocks())
+    def test_exactly_one_relation_holds(self, u, v):
+        relations = [u == v, u < v, v < u, u.concurrent_with(v)]
+        assert sum(relations) == 1
+
+    @given(clocks(), st.sampled_from(ENTITIES))
+    def test_increment_strictly_advances(self, u, entity):
+        assert u < u.increment(entity)
+
+
+class TestCbcastPredicate:
+    def test_next_message_from_sender_is_deliverable(self):
+        local = VectorClock.zero()
+        msg = VectorClock({"a": 1})
+        assert cbcast_deliverable(msg, "a", local)
+
+    def test_gap_from_sender_blocks(self):
+        local = VectorClock.zero()
+        msg = VectorClock({"a": 2})
+        assert not cbcast_deliverable(msg, "a", local)
+
+    def test_missing_third_party_dependency_blocks(self):
+        local = VectorClock.zero()
+        # Sender had seen b's first message before sending.
+        msg = VectorClock({"a": 1, "b": 1})
+        assert not cbcast_deliverable(msg, "a", local)
+
+    def test_satisfied_third_party_dependency_delivers(self):
+        local = VectorClock({"b": 1})
+        msg = VectorClock({"a": 1, "b": 1})
+        assert cbcast_deliverable(msg, "a", local)
+
+    def test_duplicate_old_message_not_deliverable(self):
+        local = VectorClock({"a": 1})
+        msg = VectorClock({"a": 1})
+        assert not cbcast_deliverable(msg, "a", local)

@@ -1,0 +1,53 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Type
+
+import pytest
+
+from repro.broadcast.base import BroadcastProtocol
+from repro.group.membership import GroupMembership
+from repro.net.latency import LatencyModel, UniformLatency
+from repro.net.network import Network
+from repro.sim.rng import RngRegistry
+from repro.sim.scheduler import Scheduler
+from repro.types import EntityId, MessageId
+
+
+@pytest.fixture
+def scheduler() -> Scheduler:
+    return Scheduler()
+
+
+@pytest.fixture
+def network(scheduler: Scheduler) -> Network:
+    return Network(scheduler, rng=RngRegistry(0))
+
+
+def build_group(
+    protocol_cls: Type[BroadcastProtocol],
+    members: Sequence[EntityId] = ("a", "b", "c"),
+    latency: LatencyModel | None = None,
+    seed: int = 0,
+    **protocol_kwargs,
+) -> tuple[Scheduler, Network, Dict[EntityId, BroadcastProtocol]]:
+    """Wire one protocol stack per member on a fresh simulated network."""
+    scheduler = Scheduler()
+    net = Network(
+        scheduler,
+        latency=latency if latency is not None else UniformLatency(0.2, 1.8),
+        rng=RngRegistry(seed),
+    )
+    membership = GroupMembership(members)
+    stacks: Dict[EntityId, BroadcastProtocol] = {}
+    for member in members:
+        stack = protocol_cls(member, membership, **protocol_kwargs)
+        net.register(stack)
+        stacks[member] = stack
+    return scheduler, net, stacks
+
+
+def mid(sender: str, seqno: int) -> MessageId:
+    """Shorthand MessageId constructor for tests."""
+    return MessageId(sender, seqno)

@@ -1,0 +1,112 @@
+"""Tests for the assembled data-access systems."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.convergence import stable_points_agree, states_agree
+from repro.core.access_protocol import (
+    CausalSystem,
+    StablePointSystem,
+    TotalOrderSystem,
+)
+from repro.core.commutativity import counter_spec
+from repro.core.state_machine import counter_machine
+from repro.errors import ConfigurationError
+from repro.net.latency import UniformLatency
+
+
+MEMBERS = ["a", "b", "c"]
+
+
+def payload() -> dict:
+    return {"item": "x", "amount": 1}
+
+
+class TestStablePointSystem:
+    def test_requests_converge(self):
+        system = StablePointSystem(
+            MEMBERS, counter_machine, counter_spec(),
+            latency=UniformLatency(0.2, 2.0), seed=1,
+        )
+        system.request("a", "inc", payload())
+        system.request("b", "dec", payload())
+        system.request("a", "rd", payload())
+        system.run()
+        assert states_agree(system.states()) == []
+
+    def test_stable_points_agree_across_members(self):
+        system = StablePointSystem(
+            MEMBERS, counter_machine, counter_spec(),
+            latency=UniformLatency(0.2, 2.0), seed=2,
+        )
+        for _ in range(3):
+            system.request("a", "inc", payload())
+        system.request("a", "rd", payload())
+        system.run()
+        assert stable_points_agree(system.replicas) == []
+        assert all(
+            r.stable_state_at(0) == 3 for r in system.replicas.values()
+        )
+
+    def test_empty_member_list_rejected(self):
+        with pytest.raises(ConfigurationError):
+            StablePointSystem([], counter_machine, counter_spec())
+
+    def test_delivered_sequences_exposed(self):
+        system = StablePointSystem(
+            MEMBERS, counter_machine, counter_spec(), seed=3
+        )
+        label = system.request("a", "inc", payload())
+        system.run()
+        sequences = system.delivered_sequences()
+        assert all(label in seq for seq in sequences.values())
+
+
+class TestTotalOrderSystem:
+    @pytest.mark.parametrize("engine", ["sequencer", "lamport"])
+    def test_engines_converge(self, engine):
+        system = TotalOrderSystem(
+            MEMBERS, counter_machine, counter_spec(), engine=engine,
+            latency=UniformLatency(0.2, 2.0), seed=4,
+        )
+        system.request("a", "inc", payload())
+        system.request("b", "inc", payload())
+        system.request("c", "dec", payload())
+        system.run()
+        assert states_agree(system.states()) == []
+        assert set(system.states().values()) == {1}
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TotalOrderSystem(
+                MEMBERS, counter_machine, counter_spec(), engine="zeus"
+            )
+
+    def test_engine_recorded(self):
+        system = TotalOrderSystem(
+            MEMBERS, counter_machine, counter_spec(), engine="lamport"
+        )
+        assert system.engine == "lamport"
+
+
+class TestCausalSystem:
+    def test_direct_osend_access(self):
+        system = CausalSystem(
+            MEMBERS, counter_machine, counter_spec(),
+            latency=UniformLatency(0.2, 2.0), seed=5,
+        )
+        m1 = system.osend("a", "inc", payload())
+        system.osend("b", "rd", payload(), occurs_after=m1)
+        system.run()
+        assert states_agree(system.states()) == []
+
+    def test_members_listed(self):
+        system = CausalSystem(MEMBERS, counter_machine, counter_spec())
+        assert system.members == MEMBERS
+
+    def test_run_until(self):
+        system = CausalSystem(MEMBERS, counter_machine, counter_spec())
+        system.osend("a", "inc", payload())
+        system.run_until(0.5)
+        assert system.scheduler.now == 0.5

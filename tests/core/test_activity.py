@@ -1,0 +1,128 @@
+"""Tests for causal activities."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.activity import CausalActivity
+from repro.core.commutativity import CommutativitySpec
+from repro.core.state_machine import counter_machine
+from repro.errors import DependencyError
+from repro.graph.depgraph import DependencyGraph
+from repro.types import Message, MessageId
+
+
+def mid(name: str) -> MessageId:
+    return MessageId(name, 0)
+
+
+def cycle_messages(ops: dict[str, str]) -> dict[MessageId, Message]:
+    messages = {mid("open"): Message(mid("open"), "inc")}
+    for name, op in ops.items():
+        messages[mid(name)] = Message(mid(name), op)
+    messages[mid("close")] = Message(mid("close"), "rd")
+    return messages
+
+
+class TestConstruction:
+    def test_cycle_shape(self):
+        activity = CausalActivity.cycle(
+            mid("open"), [mid("m1"), mid("m2")], mid("close")
+        )
+        graph = activity.graph
+        assert graph.ancestors_of(mid("m1")) == frozenset({mid("open")})
+        assert graph.ancestors_of(mid("close")) == frozenset(
+            {mid("m1"), mid("m2")}
+        )
+        assert graph.concurrent(mid("m1"), mid("m2"))
+
+    def test_cycle_without_closing(self):
+        activity = CausalActivity.cycle(mid("open"), [mid("m1")])
+        assert mid("m1") in activity
+        assert len(activity) == 2
+
+    def test_empty_concurrent_set_chains_closing_to_opening(self):
+        activity = CausalActivity.cycle(mid("open"), [], mid("close"))
+        assert activity.graph.ancestors_of(mid("close")) == frozenset(
+            {mid("open")}
+        )
+
+    def test_from_relations(self):
+        activity = CausalActivity.from_relations(
+            [mid("a"), mid("b"), mid("c")],
+            [(mid("a"), mid("b")), (mid("b"), mid("c"))],
+        )
+        assert activity.graph.precedes(mid("a"), mid("c"))
+
+    def test_from_relations_rejects_unknown_labels(self):
+        with pytest.raises(DependencyError):
+            CausalActivity.from_relations(
+                [mid("a")], [(mid("a"), mid("ghost"))]
+            )
+
+    def test_from_relations_rejects_cycles(self):
+        with pytest.raises(DependencyError):
+            CausalActivity.from_relations(
+                [mid("a"), mid("b")],
+                [(mid("a"), mid("b")), (mid("b"), mid("a"))],
+            )
+
+    def test_dangling_graph_rejected(self):
+        graph = DependencyGraph()
+        graph.add(mid("b"), mid("outside"))
+        with pytest.raises(DependencyError):
+            CausalActivity(graph)
+
+
+class TestCompletion:
+    def test_is_complete(self):
+        activity = CausalActivity.cycle(mid("open"), [mid("m1")], mid("close"))
+        assert not activity.is_complete({mid("open")})
+        assert activity.is_complete({mid("open"), mid("m1"), mid("close")})
+
+    def test_allowed_sequences_count(self):
+        activity = CausalActivity.cycle(
+            mid("open"), [mid("m1"), mid("m2"), mid("m3")], mid("close")
+        )
+        # 3 concurrent middles: 3! orderings.
+        assert len(activity.allowed_sequences()) == 6
+
+
+class TestStability:
+    def test_commuting_cycle_is_stable_both_ways(self):
+        activity = CausalActivity.cycle(
+            mid("open"), [mid("m1"), mid("m2")], mid("close")
+        )
+        messages = cycle_messages({"m1": "inc", "m2": "dec"})
+        machine = counter_machine()
+        spec = CommutativitySpec(commutative_ops={"inc", "dec"})
+
+        stable, final = activity.is_stable_exhaustive(messages, machine)
+        assert stable and final == 1
+
+        guaranteed, violations = activity.is_stable_static(messages, spec)
+        assert guaranteed and not violations
+
+    def test_non_commuting_cycle_flagged_statically(self):
+        activity = CausalActivity.cycle(
+            mid("open"), [mid("m1"), mid("m2")], mid("close")
+        )
+        messages = cycle_messages({"m1": "inc", "m2": "rd"})
+        spec = CommutativitySpec(commutative_ops={"inc", "dec"})
+        guaranteed, violations = activity.is_stable_static(messages, spec)
+        assert not guaranteed
+        assert violations == [(mid("m1"), mid("m2"))]
+
+    def test_exhaustive_check_can_pass_where_static_fails(self):
+        """Static commutativity is sufficient, not necessary."""
+        activity = CausalActivity.cycle(
+            mid("open"), [mid("m1"), mid("m2")], mid("close")
+        )
+        # Two reads are 'non-commutative' by category but trivially
+        # transition-preserving.
+        messages = cycle_messages({"m1": "rd", "m2": "rd"})
+        machine = counter_machine()
+        spec = CommutativitySpec(commutative_ops={"inc", "dec"})
+        stable, _ = activity.is_stable_exhaustive(messages, machine)
+        guaranteed, _ = activity.is_stable_static(messages, spec)
+        assert stable and not guaranteed

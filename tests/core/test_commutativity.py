@@ -1,0 +1,92 @@
+"""Tests for commutativity specifications."""
+
+from __future__ import annotations
+
+from repro.core.commutativity import (
+    CommutativitySpec,
+    counter_spec,
+    registry_spec,
+)
+from repro.types import Message, MessageId
+
+
+def msg(op: str, payload=None, sender: str = "a", seqno: int = 0) -> Message:
+    return Message(MessageId(sender, seqno), op, payload)
+
+
+class TestCategory:
+    def test_commutative_category(self):
+        spec = CommutativitySpec(commutative_ops={"inc", "dec"})
+        assert spec.is_commutative("inc")
+        assert spec.is_commutative("dec")
+        assert not spec.is_commutative("rd")
+
+    def test_pairwise_from_category(self):
+        spec = CommutativitySpec(commutative_ops={"inc", "dec"})
+        assert spec.commute(msg("inc"), msg("dec"))
+        assert not spec.commute(msg("inc"), msg("rd"))
+        assert not spec.commute(msg("rd"), msg("rd"))
+
+
+class TestItemScoping:
+    def test_different_items_commute_regardless_of_category(self):
+        spec = CommutativitySpec(
+            commutative_ops=set(),
+            item_of=lambda m: m.payload["item"],
+        )
+        a = msg("write", {"item": "x"})
+        b = msg("write", {"item": "y"})
+        assert spec.commute(a, b)
+
+    def test_same_item_falls_through_to_category(self):
+        spec = CommutativitySpec(
+            commutative_ops={"inc"},
+            item_of=lambda m: m.payload["item"],
+        )
+        a = msg("inc", {"item": "x"})
+        b = msg("inc", {"item": "x"})
+        assert spec.commute(a, b)
+        c = msg("rd", {"item": "x"})
+        assert not spec.commute(a, c)
+
+
+class TestExtraRule:
+    def test_extra_rule_overrides(self):
+        spec = CommutativitySpec(
+            commutative_ops={"inc"},
+            extra_rule=lambda a, b: False,
+        )
+        assert not spec.commute(msg("inc"), msg("inc"))
+
+    def test_extra_rule_none_falls_through(self):
+        spec = CommutativitySpec(
+            commutative_ops={"inc"},
+            extra_rule=lambda a, b: None,
+        )
+        assert spec.commute(msg("inc"), msg("inc"))
+
+
+class TestPaperSpecs:
+    def test_counter_spec_matches_section_2_2(self):
+        spec = counter_spec()
+        inc = msg("inc", {"item": "x"})
+        dec = msg("dec", {"item": "x"})
+        rd = msg("rd", {"item": "x"})
+        assert spec.commute(inc, dec)
+        assert not spec.commute(inc, rd)
+        assert not spec.commute(dec, rd)
+
+    def test_counter_spec_item_scoping(self):
+        spec = counter_spec()
+        rd_x = msg("rd", {"item": "x"})
+        inc_y = msg("inc", {"item": "y"})
+        assert spec.commute(rd_x, inc_y)
+
+    def test_registry_spec_matches_section_5_2(self):
+        spec = registry_spec()
+        q1 = msg("qry", {"name": "www"})
+        q2 = msg("qry", {"name": "www"})
+        upd = msg("upd", {"name": "www", "value": "1"})
+        assert spec.commute(q1, q2)  # queries are commutative
+        assert not spec.commute(q1, upd)
+        assert not spec.commute(upd, upd)

@@ -1,0 +1,120 @@
+"""Tests for the Section 6.1 front-end manager."""
+
+from __future__ import annotations
+
+from repro.broadcast.osend import OSendBroadcast
+from repro.core.commutativity import CommutativitySpec
+from repro.core.frontend import FrontEndManager
+from repro.net.latency import ConstantLatency, UniformLatency
+from tests.conftest import build_group
+
+
+def spec() -> CommutativitySpec:
+    return CommutativitySpec(commutative_ops={"inc", "dec"})
+
+
+class TestOrderingRules:
+    def test_first_commutative_request_is_unconstrained(self):
+        scheduler, _, stacks = build_group(OSendBroadcast)
+        frontend = FrontEndManager(stacks["a"], spec())
+        label = frontend.request("inc")
+        scheduler.run()
+        assert stacks["a"].graph.ancestors_of(label) == frozenset()
+
+    def test_commutative_requests_hang_off_last_sync(self):
+        scheduler, _, stacks = build_group(OSendBroadcast)
+        frontend = FrontEndManager(stacks["a"], spec())
+        sync = frontend.request("rd")
+        c1 = frontend.request("inc")
+        c2 = frontend.request("dec")
+        scheduler.run()
+        graph = stacks["b"].graph
+        assert graph.ancestors_of(c1) == frozenset({sync})
+        assert graph.ancestors_of(c2) == frozenset({sync})
+        assert graph.concurrent(c1, c2)
+
+    def test_sync_request_and_depends_on_open_commutative_set(self):
+        scheduler, _, stacks = build_group(OSendBroadcast)
+        frontend = FrontEndManager(stacks["a"], spec())
+        c1 = frontend.request("inc")
+        c2 = frontend.request("dec")
+        sync = frontend.request("rd")
+        scheduler.run()
+        assert stacks["b"].graph.ancestors_of(sync) == frozenset({c1, c2})
+
+    def test_sync_without_open_set_chains_to_previous_sync(self):
+        scheduler, _, stacks = build_group(OSendBroadcast)
+        frontend = FrontEndManager(stacks["a"], spec())
+        first = frontend.request("rd")
+        second = frontend.request("rd")
+        scheduler.run()
+        assert stacks["b"].graph.ancestors_of(second) == frozenset({first})
+
+    def test_full_cycle_shape_matches_section_6_1(self):
+        scheduler, _, stacks = build_group(OSendBroadcast)
+        frontend = FrontEndManager(stacks["a"], spec())
+        nc0 = frontend.request("rd")
+        cs = [frontend.request("inc") for _ in range(3)]
+        nc1 = frontend.request("rd")
+        scheduler.run()
+        graph = stacks["c"].graph
+        for c in cs:
+            assert graph.ancestors_of(c) == frozenset({nc0})
+        # The closing sync AND-depends on the commutative set plus the
+        # anchor (the anchor edge is redundant here but required when the
+        # anchor was installed by a remote manager).
+        assert graph.ancestors_of(nc1) == frozenset(set(cs) | {nc0})
+        # Transitive reduction recovers the paper's minimal picture.
+        reduced = graph.transitive_reduction()
+        assert reduced.ancestors_of(nc1) == frozenset(cs)
+
+    def test_counters(self):
+        _, __, stacks = build_group(OSendBroadcast)
+        frontend = FrontEndManager(stacks["a"], spec())
+        frontend.request("inc")
+        frontend.request("rd")
+        assert frontend.requests_sent == 2
+        assert frontend.cycles_opened == 1
+
+
+class TestRemoteTracking:
+    def test_remote_sync_becomes_anchor(self):
+        scheduler, _, stacks = build_group(
+            OSendBroadcast, latency=ConstantLatency(0.5)
+        )
+        fe_a = FrontEndManager(stacks["a"], spec())
+        fe_b = FrontEndManager(stacks["b"], spec())
+        sync = fe_a.request("rd")
+        scheduler.run()
+        label = fe_b.request("inc")
+        scheduler.run()
+        assert stacks["c"].graph.ancestors_of(label) == frozenset({sync})
+        assert fe_b.last_sync_label == sync
+
+    def test_remote_commutatives_joined_into_next_sync(self):
+        scheduler, _, stacks = build_group(
+            OSendBroadcast, latency=ConstantLatency(0.5)
+        )
+        fe_a = FrontEndManager(stacks["a"], spec())
+        fe_b = FrontEndManager(stacks["b"], spec())
+        c_remote = fe_a.request("inc")
+        scheduler.run()
+        c_local = fe_b.request("inc")
+        sync = fe_b.request("rd")
+        scheduler.run()
+        ancestors = stacks["c"].graph.ancestors_of(sync)
+        assert ancestors == frozenset({c_remote, c_local})
+
+    def test_covered_commutatives_dropped_after_remote_sync(self):
+        scheduler, _, stacks = build_group(
+            OSendBroadcast, latency=ConstantLatency(0.5)
+        )
+        fe_a = FrontEndManager(stacks["a"], spec())
+        fe_b = FrontEndManager(stacks["b"], spec())
+        c1 = fe_a.request("inc")
+        scheduler.run()
+        # b knows c1; a closes the cycle with a sync covering c1.
+        sync = fe_a.request("rd")
+        scheduler.run()
+        assert fe_b.open_commutative_labels == []
+        assert fe_b.last_sync_label == sync

@@ -1,0 +1,115 @@
+"""Tests for replicas: live state, VAL(m) stable states, deferred reads."""
+
+from __future__ import annotations
+
+from repro.broadcast.osend import OSendBroadcast
+from repro.core.commutativity import counter_spec
+from repro.core.replica import Replica
+from repro.core.state_machine import counter_machine
+from repro.net.latency import ConstantLatency, PerPairLatency, UniformLatency
+from tests.conftest import build_group
+
+
+def payload(item: str = "x") -> dict:
+    return {"item": item, "amount": 1}
+
+
+def wire_replicas(stacks):
+    return {
+        member: Replica(stack, counter_machine(), counter_spec())
+        for member, stack in stacks.items()
+    }
+
+
+class TestLiveState:
+    def test_applies_deliveries_in_order(self):
+        scheduler, _, stacks = build_group(OSendBroadcast, seed=1)
+        replicas = wire_replicas(stacks)
+        stacks["a"].osend("inc", payload())
+        stacks["b"].osend("inc", payload())
+        scheduler.run()
+        assert all(r.read_now() == 2 for r in replicas.values())
+        assert all(r.messages_applied == 2 for r in replicas.values())
+
+
+class TestStableStates:
+    def test_stable_state_is_causal_cut_not_live_state(self):
+        """A concurrent message delivered early must not leak into VAL(m)."""
+        latency = PerPairLatency(
+            # b's unrelated message reaches c fast, a's chain reaches c slow.
+            {("a", "c"): ConstantLatency(5.0)},
+            default=ConstantLatency(1.0),
+        )
+        scheduler, _, stacks = build_group(OSendBroadcast, latency=latency)
+        replicas = wire_replicas(stacks)
+        m1 = stacks["a"].osend("inc", payload())
+        stacks["b"].osend("inc", payload())  # concurrent, not in the cut
+        stacks["a"].osend("rd", payload(), occurs_after=m1)  # sync, cut={m1}
+        scheduler.run()
+        values = {m: r.stable_state_at(0) for m, r in replicas.items()}
+        assert set(values.values()) == {1}
+        # Live states include both incs everywhere by the end.
+        assert all(r.read_now() == 2 for r in replicas.values())
+
+    def test_chained_cycles_accumulate(self):
+        scheduler, _, stacks = build_group(OSendBroadcast, seed=4)
+        replicas = wire_replicas(stacks)
+        c1 = stacks["a"].osend("inc", payload())
+        s1 = stacks["a"].osend("rd", payload(), occurs_after=c1)
+        c2 = stacks["a"].osend("inc", payload(), occurs_after=s1)
+        stacks["a"].osend("rd", payload(), occurs_after=c2)
+        scheduler.run()
+        for replica in replicas.values():
+            assert replica.stable_point_count == 2
+            assert replica.stable_state_at(0) == 1
+            assert replica.stable_state_at(1) == 2
+
+    def test_stable_state_at_out_of_range(self):
+        scheduler, _, stacks = build_group(OSendBroadcast)
+        replicas = wire_replicas(stacks)
+        scheduler.run()
+        assert replicas["a"].stable_state_at(0) is None
+
+
+class TestDeferredReads:
+    def test_deferred_read_fires_at_next_stable_point(self):
+        scheduler, _, stacks = build_group(
+            OSendBroadcast, latency=UniformLatency(0.2, 2.0), seed=5
+        )
+        replicas = wire_replicas(stacks)
+        results = []
+        for member, replica in replicas.items():
+            replica.read_at_next_stable_point(
+                lambda value, point, member=member: results.append(
+                    (member, value, point.index)
+                )
+            )
+        m1 = stacks["a"].osend("inc", payload())
+        stacks["a"].osend("rd", payload(), occurs_after=m1)
+        scheduler.run()
+        assert len(results) == 3
+        assert {value for _, value, __ in results} == {1}
+        assert {index for _, __, index in results} == {0}
+
+    def test_deferred_read_does_not_fire_without_sync(self):
+        scheduler, _, stacks = build_group(OSendBroadcast)
+        replicas = wire_replicas(stacks)
+        fired = []
+        replicas["a"].read_at_next_stable_point(
+            lambda value, point: fired.append(value)
+        )
+        stacks["a"].osend("inc", payload())
+        scheduler.run()
+        assert fired == []
+
+    def test_deferred_reads_consumed_once(self):
+        scheduler, _, stacks = build_group(OSendBroadcast)
+        replicas = wire_replicas(stacks)
+        fired = []
+        replicas["a"].read_at_next_stable_point(
+            lambda value, point: fired.append(point.index)
+        )
+        s1 = stacks["a"].osend("rd", payload())
+        stacks["a"].osend("rd", payload(), occurs_after=s1)
+        scheduler.run()
+        assert fired == [0]

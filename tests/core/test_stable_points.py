@@ -1,0 +1,77 @@
+"""Tests for local stable-point detection."""
+
+from __future__ import annotations
+
+from repro.core.commutativity import CommutativitySpec
+from repro.core.stable_points import StablePointDetector
+from repro.types import Envelope, Message, MessageId
+
+
+def envelope(op: str, seqno: int) -> Envelope:
+    return Envelope(Message(MessageId("s", seqno), op))
+
+
+def spec() -> CommutativitySpec:
+    return CommutativitySpec(commutative_ops={"inc", "dec"})
+
+
+class TestDetection:
+    def test_non_commutative_delivery_is_a_stable_point(self):
+        detector = StablePointDetector("a", spec())
+        assert detector.observe(envelope("inc", 0), 1.0) is None
+        point = detector.observe(envelope("rd", 1), 2.0)
+        assert point is not None
+        assert point.index == 0
+        assert point.position == 1
+        assert point.pending_commutative == 1
+
+    def test_commutative_run_lengths_counted(self):
+        detector = StablePointDetector("a", spec())
+        for i in range(5):
+            detector.observe(envelope("inc", i), float(i))
+        point = detector.observe(envelope("rd", 5), 6.0)
+        assert point.pending_commutative == 5
+
+    def test_counter_resets_between_points(self):
+        detector = StablePointDetector("a", spec())
+        detector.observe(envelope("inc", 0), 0.0)
+        detector.observe(envelope("rd", 1), 1.0)
+        detector.observe(envelope("dec", 2), 2.0)
+        point = detector.observe(envelope("rd", 3), 3.0)
+        assert point.pending_commutative == 1
+        assert point.index == 1
+
+    def test_consecutive_sync_messages(self):
+        detector = StablePointDetector("a", spec())
+        first = detector.observe(envelope("rd", 0), 0.0)
+        second = detector.observe(envelope("rd", 1), 1.0)
+        assert first.index == 0 and second.index == 1
+        assert second.pending_commutative == 0
+
+    def test_explicit_sync_labels(self):
+        detector = StablePointDetector("a", spec())
+        label = MessageId("s", 0)
+        detector.mark_sync(label)
+        point = detector.observe(Envelope(Message(label, "inc")), 0.0)
+        assert point is not None
+
+    def test_listeners_invoked(self):
+        detector = StablePointDetector("a", spec())
+        seen = []
+        detector.subscribe(seen.append)
+        detector.observe(envelope("rd", 0), 0.0)
+        assert len(seen) == 1 and seen[0].index == 0
+
+    def test_points_and_labels_accessors(self):
+        detector = StablePointDetector("a", spec())
+        detector.observe(envelope("rd", 0), 0.0)
+        detector.observe(envelope("inc", 1), 1.0)
+        detector.observe(envelope("rd", 2), 2.0)
+        assert detector.count == 2
+        assert detector.labels() == [MessageId("s", 0), MessageId("s", 2)]
+
+    def test_time_recorded(self):
+        detector = StablePointDetector("a", spec())
+        point = detector.observe(envelope("rd", 0), 7.5)
+        assert point.time == 7.5
+        assert point.entity == "a"

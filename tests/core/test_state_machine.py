@@ -1,0 +1,87 @@
+"""Tests for application state machines."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.state_machine import (
+    StateMachine,
+    counter_machine,
+    registry_machine,
+)
+from repro.errors import ProtocolError
+from repro.types import Message, MessageId
+
+
+def msg(op: str, payload=None, seqno: int = 0) -> Message:
+    return Message(MessageId("t", seqno), op, payload)
+
+
+class TestApply:
+    def test_counter_transitions(self):
+        machine = counter_machine()
+        state = machine.apply(0, msg("inc"))
+        state = machine.apply(state, msg("inc"))
+        state = machine.apply(state, msg("dec"))
+        assert state == 1
+
+    def test_counter_amounts(self):
+        machine = counter_machine()
+        assert machine.apply(0, msg("inc", {"amount": 5})) == 5
+        assert machine.apply(0, msg("dec", {"amount": 3})) == -3
+
+    def test_read_is_identity(self):
+        machine = counter_machine()
+        assert machine.apply(42, msg("rd")) == 42
+
+    def test_unknown_operation_strict(self):
+        machine = counter_machine()
+        with pytest.raises(ProtocolError):
+            machine.apply(0, msg("unknown"))
+
+    def test_unknown_operation_lenient(self):
+        machine = StateMachine(0, {"inc": lambda s, m: s + 1}, strict=False)
+        assert machine.apply(5, msg("unknown")) == 5
+
+    def test_run_folds_from_initial(self):
+        machine = counter_machine(initial=10)
+        final = machine.run([msg("inc"), msg("inc"), msg("dec")])
+        assert final == 11
+
+    def test_run_from_explicit_state(self):
+        machine = counter_machine()
+        assert machine.run([msg("inc")], state=100) == 101
+
+    def test_operations_and_handles(self):
+        machine = counter_machine()
+        assert machine.operations() == frozenset({"inc", "dec", "rd"})
+        assert machine.handles("inc")
+        assert not machine.handles("put")
+
+
+class TestRegistryMachine:
+    def test_update_then_query(self):
+        machine = registry_machine()
+        state = machine.apply(
+            machine.initial_state, msg("upd", {"name": "www", "value": "1.1.1.1"})
+        )
+        assert dict(state)["www"] == "1.1.1.1"
+        assert machine.apply(state, msg("qry", {"name": "www"})) == state
+
+    def test_update_overwrites(self):
+        machine = registry_machine()
+        state = machine.apply(
+            machine.initial_state, msg("upd", {"name": "n", "value": "v1"})
+        )
+        state = machine.apply(state, msg("upd", {"name": "n", "value": "v2"}, 1))
+        assert dict(state)["n"] == "v2"
+
+    def test_states_are_value_comparable(self):
+        machine = registry_machine()
+        s1 = machine.apply(
+            machine.initial_state, msg("upd", {"name": "n", "value": "v"})
+        )
+        s2 = machine.apply(
+            machine.initial_state, msg("upd", {"name": "n", "value": "v"}, 1)
+        )
+        assert s1 == s2

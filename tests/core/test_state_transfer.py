@@ -1,0 +1,131 @@
+"""Tests for late-joiner state transfer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.broadcast.osend import OSendBroadcast
+from repro.core.commutativity import counter_spec
+from repro.core.replica import Replica
+from repro.core.state_machine import counter_machine
+from repro.core.state_transfer import (
+    Snapshot,
+    bootstrap_joiner,
+    install_snapshot,
+    replayable_envelopes,
+    take_snapshot,
+)
+from repro.errors import ProtocolError
+from repro.group.membership import GroupMembership
+from repro.net.latency import UniformLatency
+from repro.net.network import Network
+from repro.sim.rng import RngRegistry
+from repro.sim.scheduler import Scheduler
+
+
+def payload() -> dict:
+    return {"item": "x", "amount": 1}
+
+
+def make_system(members=("a", "b")):
+    scheduler = Scheduler()
+    net = Network(
+        scheduler, latency=UniformLatency(0.2, 1.5), rng=RngRegistry(0)
+    )
+    membership = GroupMembership(list(members))
+    replicas = {}
+    for member in members:
+        protocol = net.register(OSendBroadcast(member, membership))
+        replicas[member] = Replica(protocol, counter_machine(), counter_spec())
+    return scheduler, net, membership, replicas
+
+
+class TestSnapshots:
+    def test_snapshot_at_stable_point(self):
+        scheduler, _, __, replicas = make_system()
+        protocol = replicas["a"].protocol
+        c1 = protocol.osend("inc", payload())
+        sync = protocol.osend("rd", payload(), occurs_after=c1)
+        scheduler.run()
+        snapshot = take_snapshot(replicas["a"])
+        assert snapshot.state == 1
+        assert snapshot.covered == frozenset({c1, sync})
+        assert snapshot.stable_index == 0
+
+    def test_snapshot_requires_stable_point(self):
+        scheduler, _, __, replicas = make_system()
+        replicas["a"].protocol.osend("inc", payload())
+        scheduler.run()
+        with pytest.raises(ProtocolError):
+            take_snapshot(replicas["a"])
+
+    def test_live_snapshot(self):
+        scheduler, _, __, replicas = make_system()
+        label = replicas["a"].protocol.osend("inc", payload())
+        scheduler.run()
+        snapshot = take_snapshot(replicas["a"], at_stable_point=False)
+        assert snapshot.state == 1
+        assert label in snapshot.covered
+
+    def test_replayable_excludes_covered(self):
+        scheduler, _, __, replicas = make_system()
+        protocol = replicas["a"].protocol
+        c1 = protocol.osend("inc", payload())
+        sync = protocol.osend("rd", payload(), occurs_after=c1)
+        scheduler.run()
+        snapshot = take_snapshot(replicas["a"])
+        late = protocol.osend("inc", payload(), occurs_after=sync)
+        scheduler.run()
+        replay = replayable_envelopes(protocol, snapshot)
+        assert [e.msg_id for e in replay] == [late]
+
+
+class TestJoin:
+    def _grown_group(self):
+        """A 2-member group with history, plus a fresh joiner replica."""
+        scheduler, net, membership, replicas = make_system()
+        protocol_a = replicas["a"].protocol
+        c1 = protocol_a.osend("inc", payload())
+        sync = protocol_a.osend("rd", payload(), occurs_after=c1)
+        post = protocol_a.osend("inc", payload(), occurs_after=sync)
+        scheduler.run()
+        membership.join("c")
+        joiner_protocol = net.register(OSendBroadcast("c", membership))
+        joiner = Replica(joiner_protocol, counter_machine(), counter_spec())
+        return scheduler, replicas, joiner, (c1, sync, post)
+
+    def test_bootstrap_matches_group_state(self):
+        scheduler, replicas, joiner, labels = self._grown_group()
+        bootstrap_joiner(joiner, replicas["a"])
+        assert joiner.read_now() == replicas["a"].read_now() == 2
+
+    def test_joiner_processes_future_traffic(self):
+        scheduler, replicas, joiner, (c1, sync, post) = self._grown_group()
+        bootstrap_joiner(joiner, replicas["a"])
+        # New message depending on pre-join history must deliver at joiner.
+        replicas["b"].protocol.osend("inc", payload(), occurs_after=post)
+        scheduler.run()
+        assert joiner.read_now() == replicas["a"].read_now() == 3
+
+    def test_duplicate_covered_messages_discarded(self):
+        scheduler, replicas, joiner, (c1, sync, post) = self._grown_group()
+        snapshot = bootstrap_joiner(joiner, replicas["a"])
+        assert c1 in snapshot.covered
+        covered_env = replicas["a"].protocol.envelope_of(c1)
+        joiner.protocol.on_receive("a", covered_env)
+        assert joiner.read_now() == 2  # unchanged: duplicate dropped
+
+    def test_install_into_dirty_replica_rejected(self):
+        scheduler, replicas, joiner, _ = self._grown_group()
+        snapshot = take_snapshot(replicas["a"])
+        joiner.protocol.osend("inc", payload())
+        scheduler.run()
+        with pytest.raises(ProtocolError):
+            install_snapshot(joiner, snapshot)
+
+    def test_snapshots_from_different_donors_equivalent(self):
+        scheduler, replicas, joiner, _ = self._grown_group()
+        snap_a = take_snapshot(replicas["a"])
+        snap_b = take_snapshot(replicas["b"])
+        assert snap_a.state == snap_b.state
+        assert snap_a.covered == snap_b.covered

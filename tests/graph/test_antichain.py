@@ -1,0 +1,111 @@
+"""Tests for exact maximum-antichain computation."""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.antichain import maximum_antichain, width
+from repro.graph.depgraph import DependencyGraph
+from repro.types import MessageId
+
+
+def mid(name: str, seqno: int = 0) -> MessageId:
+    return MessageId(name, seqno)
+
+
+def brute_force_width(graph: DependencyGraph) -> int:
+    """Exponential reference implementation for small graphs."""
+    nodes = graph.nodes
+    best = 0
+    for size in range(len(nodes), 0, -1):
+        for subset in combinations(nodes, size):
+            if all(
+                not graph.precedes(a, b) and not graph.precedes(b, a)
+                for a, b in combinations(subset, 2)
+            ):
+                return size
+        if best:
+            break
+    return best
+
+
+class TestKnownShapes:
+    def test_empty_graph(self):
+        assert width(DependencyGraph()) == 0
+        assert maximum_antichain(DependencyGraph()) == frozenset()
+
+    def test_antichain_graph(self):
+        graph = DependencyGraph()
+        for name in ("a", "b", "c", "d"):
+            graph.add(mid(name))
+        assert width(graph) == 4
+        assert maximum_antichain(graph) == frozenset(graph.nodes)
+
+    def test_chain_graph(self):
+        graph = DependencyGraph()
+        previous = None
+        for name in ("a", "b", "c"):
+            graph.add(mid(name), previous)
+            previous = mid(name)
+        assert width(graph) == 1
+        assert len(maximum_antichain(graph)) == 1
+
+    def test_cycle_activity_width_is_middle_count(self):
+        graph = DependencyGraph()
+        graph.add(mid("open"))
+        middles = [mid(f"m{i}") for i in range(5)]
+        for label in middles:
+            graph.add(label, mid("open"))
+        graph.add(mid("close"), middles)
+        assert width(graph) == 5
+        assert maximum_antichain(graph) == frozenset(middles)
+
+    def test_two_independent_chains(self):
+        graph = DependencyGraph()
+        for chain in ("x", "y"):
+            previous = None
+            for i in range(3):
+                graph.add(mid(chain, i), previous)
+                previous = mid(chain, i)
+        assert width(graph) == 2
+
+
+@st.composite
+def small_dags(draw):
+    size = draw(st.integers(1, 6))
+    graph = DependencyGraph()
+    labels = [mid("n", i) for i in range(size)]
+    for index, label in enumerate(labels):
+        ancestors = draw(
+            st.sets(st.integers(0, max(0, index - 1)), max_size=index)
+        )
+        graph.add(label, [labels[i] for i in ancestors])
+    return graph
+
+
+class TestAgainstBruteForce:
+    @settings(max_examples=40, deadline=None)
+    @given(small_dags())
+    def test_width_matches_brute_force(self, graph):
+        assert width(graph) == brute_force_width(graph)
+
+    @settings(max_examples=25, deadline=None)
+    @given(small_dags())
+    def test_maximum_antichain_is_valid_and_maximal(self, graph):
+        antichain = maximum_antichain(graph)
+        assert len(antichain) == brute_force_width(graph)
+        for a in antichain:
+            for b in antichain:
+                if a != b:
+                    assert graph.concurrent(a, b)
+
+    @settings(max_examples=20, deadline=None)
+    @given(small_dags())
+    def test_greedy_classes_never_beat_exact_width(self, graph):
+        greedy_best = max(
+            (len(c) for c in graph.concurrency_classes()), default=0
+        )
+        assert greedy_best <= width(graph)

@@ -1,0 +1,69 @@
+"""Tests for graph rendering."""
+
+from __future__ import annotations
+
+from repro.graph.depgraph import DependencyGraph
+from repro.graph.render import depth_levels, to_ascii, to_dot
+from repro.types import MessageId
+
+
+def mid(name: str) -> MessageId:
+    return MessageId(name, 0)
+
+
+def cycle_graph() -> DependencyGraph:
+    graph = DependencyGraph()
+    graph.add(mid("nc0"))
+    graph.add(mid("c1"), mid("nc0"))
+    graph.add(mid("c2"), mid("nc0"))
+    graph.add(mid("nc1"), [mid("c1"), mid("c2")])
+    return graph
+
+
+class TestDot:
+    def test_contains_all_nodes_and_edges(self):
+        dot = to_dot(cycle_graph())
+        assert dot.startswith("digraph")
+        for name in ("nc0:0", "c1:0", "c2:0", "nc1:0"):
+            assert f'"{name}"' in dot
+        assert '"nc0:0" -> "c1:0";' in dot
+        assert '"c1:0" -> "nc1:0";' in dot
+
+    def test_highlighted_nodes_doubled(self):
+        dot = to_dot(cycle_graph(), highlight={mid("nc1")})
+        assert '"nc1:0" [shape=doublecircle];' in dot
+        assert '"c1:0" [shape=ellipse];' in dot
+
+    def test_valid_braces(self):
+        dot = to_dot(cycle_graph())
+        assert dot.count("{") == dot.count("}") == 1
+
+
+class TestLevels:
+    def test_depth_levels_of_cycle(self):
+        levels = depth_levels(cycle_graph())
+        assert levels[0] == [mid("nc0")]
+        assert set(levels[1]) == {mid("c1"), mid("c2")}
+        assert levels[2] == [mid("nc1")]
+
+    def test_antichain_is_single_level(self):
+        graph = DependencyGraph()
+        for name in ("a", "b", "c"):
+            graph.add(mid(name))
+        levels = depth_levels(graph)
+        assert len(levels) == 1 and len(levels[0]) == 3
+
+
+class TestAscii:
+    def test_concurrent_sets_marked(self):
+        text = to_ascii(cycle_graph())
+        assert "‖{c1:0, c2:0}" in text
+        lines = text.splitlines()
+        assert len(lines) == 3
+
+    def test_highlight_star(self):
+        text = to_ascii(cycle_graph(), highlight={mid("nc1")})
+        assert "nc1:0*" in text
+
+    def test_empty_graph(self):
+        assert to_ascii(DependencyGraph()) == "(empty graph)"

@@ -1,0 +1,147 @@
+"""Tests for stability analysis (transition-preserving activities)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.commutativity import CommutativitySpec
+from repro.core.state_machine import counter_machine
+from repro.graph.depgraph import DependencyGraph
+from repro.graph.stability import (
+    commutativity_guarantees_stability,
+    concurrent_pairs,
+    is_transition_preserving,
+    run_sequence,
+)
+from repro.types import Message, MessageId
+
+
+def mid(name: str) -> MessageId:
+    return MessageId(name, 0)
+
+
+def make_cycle(operations: dict[str, str]):
+    """Build the paper's activity: open ≺ ‖{middles} ≺ close.
+
+    ``operations`` maps label-name -> operation for the middle messages.
+    """
+    graph = DependencyGraph()
+    graph.add(mid("open"))
+    for name in operations:
+        graph.add(mid(name), mid("open"))
+    graph.add(mid("close"), [mid(n) for n in operations])
+    messages = {mid("open"): Message(mid("open"), "inc")}
+    for name, op in operations.items():
+        messages[mid(name)] = Message(mid(name), op)
+    messages[mid("close")] = Message(mid("close"), "rd")
+    return graph, messages
+
+
+class TestRunSequence:
+    def test_folds_messages(self):
+        machine = counter_machine()
+        messages = [Message(mid("a"), "inc"), Message(mid("b"), "inc")]
+        assert run_sequence(machine.apply, 0, messages) == 2
+
+    def test_empty_sequence_returns_initial(self):
+        machine = counter_machine()
+        assert run_sequence(machine.apply, 7, []) == 7
+
+
+class TestExhaustiveCheck:
+    def test_commuting_concurrent_ops_are_stable(self):
+        graph, messages = make_cycle({"m1": "inc", "m2": "dec"})
+        machine = counter_machine()
+        stable, final = is_transition_preserving(
+            graph, messages, machine.apply, 0
+        )
+        assert stable
+        assert final == 1  # open inc +1, m1 +1, m2 -1
+
+    def test_non_commuting_concurrent_ops_detected(self):
+        # "set to 10" does not commute with "inc".
+        graph = DependencyGraph()
+        graph.add(mid("set"))
+        graph.add(mid("inc"))
+
+        def transition(state, message):
+            if message.operation == "set":
+                return 10
+            return state + 1
+
+        messages = {
+            mid("set"): Message(mid("set"), "set"),
+            mid("inc"): Message(mid("inc"), "inc"),
+        }
+        stable, _ = is_transition_preserving(graph, messages, transition, 0)
+        assert not stable
+
+    def test_chain_is_always_stable(self):
+        graph = DependencyGraph()
+        graph.add(mid("a"))
+        graph.add(mid("b"), mid("a"))
+        messages = {
+            mid("a"): Message(mid("a"), "set"),
+            mid("b"): Message(mid("b"), "inc"),
+        }
+
+        def transition(state, message):
+            return 10 if message.operation == "set" else state + 1
+
+        stable, final = is_transition_preserving(graph, messages, transition, 0)
+        assert stable and final == 11
+
+    def test_missing_message_raises(self):
+        graph = DependencyGraph()
+        graph.add(mid("a"))
+        with pytest.raises(ValueError):
+            is_transition_preserving(graph, {}, lambda s, m: s, 0)
+
+    def test_sequence_explosion_guard(self):
+        graph = DependencyGraph()
+        messages = {}
+        for i in range(8):
+            label = MessageId("n", i)
+            graph.add(label)
+            messages[label] = Message(label, "inc")
+        machine = counter_machine()
+        with pytest.raises(ValueError):
+            is_transition_preserving(
+                graph, messages, machine.apply, 0, max_sequences=10
+            )
+
+
+class TestStaticCheck:
+    def test_concurrent_pairs_of_cycle(self):
+        graph, _ = make_cycle({"m1": "inc", "m2": "dec", "m3": "inc"})
+        pairs = concurrent_pairs(graph)
+        assert len(pairs) == 3  # the three middle messages pairwise
+
+    def test_commutativity_guarantees_stability(self):
+        graph, messages = make_cycle({"m1": "inc", "m2": "dec"})
+        spec = CommutativitySpec(commutative_ops={"inc", "dec"})
+        guaranteed, violations = commutativity_guarantees_stability(
+            graph, messages, spec.commute
+        )
+        assert guaranteed and violations == []
+
+    def test_violating_pair_reported(self):
+        graph, messages = make_cycle({"m1": "inc", "m2": "rd"})
+        spec = CommutativitySpec(commutative_ops={"inc", "dec"})
+        guaranteed, violations = commutativity_guarantees_stability(
+            graph, messages, spec.commute
+        )
+        assert not guaranteed
+        assert (mid("m1"), mid("m2")) in violations
+
+    def test_static_check_agrees_with_exhaustive_on_counter_cycles(self):
+        graph, messages = make_cycle({"m1": "inc", "m2": "dec", "m3": "inc"})
+        machine = counter_machine()
+        spec = CommutativitySpec(commutative_ops={"inc", "dec"})
+        static_ok, _ = commutativity_guarantees_stability(
+            graph, messages, spec.commute
+        )
+        exhaustive_ok, _ = is_transition_preserving(
+            graph, messages, machine.apply, 0
+        )
+        assert static_ok and exhaustive_ok

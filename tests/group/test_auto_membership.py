@@ -1,0 +1,110 @@
+"""Tests for failure-driven membership management."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.broadcast.osend import OSendBroadcast
+from repro.errors import ProtocolError
+from repro.group.auto_membership import MembershipManager, manage_membership
+from repro.group.membership import GroupMembership
+from repro.group.view_sync import attach_view_sync
+from repro.net.faults import FaultPlan
+from repro.net.latency import ConstantLatency
+from repro.net.network import Network
+from repro.sim.rng import RngRegistry
+from repro.sim.scheduler import Scheduler
+
+
+def make_cluster(members=("a", "b", "c")):
+    scheduler = Scheduler()
+    faults = FaultPlan()
+    net = Network(
+        scheduler,
+        latency=ConstantLatency(0.3),
+        faults=faults,
+        rng=RngRegistry(0),
+    )
+    membership = GroupMembership(list(members))
+    stacks = {
+        m: net.register(OSendBroadcast(m, membership)) for m in members
+    }
+    agents = attach_view_sync(stacks)
+    managers = manage_membership(
+        stacks, agents, heartbeat_interval=1.0, suspicion_timeout=3.0
+    )
+    return scheduler, faults, membership, stacks, agents, managers
+
+
+class TestHeartbeats:
+    def test_healthy_cluster_never_suspects(self):
+        scheduler, _, membership, stacks, agents, managers = make_cluster()
+        for manager in managers.values():
+            manager.start(duration=15.0)
+        scheduler.run()
+        assert membership.view.view_id == 0
+        for manager in managers.values():
+            assert not manager.detector.suspected
+
+    def test_heartbeats_are_invisible_to_the_app(self):
+        scheduler, _, __, stacks, agents, managers = make_cluster()
+        seen = []
+        stacks["a"].on_deliver(lambda env: seen.append(env))
+        for manager in managers.values():
+            manager.start(duration=5.0)
+        scheduler.run()
+        assert seen == []
+
+    def test_invalid_interval_rejected(self):
+        scheduler, _, __, stacks, agents, managers = make_cluster()
+        with pytest.raises(ProtocolError):
+            MembershipManager(
+                stacks["a"], agents["a"], heartbeat_interval=0.0
+            )
+
+
+class TestCrashHandling:
+    def test_partitioned_member_is_removed(self):
+        scheduler, faults, membership, stacks, agents, managers = make_cluster()
+        for manager in managers.values():
+            manager.start(duration=25.0)
+        # c crashes (partitioned away) at t=5.
+        scheduler.call_at(5.0, faults.partition, {"a", "b"}, {"c"})
+        scheduler.run()
+        assert membership.view.members == ("a", "b")
+        assert membership.view.view_id == 1
+
+    def test_only_the_coordinator_proposes(self):
+        scheduler, faults, membership, stacks, agents, managers = make_cluster()
+        for manager in managers.values():
+            manager.start(duration=25.0)
+        scheduler.call_at(5.0, faults.partition, {"a", "b"}, {"c"})
+        scheduler.run()
+        proposals = {m: mgr.removals_proposed for m, mgr in managers.items()}
+        assert proposals["a"] == 1
+        assert proposals["b"] == 0
+
+    def test_survivors_keep_working_after_removal(self):
+        scheduler, faults, membership, stacks, agents, managers = make_cluster()
+        for manager in managers.values():
+            manager.start(duration=25.0)
+        scheduler.call_at(5.0, faults.partition, {"a", "b"}, {"c"})
+        scheduler.run()
+        assert membership.view.members == ("a", "b")
+        label = stacks["a"].osend("op")
+        scheduler.run()
+        assert label in stacks["b"].delivered
+
+    def test_in_flight_messages_flushed_before_removal(self):
+        scheduler, faults, membership, stacks, agents, managers = make_cluster()
+        for manager in managers.values():
+            manager.start(duration=25.0)
+        m1 = stacks["a"].osend("pre-crash")
+        scheduler.call_at(5.0, faults.partition, {"a", "b"}, {"c"})
+        scheduler.run()
+        assert membership.view.members == ("a", "b")
+        snapshots = {
+            m: agents[m].flush_snapshot for m in ("a", "b")
+        }
+        assert snapshots["a"] == snapshots["b"]
+        assert m1 in snapshots["a"]

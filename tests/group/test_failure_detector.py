@@ -1,0 +1,83 @@
+"""Tests for the heartbeat failure detector."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.group.failure_detector import HeartbeatFailureDetector
+from repro.sim.scheduler import Scheduler
+
+
+def make_detector(timeout: float = 2.0):
+    scheduler = Scheduler()
+    detector = HeartbeatFailureDetector(
+        scheduler, ["a", "b"], timeout=timeout, check_interval=0.5
+    )
+    return scheduler, detector
+
+
+class TestSuspicion:
+    def test_silent_member_becomes_suspected(self):
+        scheduler, detector = make_detector()
+        detector.start()
+        scheduler.run_until(5.0)
+        assert detector.is_suspected("a")
+        assert detector.is_suspected("b")
+
+    def test_heartbeats_prevent_suspicion(self):
+        scheduler, detector = make_detector()
+        detector.start()
+        for t in (1.0, 2.0, 3.0, 4.0):
+            scheduler.call_at(t, detector.heartbeat, "a")
+        scheduler.run_until(5.0)
+        assert not detector.is_suspected("a")
+        assert detector.is_suspected("b")
+
+    def test_listener_invoked_once_per_suspicion(self):
+        scheduler, detector = make_detector()
+        suspected = []
+        detector.subscribe(suspected.append)
+        detector.start()
+        scheduler.run_until(10.0)
+        assert sorted(suspected) == ["a", "b"]
+
+    def test_speaking_again_unsuspects(self):
+        scheduler, detector = make_detector()
+        detector.start()
+        scheduler.run_until(5.0)
+        assert detector.is_suspected("a")
+        detector.heartbeat("a")
+        assert not detector.is_suspected("a")
+
+    def test_suspected_set_copy(self):
+        scheduler, detector = make_detector()
+        detector.start()
+        scheduler.run_until(5.0)
+        snapshot = detector.suspected
+        snapshot.clear()
+        assert detector.is_suspected("a")
+
+
+class TestLifecycle:
+    def test_stop_halts_checking(self):
+        scheduler, detector = make_detector()
+        detector.start()
+        detector.stop()
+        scheduler.run_until(10.0)
+        assert not detector.suspected
+
+    def test_start_is_idempotent(self):
+        scheduler, detector = make_detector()
+        detector.start()
+        detector.start()
+        scheduler.run_until(1.0)
+
+    def test_unknown_entity_heartbeat_rejected(self):
+        _, detector = make_detector()
+        with pytest.raises(ConfigurationError):
+            detector.heartbeat("ghost")
+
+    def test_nonpositive_timeout_rejected(self):
+        with pytest.raises(ConfigurationError):
+            HeartbeatFailureDetector(Scheduler(), ["a"], timeout=0.0)

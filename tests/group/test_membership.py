@@ -1,0 +1,92 @@
+"""Tests for group membership and views."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import MembershipError
+from repro.group.membership import GroupMembership, GroupView
+
+
+class TestGroupView:
+    def test_basic_properties(self):
+        view = GroupView(0, ("a", "b", "c"))
+        assert len(view) == 3
+        assert "b" in view
+        assert list(view) == ["a", "b", "c"]
+
+    def test_duplicate_members_rejected(self):
+        with pytest.raises(MembershipError):
+            GroupView(0, ("a", "a"))
+
+    def test_rank(self):
+        view = GroupView(0, ("a", "b", "c"))
+        assert view.rank("a") == 0
+        assert view.rank("c") == 2
+
+    def test_rank_of_stranger_raises(self):
+        view = GroupView(0, ("a",))
+        with pytest.raises(MembershipError):
+            view.rank("z")
+
+    def test_successor_wraps(self):
+        view = GroupView(0, ("a", "b", "c"))
+        assert view.successor("a") == "b"
+        assert view.successor("c") == "a"
+
+    def test_as_set(self):
+        assert GroupView(0, ("a", "b")).as_set() == frozenset({"a", "b"})
+
+
+class TestGroupMembership:
+    def test_initial_view(self):
+        membership = GroupMembership(["a", "b"])
+        assert membership.view.view_id == 0
+        assert membership.members == ("a", "b")
+
+    def test_empty_group_rejected(self):
+        with pytest.raises(MembershipError):
+            GroupMembership([])
+
+    def test_join_installs_new_view(self):
+        membership = GroupMembership(["a"])
+        view = membership.join("b")
+        assert view.view_id == 1
+        assert view.members == ("a", "b")
+
+    def test_join_existing_member_rejected(self):
+        membership = GroupMembership(["a"])
+        with pytest.raises(MembershipError):
+            membership.join("a")
+
+    def test_leave(self):
+        membership = GroupMembership(["a", "b"])
+        view = membership.leave("a")
+        assert view.members == ("b",)
+
+    def test_leave_stranger_rejected(self):
+        membership = GroupMembership(["a"])
+        with pytest.raises(MembershipError):
+            membership.leave("z")
+
+    def test_cannot_remove_last_member(self):
+        membership = GroupMembership(["a"])
+        with pytest.raises(MembershipError):
+            membership.leave("a")
+
+    def test_listeners_notified_in_order(self):
+        membership = GroupMembership(["a"])
+        views = []
+        membership.subscribe(views.append)
+        membership.join("b")
+        membership.join("c")
+        assert [v.view_id for v in views] == [1, 2]
+
+    def test_view_ids_strictly_increase(self):
+        membership = GroupMembership(["a", "b", "c"])
+        ids = [membership.view.view_id]
+        membership.leave("c")
+        ids.append(membership.view.view_id)
+        membership.join("d")
+        ids.append(membership.view.view_id)
+        assert ids == sorted(set(ids))

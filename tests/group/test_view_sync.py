@@ -1,0 +1,128 @@
+"""Tests for view-synchronous membership change."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.broadcast.osend import OSendBroadcast
+from repro.errors import MembershipError, ProtocolError
+from repro.group.membership import GroupMembership
+from repro.group.view_sync import ViewSyncAgent, attach_view_sync
+from repro.net.latency import UniformLatency
+from repro.net.network import Network
+from repro.sim.rng import RngRegistry
+from repro.sim.scheduler import Scheduler
+
+
+def make_group(members=("a", "b", "c"), seed: int = 0):
+    scheduler = Scheduler()
+    net = Network(
+        scheduler, latency=UniformLatency(0.2, 1.5), rng=RngRegistry(seed)
+    )
+    membership = GroupMembership(list(members))
+    stacks = {
+        m: net.register(OSendBroadcast(m, membership)) for m in members
+    }
+    agents = attach_view_sync(stacks)
+    return scheduler, net, membership, stacks, agents
+
+
+class TestFlushProtocol:
+    def test_leave_installs_new_view_everywhere(self):
+        scheduler, _, membership, stacks, agents = make_group()
+        installed = []
+        for member, agent in agents.items():
+            agent.on_install(
+                lambda view, member=member: installed.append(
+                    (member, view.view_id)
+                )
+            )
+        agents["a"].propose("leave", "c")
+        scheduler.run()
+        assert membership.view.members == ("a", "b")
+        assert sorted(installed) == [("a", 1), ("b", 1), ("c", 1)]
+        assert agents["a"].changes_installed == 1
+
+    def test_join_installs_new_view(self):
+        scheduler, _, membership, stacks, agents = make_group()
+        agents["b"].propose("join", "d")
+        scheduler.run()
+        assert "d" in membership.view.members
+        assert membership.view.view_id == 1
+
+    def test_old_view_messages_flushed_before_install(self):
+        """View synchrony: at FLUSH_OK every member had delivered the
+        same old-view message set."""
+        scheduler, _, membership, stacks, agents = make_group()
+        m1 = stacks["a"].osend("op")
+        m2 = stacks["b"].osend("op", occurs_after=m1)
+        agents["a"].propose("leave", "c")
+        scheduler.run()
+        snapshots = {m: a.flush_snapshot for m, a in agents.items()}
+        assert all(snap is not None for snap in snapshots.values())
+        assert snapshots["a"] == snapshots["b"] == snapshots["c"]
+        assert {m1, m2} <= snapshots["a"]
+
+    def test_sends_frozen_during_flush(self):
+        scheduler, _, membership, stacks, agents = make_group()
+        # Block c's drain forever: dependency on a ghost message.
+        from repro.types import MessageId
+
+        stacks["c"].osend("blocked", occurs_after=MessageId("ghost", 0))
+        agents["a"].propose("leave", "b")
+        scheduler.run_until(5.0)
+        assert agents["a"].frozen
+        with pytest.raises(ProtocolError):
+            stacks["a"].bcast("op")
+
+    def test_unfrozen_after_install(self):
+        scheduler, _, membership, stacks, agents = make_group()
+        agents["a"].propose("leave", "c")
+        scheduler.run()
+        assert not agents["a"].frozen
+        stacks["a"].bcast("op")  # must not raise
+        scheduler.run()
+
+    def test_concurrent_proposal_rejected_locally(self):
+        scheduler, _, membership, stacks, agents = make_group()
+        agents["a"].propose("leave", "c")
+        scheduler.run_until(0.1)
+        # a has delivered its own proposal by now -> pending change set.
+        if agents["a"]._pending_change is not None:
+            with pytest.raises(ProtocolError):
+                agents["a"].propose("leave", "b")
+
+    def test_invalid_proposals_rejected(self):
+        _, __, ___, ____, agents = make_group()
+        with pytest.raises(MembershipError):
+            agents["a"].propose("join", "a")
+        with pytest.raises(MembershipError):
+            agents["a"].propose("leave", "zz")
+        with pytest.raises(ProtocolError):
+            agents["a"].propose("explode", "a")
+
+    def test_stale_proposal_for_old_view_ignored(self):
+        scheduler, _, membership, stacks, agents = make_group()
+        agents["a"].propose("leave", "c")
+        scheduler.run()
+        assert membership.view.view_id == 1
+        # Replay a proposal built against view 0: must be ignored.
+        from repro.group.view_sync import ViewChange
+
+        agents["a"]._on_proposal(ViewChange("leave", "b", old_view_id=0))
+        assert agents["a"]._pending_change is None
+        assert membership.view.members == ("a", "b")
+
+
+class TestSequentialChanges:
+    def test_two_changes_back_to_back(self):
+        scheduler, _, membership, stacks, agents = make_group(
+            members=("a", "b", "c", "d")
+        )
+        agents["a"].propose("leave", "d")
+        scheduler.run()
+        assert membership.view.members == ("a", "b", "c")
+        agents["b"].propose("join", "e")
+        scheduler.run()
+        assert membership.view.members == ("a", "b", "c", "e")
+        assert membership.view.view_id == 2

@@ -1,0 +1,141 @@
+"""Metamorphic cross-protocol properties.
+
+Relations that must hold *between* protocols on equivalent workloads:
+an ordering protocol configured to its degenerate extreme must behave
+like the simpler protocol it degenerates into.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.broadcast.asend import ASendTotalOrder
+from repro.broadcast.cbcast import CbcastBroadcast
+from repro.broadcast.fifo import FifoBroadcast
+from repro.broadcast.lamport_total import LamportTotalOrder
+from repro.broadcast.osend import OSendBroadcast
+from repro.broadcast.rst import RstBroadcast
+from repro.broadcast.sequencer import SequencerTotalOrder
+from repro.broadcast.unordered import UnorderedBroadcast
+from repro.net.latency import UniformLatency
+from tests.conftest import build_group
+
+MEMBERS = ("a", "b", "c")
+
+
+class TestDegenerateEquivalences:
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 5_000), count=st.integers(1, 8))
+    def test_fully_chained_osend_is_a_global_total_order(self, seed, count):
+        """Declaring a full chain forces identical sequences everywhere."""
+        scheduler, _, stacks = build_group(
+            OSendBroadcast, latency=UniformLatency(0.1, 4.0), seed=seed
+        )
+        previous = None
+        for i in range(count):
+            sender = MEMBERS[i % 3]
+            previous = stacks[sender].osend("op", occurs_after=previous)
+        scheduler.run()
+        orders = [s.delivered for s in stacks.values()]
+        assert all(order == orders[0] for order in orders)
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 5_000), count=st.integers(1, 8))
+    def test_single_sender_cbcast_equals_fifo(self, seed, count):
+        """With one sender, causal order degenerates to FIFO order."""
+        results = {}
+        for protocol_cls in (CbcastBroadcast, FifoBroadcast):
+            scheduler, _, stacks = build_group(
+                protocol_cls, latency=UniformLatency(0.1, 4.0), seed=seed
+            )
+            for _ in range(count):
+                stacks["a"].bcast("op")
+            scheduler.run()
+            results[protocol_cls] = {
+                m: s.delivered for m, s in stacks.items()
+            }
+        assert results[CbcastBroadcast] == results[FifoBroadcast]
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 5_000), count=st.integers(1, 8))
+    def test_single_sender_rst_equals_fifo(self, seed, count):
+        results = {}
+        for protocol_cls in (RstBroadcast, FifoBroadcast):
+            scheduler, _, stacks = build_group(
+                protocol_cls, latency=UniformLatency(0.1, 4.0), seed=seed
+            )
+            for _ in range(count):
+                stacks["b"].bcast("op")
+            scheduler.run()
+            results[protocol_cls] = {
+                m: s.delivered for m, s in stacks.items()
+            }
+        assert results[RstBroadcast] == results[FifoBroadcast]
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 5_000), count=st.integers(1, 6))
+    def test_asend_unit_epochs_are_a_chain(self, seed, count):
+        """Batch size 1 with increasing epochs = one global sequence, in
+        epoch order."""
+        scheduler, _, stacks = build_group(
+            ASendTotalOrder,
+            latency=UniformLatency(0.1, 4.0),
+            seed=seed,
+            expected_per_epoch=1,
+        )
+        labels = []
+        for epoch in range(count):
+            sender = MEMBERS[epoch % 3]
+            labels.append(stacks[sender].asend("op", epoch=epoch))
+        scheduler.run()
+        for stack in stacks.values():
+            assert stack.delivered == labels
+
+
+class TestAgreementAcrossEngines:
+    @settings(max_examples=10, deadline=None)
+    @given(
+        seed=st.integers(0, 5_000),
+        sends=st.lists(st.sampled_from(MEMBERS), min_size=1, max_size=8),
+    )
+    def test_all_total_order_engines_deliver_same_set(self, seed, sends):
+        """Different engines may pick different orders, but each is a
+        permutation of the same message multiset and internally agreed."""
+        for protocol_cls, sender_fn in (
+            (SequencerTotalOrder, lambda s: s.bcast("op")),
+            (LamportTotalOrder, lambda s: s.total_send("op")),
+        ):
+            scheduler, _, stacks = build_group(
+                protocol_cls, latency=UniformLatency(0.1, 4.0), seed=seed
+            )
+            for sender in sends:
+                sender_fn(stacks[sender])
+            scheduler.run()
+            orders = [s.app_delivered for s in stacks.values()]
+            assert all(order == orders[0] for order in orders)
+            assert len(orders[0]) == len(sends)
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        seed=st.integers(0, 5_000),
+        sends=st.lists(st.sampled_from(MEMBERS), min_size=1, max_size=8),
+    )
+    def test_every_protocol_delivers_the_same_message_set(self, seed, sends):
+        """Ordering differs; the delivered *set* never does."""
+        sets = []
+        for protocol_cls in (
+            UnorderedBroadcast,
+            FifoBroadcast,
+            CbcastBroadcast,
+            RstBroadcast,
+            OSendBroadcast,
+        ):
+            scheduler, _, stacks = build_group(
+                protocol_cls, latency=UniformLatency(0.1, 4.0), seed=seed
+            )
+            for sender in sends:
+                stacks[sender].bcast("op")
+            scheduler.run()
+            sets.append(frozenset(stacks["c"].delivered))
+        assert len(set(sets)) == 1

@@ -1,0 +1,120 @@
+"""System-level property-based tests.
+
+These drive whole systems with randomized workloads and assert the
+paper's invariants: causal delivery, stable-point agreement, convergence.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.causal_check import verify_against_graph
+from repro.analysis.convergence import stable_points_agree, states_agree
+from repro.core.access_protocol import StablePointSystem, TotalOrderSystem
+from repro.core.commutativity import counter_spec
+from repro.core.state_machine import counter_machine
+from repro.net.latency import UniformLatency
+from repro.workload.generators import WorkloadDriver, cycle_schedule
+
+MEMBERS = ["a", "b", "c"]
+
+
+def payload_factory(op: str, index: int) -> dict:
+    return {"item": "x", "amount": 1}
+
+
+def run_stable_point_system(seed: int, cycles: int, f: int) -> StablePointSystem:
+    system = StablePointSystem(
+        MEMBERS,
+        counter_machine,
+        counter_spec(),
+        latency=UniformLatency(0.1, 3.0),
+        seed=seed,
+    )
+    schedule = cycle_schedule(
+        MEMBERS,
+        ["inc", "dec"],
+        "rd",
+        cycles=cycles,
+        f=f,
+        rng=random.Random(seed),
+        payload_factory=payload_factory,
+        issuer="a",
+    )
+    WorkloadDriver(system.scheduler, system.request, schedule)
+    system.run()
+    return system
+
+
+class TestStablePointInvariants:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        seed=st.integers(0, 100_000),
+        cycles=st.integers(1, 4),
+        f=st.integers(0, 6),
+    )
+    def test_agreement_at_every_stable_point(self, seed, cycles, f):
+        system = run_stable_point_system(seed, cycles, f)
+        assert stable_points_agree(system.replicas) == []
+        assert states_agree(system.states()) == []
+        counts = {r.stable_point_count for r in system.replicas.values()}
+        assert counts == {cycles}
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 100_000))
+    def test_causal_delivery_always_holds(self, seed):
+        system = run_stable_point_system(seed, cycles=3, f=4)
+        reference = system.protocols["a"].graph
+        sequences = system.delivered_sequences()
+        assert verify_against_graph(reference, sequences) == []
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 100_000), f=st.integers(0, 6))
+    def test_stable_values_match_workload_arithmetic(self, seed, f):
+        """The agreed value at the final stable point is the fold of all
+        cycle operations — same number at every member, every seed."""
+        system = run_stable_point_system(seed, cycles=2, f=f)
+        finals = {
+            r.stable_state_at(1) for r in system.replicas.values()
+        }
+        assert len(finals) == 1
+
+
+class TestTotalOrderInvariants:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        seed=st.integers(0, 100_000),
+        engine=st.sampled_from(["sequencer", "lamport"]),
+        sends=st.lists(st.sampled_from(MEMBERS), min_size=1, max_size=10),
+    )
+    def test_identical_delivery_order_and_state(self, seed, engine, sends):
+        system = TotalOrderSystem(
+            MEMBERS,
+            counter_machine,
+            counter_spec(),
+            engine=engine,
+            latency=UniformLatency(0.1, 3.0),
+            seed=seed,
+        )
+        for sender in sends:
+            system.request(sender, "inc", {"item": "x", "amount": 1})
+        system.run()
+        assert states_agree(system.states()) == []
+        assert set(system.states().values()) == {len(sends)}
+
+
+class TestDeterminism:
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 100_000))
+    def test_same_seed_reproduces_run_exactly(self, seed):
+        first = run_stable_point_system(seed, cycles=2, f=3)
+        second = run_stable_point_system(seed, cycles=2, f=3)
+        assert first.delivered_sequences() == second.delivered_sequences()
+        assert first.states() == second.states()
+        assert (
+            first.scheduler.events_processed
+            == second.scheduler.events_processed
+        )

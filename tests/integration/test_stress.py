@@ -1,0 +1,113 @@
+"""Large-configuration stress tests.
+
+Bigger groups and longer workloads than the unit tests use, verifying
+that the invariants hold at scale and the simulation stays tractable.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.analysis.causal_check import verify_against_graph
+from repro.analysis.convergence import stable_points_agree, states_agree
+from repro.broadcast.rst import RstBroadcast
+from repro.broadcast.recovery import protect_group
+from repro.core.access_protocol import StablePointSystem
+from repro.core.commutativity import counter_spec
+from repro.core.state_machine import counter_machine
+from repro.group.membership import GroupMembership
+from repro.net.faults import FaultPlan
+from repro.net.latency import LognormalLatency, UniformLatency
+from repro.net.network import Network
+from repro.sim.rng import RngRegistry
+from repro.sim.scheduler import Scheduler
+from repro.workload.generators import WorkloadDriver, cycle_schedule
+
+
+class TestScaleStress:
+    def test_sixteen_member_cycle_workload(self):
+        members = [f"n{i:02d}" for i in range(16)]
+        system = StablePointSystem(
+            members,
+            counter_machine,
+            counter_spec(),
+            latency=LognormalLatency(median=1.0, sigma=0.6),
+            seed=99,
+        )
+        schedule = cycle_schedule(
+            members, ["inc", "dec"], "rd",
+            cycles=6, f=10, rng=random.Random(99),
+            arrival_rate=3.0,
+            payload_factory=lambda op, i: {"item": "x", "amount": 1},
+            issuer=members[0],
+        )
+        WorkloadDriver(system.scheduler, system.request, schedule)
+        system.run()
+        # All 66 requests delivered at all 16 members, causally.
+        for protocol in system.protocols.values():
+            assert len(protocol.delivered) == len(schedule)
+        reference = system.protocols[members[0]].graph
+        assert (
+            verify_against_graph(reference, system.delivered_sequences())
+            == []
+        )
+        assert states_agree(system.states()) == []
+        assert stable_points_agree(system.replicas) == []
+        counts = {r.stable_point_count for r in system.replicas.values()}
+        assert counts == {6}
+
+    def test_long_run_event_count_is_linear(self):
+        """No hidden quadratic blow-up in the event loop."""
+        def events_for(requests: int) -> int:
+            members = ["a", "b", "c"]
+            system = StablePointSystem(
+                members, counter_machine, counter_spec(),
+                latency=UniformLatency(0.2, 1.0), seed=5,
+            )
+            schedule = cycle_schedule(
+                members, ["inc"], "rd",
+                cycles=requests // 5, f=4, rng=random.Random(5),
+                payload_factory=lambda op, i: {"item": "x", "amount": 1},
+                issuer="a",
+            )
+            WorkloadDriver(system.scheduler, system.request, schedule)
+            system.run()
+            return system.scheduler.events_processed
+
+        small = events_for(50)
+        large = events_for(200)
+        assert large < small * 6  # ~4x work, comfortably sub-quadratic
+
+    def test_rst_with_recovery_at_scale(self):
+        members = [f"r{i}" for i in range(8)]
+        scheduler = Scheduler()
+        network = Network(
+            scheduler,
+            latency=UniformLatency(0.2, 1.5),
+            faults=FaultPlan(drop_probability=0.15),
+            rng=RngRegistry(11),
+        )
+        membership = GroupMembership(members)
+        stacks = {
+            m: network.register(RstBroadcast(m, membership)) for m in members
+        }
+        agents = protect_group(stacks, scan_interval=1.0, nack_backoff=2.0)
+        count = 24
+        for i in range(count):
+            stacks[members[i % len(members)]].bcast("op")
+        scheduler.run(max_events=2_000_000)
+        for _ in range(40):
+            if all(len(s.delivered) == count for s in stacks.values()):
+                break
+            for agent in agents.values():
+                agent.anti_entropy_round()
+            scheduler.run(max_events=2_000_000)
+        for stack in stacks.values():
+            assert len(stack.delivered) == count
+            # Causal (per-sender FIFO) order held throughout recovery.
+            seen: dict = {}
+            for label in stack.delivered:
+                assert label.seqno == seen.get(label.sender, -1) + 1
+                seen[label.sender] = label.seqno

@@ -1,0 +1,71 @@
+"""Tests for node deregistration (crash simulation)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import MembershipError
+from repro.net.latency import ConstantLatency
+from repro.net.network import Network
+from repro.sim.rng import RngRegistry
+from repro.sim.scheduler import Scheduler
+from tests.net.test_network import RecordingNode, envelope
+
+
+@pytest.fixture
+def net() -> Network:
+    return Network(Scheduler(), latency=ConstantLatency(1.0), rng=RngRegistry(0))
+
+
+class TestDeregister:
+    def test_removed_node_receives_nothing(self, net):
+        a, b = RecordingNode("a"), RecordingNode("b")
+        net.register(a)
+        net.register(b)
+        net.deregister("b")
+        net.broadcast("a", envelope())
+        net.scheduler.run()
+        assert b.received == []
+        assert len(a.received) == 1
+
+    def test_in_flight_hop_to_removed_node_dropped(self, net):
+        a, b = RecordingNode("a"), RecordingNode("b")
+        net.register(a)
+        net.register(b)
+        net.broadcast("a", envelope())
+        net.deregister("b")  # hop already queued
+        net.scheduler.run()
+        assert b.received == []
+        assert net.hops_dropped == 1
+
+    def test_unknown_entity_rejected(self, net):
+        with pytest.raises(MembershipError):
+            net.deregister("ghost")
+
+    def test_reregistration_allowed_after_removal(self, net):
+        net.register(RecordingNode("a"))
+        net.deregister("a")
+        fresh = RecordingNode("a")
+        net.register(fresh)
+        assert net.node("a") is fresh
+
+    def test_crash_scenario_with_protocols(self):
+        from repro.broadcast.osend import OSendBroadcast
+        from repro.group.membership import GroupMembership
+
+        scheduler = Scheduler()
+        net = Network(
+            scheduler, latency=ConstantLatency(0.5), rng=RngRegistry(0)
+        )
+        membership = GroupMembership(["a", "b", "c"])
+        stacks = {
+            m: net.register(OSendBroadcast(m, membership))
+            for m in ("a", "b", "c")
+        }
+        stacks["a"].osend("before")
+        scheduler.run()
+        net.deregister("c")
+        label = stacks["a"].osend("after")
+        scheduler.run()
+        assert label in stacks["b"].delivered
+        assert label not in stacks["c"].delivered

@@ -1,0 +1,99 @@
+"""Tests for fault injection plans."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.net.faults import RELIABLE, FaultPlan
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(0)
+
+
+class TestValidation:
+    def test_rejects_probability_above_one(self):
+        with pytest.raises(ConfigurationError):
+            FaultPlan(drop_probability=1.5)
+
+    def test_rejects_negative_probability(self):
+        with pytest.raises(ConfigurationError):
+            FaultPlan(duplicate_probability=-0.1)
+
+    def test_reliable_plan_never_drops(self, rng):
+        for _ in range(100):
+            copies, blocked = RELIABLE.decide("a", "b", rng)
+            assert copies == 1 and not blocked
+
+
+class TestDrops:
+    def test_always_drop(self, rng):
+        plan = FaultPlan(drop_probability=1.0)
+        copies, blocked = plan.decide("a", "b", rng)
+        assert copies == 0 and not blocked
+
+    def test_drop_rate_is_roughly_respected(self, rng):
+        plan = FaultPlan(drop_probability=0.3)
+        dropped = sum(
+            1 for _ in range(3000) if plan.decide("a", "b", rng)[0] == 0
+        )
+        assert 700 < dropped < 1100
+
+    def test_duplication_yields_two_copies(self, rng):
+        plan = FaultPlan(duplicate_probability=1.0)
+        copies, _ = plan.decide("a", "b", rng)
+        assert copies == 2
+
+
+class TestPartitions:
+    def test_blocks_cross_partition_hops(self, rng):
+        plan = FaultPlan()
+        plan.partition({"a", "b"}, {"c"})
+        copies, blocked = plan.decide("a", "c", rng)
+        assert copies == 0 and blocked
+
+    def test_allows_intra_partition_hops(self, rng):
+        plan = FaultPlan()
+        plan.partition({"a", "b"}, {"c"})
+        copies, blocked = plan.decide("a", "b", rng)
+        assert copies == 1 and not blocked
+
+    def test_unlisted_entities_are_unconstrained(self, rng):
+        plan = FaultPlan()
+        plan.partition({"a"}, {"b"})
+        copies, blocked = plan.decide("x", "y", rng)
+        assert copies == 1 and not blocked
+
+    def test_unlisted_to_listed_is_blocked(self, rng):
+        plan = FaultPlan()
+        plan.partition({"a"}, {"b"})
+        copies, blocked = plan.decide("x", "a", rng)
+        assert copies == 0 and blocked
+
+    def test_heal_removes_partitions(self, rng):
+        plan = FaultPlan()
+        plan.partition({"a"}, {"b"})
+        plan.heal()
+        copies, blocked = plan.decide("a", "b", rng)
+        assert copies == 1 and not blocked
+
+    def test_rejects_overlapping_groups(self):
+        plan = FaultPlan()
+        with pytest.raises(ConfigurationError):
+            plan.partition({"a", "b"}, {"b", "c"})
+
+    def test_partitioned_flag(self):
+        plan = FaultPlan()
+        assert not plan.partitioned
+        plan.partition({"a"}, {"b"})
+        assert plan.partitioned
+
+    def test_blocked_helper(self):
+        plan = FaultPlan()
+        plan.partition({"a"}, {"b"})
+        assert plan.blocked("a", "b")
+        assert not plan.blocked("a", "a")

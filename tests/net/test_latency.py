@@ -1,0 +1,94 @@
+"""Tests for latency models."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.net.latency import (
+    ConstantLatency,
+    LognormalLatency,
+    PerPairLatency,
+    UniformLatency,
+)
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(0)
+
+
+class TestConstant:
+    def test_returns_fixed_delay(self, rng):
+        model = ConstantLatency(2.5)
+        assert model.sample("a", "b", rng) == 2.5
+        assert model.sample("x", "y", rng) == 2.5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            ConstantLatency(-1.0)
+
+    def test_zero_is_allowed(self, rng):
+        assert ConstantLatency(0.0).sample("a", "b", rng) == 0.0
+
+
+class TestUniform:
+    def test_samples_within_bounds(self, rng):
+        model = UniformLatency(0.5, 1.5)
+        for _ in range(200):
+            assert 0.5 <= model.sample("a", "b", rng) <= 1.5
+
+    def test_samples_vary(self, rng):
+        model = UniformLatency(0.0, 1.0)
+        draws = {model.sample("a", "b", rng) for _ in range(20)}
+        assert len(draws) > 1
+
+    def test_rejects_inverted_bounds(self):
+        with pytest.raises(ConfigurationError):
+            UniformLatency(2.0, 1.0)
+
+    def test_rejects_negative_low(self):
+        with pytest.raises(ConfigurationError):
+            UniformLatency(-0.5, 1.0)
+
+
+class TestLognormal:
+    def test_samples_positive(self, rng):
+        model = LognormalLatency(median=1.0, sigma=0.8)
+        for _ in range(200):
+            assert model.sample("a", "b", rng) > 0
+
+    def test_median_roughly_respected(self, rng):
+        model = LognormalLatency(median=2.0, sigma=0.3)
+        draws = sorted(model.sample("a", "b", rng) for _ in range(2000))
+        observed_median = draws[len(draws) // 2]
+        assert 1.6 < observed_median < 2.4
+
+    def test_rejects_nonpositive_median(self):
+        with pytest.raises(ConfigurationError):
+            LognormalLatency(median=0.0)
+
+    def test_rejects_negative_sigma(self):
+        with pytest.raises(ConfigurationError):
+            LognormalLatency(median=1.0, sigma=-0.1)
+
+
+class TestPerPair:
+    def test_uses_pair_specific_model(self, rng):
+        model = PerPairLatency(
+            {("a", "b"): ConstantLatency(5.0)}, default=ConstantLatency(1.0)
+        )
+        assert model.sample("a", "b", rng) == 5.0
+        assert model.sample("b", "a", rng) == 1.0
+
+    def test_is_directional(self, rng):
+        model = PerPairLatency(
+            {("a", "b"): ConstantLatency(5.0)}, default=ConstantLatency(1.0)
+        )
+        assert model.sample("b", "a", rng) != model.sample("a", "b", rng)
+
+    def test_default_default_is_unit_constant(self, rng):
+        model = PerPairLatency({})
+        assert model.sample("a", "b", rng) == 1.0

@@ -1,0 +1,90 @@
+"""Tests for per-node processing (service) time."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.net.latency import ConstantLatency
+from repro.net.network import Network
+from repro.sim.rng import RngRegistry
+from repro.sim.scheduler import Scheduler
+from tests.net.test_network import RecordingNode, envelope
+
+
+def make_net(service_time: float) -> Network:
+    return Network(
+        Scheduler(),
+        latency=ConstantLatency(1.0),
+        rng=RngRegistry(0),
+        service_time=service_time,
+    )
+
+
+class TestServiceTime:
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_net(-0.1)
+
+    def test_zero_service_preserves_arrival_times(self):
+        net = make_net(0.0)
+        node = RecordingNode("b")
+        net.register(RecordingNode("a"))
+        net.register(node)
+        net.unicast("a", "b", envelope())
+        net.scheduler.run()
+        assert node.received[0][0] == 1.0
+
+    def test_single_arrival_costs_one_service(self):
+        net = make_net(0.5)
+        node = RecordingNode("b")
+        net.register(RecordingNode("a"))
+        net.register(node)
+        net.unicast("a", "b", envelope())
+        net.scheduler.run()
+        assert node.received[0][0] == pytest.approx(1.5)
+
+    def test_simultaneous_arrivals_queue_fifo(self):
+        net = make_net(0.5)
+        node = RecordingNode("b")
+        net.register(RecordingNode("a"))
+        net.register(node)
+        for seqno in range(3):
+            net.unicast("a", "b", envelope("a", seqno))
+        net.scheduler.run()
+        times = [t for t, _, __ in node.received]
+        assert times == pytest.approx([1.5, 2.0, 2.5])
+
+    def test_queues_are_per_node(self):
+        net = make_net(0.5)
+        b, c = RecordingNode("b"), RecordingNode("c")
+        net.register(RecordingNode("a"))
+        net.register(b)
+        net.register(c)
+        net.unicast("a", "b", envelope("a", 0))
+        net.unicast("a", "c", envelope("a", 1))
+        net.scheduler.run()
+        # Each node serves its own arrival without waiting for the other.
+        assert b.received[0][0] == pytest.approx(1.5)
+        assert c.received[0][0] == pytest.approx(1.5)
+
+    def test_idle_node_does_not_accumulate_backlog(self):
+        net = make_net(0.5)
+        node = RecordingNode("b")
+        net.register(RecordingNode("a"))
+        net.register(node)
+        net.unicast("a", "b", envelope("a", 0))
+        net.scheduler.run()
+        # A much later arrival starts fresh.
+        net.scheduler.call_at(10.0, net.unicast, "a", "b", envelope("a", 1))
+        net.scheduler.run()
+        assert node.received[1][0] == pytest.approx(11.5)
+
+    def test_load_visible_in_protocol_latency(self):
+        """More arrivals per request => higher delivery latency."""
+        from repro.experiments.claim_scale import run_protocol
+
+        stable = run_protocol("stable-point", 12, seed=9)
+        lamport = run_protocol("lamport", 12, seed=9)
+        assert lamport["latency"] > stable["latency"]
+        assert lamport["hops"] > stable["hops"] * 5

@@ -1,0 +1,100 @@
+"""Tests for the asyncio runtime."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.broadcast.cbcast import CbcastBroadcast
+from repro.broadcast.osend import OSendBroadcast
+from repro.errors import ConfigurationError
+from repro.group.membership import GroupMembership
+from repro.net.latency import ConstantLatency
+from repro.runtime.asyncio_transport import AsyncioNetwork
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def make_group(net, protocol_cls, members=("a", "b", "c")):
+    membership = GroupMembership(members)
+    return {
+        m: net.register(protocol_cls(m, membership)) for m in members
+    }
+
+
+class TestDelivery:
+    def test_osend_dependencies_respected_in_real_time(self):
+        async def scenario():
+            net = AsyncioNetwork(latency=ConstantLatency(0.001))
+            stacks = make_group(net, OSendBroadcast)
+            m1 = stacks["a"].osend("first")
+            stacks["b"].osend("second", occurs_after=m1)
+            await net.quiesce(timeout=5)
+            return stacks
+
+        stacks = run(scenario())
+        for stack in stacks.values():
+            assert len(stack.delivered) == 2
+            assert stack.delivered[0].sender == "a"
+
+    def test_cbcast_runs_on_asyncio(self):
+        async def scenario():
+            net = AsyncioNetwork(latency=ConstantLatency(0.001))
+            stacks = make_group(net, CbcastBroadcast)
+            for member in ("a", "b", "c"):
+                stacks[member].bcast("op")
+            await net.quiesce(timeout=5)
+            return stacks
+
+        stacks = run(scenario())
+        assert all(len(s.delivered) == 3 for s in stacks.values())
+
+    def test_quiesce_waits_for_chained_sends(self):
+        async def scenario():
+            net = AsyncioNetwork(latency=ConstantLatency(0.001))
+            stacks = make_group(net, OSendBroadcast)
+            m1 = stacks["a"].osend("ping")
+            replied = []
+
+            def reply(env):
+                if env.msg_id == m1 and not replied:
+                    replied.append(stacks["b"].osend("pong", occurs_after=m1))
+
+            stacks["b"].on_deliver(reply)
+            await net.quiesce(timeout=5)
+            return stacks
+
+        stacks = run(scenario())
+        assert all(len(s.delivered) == 2 for s in stacks.values())
+
+
+class TestClock:
+    def test_clock_advances(self):
+        async def scenario():
+            net = AsyncioNetwork()
+            start = net.scheduler.now
+            await asyncio.sleep(0.01)
+            return net.scheduler.now - start
+
+        assert run(scenario()) > 0
+
+    def test_negative_delay_rejected(self):
+        async def scenario():
+            net = AsyncioNetwork()
+            with pytest.raises(ConfigurationError):
+                net.scheduler.call_in(-1.0, lambda: None)
+
+        run(scenario())
+
+    def test_duplicate_registration_rejected(self):
+        async def scenario():
+            net = AsyncioNetwork()
+            membership = GroupMembership(["a"])
+            net.register(OSendBroadcast("a", membership))
+            with pytest.raises(ConfigurationError):
+                net.register(OSendBroadcast("a", membership))
+
+        run(scenario())

@@ -1,0 +1,141 @@
+"""Tests for the JSON wire codec."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.clocks.lamport import Timestamp
+from repro.clocks.vector import VectorClock
+from repro.errors import ProtocolError
+from repro.graph.predicates import OccursAfter
+from repro.runtime.codec import decode_envelope, encode_envelope
+from repro.types import Envelope, Message, MessageId
+
+
+def envelope(metadata=None, payload=None, op="op") -> Envelope:
+    return Envelope(Message(MessageId("a", 0), op, payload), metadata or {})
+
+
+def roundtrip(env: Envelope) -> Envelope:
+    return decode_envelope(encode_envelope(env))
+
+
+class TestRoundTrip:
+    def test_plain_envelope(self):
+        env = envelope(payload={"key": "value", "n": 3})
+        restored = roundtrip(env)
+        assert restored.msg_id == env.msg_id
+        assert restored.message.operation == "op"
+        assert restored.message.payload == env.message.payload
+
+    def test_occurs_after_metadata(self):
+        predicate = OccursAfter.after([MessageId("b", 1), MessageId("c", 2)])
+        restored = roundtrip(envelope({"occurs_after": predicate}))
+        assert restored.metadata["occurs_after"] == predicate
+
+    def test_vclock_metadata(self):
+        clock = VectorClock({"a": 3, "b": 1})
+        restored = roundtrip(envelope({"vclock": clock}))
+        assert restored.metadata["vclock"] == clock
+
+    def test_lamport_metadata(self):
+        stamp = Timestamp(7, "x")
+        restored = roundtrip(envelope({"lamport": stamp}))
+        assert restored.metadata["lamport"] == stamp
+
+    def test_epoch_and_combined_metadata(self):
+        env = envelope({
+            "epoch": 4,
+            "occurs_after": OccursAfter.null(),
+        })
+        restored = roundtrip(env)
+        assert restored.metadata["epoch"] == 4
+        assert restored.metadata["occurs_after"].is_null
+
+    def test_rst_matrix_metadata(self):
+        matrix = {"a": {"a": 2, "b": 1}, "b": {"a": 1}}
+        restored = roundtrip(envelope({"sent_matrix": matrix}))
+        assert restored.metadata["sent_matrix"] == matrix
+
+    def test_structured_payload_values(self):
+        payload = {
+            "label": MessageId("z", 9),
+            "labels": frozenset({MessageId("z", 1), MessageId("z", 2)}),
+            "pair": (1, "two"),
+        }
+        restored = roundtrip(envelope(payload=payload))
+        assert restored.message.payload == payload
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        sender=st.text(min_size=1, max_size=8),
+        seqno=st.integers(0, 1_000_000),
+        payload=st.recursive(
+            st.none() | st.booleans() | st.integers() | st.text(max_size=10),
+            lambda children: st.lists(children, max_size=3)
+            | st.dictionaries(st.text(max_size=5), children, max_size=3),
+            max_leaves=8,
+        ),
+    )
+    def test_arbitrary_json_payloads(self, sender, seqno, payload):
+        env = Envelope(Message(MessageId(sender, seqno), "op", payload))
+        restored = roundtrip(env)
+        assert restored.message.payload == payload
+        assert restored.msg_id == env.msg_id
+
+
+class TestStrictness:
+    def test_unknown_metadata_rejected_at_encode(self):
+        with pytest.raises(ProtocolError):
+            encode_envelope(envelope({"mystery": object()}))
+
+    def test_unencodable_payload_rejected(self):
+        with pytest.raises(ProtocolError):
+            encode_envelope(envelope(payload=object()))
+
+    def test_garbage_bytes_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode_envelope(b"{not json")
+
+    def test_wrong_version_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode_envelope(b'{"v": 99}')
+
+    def test_unknown_wire_metadata_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode_envelope(
+                b'{"v":1,"id":["a",0],"op":"x","payload":null,'
+                b'"meta":{"surprise":1}}'
+            )
+
+
+class TestProtocolIntegration:
+    def test_osend_traffic_survives_the_wire(self):
+        """Encode every envelope a live OSend run produced, decode, and
+        replay it into a fresh member: identical delivery."""
+        from repro.broadcast.osend import OSendBroadcast
+        from repro.group.membership import GroupMembership
+        from repro.net.network import Network
+        from repro.sim.rng import RngRegistry
+        from repro.sim.scheduler import Scheduler
+        from tests.conftest import build_group
+
+        scheduler, _, stacks = build_group(OSendBroadcast, seed=2)
+        m1 = stacks["a"].osend("one", {"n": 1})
+        stacks["b"].osend("two", {"n": 2}, occurs_after=m1)
+        scheduler.run()
+
+        wire = [
+            encode_envelope(env)
+            for env in stacks["c"].delivered_envelopes
+        ]
+        # A fresh, isolated member replays the decoded traffic.
+        fresh_sched = Scheduler()
+        fresh_net = Network(fresh_sched, rng=RngRegistry(0))
+        membership = GroupMembership(["x"])
+        fresh = fresh_net.register(OSendBroadcast("x", membership))
+        for data in reversed(wire):  # adversarial order
+            fresh.on_receive("wire", decode_envelope(data))
+        assert fresh.delivered == stacks["c"].delivered

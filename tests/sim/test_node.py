@@ -1,0 +1,41 @@
+"""Tests for the SimNode base class."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.net.network import Network
+from repro.sim.node import SimNode
+from repro.sim.rng import RngRegistry
+from repro.sim.scheduler import Scheduler
+
+
+class TestAttachment:
+    def test_unattached_node_has_no_network(self):
+        node = SimNode("a")
+        with pytest.raises(ConfigurationError):
+            _ = node.network
+
+    def test_attach_via_registration(self):
+        net = Network(Scheduler(), rng=RngRegistry(0))
+        node = SimNode("a")
+        net.register(node)
+        assert node.network is net
+        assert node.scheduler is net.scheduler
+
+    def test_now_tracks_scheduler(self):
+        scheduler = Scheduler()
+        net = Network(scheduler, rng=RngRegistry(0))
+        node = net.register(SimNode("a"))
+        scheduler.call_at(4.0, lambda: None)
+        scheduler.run()
+        assert node.now == 4.0
+
+    def test_on_receive_must_be_overridden(self):
+        node = SimNode("a")
+        with pytest.raises(NotImplementedError):
+            node.on_receive("b", None)  # type: ignore[arg-type]
+
+    def test_repr_names_the_entity(self):
+        assert "a" in repr(SimNode("a"))

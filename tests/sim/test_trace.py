@@ -1,0 +1,93 @@
+"""Tests for the trace recorder."""
+
+from __future__ import annotations
+
+from repro.sim.trace import TraceEvent, TraceRecorder
+
+
+class TestRecording:
+    def test_records_event_fields(self):
+        trace = TraceRecorder()
+        trace.record(1.5, "send", msg="m1", size=3)
+        event = trace.events[0]
+        assert event.time == 1.5
+        assert event.kind == "send"
+        assert event.get("msg") == "m1"
+        assert event.get("size") == 3
+
+    def test_get_default(self):
+        event = TraceEvent(0.0, "x", {})
+        assert event.get("missing", "fallback") == "fallback"
+
+    def test_len_and_iter(self):
+        trace = TraceRecorder()
+        for i in range(4):
+            trace.record(float(i), "tick")
+        assert len(trace) == 4
+        assert [e.time for e in trace] == [0.0, 1.0, 2.0, 3.0]
+
+    def test_disabled_recorder_drops_events(self):
+        trace = TraceRecorder(enabled=False)
+        trace.record(0.0, "send")
+        assert len(trace) == 0
+
+    def test_clear(self):
+        trace = TraceRecorder()
+        trace.record(0.0, "send")
+        trace.clear()
+        assert len(trace) == 0
+
+    def test_events_returns_copy(self):
+        trace = TraceRecorder()
+        trace.record(0.0, "send")
+        trace.events.clear()
+        assert len(trace) == 1
+
+
+class TestQuerying:
+    def _sample(self) -> TraceRecorder:
+        trace = TraceRecorder()
+        trace.record(0.0, "send", msg="m1")
+        trace.record(1.0, "deliver", msg="m1", entity="a")
+        trace.record(2.0, "deliver", msg="m1", entity="b")
+        trace.record(3.0, "send", msg="m2")
+        return trace
+
+    def test_of_kind(self):
+        trace = self._sample()
+        assert [e.get("msg") for e in trace.of_kind("send")] == ["m1", "m2"]
+
+    def test_where(self):
+        trace = self._sample()
+        found = trace.where(lambda e: e.get("entity") == "b")
+        assert len(found) == 1
+        assert found[0].time == 2.0
+
+    def test_first_by_kind(self):
+        trace = self._sample()
+        event = trace.first("deliver")
+        assert event is not None and event.get("entity") == "a"
+
+    def test_first_with_predicate(self):
+        trace = self._sample()
+        event = trace.first("deliver", lambda e: e.get("entity") == "b")
+        assert event is not None and event.time == 2.0
+
+    def test_first_missing_returns_none(self):
+        assert self._sample().first("stable_point") is None
+
+
+class TestSubscription:
+    def test_subscriber_sees_future_events(self):
+        trace = TraceRecorder()
+        seen = []
+        trace.subscribe(seen.append)
+        trace.record(0.0, "send")
+        assert len(seen) == 1 and seen[0].kind == "send"
+
+    def test_subscriber_misses_past_events(self):
+        trace = TraceRecorder()
+        trace.record(0.0, "send")
+        seen = []
+        trace.subscribe(seen.append)
+        assert seen == []

@@ -1,0 +1,66 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParsing:
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "counter" in out and "lock" in out
+
+    def test_unknown_demo_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["demo", "nonsense"])
+
+    def test_no_command_prints_help(self, capsys):
+        assert main([]) == 1
+        assert "demos" in capsys.readouterr().out.lower()
+
+
+class TestDemos:
+    @pytest.mark.parametrize(
+        "name", ["counter", "lock", "cardgame", "nameservice", "timeline"]
+    )
+    def test_demo_runs_clean(self, name, capsys):
+        assert main(["demo", name, "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert out.strip()
+
+    def test_counter_demo_agrees(self, capsys):
+        main(["demo", "counter"])
+        assert "stable-point agreement: OK" in capsys.readouterr().out
+
+    def test_lock_demo_consensus(self, capsys):
+        main(["demo", "lock", "--members", "4", "--cycles", "2"])
+        assert "consensus on holder sequence: True" in capsys.readouterr().out
+
+    def test_demo_parameters_respected(self, capsys):
+        main(["demo", "cardgame", "--members", "5", "--cycles", "2"])
+        out = capsys.readouterr().out
+        # Distances 1..5 are swept.
+        assert out.count("\n") >= 7
+
+
+class TestGraph:
+    def test_ascii_rendering(self, capsys):
+        assert main(["graph"]) == 0
+        out = capsys.readouterr().out
+        assert "‖{" in out and "*" in out
+
+    def test_dot_rendering(self, capsys):
+        assert main(["graph", "--dot"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("digraph")
+        assert "->" in out
+
+    def test_seed_determinism(self, capsys):
+        main(["graph", "--seed", "9"])
+        first = capsys.readouterr().out
+        main(["graph", "--seed", "9"])
+        second = capsys.readouterr().out
+        assert first == second

@@ -1,0 +1,65 @@
+"""Tests for the experiment registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments import EXPERIMENTS, get_experiment
+
+
+EXPECTED_IDS = {
+    "FIG1", "FIG2", "FIG3", "FIG4", "FIG5",
+    "CLAIM-COMMUTE", "CLAIM-ASYNC", "CLAIM-CONCUR", "CLAIM-AGREE",
+    "CLAIM-SCALE", "PROTO-OVERHEAD",
+    "ABLATION-RECOVERY", "ABLATION-BATCH", "ABLATION-GC",
+}
+
+
+class TestRegistry:
+    def test_every_designed_experiment_registered(self):
+        assert set(EXPERIMENTS) == EXPECTED_IDS
+
+    def test_lookup_is_case_insensitive(self):
+        assert get_experiment("fig2").exp_id == "FIG2"
+        assert get_experiment("Claim-Commute").exp_id == "CLAIM-COMMUTE"
+
+    def test_unknown_id_rejected(self):
+        with pytest.raises(ConfigurationError):
+            get_experiment("FIG99")
+
+    def test_metadata_complete(self):
+        for experiment in EXPERIMENTS.values():
+            assert experiment.title
+            assert len(experiment.headers) >= 2
+
+
+class TestExecution:
+    @pytest.mark.parametrize("exp_id", ["FIG3", "CLAIM-CONCUR"])
+    def test_cheap_experiments_produce_tables(self, exp_id):
+        experiment = get_experiment(exp_id)
+        rows = experiment.rows()
+        assert rows
+        assert all(len(row) == len(experiment.headers) for row in rows)
+        table = experiment.table()
+        assert experiment.title in table
+
+    def test_cli_runs_experiment(self, capsys):
+        from repro.cli import main
+
+        assert main(["experiment", "fig3"]) == 0
+        out = capsys.readouterr().out
+        assert "FIG3" in out
+
+    def test_cli_unknown_experiment(self, capsys):
+        from repro.cli import main
+
+        assert main(["experiment", "nothing"]) == 1
+        assert "unknown experiment" in capsys.readouterr().out
+
+    def test_cli_list_mentions_experiments(self, capsys):
+        from repro.cli import main
+
+        main(["list"])
+        out = capsys.readouterr().out
+        assert "FIG2" in out and "ABLATION-GC" in out

@@ -1,0 +1,101 @@
+"""Tests for core value types."""
+
+from __future__ import annotations
+
+from repro.types import (
+    DeliveryRecord,
+    Envelope,
+    Message,
+    MessageId,
+    MessageIdAllocator,
+    freeze_ancestors,
+    is_hashable,
+)
+
+
+class TestMessageId:
+    def test_ordering_is_lexicographic(self):
+        assert MessageId("a", 1) < MessageId("a", 2)
+        assert MessageId("a", 9) < MessageId("b", 0)
+
+    def test_string_form(self):
+        assert str(MessageId("node", 7)) == "node:7"
+
+    def test_hashable_and_equal(self):
+        assert MessageId("a", 1) == MessageId("a", 1)
+        assert len({MessageId("a", 1), MessageId("a", 1)}) == 1
+
+
+class TestAllocator:
+    def test_sequential_allocation(self):
+        allocator = MessageIdAllocator("x")
+        assert allocator.next_id() == MessageId("x", 0)
+        assert allocator.next_id() == MessageId("x", 1)
+
+    def test_custom_start(self):
+        allocator = MessageIdAllocator("x", start=10)
+        assert allocator.next_id() == MessageId("x", 10)
+
+    def test_sender_property(self):
+        assert MessageIdAllocator("svc").sender == "svc"
+
+
+class TestMessage:
+    def test_sender_shortcut(self):
+        message = Message(MessageId("a", 0), "op")
+        assert message.sender == "a"
+
+    def test_frozen(self):
+        message = Message(MessageId("a", 0), "op")
+        try:
+            message.operation = "other"  # type: ignore[misc]
+            assert False, "should be immutable"
+        except AttributeError:
+            pass
+
+
+class TestEnvelope:
+    def test_msg_id_shortcut(self):
+        envelope = Envelope(Message(MessageId("a", 3), "op"))
+        assert envelope.msg_id == MessageId("a", 3)
+
+    def test_with_metadata_merges(self):
+        envelope = Envelope(Message(MessageId("a", 0), "op"), {"x": 1})
+        extended = envelope.with_metadata(y=2)
+        assert extended.metadata == {"x": 1, "y": 2}
+        assert envelope.metadata == {"x": 1}  # original untouched
+
+    def test_with_metadata_overrides(self):
+        envelope = Envelope(Message(MessageId("a", 0), "op"), {"x": 1})
+        assert envelope.with_metadata(x=9).metadata["x"] == 9
+
+    def test_default_metadata_empty(self):
+        assert Envelope(Message(MessageId("a", 0), "op")).metadata == {}
+
+
+class TestHelpers:
+    def test_freeze_ancestors_none(self):
+        assert freeze_ancestors(None) == frozenset()
+
+    def test_freeze_ancestors_single(self):
+        label = MessageId("a", 0)
+        assert freeze_ancestors(label) == frozenset({label})
+
+    def test_freeze_ancestors_iterable(self):
+        labels = [MessageId("a", 0), MessageId("b", 1)]
+        assert freeze_ancestors(labels) == frozenset(labels)
+
+    def test_freeze_ancestors_generator(self):
+        result = freeze_ancestors(MessageId("a", i) for i in range(3))
+        assert len(result) == 3
+
+    def test_is_hashable(self):
+        assert is_hashable("text")
+        assert is_hashable(MessageId("a", 0))
+        assert not is_hashable([])
+
+    def test_delivery_record_fields(self):
+        record = DeliveryRecord("a", MessageId("b", 0), 4, 1.5)
+        assert record.entity == "a"
+        assert record.position == 4
+        assert record.time == 1.5

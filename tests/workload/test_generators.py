@@ -1,0 +1,131 @@
+"""Tests for workload generation."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.access_protocol import StablePointSystem
+from repro.core.commutativity import counter_spec
+from repro.core.state_machine import counter_machine
+from repro.errors import ConfigurationError
+from repro.workload.generators import (
+    WorkloadDriver,
+    cycle_schedule,
+    mixed_schedule,
+    poisson_arrivals,
+    uniform_arrivals,
+)
+
+
+class TestArrivals:
+    def test_poisson_is_increasing(self):
+        times = poisson_arrivals(1.0, 50, random.Random(0))
+        assert times == sorted(times)
+        assert len(times) == 50
+
+    def test_poisson_rate_roughly_respected(self):
+        times = poisson_arrivals(2.0, 2000, random.Random(0))
+        mean_gap = times[-1] / len(times)
+        assert 0.4 < mean_gap < 0.6
+
+    def test_poisson_rejects_nonpositive_rate(self):
+        with pytest.raises(ConfigurationError):
+            poisson_arrivals(0.0, 10, random.Random(0))
+
+    def test_uniform_arrivals_spacing(self):
+        times = uniform_arrivals(2.0, 3, start=1.0)
+        assert times == [3.0, 5.0, 7.0]
+
+    def test_uniform_rejects_nonpositive_spacing(self):
+        with pytest.raises(ConfigurationError):
+            uniform_arrivals(0.0, 3)
+
+
+class TestCycleSchedule:
+    def test_shape_matches_f_parameter(self):
+        schedule = cycle_schedule(
+            ["a", "b"], ["inc", "dec"], "rd",
+            cycles=4, f=3, rng=random.Random(0),
+        )
+        assert len(schedule) == 4 * (3 + 1)
+        operations = [r.operation for r in schedule]
+        # Every 4th operation is the non-commutative one.
+        assert operations[3::4] == ["rd"] * 4
+        assert all(op in ("inc", "dec") for op in operations if op != "rd")
+
+    def test_times_increase(self):
+        schedule = cycle_schedule(
+            ["a"], ["inc"], "rd", cycles=3, f=2, rng=random.Random(1)
+        )
+        times = [r.time for r in schedule]
+        assert times == sorted(times)
+
+    def test_nc_requests_pinned_to_one_issuer(self):
+        schedule = cycle_schedule(
+            ["a", "b", "c"], ["inc"], "rd",
+            cycles=5, f=2, rng=random.Random(2),
+        )
+        nc_issuers = {r.member for r in schedule if r.operation == "rd"}
+        assert nc_issuers == {"a"}
+
+    def test_explicit_issuer_pins_everything(self):
+        schedule = cycle_schedule(
+            ["a", "b"], ["inc"], "rd",
+            cycles=2, f=2, rng=random.Random(3), issuer="b",
+        )
+        assert {r.member for r in schedule} == {"b"}
+
+    def test_payload_factory(self):
+        schedule = cycle_schedule(
+            ["a"], ["inc"], "rd", cycles=1, f=1, rng=random.Random(4),
+            payload_factory=lambda op, i: {"op": op, "i": i},
+        )
+        assert schedule[0].payload == {"op": "inc", "i": 0}
+        assert schedule[1].payload == {"op": "rd", "i": 1}
+
+    def test_f_zero_is_all_non_commutative(self):
+        schedule = cycle_schedule(
+            ["a"], [], "rd", cycles=3, f=0, rng=random.Random(5)
+        )
+        assert [r.operation for r in schedule] == ["rd"] * 3
+
+    def test_f_positive_requires_commutative_ops(self):
+        with pytest.raises(ConfigurationError):
+            cycle_schedule(["a"], [], "rd", cycles=1, f=1, rng=random.Random(0))
+
+
+class TestMixedSchedule:
+    def test_respects_weights_roughly(self):
+        schedule = mixed_schedule(
+            ["a"], {"qry": 9.0, "upd": 1.0}, 2000, random.Random(0)
+        )
+        queries = sum(1 for r in schedule if r.operation == "qry")
+        assert 1650 < queries < 1950
+
+    def test_invalid_weights_rejected(self):
+        with pytest.raises(ConfigurationError):
+            mixed_schedule(["a"], {"qry": -1.0}, 10, random.Random(0))
+
+    def test_empty_operations_rejected(self):
+        with pytest.raises(ConfigurationError):
+            mixed_schedule(["a"], {}, 10, random.Random(0))
+
+
+class TestWorkloadDriver:
+    def test_drives_system_at_scheduled_times(self):
+        system = StablePointSystem(
+            ["a", "b"], counter_machine, counter_spec(), seed=0
+        )
+        schedule = cycle_schedule(
+            ["a", "b"], ["inc", "dec"], "rd",
+            cycles=3, f=2, rng=random.Random(0),
+            payload_factory=lambda op, i: {"item": "x", "amount": 1},
+        )
+        driver = WorkloadDriver(system.scheduler, system.request, schedule)
+        system.run()
+        assert len(driver.issued) == len(schedule)
+        # Every member delivered every request.
+        for protocol in system.protocols.values():
+            assert len(protocol.delivered) == len(schedule)

@@ -1,0 +1,92 @@
+"""Tests for schedule persistence."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workload.generators import ScheduledRequest, cycle_schedule
+from repro.workload.persistence import (
+    load_schedule,
+    save_schedule,
+    schedule_from_json,
+    schedule_to_json,
+)
+
+
+def sample_schedule():
+    return cycle_schedule(
+        ["a", "b"], ["inc", "dec"], "rd",
+        cycles=2, f=3, rng=random.Random(0),
+        payload_factory=lambda op, i: {"item": "x", "i": i},
+    )
+
+
+class TestRoundTrip:
+    def test_json_round_trip_preserves_everything(self):
+        schedule = sample_schedule()
+        restored = schedule_from_json(schedule_to_json(schedule))
+        assert restored == schedule
+
+    def test_file_round_trip(self, tmp_path):
+        schedule = sample_schedule()
+        path = tmp_path / "workload.json"
+        save_schedule(schedule, path)
+        assert load_schedule(path) == schedule
+
+    def test_none_payloads_allowed(self):
+        schedule = [ScheduledRequest(1.0, "a", "op", None)]
+        assert schedule_from_json(schedule_to_json(schedule)) == schedule
+
+
+class TestValidation:
+    def test_unserializable_payload_rejected(self):
+        schedule = [ScheduledRequest(1.0, "a", "op", object())]
+        with pytest.raises(ConfigurationError):
+            schedule_to_json(schedule)
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(ConfigurationError):
+            schedule_from_json("{not json")
+
+    def test_missing_requests_key_rejected(self):
+        with pytest.raises(ConfigurationError):
+            schedule_from_json("{}")
+
+    def test_wrong_version_rejected(self):
+        with pytest.raises(ConfigurationError):
+            schedule_from_json('{"version": 99, "requests": []}')
+
+    def test_malformed_entry_rejected(self):
+        with pytest.raises(ConfigurationError):
+            schedule_from_json(
+                '{"version": 1, "requests": [{"time": "soon"}]}'
+            )
+
+
+class TestReplay:
+    def test_saved_schedule_reproduces_run(self, tmp_path):
+        from repro.core.access_protocol import StablePointSystem
+        from repro.core.commutativity import counter_spec
+        from repro.core.state_machine import counter_machine
+        from repro.workload.generators import WorkloadDriver
+
+        schedule = cycle_schedule(
+            ["a", "b"], ["inc", "dec"], "rd",
+            cycles=2, f=2, rng=random.Random(7),
+            payload_factory=lambda op, i: {"item": "x", "amount": 1},
+        )
+        path = tmp_path / "w.json"
+        save_schedule(schedule, path)
+
+        def run(sched):
+            system = StablePointSystem(
+                ["a", "b"], counter_machine, counter_spec(), seed=1
+            )
+            WorkloadDriver(system.scheduler, system.request, sched)
+            system.run()
+            return system.delivered_sequences(), system.states()
+
+        assert run(schedule) == run(load_schedule(path))
