@@ -1,6 +1,6 @@
 # Convenience targets for the causal-broadcast reproduction.
 
-.PHONY: install test bench examples demos lint-clean
+.PHONY: install test bench bench-quick perf-guard examples demos lint-clean
 
 install:
 	python setup.py develop
@@ -10,6 +10,17 @@ test:
 
 bench:
 	pytest benchmarks/ --benchmark-only
+
+# Core trio (drain-scale, claim-scale, proto-overhead) -> BENCH_core.json,
+# plus the full drain sweep -> BENCH_drain_scale.json.
+bench-quick:
+	PYTHONPATH=src:benchmarks python benchmarks/bench_drain_scale.py
+	PYTHONPATH=src:benchmarks python benchmarks/run_core.py
+
+# Fail if the indexed drain regresses >25% vs the committed baseline
+# (override with PERF_GUARD_TOLERANCE=0.4 etc.).
+perf-guard:
+	PYTHONPATH=src:benchmarks python benchmarks/perf_guard.py
 
 examples:
 	@for f in examples/*.py; do echo "== $$f"; python $$f > /dev/null && echo ok; done

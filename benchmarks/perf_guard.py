@@ -1,0 +1,83 @@
+"""``make perf-guard`` — fail on drain-engine throughput regressions.
+
+Replays the drain-scale sweep and compares indexed-drain ops/sec against
+the committed baseline ``BENCH_drain_scale.json``, case by case.  A case
+regresses when current throughput falls more than the tolerance below
+baseline (default 25%; override with ``PERF_GUARD_TOLERANCE=0.4`` etc.).
+
+The committed baseline is machine-relative: after intentional changes
+(or on a different machine class), regenerate it with
+``python benchmarks/bench_drain_scale.py`` and commit the new JSON.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+from bench_drain_scale import REPORT_PATH, best_of, run_case, run_sweep
+
+DEFAULT_TOLERANCE = 0.25
+RETRY_REPEATS = 5
+
+
+def main() -> int:
+    tolerance = float(os.environ.get("PERF_GUARD_TOLERANCE", DEFAULT_TOLERANCE))
+    if not REPORT_PATH.exists():
+        print(f"no baseline at {REPORT_PATH}; run bench_drain_scale.py first")
+        return 2
+    baseline = json.loads(REPORT_PATH.read_text())
+    baseline_by_case = {
+        (row["scenario"], row["members"], row["depth"]): row
+        for row in baseline["results"]
+    }
+    current = run_sweep(repeats=2)
+    failures = []
+    for row in current["results"]:
+        key = (row["scenario"], row["members"], row["depth"])
+        base = baseline_by_case.get(key)
+        if base is None:
+            continue  # baseline predates this case; nothing to guard
+        floor = base["indexed_ops_per_sec"] * (1.0 - tolerance)
+        ok = row["indexed_ops_per_sec"] >= floor
+        print(
+            f"  {row['scenario']:<13} members={row['members']} "
+            f"depth={row['depth']:>5}: {row['indexed_ops_per_sec']:>12.1f} "
+            f"vs baseline {base['indexed_ops_per_sec']:>12.1f} "
+            f"({'ok' if ok else 'REGRESSED'})"
+        )
+        if not ok:
+            failures.append(key)
+    if failures:
+        # One timer tick of scheduler noise shouldn't fail the build:
+        # re-measure suspects with more repeats before judging.
+        confirmed = []
+        for scenario, members, depth in failures:
+            floor = baseline_by_case[(scenario, members, depth)][
+                "indexed_ops_per_sec"
+            ] * (1.0 - tolerance)
+            retried = best_of(
+                RETRY_REPEATS,
+                lambda: run_case(scenario, members, depth, "indexed"),
+            )
+            print(
+                f"  retry {scenario} members={members} depth={depth}: "
+                f"{retried:.1f} vs floor {floor:.1f} "
+                f"({'ok' if retried >= floor else 'REGRESSED'})"
+            )
+            if retried < floor:
+                confirmed.append((scenario, members, depth))
+        failures = confirmed
+    if failures:
+        print(
+            f"perf-guard: {len(failures)} case(s) regressed more than "
+            f"{tolerance:.0%} vs {REPORT_PATH.name}"
+        )
+        return 1
+    print(f"perf-guard: all cases within {tolerance:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

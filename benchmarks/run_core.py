@@ -1,0 +1,72 @@
+"""``make bench-quick`` — the core benchmark trio, one JSON report.
+
+Runs the drain-scale sweep (hold-back engine), a claim-scale sample
+(stable-point vs all-ack broadcast cost) and a proto-overhead sample
+(metadata size per protocol), writing ``BENCH_core.json``.  Wall-clock
+numbers are machine-relative; structural numbers (broadcast counts,
+metadata entries, speedup ratios) are portable.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+
+from bench_drain_scale import run_sweep
+from repro.experiments import claim_scale, proto_overhead
+
+REPORT_PATH = Path(__file__).resolve().parent.parent / "BENCH_core.json"
+
+
+def timed(fn, *args, **kwargs):
+    start = time.perf_counter()
+    result = fn(*args, **kwargs)
+    return result, time.perf_counter() - start
+
+
+def run_claim_scale() -> dict:
+    samples = []
+    for size in (3, 12):
+        for protocol in ("stable-point", "lamport"):
+            result, elapsed = timed(claim_scale.run_protocol, protocol, size)
+            samples.append(
+                {
+                    "protocol": protocol,
+                    "size": size,
+                    "seconds": round(elapsed, 3),
+                    **result,
+                }
+            )
+    return {"benchmark": "claim_scale", "samples": samples}
+
+
+def run_proto_overhead() -> dict:
+    samples = []
+    for size in (3, 8):
+        result, elapsed = timed(proto_overhead.run_osend, size)
+        samples.append({"size": size, "seconds": round(elapsed, 3), **result})
+    return {"benchmark": "proto_overhead", "samples": samples}
+
+
+def main() -> int:
+    report = {
+        "suite": "bench-quick core trio",
+        "drain_scale": run_sweep(depths=(100, 500), repeats=2),
+        "claim_scale": run_claim_scale(),
+        "proto_overhead": run_proto_overhead(),
+    }
+    REPORT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {REPORT_PATH}")
+    worst = min(
+        row["speedup"]
+        for row in report["drain_scale"]["results"]
+        if row["depth"] >= 500
+    )
+    print(f"drain-scale worst speedup at depth >= 500: {worst}x")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

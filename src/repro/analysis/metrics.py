@@ -121,7 +121,12 @@ def latency_summary(
 
 
 def holdback_summary(trace: TraceRecorder) -> SummaryStats:
-    """Summary of hold-back queue sizes sampled at each enqueue."""
+    """Summary of hold-back queue sizes sampled at each enqueue.
+
+    ``hold`` is a *hop* event: with ``hop_events="sampled"`` the recorder
+    keeps only every Nth one, so this summary becomes a subsample (still
+    unbiased for queue-size quantiles); with ``"off"`` it is empty.
+    """
     sizes = [float(e.get("queue", 0)) for e in trace.of_kind("hold")]
     return SummaryStats.of(sizes)
 
@@ -130,6 +135,8 @@ def hold_durations(trace: TraceRecorder) -> SummaryStats:
     """How long messages sat in hold-back queues before delivery.
 
     Matches ``hold`` events to ``deliver`` events per (entity, message).
+    Under ``hop_events="sampled"``/``"off"`` only messages whose ``hold``
+    event survived sampling contribute a duration.
     """
     held_at: Dict[Tuple[EntityId, MessageId], float] = {}
     durations: List[float] = []
@@ -142,6 +149,44 @@ def hold_durations(trace: TraceRecorder) -> SummaryStats:
             if start is not None:
                 durations.append(event.time - start)
     return SummaryStats.of(durations)
+
+
+@dataclass(frozen=True)
+class DrainEfficiency:
+    """How much predicate work the hold-back drain performed.
+
+    ``evaluations_per_delivery`` is the headline number: the naive
+    rescan-everything drain pays O(pending) evaluations per delivery
+    (quadratic over a deep queue), while the indexed wakeup engine pays
+    ~1 — each envelope is evaluated once when it arrives runnable and
+    once per unblocking event thereafter.
+    """
+
+    predicate_evaluations: int
+    deliveries: int
+
+    @property
+    def evaluations_per_delivery(self) -> float:
+        if self.deliveries == 0:
+            return 0.0
+        return self.predicate_evaluations / self.deliveries
+
+
+def drain_efficiency(*protocols: object) -> DrainEfficiency:
+    """Aggregate drain work across one or more protocol stacks.
+
+    Accepts any objects exposing ``predicate_evaluations`` and
+    ``delivered_count`` (i.e. ``BroadcastProtocol`` instances, in either
+    drain mode).
+    """
+    evaluations = 0
+    deliveries = 0
+    for protocol in protocols:
+        evaluations += getattr(protocol, "predicate_evaluations", 0)
+        deliveries += getattr(protocol, "delivered_count", 0)
+    return DrainEfficiency(
+        predicate_evaluations=evaluations, deliveries=deliveries
+    )
 
 
 # ---------------------------------------------------------------------------

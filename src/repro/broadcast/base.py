@@ -13,11 +13,53 @@ Every protocol in this package is the same machine with a different
 Keeping the chassis identical means measured differences between
 protocols are exactly their ordering semantics — the comparison the
 paper's Sections 3, 5 and 6 make qualitatively.
+
+Delivery engine
+---------------
+
+The chassis offers two drain implementations selected by ``drain_mode``:
+
+``"indexed"`` (default)
+    An event-driven wakeup engine.  On arrival each envelope declares the
+    *wake conditions* still blocking it (:meth:`BroadcastProtocol._blockers`)
+    — discrete events ("label X delivered", "epoch 3 closed") or monotone
+    thresholds ("next seqno from s reached 7").  The chassis keeps a
+    reverse index from condition to waiting envelopes, so a delivery (or
+    receive-time state change) wakes exactly the envelopes it unblocks;
+    the hold-back queue is a dict, so removal is O(1).  Each unblocking
+    event costs one predicate evaluation instead of a full queue rescan.
+
+``"naive"``
+    The original reference drain: rescan the whole queue until no
+    predicate fires.  Kept as the executable specification; the indexed
+    engine must reproduce its delivery order bit-for-bit (see
+    ``tests/broadcast/test_drain_equivalence.py``).
+
+Both drains implement the same deterministic order: repeated passes over
+the queue in arrival order, delivering every envelope whose predicate
+holds when the scan cursor reaches it.  An envelope unblocked at cursor
+position ``c`` is delivered in the current pass iff it arrived after
+position ``c``, otherwise in the next pass — the indexed engine emulates
+this by routing wakeups into a current-pass or next-pass heap based on
+the arrival index of the envelope being delivered.  ``docs/PERFORMANCE.md``
+describes the design and its invariants.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Optional, Sequence, Set
+import heapq
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Hashable,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from repro.errors import ProtocolError
 from repro.group.membership import GroupMembership
@@ -32,6 +74,33 @@ from repro.types import (
 )
 
 DeliveryCallback = Callable[[Envelope], None]
+
+# A wake condition is a tagged tuple; see `after_event` / `after_threshold`.
+WakeKey = Tuple[Any, ...]
+
+_EVT = "evt"
+_TH = "th"
+
+
+def after_event(token: Hashable) -> WakeKey:
+    """Wake condition: the discrete event ``token`` has been signalled.
+
+    The chassis itself signals ``("delivered", msg_id)`` for every
+    delivery; protocols signal their own tokens (epoch closures, sequencer
+    bindings, ...) via :meth:`BroadcastProtocol._signal_event`.
+    """
+    return (_EVT, token)
+
+
+def after_threshold(dimension: Hashable, value: float) -> WakeKey:
+    """Wake condition: monotone counter ``dimension`` has reached ``value``.
+
+    Satisfied once :meth:`BroadcastProtocol._advance_watermark` has been
+    called with a value ``>= value`` for the dimension.  Used for
+    per-sender next-seqno indexes (FIFO, CBCAST), delivered-count frontiers
+    (RST), epoch frontiers (ASend) and heard-clock floors (Lamport).
+    """
+    return (_TH, dimension, value)
 
 
 class BroadcastProtocol(SimNode):
@@ -48,11 +117,17 @@ class BroadcastProtocol(SimNode):
 
     protocol_name = "base"
 
+    #: Delivery engine: "indexed" (event-driven wakeups) or "naive"
+    #: (reference full-rescan drain).  May be overridden per class or per
+    #: instance *before* any traffic is processed.
+    drain_mode = "indexed"
+
     def __init__(self, entity_id: EntityId, group: GroupMembership) -> None:
         super().__init__(entity_id)
         self.group = group
         self._allocator = MessageIdAllocator(entity_id)
-        self._pending: List[Envelope] = []
+        # Hold-back queue: insertion order == arrival order, O(1) removal.
+        self._pending: Dict[MessageId, Envelope] = {}
         self._seen: Set[MessageId] = set()
         self._delivered_ids: Set[MessageId] = set()
         self._delivery_log: List[DeliveryRecord] = []
@@ -64,6 +139,26 @@ class BroadcastProtocol(SimNode):
         self._interceptors: List[Any] = []
         self.duplicates_discarded = 0
         self.max_holdback = 0
+        #: `_deliverable` calls made by the drain (both modes) — the
+        #: indexed engine's budget is one per unblocking event.
+        self.predicate_evaluations = 0
+        # -- wakeup index (indexed mode only) ------------------------------
+        self._arrival: Dict[MessageId, int] = {}
+        self._arrival_counter = 0
+        # Unmet wake conditions per held-back envelope.
+        self._blocked_on: Dict[MessageId, Set[WakeKey]] = {}
+        # Reverse index: event token -> waiting labels.
+        self._event_waiters: Dict[Hashable, List[MessageId]] = {}
+        # Reverse index per threshold dimension: heap of (value, label).
+        self._threshold_waiters: Dict[Hashable, List[Tuple[float, MessageId]]] = {}
+        self._watermarks: Dict[Hashable, float] = {}
+        # Ready heaps: `_ready` holds envelopes runnable at the next pass
+        # (or next drain); `_current` is the in-flight pass of a drain.
+        self._ready: List[Tuple[int, MessageId]] = []
+        self._current: List[Tuple[int, MessageId]] = []
+        self._queued: Set[MessageId] = set()
+        self._draining = False
+        self._cursor = -1
 
     # -- public API ----------------------------------------------------------
 
@@ -100,6 +195,27 @@ class BroadcastProtocol(SimNode):
     def _deliverable(self, envelope: Envelope) -> bool:
         """Whether ``envelope`` may be delivered now.  Subclasses override."""
         return True
+
+    def _blockers(self, envelope: Envelope) -> Iterable[WakeKey]:
+        """The wake conditions currently preventing delivery of ``envelope``.
+
+        Contract (indexed engine):
+
+        * returns exactly the *unmet* conditions at call time — empty iff
+          ``_deliverable(envelope)`` is true;
+        * every condition is *necessary*: while any remains unsatisfied
+          the predicate cannot become true;
+        * every condition is eventually signalled (`_signal_event` /
+          `_advance_watermark` / the chassis's own delivered events) when
+          it becomes satisfied.
+
+        Conditions need not be *sufficient*: a woken envelope whose
+        predicate is still false (its condition set grew since
+        registration, e.g. a smaller epoch-mate arrived) is simply
+        re-indexed with its current blockers.  The default matches the
+        default always-true predicate.
+        """
+        return ()
 
     def _on_delivered(self, envelope: Envelope) -> None:
         """Bookkeeping after a delivery (clock merges etc.)."""
@@ -154,35 +270,175 @@ class BroadcastProtocol(SimNode):
         self._seen.add(msg_id)
         self._envelopes_by_id[msg_id] = envelope
         self._on_received(sender, envelope)
-        self._pending.append(envelope)
+        self._pending[msg_id] = envelope
+        self._arrival[msg_id] = self._arrival_counter
+        self._arrival_counter += 1
         if len(self._pending) > self.max_holdback:
             self.max_holdback = len(self._pending)
-        self.network.trace.record(
-            self.now,
-            "hold",
-            entity=self.entity_id,
-            msg_id=msg_id,
-            queue=len(self._pending),
-        )
+        trace = self.network.trace
+        if trace.wants("hold"):
+            trace.record(
+                self.now,
+                "hold",
+                entity=self.entity_id,
+                msg_id=msg_id,
+                queue=len(self._pending),
+            )
+        if self.drain_mode == "indexed":
+            self._index(envelope)
         self._drain()
         if self._recovery is not None and self._pending:
             self._recovery.notify_blocked()
 
+    # -- wakeup index --------------------------------------------------------
+
+    def _index(self, envelope: Envelope) -> None:
+        """Register ``envelope``'s unmet wake conditions (or mark ready).
+
+        Called on arrival and again whenever a woken envelope turns out
+        not to be deliverable yet (its blocker set changed since the last
+        registration).
+        """
+        msg_id = envelope.msg_id
+        unmet: Set[WakeKey] = set()
+        for key in self._blockers(envelope):
+            if key[0] == _TH:
+                _, dimension, value = key
+                watermark = self._watermarks.get(dimension)
+                if watermark is not None and watermark >= value:
+                    continue  # already satisfied
+                heapq.heappush(
+                    self._threshold_waiters.setdefault(dimension, []),
+                    (value, msg_id),
+                )
+            else:
+                self._event_waiters.setdefault(key[1], []).append(msg_id)
+            unmet.add(key)
+        if unmet:
+            self._blocked_on[msg_id] = unmet
+        else:
+            self._blocked_on.pop(msg_id, None)
+            self._enqueue_runnable(msg_id, from_wake=False)
+
+    def _signal_event(self, token: Hashable) -> None:
+        """Mark discrete wake condition ``token`` satisfied (indexed mode)."""
+        if self.drain_mode != "indexed":
+            return
+        waiters = self._event_waiters.pop(token, None)
+        if waiters:
+            key = (_EVT, token)
+            for msg_id in waiters:
+                self._resolve_key(msg_id, key)
+
+    def _advance_watermark(self, dimension: Hashable, value: float) -> None:
+        """Advance monotone counter ``dimension`` to ``value`` (indexed mode)."""
+        if self.drain_mode != "indexed":
+            return
+        current = self._watermarks.get(dimension)
+        if current is not None and value <= current:
+            return
+        self._watermarks[dimension] = value
+        heap = self._threshold_waiters.get(dimension)
+        if not heap:
+            return
+        while heap and heap[0][0] <= value:
+            threshold, msg_id = heapq.heappop(heap)
+            self._resolve_key(msg_id, (_TH, dimension, threshold))
+
+    def _resolve_key(self, msg_id: MessageId, key: WakeKey) -> None:
+        blocked = self._blocked_on.get(msg_id)
+        if blocked is None or key not in blocked:
+            return  # stale registration (envelope delivered or re-indexed)
+        blocked.discard(key)
+        if not blocked:
+            del self._blocked_on[msg_id]
+            self._enqueue_runnable(msg_id, from_wake=True)
+
+    def _enqueue_runnable(self, msg_id: MessageId, from_wake: bool) -> None:
+        """Queue an envelope whose wake conditions are all satisfied.
+
+        During a drain, an envelope woken by a delivery joins the current
+        pass iff it arrived after the delivering envelope (the naive
+        drain's scan cursor has not passed it yet); everything else —
+        including fresh arrivals — waits for the next pass.
+        """
+        if msg_id not in self._pending or msg_id in self._queued:
+            return
+        entry = (self._arrival[msg_id], msg_id)
+        self._queued.add(msg_id)
+        if self._draining and from_wake and entry[0] > self._cursor:
+            heapq.heappush(self._current, entry)
+        else:
+            heapq.heappush(self._ready, entry)
+
+    # -- drain ----------------------------------------------------------------
+
     def _drain(self) -> None:
-        """Deliver queued envelopes until no predicate is satisfied.
+        """Deliver queued envelopes until no predicate is satisfied."""
+        if self.drain_mode == "naive":
+            self._drain_naive()
+            return
+        if self.drain_mode != "indexed":
+            raise ProtocolError(
+                f"unknown drain_mode {self.drain_mode!r}; "
+                "expected 'indexed' or 'naive'"
+            )
+        if self._draining:
+            return  # the outer drain's pass loop will pick up new arrivals
+        self._draining = True
+        try:
+            while self._ready:
+                # One pass: everything runnable so far, in arrival order.
+                self._current = self._ready
+                self._ready = []
+                self._cursor = -1
+                while self._current:
+                    arrival, msg_id = heapq.heappop(self._current)
+                    envelope = self._pending.get(msg_id)
+                    if envelope is None:
+                        self._queued.discard(msg_id)
+                        continue
+                    self._queued.discard(msg_id)
+                    self._cursor = arrival
+                    self.predicate_evaluations += 1
+                    if self._deliverable(envelope):
+                        del self._pending[msg_id]
+                        del self._arrival[msg_id]
+                        self._deliver(envelope)
+                        self._signal_event(("delivered", msg_id))
+                    else:
+                        # Woken too early: the blocker set grew since
+                        # registration.  Re-index with current blockers.
+                        self._index(envelope)
+                        if msg_id not in self._blocked_on:
+                            raise ProtocolError(
+                                f"{self.protocol_name}: wakeup index cannot "
+                                f"explain why {msg_id} is blocked"
+                            )
+        finally:
+            self._draining = False
+            self._current = []
+            self._cursor = -1
+
+    def _drain_naive(self) -> None:
+        """Reference drain: rescan the queue until no predicate fires.
 
         Each pass scans the queue in arrival order, so among
         simultaneously-deliverable envelopes the earliest-received goes
-        first — deterministic given the scheduler's determinism.
+        first — deterministic given the scheduler's determinism.  The
+        indexed engine reproduces this order exactly.
         """
         progress = True
         while progress:
             progress = False
-            for envelope in list(self._pending):
-                if envelope not in self._pending:
+            for envelope in list(self._pending.values()):
+                msg_id = envelope.msg_id
+                if msg_id not in self._pending:
                     continue  # delivered by a nested drain
+                self.predicate_evaluations += 1
                 if self._deliverable(envelope):
-                    self._pending.remove(envelope)
+                    del self._pending[msg_id]
+                    self._arrival.pop(msg_id, None)
                     self._deliver(envelope)
                     progress = True
 
@@ -228,13 +484,23 @@ class BroadcastProtocol(SimNode):
         return list(self._delivered_envelopes)
 
     @property
+    def delivered_count(self) -> int:
+        """Number of deliveries so far (control traffic included)."""
+        return len(self._delivery_log)
+
+    @property
     def holdback_size(self) -> int:
         """Envelopes received but not yet deliverable."""
         return len(self._pending)
 
     @property
     def holdback_ids(self) -> List[MessageId]:
-        return [e.msg_id for e in self._pending]
+        return list(self._pending)
+
+    @property
+    def holdback_envelopes(self) -> List[Envelope]:
+        """Held-back envelopes, in arrival order."""
+        return list(self._pending.values())
 
     def has_delivered(self, msg_id: MessageId) -> bool:
         return msg_id in self._delivered_ids

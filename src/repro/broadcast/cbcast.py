@@ -17,17 +17,26 @@ component; the delivery predicate is
 
 from __future__ import annotations
 
-from repro.broadcast.base import BroadcastProtocol
+import itertools
+from typing import Iterator
+
+from repro.broadcast.base import BroadcastProtocol, WakeKey, after_threshold
 from repro.clocks.vector import VectorClock, cbcast_deliverable
 from repro.errors import ProtocolError
 from repro.group.membership import GroupMembership
-from repro.types import Envelope, EntityId
+from repro.types import Envelope, EntityId, MessageId
 
 
 class CbcastBroadcast(BroadcastProtocol):
     """Causal delivery inferred from vector clocks."""
 
     protocol_name = "cbcast"
+
+    #: Upper bound on gap labels enumerated per :meth:`missing_for` call.
+    #: A vector clock can imply arbitrarily many missing broadcasts; the
+    #: recovery layer only needs a bounded batch to chase — once repaired,
+    #: the next scan names the rest.
+    MISSING_ENUMERATION_CAP = 128
 
     def __init__(self, entity_id: EntityId, group: GroupMembership) -> None:
         super().__init__(entity_id, group)
@@ -61,9 +70,37 @@ class CbcastBroadcast(BroadcastProtocol):
             msg_clock, envelope.msg_id.sender, self._clock
         )
 
+    def _blockers(self, envelope: Envelope) -> Iterator[WakeKey]:
+        # Per-sender next-seqno index phrased as thresholds over the
+        # delivered-state clock: the message needs component `sender` to
+        # reach V[sender]-1 (it is then the next from that sender; it can
+        # never be *behind*, dedup removes already-delivered copies) and
+        # every other component to reach V[e].
+        msg_clock: VectorClock = envelope.metadata["vclock"]
+        sender = envelope.msg_id.sender
+        for entity, count in msg_clock.items():
+            needed = count - 1 if entity == sender else count
+            if self._clock[entity] < needed:
+                yield after_threshold(("vc", entity), needed)
+
     def _on_delivered(self, envelope: Envelope) -> None:
         msg_clock: VectorClock = envelope.metadata["vclock"]
         self._clock = self._clock.merge(msg_clock)
+        # Only components present in the delivered stamp can have grown.
+        for entity, _ in msg_clock.items():
+            self._advance_watermark(("vc", entity), self._clock[entity])
+
+    def _gap_labels(self, envelope: Envelope) -> Iterator[MessageId]:
+        """Lazily yield the unseen labels this stamp implies we lack."""
+        msg_clock: VectorClock = envelope.metadata["vclock"]
+        sender = envelope.msg_id.sender
+        for entity, count in msg_clock.items():
+            have = self._clock[entity]
+            upto = count - 1 if entity == sender else count
+            for broadcast_index in range(have, upto):
+                label = MessageId(entity, broadcast_index)
+                if label not in self._seen:
+                    yield label
 
     def missing_for(self, envelope: Envelope) -> frozenset:
         """Labels implied missing by the envelope's vector clock.
@@ -72,21 +109,15 @@ class CbcastBroadcast(BroadcastProtocol):
         label seqno equals that component minus one, so every causal gap
         can be *named*: for each entity ``e`` the stamps say we are
         missing broadcasts ``local[e] .. msg[e]-1`` (exclusive of the
-        envelope itself).
+        envelope itself).  Enumeration is lazy and capped at
+        :attr:`MISSING_ENUMERATION_CAP` labels so a huge clock gap does
+        not materialise an unbounded label set per recovery scan.
         """
-        from repro.types import MessageId
-
-        msg_clock: VectorClock = envelope.metadata["vclock"]
-        sender = envelope.msg_id.sender
-        missing = set()
-        for entity, count in msg_clock.items():
-            have = self._clock[entity]
-            upto = count - 1 if entity == sender else count
-            for broadcast_index in range(have, upto):
-                label = MessageId(entity, broadcast_index)
-                if label not in self._seen:
-                    missing.add(label)
-        return frozenset(missing)
+        return frozenset(
+            itertools.islice(
+                self._gap_labels(envelope), self.MISSING_ENUMERATION_CAP
+            )
+        )
 
     def metadata_entries(self, envelope: Envelope) -> int:
         """Non-zero vector entries carried (metadata size proxy)."""

@@ -7,11 +7,11 @@ may still be reordered — the anomaly causal broadcast exists to fix.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Iterator
 
-from repro.broadcast.base import BroadcastProtocol
+from repro.broadcast.base import BroadcastProtocol, WakeKey, after_threshold
 from repro.group.membership import GroupMembership
-from repro.types import Envelope, EntityId
+from repro.types import Envelope, EntityId, MessageId
 
 
 class FifoBroadcast(BroadcastProtocol):
@@ -27,14 +27,21 @@ class FifoBroadcast(BroadcastProtocol):
         sender = envelope.msg_id.sender
         return envelope.msg_id.seqno == self._next_from.get(sender, 0)
 
+    def _blockers(self, envelope: Envelope) -> Iterator[WakeKey]:
+        # Per-sender next-seqno index: wake when the sender's delivered
+        # prefix reaches this seqno (it can never overshoot — a smaller
+        # seqno for this label would mean it was already delivered).
+        sender = envelope.msg_id.sender
+        if self._next_from.get(sender, 0) < envelope.msg_id.seqno:
+            yield after_threshold(("seq", sender), envelope.msg_id.seqno)
+
     def _on_delivered(self, envelope: Envelope) -> None:
         sender = envelope.msg_id.sender
         self._next_from[sender] = envelope.msg_id.seqno + 1
+        self._advance_watermark(("seq", sender), self._next_from[sender])
 
     def missing_for(self, envelope: Envelope) -> frozenset:
         """The sender's sequence gap below this envelope."""
-        from repro.types import MessageId
-
         sender = envelope.msg_id.sender
         next_expected = self._next_from.get(sender, 0)
         return frozenset(

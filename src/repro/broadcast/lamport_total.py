@@ -21,9 +21,14 @@ application delivery waits for the total-order condition.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
-from repro.broadcast.base import BroadcastProtocol
+from repro.broadcast.base import (
+    BroadcastProtocol,
+    WakeKey,
+    after_event,
+    after_threshold,
+)
 from repro.clocks.lamport import LamportClock, Timestamp
 from repro.errors import ProtocolError
 from repro.group.membership import GroupMembership
@@ -75,6 +80,7 @@ class LamportTotalOrder(BroadcastProtocol):
             self._process_metadata(buffer.pop(next_seq))
             next_seq += 1
         self._fifo_next[origin] = next_seq
+        self._advance_watermark(("fifo", origin), next_seq)
 
     def _process_metadata(self, envelope: Envelope) -> None:
         stamp = envelope.metadata.get("lamport")
@@ -88,6 +94,7 @@ class LamportTotalOrder(BroadcastProtocol):
         previous = self._latest_heard.get(origin, -1)
         if stamp.counter > previous:
             self._latest_heard[origin] = stamp.counter
+            self._advance_watermark(("heard", origin), stamp.counter)
         if envelope.message.operation == self.ACK_OPERATION:
             return
         self._stamps[envelope.msg_id] = stamp
@@ -122,6 +129,29 @@ class LamportTotalOrder(BroadcastProtocol):
         if stamp != smallest:
             return False
         return self._heard_at_least(stamp.counter)
+
+    def _blockers(self, envelope: Envelope) -> Iterator[WakeKey]:
+        # Before FIFO processing, everything waits on the origin's stream
+        # position.  Processed data messages wait on (a) delivery of every
+        # currently smaller-stamped data message and (b) each member's
+        # heard-clock reaching the stamp — the sorted stamp frontier of
+        # the all-ack agreement.  Smaller stamps processed *after* this
+        # registration are picked up by the drain's re-index on wake.
+        origin = envelope.msg_id.sender
+        if not self._processed(envelope):
+            yield after_threshold(("fifo", origin), envelope.msg_id.seqno + 1)
+            return
+        if envelope.message.operation == self.ACK_OPERATION:
+            return  # processed acks are immediately deliverable
+        stamp = self._undelivered_data.get(envelope.msg_id)
+        if stamp is None:
+            return  # delivered concurrently; nothing blocks it
+        for label, other in self._undelivered_data.items():
+            if other < stamp:
+                yield after_event(("delivered", label))
+        for member in self.group.view.members:
+            if self._latest_heard.get(member, -1) < stamp.counter:
+                yield after_threshold(("heard", member), stamp.counter)
 
     def _processed(self, envelope: Envelope) -> bool:
         origin = envelope.msg_id.sender

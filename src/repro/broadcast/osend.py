@@ -21,9 +21,9 @@ detectable (Section 4.2).
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Union
+from typing import Iterable, Iterator, Optional, Union
 
-from repro.broadcast.base import BroadcastProtocol
+from repro.broadcast.base import BroadcastProtocol, WakeKey, after_event
 from repro.errors import ProtocolError
 from repro.graph.depgraph import DependencyGraph
 from repro.graph.predicates import OccursAfter
@@ -88,6 +88,13 @@ class OSendBroadcast(BroadcastProtocol):
     def _deliverable(self, envelope: Envelope) -> bool:
         return self._predicate_of(envelope).satisfied_by(self._delivered_ids)
 
+    def _blockers(self, envelope: Envelope) -> Iterator[WakeKey]:
+        # The Occurs-After ancestor index: one wake per undelivered
+        # ancestor, resolved by the chassis's own delivered events.
+        predicate = self._predicate_of(envelope)
+        for ancestor in predicate.unmet(self._delivered_ids):
+            yield after_event(("delivered", ancestor))
+
     def missing_for(self, envelope: Envelope) -> frozenset[MessageId]:
         """Ancestors named by Occurs-After that have not been received.
 
@@ -111,12 +118,10 @@ class OSendBroadcast(BroadcastProtocol):
 
     def blocking_ancestors(self, msg_id: MessageId) -> frozenset[MessageId]:
         """Ancestors still preventing delivery of a held-back message."""
-        for envelope in self._pending:
-            if envelope.msg_id == msg_id:
-                return self._predicate_of(envelope).missing(
-                    self._delivered_ids
-                )
-        return frozenset()
+        envelope = self._pending.get(msg_id)
+        if envelope is None:
+            return frozenset()
+        return self._predicate_of(envelope).missing(self._delivered_ids)
 
     def last_delivered(self) -> Optional[MessageId]:
         """Label of the most recently delivered message, if any."""

@@ -122,7 +122,7 @@ class RecoveryAgent:
             return
         now = self.protocol.now
         chaseable = False
-        for envelope in list(self.protocol._pending):
+        for envelope in self.protocol.holdback_envelopes:
             for label in self.protocol.missing_for(envelope):
                 if self._maybe_nack(label, now):
                     chaseable = True

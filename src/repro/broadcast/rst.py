@@ -15,12 +15,13 @@ includes RST in its comparison.
 
 from __future__ import annotations
 
-from typing import Dict
+import itertools
+from typing import Dict, Iterator
 
-from repro.broadcast.base import BroadcastProtocol
+from repro.broadcast.base import BroadcastProtocol, WakeKey, after_threshold
 from repro.errors import ProtocolError
 from repro.group.membership import GroupMembership
-from repro.types import Envelope, EntityId
+from repro.types import Envelope, EntityId, MessageId
 
 SentMatrix = Dict[EntityId, Dict[EntityId, int]]
 
@@ -33,6 +34,10 @@ class RstBroadcast(BroadcastProtocol):
     """Causal broadcast with sent-count matrices (RST 1991)."""
 
     protocol_name = "rst"
+
+    #: Upper bound on gap labels enumerated per :meth:`missing_for` call
+    #: (same rationale as :class:`~repro.broadcast.cbcast.CbcastBroadcast`).
+    MISSING_ENUMERATION_CAP = 128
 
     def __init__(self, entity_id: EntityId, group: GroupMembership) -> None:
         super().__init__(entity_id, group)
@@ -84,9 +89,20 @@ class RstBroadcast(BroadcastProtocol):
                 return False
         return True
 
+    def _blockers(self, envelope: Envelope) -> Iterator[WakeKey]:
+        # One threshold per origin still owing us broadcasts: wake when
+        # our delivered count from that origin reaches the owed count.
+        matrix = envelope.metadata.get("sent_matrix", {})
+        me = self.entity_id
+        for origin in matrix:
+            owed = self._get(matrix, origin, me)
+            if self._delivered_from.get(origin, 0) < owed:
+                yield after_threshold(("from", origin), owed)
+
     def _on_delivered(self, envelope: Envelope) -> None:
         origin = envelope.msg_id.sender
         self._delivered_from[origin] = self._delivered_from.get(origin, 0) + 1
+        self._advance_watermark(("from", origin), self._delivered_from[origin])
         matrix = envelope.metadata["sent_matrix"]
         self._merge(self._sent, matrix)
         # The delivered message itself is now known sent to us and (by the
@@ -97,21 +113,26 @@ class RstBroadcast(BroadcastProtocol):
             if current < floor:
                 self._sent.setdefault(origin, {})[member] = floor
 
-    def missing_for(self, envelope: Envelope) -> frozenset:
-        """FIFO gaps per origin implied by the owed counts.
-
-        RST counts are per-(origin, destination) totals, and label seqnos
-        are per-origin send counters, so owed broadcasts can be named.
-        """
-        from repro.types import MessageId
-
+    def _gap_labels(self, envelope: Envelope) -> Iterator[MessageId]:
+        """Lazily yield unseen labels the owed counts imply we lack."""
         matrix = envelope.metadata.get("sent_matrix", {})
         me = self.entity_id
-        missing = set()
         for origin in matrix:
             owed = self._get(matrix, origin, me)
             for seqno in range(self._delivered_from.get(origin, 0), owed):
                 label = MessageId(origin, seqno)
                 if label not in self._seen:
-                    missing.add(label)
-        return frozenset(missing)
+                    yield label
+
+    def missing_for(self, envelope: Envelope) -> frozenset:
+        """FIFO gaps per origin implied by the owed counts.
+
+        RST counts are per-(origin, destination) totals, and label seqnos
+        are per-origin send counters, so owed broadcasts can be named.
+        Enumeration is lazy and capped at :attr:`MISSING_ENUMERATION_CAP`.
+        """
+        return frozenset(
+            itertools.islice(
+                self._gap_labels(envelope), self.MISSING_ENUMERATION_CAP
+            )
+        )

@@ -26,9 +26,14 @@ distinguished member.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, Iterator, Optional
 
-from repro.broadcast.base import BroadcastProtocol
+from repro.broadcast.base import (
+    BroadcastProtocol,
+    WakeKey,
+    after_event,
+    after_threshold,
+)
 from repro.errors import ProtocolError
 from repro.group.membership import GroupMembership
 from repro.types import Envelope, EntityId, Message, MessageId
@@ -74,6 +79,7 @@ class SequencerTotalOrder(BroadcastProtocol):
                 )
             self._seq_to_msg[seq] = data_label
             self._msg_to_seq[data_label] = seq
+            self._signal_event(("bound", data_label))
             return
         if self.is_sequencer:
             self._assign_order(envelope.msg_id)
@@ -97,10 +103,22 @@ class SequencerTotalOrder(BroadcastProtocol):
         seq = self._msg_to_seq.get(envelope.msg_id)
         return seq is not None and seq == self._next_to_deliver
 
+    def _blockers(self, envelope: Envelope) -> Iterator[WakeKey]:
+        if envelope.message.operation == self.ORDER_OPERATION:
+            return  # control traffic is always deliverable
+        seq = self._msg_to_seq.get(envelope.msg_id)
+        if seq is None:
+            # The binding names the position; until it arrives the data
+            # message cannot be sequenced at all.
+            yield after_event(("bound", envelope.msg_id))
+        elif seq > self._next_to_deliver:
+            yield after_threshold("next_seq", seq)
+
     def _on_delivered(self, envelope: Envelope) -> None:
         if envelope.message.operation == self.ORDER_OPERATION:
             return
         self._next_to_deliver += 1
+        self._advance_watermark("next_seq", self._next_to_deliver)
 
     def _is_control(self, envelope: Envelope) -> bool:
         return envelope.message.operation == self.ORDER_OPERATION

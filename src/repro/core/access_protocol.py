@@ -36,6 +36,7 @@ from repro.net.latency import LatencyModel
 from repro.net.network import Network
 from repro.sim.rng import RngRegistry
 from repro.sim.scheduler import Scheduler
+from repro.sim.trace import TraceRecorder
 from repro.types import EntityId, MessageId
 
 
@@ -68,6 +69,7 @@ class DataAccessSystem:
         faults: Optional[FaultPlan] = None,
         seed: int = 0,
         service_time: float = 0.0,
+        trace: Optional[TraceRecorder] = None,
     ) -> None:
         if not members:
             raise ConfigurationError("a system needs at least one member")
@@ -79,6 +81,7 @@ class DataAccessSystem:
             faults=faults,
             rng=self.rng,
             service_time=service_time,
+            trace=trace,
         )
         self.membership = GroupMembership(members)
         self.spec = spec
@@ -122,6 +125,7 @@ class StablePointSystem(DataAccessSystem):
         faults: Optional[FaultPlan] = None,
         seed: int = 0,
         service_time: float = 0.0,
+        trace: Optional[TraceRecorder] = None,
     ) -> None:
         super().__init__(
             members,
@@ -132,6 +136,7 @@ class StablePointSystem(DataAccessSystem):
             faults=faults,
             seed=seed,
             service_time=service_time,
+            trace=trace,
         )
         self.frontends: Dict[EntityId, FrontEndManager] = {
             member: FrontEndManager(protocol, spec)  # type: ignore[arg-type]
@@ -160,6 +165,7 @@ class TotalOrderSystem(DataAccessSystem):
         faults: Optional[FaultPlan] = None,
         seed: int = 0,
         service_time: float = 0.0,
+        trace: Optional[TraceRecorder] = None,
     ) -> None:
         if engine not in self.ENGINES:
             raise ConfigurationError(
@@ -175,6 +181,7 @@ class TotalOrderSystem(DataAccessSystem):
             faults=faults,
             seed=seed,
             service_time=service_time,
+            trace=trace,
         )
         self.engine = engine
 
@@ -197,6 +204,7 @@ class CausalSystem(DataAccessSystem):
         faults: Optional[FaultPlan] = None,
         seed: int = 0,
         service_time: float = 0.0,
+        trace: Optional[TraceRecorder] = None,
     ) -> None:
         super().__init__(
             members,
@@ -207,6 +215,7 @@ class CausalSystem(DataAccessSystem):
             faults=faults,
             seed=seed,
             service_time=service_time,
+            trace=trace,
         )
 
     def osend(

@@ -38,11 +38,37 @@ AncestorSpec = Union[None, MessageId, Iterable[MessageId], OccursAfter]
 
 
 class DependencyGraph:
-    """A DAG of message labels with ancestor→descendant edges."""
+    """A DAG of message labels with ancestor→descendant edges.
+
+    Reachability is answered from a memoised ancestor-closure cache:
+    ``_reach[n]`` holds every label (added *or* dangling) with a path to
+    ``n``, so :meth:`precedes`, :meth:`causal_past`, and
+    :meth:`concurrent` are set lookups instead of DFS walks.  Closures
+    are computed lazily on first query (so :meth:`add` stays
+    O(direct ancestors) — hot in every ``OSend`` receive path) and
+    invalidated only by :meth:`add`, the graph's sole mutator, under two
+    invariants:
+
+    1. ``_reach[n]``, when present, equals ``n``'s direct ancestors ∪ the
+       closures of its *added* direct ancestors (dangling ancestors
+       contribute only themselves — their edges are unknown until
+       materialised).  Computing ``n``'s closure memoises every added
+       transitive ancestor of ``n`` along the way.
+    2. An entry exists for ``n`` only if entries exist for all of ``n``'s
+       added transitive ancestors — established by 1 and preserved by
+       invalidation, which walks a materialised node's descendants and
+       stops below any node that was already absent.
+
+    Only materialising a previously *dangling* label can change existing
+    closures (nothing else gains ancestors), so that is the only event
+    that invalidates.
+    """
 
     def __init__(self) -> None:
         self._ancestors: Dict[MessageId, FrozenSet[MessageId]] = {}
         self._descendants: Dict[MessageId, Set[MessageId]] = {}
+        # Memoised transitive-ancestor closures (invariants above).
+        self._reach: Dict[MessageId, FrozenSet[MessageId]] = {}
 
     # -- construction -----------------------------------------------------
 
@@ -68,15 +94,73 @@ class DependencyGraph:
             ancestors = freeze_ancestors(occurs_after)
         if msg_id in ancestors:
             raise DependencyError(f"{msg_id} cannot occur after itself")
-        for ancestor in ancestors:
-            if ancestor in self._ancestors and self.precedes(msg_id, ancestor):
-                raise DependencyError(
-                    f"edge {ancestor} -> {msg_id} would create a cycle"
-                )
+        # A cycle needs a path from msg_id back to an ancestor, and every
+        # edge out of msg_id is a pre-existing dangling reference — so a
+        # never-referenced label cannot close one, and the check (with its
+        # closure computation) is skipped on the common fresh-label path.
+        referenced = bool(self._descendants.get(msg_id))
+        if referenced:
+            for ancestor in ancestors:
+                if (
+                    ancestor in self._ancestors
+                    and msg_id in self._closure(ancestor)
+                ):
+                    raise DependencyError(
+                        f"edge {ancestor} -> {msg_id} would create a cycle"
+                    )
         self._ancestors[msg_id] = ancestors
         self._descendants.setdefault(msg_id, set())
         for ancestor in ancestors:
             self._descendants.setdefault(ancestor, set()).add(msg_id)
+        if referenced and ancestors:
+            # msg_id materialised with ancestry: descendants' memoised
+            # closures hold msg_id as a bare endpoint and miss what lies
+            # above it.
+            self._invalidate_below(msg_id)
+
+    # -- closure cache -----------------------------------------------------
+
+    def _closure(self, node: MessageId) -> FrozenSet[MessageId]:
+        """Memoised transitive-ancestor closure of an added ``node``."""
+        memo = self._reach
+        cached = memo.get(node)
+        if cached is not None:
+            return cached
+        # Iterative post-order: compute added ancestors before dependants.
+        stack = [(node, False)]
+        while stack:
+            current, expanded = stack.pop()
+            if current in memo:
+                continue
+            direct = self._ancestors[current]
+            if expanded:
+                closure: Set[MessageId] = set(direct)
+                for ancestor in direct:
+                    if ancestor in self._ancestors:
+                        closure |= memo[ancestor]
+                memo[current] = frozenset(closure)
+            else:
+                stack.append((current, True))
+                stack.extend(
+                    (ancestor, False)
+                    for ancestor in direct
+                    if ancestor in self._ancestors and ancestor not in memo
+                )
+        return memo[node]
+
+    def _invalidate_below(self, source: MessageId) -> None:
+        """Drop memoised closures of ``source``'s transitive descendants.
+
+        Stopping below an already-absent node is safe by invariant 2: its
+        descendants' entries cannot have survived the invalidation that
+        removed it.
+        """
+        memo = self._reach
+        queue = list(self._descendants.get(source, ()))
+        while queue:
+            node = queue.pop()
+            if memo.pop(node, None) is not None:
+                queue.extend(self._descendants.get(node, ()))
 
     # -- basic queries -------------------------------------------------------
 
@@ -125,21 +209,15 @@ class DependencyGraph:
     # -- causal relations -------------------------------------------------------
 
     def precedes(self, earlier: MessageId, later: MessageId) -> bool:
-        """True iff ``earlier ≺ later`` (transitively) among added nodes."""
-        if earlier == later:
+        """True iff ``earlier ≺ later`` (transitively) among added nodes.
+
+        A closure lookup — O(1) amortised over repeated queries, vs. the
+        ancestor-walk DFS this replaced (kept as the reference
+        implementation in ``tests/graph/test_reachability_cache.py``).
+        """
+        if later not in self._ancestors or earlier == later:
             return False
-        # Walk ancestor links upward from `later`.
-        stack = [later]
-        seen: Set[MessageId] = set()
-        while stack:
-            current = stack.pop()
-            for ancestor in self._ancestors.get(current, frozenset()):
-                if ancestor == earlier:
-                    return True
-                if ancestor not in seen:
-                    seen.add(ancestor)
-                    stack.append(ancestor)
-        return False
+        return earlier in self._closure(later)
 
     def concurrent(self, a: MessageId, b: MessageId) -> bool:
         """The paper's ‖ relation: neither precedes the other."""
@@ -149,15 +227,11 @@ class DependencyGraph:
 
     def causal_past(self, msg_id: MessageId) -> FrozenSet[MessageId]:
         """All added transitive ancestors of ``msg_id``."""
-        past: Set[MessageId] = set()
-        stack = [msg_id]
-        while stack:
-            current = stack.pop()
-            for ancestor in self._ancestors.get(current, frozenset()):
-                if ancestor in self._ancestors and ancestor not in past:
-                    past.add(ancestor)
-                    stack.append(ancestor)
-        return frozenset(past)
+        if msg_id not in self._ancestors:
+            return frozenset()
+        return frozenset(
+            m for m in self._closure(msg_id) if m in self._ancestors
+        )
 
     def concurrency_classes(self) -> List[FrozenSet[MessageId]]:
         """Maximal antichains found greedily in insertion order.

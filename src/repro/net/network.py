@@ -185,11 +185,14 @@ class Network:
             self.hops_dropped += 1
             return
         self.hops_delivered += 1
-        self.trace.record(
-            self.scheduler.now,
-            "receive",
-            source=source,
-            destination=destination,
-            msg_id=envelope.msg_id,
-        )
+        # Per-hop events dominate tracing cost at scale; gate on `wants`
+        # so benchmarks with hop tracing off/sampled skip the dict build.
+        if self.trace.wants("receive"):
+            self.trace.record(
+                self.scheduler.now,
+                "receive",
+                source=source,
+                destination=destination,
+                msg_id=envelope.msg_id,
+            )
         node.on_receive(source, envelope)

@@ -80,7 +80,7 @@ class TestCausalDelivery:
         faults.heal()
         stacks["b"].bcast("dependent")
         scheduler.run()
-        pending = stacks["c"]._pending
+        pending = stacks["c"].holdback_envelopes
         assert pending
         assert stacks["c"].missing_for(pending[0]) == frozenset({m1})
 

@@ -1,0 +1,170 @@
+"""The incremental ancestor-closure cache vs. the reference DFS walk.
+
+``DependencyGraph.precedes`` / ``causal_past`` answer from a per-node
+closure maintained by ``add``.  These tests pin the cache to the original
+DFS semantics — including the subtle cases: dangling ancestors that
+materialise *after* descendants referenced them (the closure must
+propagate downward), cycles that route through dangling labels, and
+diamond-shaped sharing where the same closure arrives via two paths.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Set
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.depgraph import DependencyGraph
+from repro.types import MessageId
+
+
+def mid(sender: str, seqno: int = 0) -> MessageId:
+    return MessageId(sender, seqno)
+
+
+def naive_precedes(
+    graph: DependencyGraph, earlier: MessageId, later: MessageId
+) -> bool:
+    """The pre-cache reference implementation: DFS up the ancestor links."""
+    if earlier == later:
+        return False
+    stack = [later]
+    seen: Set[MessageId] = set()
+    while stack:
+        current = stack.pop()
+        for ancestor in graph._ancestors.get(current, frozenset()):
+            if ancestor == earlier:
+                return True
+            if ancestor not in seen:
+                seen.add(ancestor)
+                stack.append(ancestor)
+    return False
+
+
+def naive_causal_past(
+    graph: DependencyGraph, msg_id: MessageId
+) -> FrozenSet[MessageId]:
+    past: Set[MessageId] = set()
+    stack = [msg_id]
+    while stack:
+        current = stack.pop()
+        for ancestor in graph._ancestors.get(current, frozenset()):
+            if ancestor in graph._ancestors and ancestor not in past:
+                past.add(ancestor)
+                stack.append(ancestor)
+    return frozenset(past)
+
+
+def assert_cache_matches_naive(graph: DependencyGraph) -> None:
+    nodes = graph.nodes
+    for a in nodes:
+        assert graph.causal_past(a) == naive_causal_past(graph, a)
+        for b in nodes:
+            assert graph.precedes(a, b) == naive_precedes(graph, a, b), (
+                f"precedes({a}, {b}) diverged from the DFS reference"
+            )
+
+
+class TestDanglingMaterialisation:
+    def test_closure_propagates_when_dangling_ancestor_arrives(self):
+        # c references b before b exists; when b arrives carrying ancestor
+        # a, c's closure must gain a (and a's own past) transitively.
+        graph = DependencyGraph()
+        graph.add(mid("c"), mid("b"))
+        graph.add(mid("a"))
+        assert not graph.precedes(mid("a"), mid("c"))
+        graph.add(mid("b"), mid("a"))
+        assert graph.precedes(mid("a"), mid("c"))
+        assert graph.causal_past(mid("c")) == {mid("a"), mid("b")}
+        assert_cache_matches_naive(graph)
+
+    def test_propagation_reaches_deep_descendants(self):
+        graph = DependencyGraph()
+        graph.add(mid("d"), mid("c"))
+        graph.add(mid("e"), mid("d"))
+        graph.add(mid("f"), mid("e"))
+        graph.add(mid("root"))
+        graph.add(mid("c"), mid("root"))  # materialise: root must reach f
+        assert graph.precedes(mid("root"), mid("f"))
+        assert graph.causal_past(mid("f")) == {
+            mid("root"), mid("c"), mid("d"), mid("e")
+        }
+        assert_cache_matches_naive(graph)
+
+    def test_propagation_through_diamond_fanout(self):
+        # Two paths from the materialised node down to the sink: the
+        # closure must arrive exactly once (pruned where already present).
+        graph = DependencyGraph()
+        graph.add(mid("left"), mid("hub"))
+        graph.add(mid("right"), mid("hub"))
+        graph.add(mid("sink"), [mid("left"), mid("right")])
+        graph.add(mid("origin"))
+        graph.add(mid("hub"), mid("origin"))
+        assert graph.precedes(mid("origin"), mid("sink"))
+        assert graph.concurrent(mid("left"), mid("right"))
+        assert_cache_matches_naive(graph)
+
+    def test_chained_materialisation(self):
+        # Two dangling nodes materialise in sequence, each unlocking the
+        # next layer of ancestry.
+        graph = DependencyGraph()
+        graph.add(mid("z"), mid("y"))
+        graph.add(mid("y"), mid("x"))  # y materialises, z learns of x
+        assert graph.precedes(mid("x"), mid("z"))
+        graph.add(mid("x"), mid("w"))  # x materialises, z learns of w
+        assert graph.precedes(mid("w"), mid("z"))
+        # w stays dangling: precedes sees it, causal_past excludes it.
+        assert graph.causal_past(mid("z")) == {mid("x"), mid("y")}
+        assert_cache_matches_naive(graph)
+
+
+class TestCacheSemantics:
+    def test_dangling_labels_count_as_preceding(self):
+        # The DFS reference treats dangling ancestors as reachable
+        # endpoints; the closure must too.
+        graph = DependencyGraph()
+        graph.add(mid("b"), mid("ghost"))
+        assert graph.precedes(mid("ghost"), mid("b"))
+        assert graph.causal_past(mid("b")) == frozenset()
+        assert_cache_matches_naive(graph)
+
+    def test_unknown_later_never_preceded(self):
+        graph = DependencyGraph()
+        graph.add(mid("a"))
+        assert not graph.precedes(mid("a"), mid("ghost"))
+
+    def test_transitive_reduction_unchanged_by_cache(self):
+        graph = DependencyGraph()
+        graph.add(mid("a"))
+        graph.add(mid("b"), mid("a"))
+        graph.add(mid("c"), [mid("a"), mid("b")])  # a->c implied via b
+        reduced = graph.transitive_reduction()
+        assert reduced.ancestors_of(mid("c")) == frozenset({mid("b")})
+        assert_cache_matches_naive(reduced)
+
+
+class TestRandomisedEquivalence:
+    @settings(max_examples=60, deadline=None)
+    @given(data=st.data())
+    def test_random_insertion_orders_match_dfs(self, data):
+        # Random DAG on up to 12 labels, inserted in random order so
+        # dangling references and late materialisation occur naturally.
+        n = data.draw(st.integers(2, 12), label="n")
+        labels = [mid("m", i) for i in range(n)]
+        edges = {
+            i: sorted(
+                data.draw(
+                    st.sets(st.integers(0, i - 1), max_size=3),
+                    label=f"anc{i}",
+                )
+            )
+            if i > 0
+            else []
+            for i in range(n)
+        }
+        order = data.draw(st.permutations(list(range(n))), label="order")
+        graph = DependencyGraph()
+        for i in order:
+            graph.add(labels[i], [labels[j] for j in edges[i]])
+        assert_cache_matches_naive(graph)
