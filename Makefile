@@ -1,6 +1,6 @@
 # Convenience targets for the causal-broadcast reproduction.
 
-.PHONY: install test bench bench-quick perf-guard examples demos lint-clean
+.PHONY: install test bench bench-quick perf-guard chaos-quick examples demos lint-clean
 
 install:
 	python setup.py develop
@@ -21,6 +21,11 @@ bench-quick:
 # (override with PERF_GUARD_TOLERANCE=0.4 etc.).
 perf-guard:
 	PYTHONPATH=src:benchmarks python benchmarks/perf_guard.py
+
+# Seeded fault-injection campaigns (crash/partition/loss/churn) across
+# every crash-eligible protocol; fails on any safety-invariant violation.
+chaos-quick:
+	PYTHONPATH=src python -m repro chaos --protocol all --seeds 3
 
 examples:
 	@for f in examples/*.py; do echo "== $$f"; python $$f > /dev/null && echo ok; done

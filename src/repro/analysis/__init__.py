@@ -23,6 +23,7 @@ from repro.analysis.metrics import (
     latency_summary,
     message_cost,
 )
+from repro.analysis.invariants import InvariantMonitor, Violation
 from repro.analysis.incidental import (
     OrderingComparison,
     compare_orderings,
@@ -61,6 +62,8 @@ __all__ = [
     "CausalViolation",
     "Disagreement",
     "GuaranteeViolation",
+    "InvariantMonitor",
+    "Violation",
     "MessageCost",
     "OrderingComparison",
     "SerializabilityReport",

@@ -1,0 +1,342 @@
+"""Always-on safety invariants for fault-injection campaigns.
+
+A chaos campaign (``repro.chaos``) subjects a group of protocol stacks to
+crashes, partitions, loss and membership churn; afterwards the
+:class:`InvariantMonitor` audits every member against the properties the
+paper's model takes for granted of its substrate:
+
+``duplicate-delivery``
+    No application label is delivered twice within one incarnation
+    (labels make dedup trivial — Section 6.1).
+``causal-order``
+    Every delivery respects the ground-truth dependency set recorded at
+    send time; a dependency counts as satisfied if it was delivered
+    earlier in the same incarnation *or* settled via a stable-prefix
+    skip (compacted history an amnesiac rejoiner can never re-deliver).
+``total-order``
+    For total-order protocols: any two members' final-incarnation logs
+    agree on the relative order of every common pair of data labels.
+``view-synchrony``
+    At each view installation, the member had settled the union of all
+    collected flush digests (the relaxed, *auditable* form of "same
+    delivered set at the synchronization point": copies that straggle in
+    after FLUSH_OK make exact set equality unobservable).
+``gc-safety``
+    No member compacted bodies beyond what every current member has
+    settled — garbage collection never destroyed a label some member
+    still needs delivered.
+``convergence``
+    Every member settled every data label any member settled (checked
+    after the campaign's bounded repair phase; its failure is reported
+    by the campaign runner as a *liveness* violation).
+
+Each check is a separate method returning :class:`Violation` records so
+tests can pin them individually; :meth:`InvariantMonitor.check_all` runs
+the full battery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.types import Envelope, EntityId, MessageId
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One invariant breach at (usually) one member."""
+
+    invariant: str
+    member: Optional[EntityId]
+    detail: str
+
+    def __str__(self) -> str:  # pragma: no cover - trivial formatting
+        where = f" at {self.member!r}" if self.member is not None else ""
+        return f"[{self.invariant}]{where}: {self.detail}"
+
+
+class InvariantMonitor:
+    """Audits a set of protocol stacks after a (possibly chaotic) run.
+
+    Parameters
+    ----------
+    protocols:
+        Entity -> protocol stack (all stacks ever part of the group).
+    dependencies:
+        Ground-truth causal dependencies per data label, recorded by the
+        sender at send time (``repro.chaos.ChaosCluster`` maintains this).
+    data_labels:
+        The application labels; checks ignore protocol control traffic.
+    view_syncs:
+        Entity -> :class:`~repro.group.view_sync.ViewSyncAgent`, if the
+        group ran the flush protocol.
+    trackers:
+        Entity -> :class:`~repro.broadcast.gc.StabilityTracker`, if the
+        group ran garbage collection.
+    expected_members:
+        The membership the final view must equal, if known.
+    check_total_order:
+        Enable the pairwise total-order check (meaningful only for
+        total-order protocols).
+    audience:
+        Optional per-label set of members the protocol *guarantees*
+        ordering for (the send-time view).  RST's sent-matrix records
+        owed counts per (origin, destination) pair for the members of
+        the sender's current view only, so a message broadcast while a
+        member was out of the view is never causally ordered with
+        respect to that member — a per-destination weakness under churn
+        (documented in ``docs/ROBUSTNESS.md``).  When supplied, a
+        dependency is enforced at member ``m`` only if ``m`` is in the
+        dependency's audience; labels absent from the map are enforced
+        everywhere.
+    """
+
+    def __init__(
+        self,
+        protocols: Dict[EntityId, object],
+        *,
+        dependencies: Optional[Dict[MessageId, frozenset]] = None,
+        data_labels: Optional[Set[MessageId]] = None,
+        view_syncs: Optional[Dict[EntityId, object]] = None,
+        trackers: Optional[Dict[EntityId, object]] = None,
+        expected_members: Optional[Iterable[EntityId]] = None,
+        check_total_order: bool = False,
+        audience: Optional[Dict[MessageId, frozenset]] = None,
+    ) -> None:
+        self.protocols = protocols
+        self.dependencies = dependencies or {}
+        self.data_labels = (
+            set(data_labels) if data_labels is not None
+            else set(self.dependencies)
+        )
+        self.view_syncs = view_syncs or {}
+        self.trackers = trackers or {}
+        self.expected_members = (
+            frozenset(expected_members) if expected_members is not None else None
+        )
+        self.check_total_order = check_total_order
+        self.audience = audience
+
+    # -- incarnation plumbing ------------------------------------------------
+
+    def _incarnations(
+        self, protocol
+    ) -> Iterator[Tuple[int, List[Envelope], Set[MessageId]]]:
+        """Yield ``(incarnation, delivered_envelopes, skipped)`` per life."""
+        for index, (envelopes, skipped) in enumerate(
+            protocol.incarnation_archive
+        ):
+            yield index, list(envelopes), set(skipped)
+        yield (
+            protocol.incarnation,
+            list(protocol._delivered_envelopes),
+            set(protocol._skipped_stable),
+        )
+
+    def _data_log(self, envelopes: Sequence[Envelope]) -> List[MessageId]:
+        return [
+            e.msg_id for e in envelopes if e.msg_id in self.data_labels
+        ]
+
+    def _settled_data(self, protocol) -> Set[MessageId]:
+        """Data labels the stack's *current* incarnation has settled."""
+        delivered = {
+            e.msg_id
+            for e in protocol._delivered_envelopes
+            if e.msg_id in self.data_labels
+        }
+        return delivered | (set(protocol._skipped_stable) & self.data_labels)
+
+    # -- individual checks ---------------------------------------------------
+
+    def check_duplicate_deliveries(self) -> List[Violation]:
+        violations = []
+        for member, protocol in self.protocols.items():
+            for incarnation, envelopes, _skipped in self._incarnations(protocol):
+                log = self._data_log(envelopes)
+                seen: Set[MessageId] = set()
+                for label in log:
+                    if label in seen:
+                        violations.append(Violation(
+                            "duplicate-delivery",
+                            member,
+                            f"{label} delivered twice in incarnation "
+                            f"{incarnation}",
+                        ))
+                    seen.add(label)
+        return violations
+
+    def check_causal_order(self) -> List[Violation]:
+        violations = []
+        for member, protocol in self.protocols.items():
+            for incarnation, envelopes, skipped in self._incarnations(protocol):
+                log = self._data_log(envelopes)
+                position: Dict[MessageId, int] = {}
+                for i, label in enumerate(log):
+                    position.setdefault(label, i)
+                for label in log:
+                    for dep in self.dependencies.get(label, ()):
+                        if dep in skipped:
+                            continue
+                        if self.audience is not None:
+                            reached = self.audience.get(dep)
+                            if reached is not None and member not in reached:
+                                continue
+                        dep_position = position.get(dep)
+                        if dep_position is None:
+                            violations.append(Violation(
+                                "causal-order",
+                                member,
+                                f"{label} delivered in incarnation "
+                                f"{incarnation} without its dependency {dep}",
+                            ))
+                        elif dep_position >= position[label]:
+                            violations.append(Violation(
+                                "causal-order",
+                                member,
+                                f"{label} delivered before its dependency "
+                                f"{dep} in incarnation {incarnation}",
+                            ))
+        return violations
+
+    def check_total_order_agreement(self) -> List[Violation]:
+        if not self.check_total_order:
+            return []
+        violations = []
+        logs = {
+            member: self._data_log(protocol._delivered_envelopes)
+            for member, protocol in self.protocols.items()
+        }
+        members = sorted(logs)
+        for i, first in enumerate(members):
+            for second in members[i + 1:]:
+                common = set(logs[first]) & set(logs[second])
+                ordered_first = [l for l in logs[first] if l in common]
+                ordered_second = [l for l in logs[second] if l in common]
+                if ordered_first != ordered_second:
+                    disagreement = next(
+                        (a, b)
+                        for a, b in zip(ordered_first, ordered_second)
+                        if a != b
+                    )
+                    violations.append(Violation(
+                        "total-order",
+                        first,
+                        f"{first!r} and {second!r} disagree on common-label "
+                        f"order starting at {disagreement}",
+                    ))
+        return violations
+
+    def check_view_synchrony(self) -> List[Violation]:
+        violations = []
+        for member, agent in self.view_syncs.items():
+            for record in agent.install_history:
+                missing = set(record.digest_union) - set(record.snapshot)
+                if self.data_labels:
+                    missing &= self.data_labels
+                if missing:
+                    sample = sorted(missing, key=str)[:3]
+                    violations.append(Violation(
+                        "view-synchrony",
+                        member,
+                        f"view {record.view_id} installed without settling "
+                        f"{len(missing)} digest label(s), e.g. {sample}",
+                    ))
+        return violations
+
+    def check_gc_safety(self) -> List[Violation]:
+        violations = []
+        settled = {
+            member: self._settled_data(protocol)
+            for member, protocol in self.protocols.items()
+        }
+        for gc_member, tracker in self.trackers.items():
+            for origin, frontier in tracker.applied_frontier.items():
+                for member, have in settled.items():
+                    missing = [
+                        MessageId(origin, seqno)
+                        for seqno in range(frontier)
+                        if MessageId(origin, seqno) in self.data_labels
+                        and MessageId(origin, seqno) not in have
+                    ]
+                    if missing:
+                        violations.append(Violation(
+                            "gc-safety",
+                            gc_member,
+                            f"compacted {origin!r} below seqno {frontier} "
+                            f"but {member!r} never settled {missing[:3]}",
+                        ))
+        return violations
+
+    def check_convergence(self) -> List[Violation]:
+        violations = []
+        settled = {
+            member: self._settled_data(protocol)
+            for member, protocol in self.protocols.items()
+        }
+        union: Set[MessageId] = set()
+        for have in settled.values():
+            union |= have
+        for member, have in settled.items():
+            missing = union - have
+            if missing:
+                sample = sorted(missing, key=str)[:3]
+                violations.append(Violation(
+                    "convergence",
+                    member,
+                    f"missing {len(missing)} settled data label(s), "
+                    f"e.g. {sample}",
+                ))
+        return violations
+
+    def check_holdback_drained(self) -> List[Violation]:
+        violations = []
+        for member, protocol in self.protocols.items():
+            held = [
+                e.msg_id
+                for e in protocol.holdback_envelopes
+                if e.msg_id in self.data_labels
+            ]
+            if held:
+                violations.append(Violation(
+                    "holdback-drained",
+                    member,
+                    f"{len(held)} data envelope(s) still held back, "
+                    f"e.g. {held[:3]}",
+                ))
+        return violations
+
+    def check_final_view(self) -> List[Violation]:
+        if self.expected_members is None:
+            return []
+        views = {
+            member: protocol.group.view
+            for member, protocol in self.protocols.items()
+        }
+        violations = []
+        for member, view in views.items():
+            if frozenset(view.members) != self.expected_members:
+                violations.append(Violation(
+                    "final-view",
+                    member,
+                    f"final view {sorted(view.members)} != expected "
+                    f"{sorted(self.expected_members)}",
+                ))
+                break  # membership is shared; one report suffices
+        return violations
+
+    # -- battery -------------------------------------------------------------
+
+    def check_all(self) -> List[Violation]:
+        """Run every applicable invariant; empty list means all safe."""
+        return (
+            self.check_duplicate_deliveries()
+            + self.check_causal_order()
+            + self.check_total_order_agreement()
+            + self.check_view_synchrony()
+            + self.check_gc_safety()
+            + self.check_convergence()
+            + self.check_holdback_drained()
+            + self.check_final_view()
+        )

@@ -159,6 +159,17 @@ class BroadcastProtocol(SimNode):
         self._queued: Set[MessageId] = set()
         self._draining = False
         self._cursor = -1
+        # -- stable-prefix skip + crash bookkeeping ------------------------
+        # Labels settled without local delivery: stable (delivered at every
+        # member) but unservable after store compaction.  An amnesiac
+        # rejoiner fast-forwards past them instead of NACKing forever.
+        self._skipped_stable: Set[MessageId] = set()
+        self._stable_floor: Dict[EntityId, int] = {}
+        #: Delivery history of previous incarnations, archived at restart:
+        #: ``(delivered_envelopes, skipped_stable)`` per lost life.
+        self.incarnation_archive: List[
+            Tuple[List[Envelope], frozenset]
+        ] = []
 
     # -- public API ----------------------------------------------------------
 
@@ -237,6 +248,26 @@ class BroadcastProtocol(SimNode):
         """
         return frozenset()
 
+    def _reset_volatile(self) -> None:
+        """Drop protocol-specific volatile state after a restart.
+
+        Subclasses clear delivered-state clocks, cursors, reassembly
+        buffers and extracted graphs here.  *Send-side* counters that
+        mirror the (durable) label allocator — e.g. CBCAST's own-broadcast
+        count — must survive, or post-restart stamps would contradict the
+        labels they carry.
+        """
+
+    def _on_stable_skip(self, origin: EntityId, frontier: int) -> None:
+        """Advance per-origin delivery cursors past a skipped stable prefix.
+
+        Called by :meth:`note_stable_prefix` after labels
+        ``origin:0..frontier-1`` have been marked settled.  Protocols with
+        per-origin counters (FIFO next-seqno, vector-clock components,
+        RST delivered counts, Lamport FIFO streams) fast-forward them here
+        so fresh traffic is not blocked behind irrecoverable history.
+        """
+
     # -- recovery integration -----------------------------------------------
 
     def add_interceptor(self, agent: Any) -> None:
@@ -256,6 +287,96 @@ class BroadcastProtocol(SimNode):
     def envelope_of(self, msg_id: MessageId) -> Optional[Envelope]:
         """Any stored copy of ``msg_id`` (sent or received), for repair."""
         return self._envelopes_by_id.get(msg_id)
+
+    # -- stable-prefix skip ---------------------------------------------------
+
+    def note_stable_prefix(self, origin: EntityId, frontier: int) -> None:
+        """Settle ``origin``'s labels below ``frontier`` without delivery.
+
+        A label below a gossiped stable frontier was delivered at every
+        member before its body was compacted away — it can never be
+        served again, and chasing it would NACK forever.  A member that
+        has not delivered it (in practice: an amnesiac rejoiner whose
+        delivered state was lost in a crash) treats it as settled history
+        instead: the label is marked seen (stray copies dedup away) and
+        counted delivered for predicate purposes, and the protocol's
+        per-origin cursors fast-forward (:meth:`_on_stable_skip`).
+
+        At a healthy member the frontier never exceeds its own delivered
+        prefix (the frontier is a group-wide minimum that includes the
+        member's own reports), so this is a no-op outside rejoin.
+        """
+        floor = self._stable_floor.get(origin, 0)
+        if frontier <= floor:
+            return
+        self._stable_floor[origin] = frontier
+        for seqno in range(floor, frontier):
+            label = MessageId(origin, seqno)
+            if label in self._delivered_ids:
+                continue
+            self._seen.add(label)
+            self._delivered_ids.add(label)
+            self._skipped_stable.add(label)
+            if label in self._pending:
+                # A held copy whose predecessors were compacted: it is
+                # stable too, so settle it rather than deliver it out of
+                # what would be a torn prefix.
+                del self._pending[label]
+                self._arrival.pop(label, None)
+                self._queued.discard(label)
+                self._blocked_on.pop(label, None)
+            self._signal_event(("delivered", label))
+        self._on_stable_skip(origin, frontier)
+        for agent in self._interceptors:
+            hook = getattr(agent, "on_stable_skip", None)
+            if hook is not None:
+                hook(origin, frontier)
+        self._drain()
+
+    @property
+    def skipped_stable(self) -> frozenset:
+        """Labels settled via stable-prefix skip (never delivered here)."""
+        return frozenset(self._skipped_stable)
+
+    # -- crash-stop lifecycle ----------------------------------------------------
+
+    def _on_restart(self) -> None:
+        """Model volatile-state loss: wipe everything but durable identity.
+
+        Durable across incarnations: the label allocator (labels are never
+        reused), the shared group membership, registered callbacks and
+        interceptors, and cumulative diagnostics.  Everything else — the
+        hold-back queue, dedup set, delivered state, repair store and the
+        wakeup index — is volatile and lost with the crash.  The previous
+        life's delivery history is archived for post-hoc analysis.
+        """
+        self.incarnation_archive.append(
+            (list(self._delivered_envelopes), frozenset(self._skipped_stable))
+        )
+        self._pending.clear()
+        self._seen.clear()
+        self._delivered_ids.clear()
+        self._delivery_log.clear()
+        self._delivered_envelopes.clear()
+        self._envelopes_by_id.clear()
+        self._send_times.clear()
+        self._arrival.clear()
+        self._blocked_on.clear()
+        self._event_waiters.clear()
+        self._threshold_waiters.clear()
+        self._watermarks.clear()
+        self._ready.clear()
+        self._current.clear()
+        self._queued.clear()
+        self._draining = False
+        self._cursor = -1
+        self._skipped_stable = set()
+        self._stable_floor.clear()
+        self._reset_volatile()
+        for agent in self._interceptors:
+            reset = getattr(agent, "reset_volatile", None)
+            if reset is not None:
+                reset()
 
     # -- receive path -------------------------------------------------------------
 

@@ -90,6 +90,18 @@ class CbcastBroadcast(BroadcastProtocol):
         for entity, _ in msg_clock.items():
             self._advance_watermark(("vc", entity), self._clock[entity])
 
+    def _reset_volatile(self) -> None:
+        # The delivered-state clock is volatile; `_sent` mirrors the
+        # durable label allocator (label seqno = own component - 1) and
+        # must survive, or post-restart stamps would contradict their
+        # labels.
+        self._clock = VectorClock.zero()
+
+    def _on_stable_skip(self, origin: EntityId, frontier: int) -> None:
+        if self._clock[origin] < frontier:
+            self._clock = self._clock.merge(VectorClock({origin: frontier}))
+            self._advance_watermark(("vc", origin), frontier)
+
     def _gap_labels(self, envelope: Envelope) -> Iterator[MessageId]:
         """Lazily yield the unseen labels this stamp implies we lack."""
         msg_clock: VectorClock = envelope.metadata["vclock"]

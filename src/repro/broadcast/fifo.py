@@ -40,6 +40,14 @@ class FifoBroadcast(BroadcastProtocol):
         self._next_from[sender] = envelope.msg_id.seqno + 1
         self._advance_watermark(("seq", sender), self._next_from[sender])
 
+    def _reset_volatile(self) -> None:
+        self._next_from.clear()
+
+    def _on_stable_skip(self, origin: EntityId, frontier: int) -> None:
+        if self._next_from.get(origin, 0) < frontier:
+            self._next_from[origin] = frontier
+            self._advance_watermark(("seq", origin), frontier)
+
     def missing_for(self, envelope: Envelope) -> frozenset:
         """The sender's sequence gap below this envelope."""
         sender = envelope.msg_id.sender

@@ -35,8 +35,14 @@ class StabilityTracker:
         self._allocator = MessageIdAllocator(f"{protocol.entity_id}!gc")
         # member -> origin -> contiguous delivered prefix length.
         self._prefixes: Dict[EntityId, Dict[EntityId, int]] = {}
+        # origin -> highest frontier ever used to drop bodies; the
+        # anti-entropy layer advertises it so receivers skip what this
+        # member can no longer serve, and the invariant monitor audits it.
+        self._applied_frontier: Dict[EntityId, int] = {}
         self.envelopes_reclaimed = 0
         protocol.add_interceptor(self)
+        # Let the recovery layer find us (it advertises our frontiers).
+        protocol.stability_tracker = self  # type: ignore[attr-defined]
         protocol.on_deliver(self._on_delivery)
         # Track contiguity of our own deliveries per origin; seed with any
         # deliveries that happened before the tracker was attached.
@@ -75,8 +81,9 @@ class StabilityTracker:
         )
 
     def schedule_gossip(self, period: float, rounds: int) -> None:
+        """Crash-guarded: rounds do not fire while the node is down."""
         for i in range(1, rounds + 1):
-            self.protocol.scheduler.call_in(period * i, self.gossip_round)
+            self.protocol.call_in(period * i, self.gossip_round)
 
     def intercept(self, sender: EntityId, envelope: Envelope) -> bool:
         if envelope.message.operation != GC_VECTOR_OPERATION:
@@ -111,7 +118,60 @@ class StabilityTracker:
                 droppable.append(label)
         for label in droppable:
             del store[label]
+            applied = self._applied_frontier.get(label.sender, 0)
+            if label.seqno + 1 > applied:
+                self._applied_frontier[label.sender] = label.seqno + 1
         self.envelopes_reclaimed += len(droppable)
+
+    def advertised_frontiers(self) -> Dict[EntityId, int]:
+        """Per-origin frontiers below which this member cannot serve.
+
+        The union of frontiers actually *applied* (bodies dropped) and the
+        current stable estimate: receivers of an anti-entropy digest may
+        settle anything below these instead of NACKing this member for
+        bodies it no longer has.
+        """
+        frontiers = dict(self._applied_frontier)
+        for origin in self._own_prefix:
+            estimate = self.stable_frontier(origin)
+            if estimate > frontiers.get(origin, 0):
+                frontiers[origin] = estimate
+        return {o: f for o, f in frontiers.items() if f > 0}
+
+    # -- crash-stop integration --------------------------------------------------
+
+    def reset_volatile(self) -> None:
+        """Drop delivered-prefix knowledge after the stack restarts.
+
+        The rejoiner re-learns peers' prefixes from gossip and rebuilds
+        its own from post-restart deliveries and stable-prefix skips.
+        ``envelopes_reclaimed`` stays cumulative.
+        """
+        self._prefixes.clear()
+        self._delivered_seqnos.clear()
+        self._own_prefix.clear()
+        self._applied_frontier.clear()
+
+    def on_stable_skip(self, origin: EntityId, frontier: int) -> None:
+        """Count a skipped stable prefix as settled in our own prefix.
+
+        Skipped labels are delivered-at-every-member history; reporting
+        them keeps the group frontier from collapsing to zero whenever an
+        amnesiac member rejoins (which would stall compaction forever).
+        """
+        if self._own_prefix.get(origin, 0) >= frontier:
+            return
+        prefix = frontier
+        seqnos = self._delivered_seqnos.setdefault(origin, set())
+        while prefix in seqnos:
+            seqnos.discard(prefix)
+            prefix += 1
+        self._own_prefix[origin] = prefix
+
+    @property
+    def applied_frontier(self) -> Dict[EntityId, int]:
+        """Highest frontier used to drop bodies, per origin (diagnostics)."""
+        return dict(self._applied_frontier)
 
     @property
     def store_size(self) -> int:

@@ -106,6 +106,11 @@ class LamportTotalOrder(BroadcastProtocol):
         self.acks_sent += 1
         ack = Message(self._allocator.next_id(), self.ACK_OPERATION, data_label)
         stamped = self._stamp(Envelope(ack))
+        # Acks ride the main label stream, so a lost ack is a FIFO gap
+        # every member stalls on.  Keep our own copy (as `bcast` does for
+        # data) so the recovery layer can re-inject and serve it even if
+        # every network copy — including the self-delivery hop — drops.
+        self._envelopes_by_id[stamped.msg_id] = stamped
         self.broadcast(stamped)
 
     # -- delivery -----------------------------------------------------------------
@@ -159,6 +164,25 @@ class LamportTotalOrder(BroadcastProtocol):
 
     def _on_delivered(self, envelope: Envelope) -> None:
         self._undelivered_data.pop(envelope.msg_id, None)
+
+    def _reset_volatile(self) -> None:
+        # `_clock` is durable: post-restart stamps must stay monotone so
+        # peers' heard-clock thresholds from pre-crash stamps still close.
+        self._latest_heard.clear()
+        self._fifo_buffer.clear()
+        self._fifo_next.clear()
+        self._stamps.clear()
+        self._undelivered_data.clear()
+
+    def _on_stable_skip(self, origin: EntityId, frontier: int) -> None:
+        next_seq = max(self._fifo_next.get(origin, 0), frontier)
+        buffer = self._fifo_buffer.get(origin, {})
+        # Successors buffered behind the skipped prefix are contiguous now.
+        while next_seq in buffer:
+            self._process_metadata(buffer.pop(next_seq))
+            next_seq += 1
+        self._fifo_next[origin] = next_seq
+        self._advance_watermark(("fifo", origin), next_seq)
 
     def _is_control(self, envelope: Envelope) -> bool:
         return envelope.message.operation == self.ACK_OPERATION

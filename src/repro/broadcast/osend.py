@@ -88,6 +88,12 @@ class OSendBroadcast(BroadcastProtocol):
     def _deliverable(self, envelope: Envelope) -> bool:
         return self._predicate_of(envelope).satisfied_by(self._delivered_ids)
 
+    def _reset_volatile(self) -> None:
+        # The extracted graph is re-derived from observed traffic; the
+        # stable-prefix skip needs no cursor work here because skipped
+        # labels enter `_delivered_ids`, which the predicate consults.
+        self._graph = DependencyGraph()
+
     def _blockers(self, envelope: Envelope) -> Iterator[WakeKey]:
         # The Occurs-After ancestor index: one wake per undelivered
         # ancestor, resolved by the chassis's own delivered events.

@@ -112,7 +112,7 @@ class RecoveryAgent:
         if not self._running or self._scan_scheduled:
             return
         self._scan_scheduled = True
-        self.protocol.scheduler.call_in(self.scan_interval, self._scan)
+        self.protocol.call_in(self.scan_interval, self._scan)
 
     # -- scanning -------------------------------------------------------------
 
@@ -120,6 +120,7 @@ class RecoveryAgent:
         self._scan_scheduled = False
         if not self._running:
             return
+        self._purge_settled()
         now = self.protocol.now
         chaseable = False
         for envelope in self.protocol.holdback_envelopes:
@@ -128,7 +129,21 @@ class RecoveryAgent:
                     chaseable = True
         if chaseable:
             self._scan_scheduled = True
-            self.protocol.scheduler.call_in(self.scan_interval, self._scan)
+            self.protocol.call_in(self.scan_interval, self._scan)
+
+    def _purge_settled(self) -> None:
+        """Forget chase state for labels that have since arrived.
+
+        A label can settle between scans without passing through
+        :meth:`intercept` (e.g. a stable-prefix skip marks it seen); this
+        sweep keeps ``_nack_state`` / ``_first_missing`` bounded by the
+        set of labels actually still missing.
+        """
+        seen = self.protocol._seen
+        for label in [l for l in self._nack_state if l in seen]:
+            del self._nack_state[label]
+        for label in [l for l in self._first_missing if l in seen]:
+            del self._first_missing[label]
 
     def _maybe_nack(self, label: MessageId, now: float) -> bool:
         """NACK ``label`` if due; returns whether it is still worth chasing."""
@@ -168,7 +183,7 @@ class RecoveryAgent:
     # -- anti-entropy ---------------------------------------------------------
 
     def anti_entropy_round(self) -> None:
-        """Broadcast a digest of everything this member has seen.
+        """Broadcast a digest of everything this member can *serve*.
 
         Hold-back-driven NACKs can only chase labels some *held* envelope
         names; a message that nothing references (e.g. the lost tail of a
@@ -177,30 +192,44 @@ class RecoveryAgent:
         NACK the digest's sender — who, having advertised the label,
         necessarily holds a copy.  Each round is a single broadcast, so
         explicitly scheduled rounds keep the simulation terminating.
+
+        Only labels still in the repair store are advertised.  Labels this
+        member has seen but whose bodies the stability tracker compacted
+        are *unservable*: advertising them would make receivers NACK this
+        member forever while ``envelope_of`` returns ``None``.  Receivers
+        are instead told the gossiped stable frontier, below which they
+        may skip (a compacted label is by definition delivered at every
+        member that can still need it).
         """
         # Re-inject our own broadcasts whose every network copy (including
         # the self-delivery hop) was lost: they exist only in our store.
         for label, stored in list(self.protocol._envelopes_by_id.items()):
             if label not in self.protocol._seen:
                 self.protocol.on_receive(self.protocol.entity_id, stored)
-        # Advertise everything we can serve (seen or stored).
-        digest: Dict[EntityId, frozenset] = {}
-        for label in set(self.protocol._seen) | set(
-            self.protocol._envelopes_by_id
-        ):
-            digest.setdefault(label.sender, set()).add(label.seqno)  # type: ignore[arg-type]
-        frozen = {origin: frozenset(s) for origin, s in digest.items()}
-        message = Message(self._allocator.next_id(), DIGEST_OPERATION, frozen)
+        servable: Dict[EntityId, set] = {}
+        for label in self.protocol._envelopes_by_id:
+            servable.setdefault(label.sender, set()).add(label.seqno)
+        tracker = getattr(self.protocol, "stability_tracker", None)
+        frontiers: Dict[EntityId, int] = (
+            tracker.advertised_frontiers() if tracker is not None else {}
+        )
+        payload = {
+            "labels": {o: frozenset(s) for o, s in servable.items()},
+            "frontiers": frontiers,
+        }
+        message = Message(self._allocator.next_id(), DIGEST_OPERATION, payload)
         self.protocol.network.broadcast(
             self.protocol.entity_id, Envelope(message)
         )
 
     def schedule_anti_entropy(self, period: float, rounds: int) -> None:
-        """Run ``rounds`` digest broadcasts, ``period`` apart."""
+        """Run ``rounds`` digest broadcasts, ``period`` apart.
+
+        Timers are crash-guarded: rounds scheduled before a crash do not
+        fire while the node is down or after it restarts.
+        """
         for i in range(1, rounds + 1):
-            self.protocol.scheduler.call_in(
-                period * i, self.anti_entropy_round
-            )
+            self.protocol.call_in(period * i, self.anti_entropy_round)
 
     # -- control-plane receive path ------------------------------------------------
 
@@ -223,12 +252,22 @@ class RecoveryAgent:
             if sender != self.protocol.entity_id:
                 self._compare_digest(sender, envelope.message.payload)
             return True
+        # A label we were chasing has arrived (normal copy or repair):
+        # drop its chase state so `_nack_state` / `_first_missing` stay
+        # bounded and `outstanding_labels` reflects reality.
+        self._nack_state.pop(envelope.msg_id, None)
+        self._first_missing.pop(envelope.msg_id, None)
         return False
 
-    def _compare_digest(
-        self, holder: EntityId, digest: Dict[EntityId, frozenset]
-    ) -> None:
-        for origin, seqnos in digest.items():
+    def _compare_digest(self, holder: EntityId, payload: dict) -> None:
+        frontiers: Dict[EntityId, int] = payload.get("frontiers", {})
+        for origin, frontier in frontiers.items():
+            if frontier > 0:
+                # Below the stable frontier nothing is servable anywhere:
+                # settle instead of chasing (no-op unless we are behind it,
+                # i.e. an amnesiac rejoiner).
+                self.protocol.note_stable_prefix(origin, frontier)
+        for origin, seqnos in payload.get("labels", {}).items():
             for seqno in seqnos:
                 label = MessageId(origin, seqno)
                 if label not in self.protocol._seen:
@@ -240,16 +279,23 @@ class RecoveryAgent:
                         self.protocol.entity_id, holder, Envelope(nack)
                     )
 
+    # -- crash-stop integration ---------------------------------------------------
+
+    def reset_volatile(self) -> None:
+        """Forget chase state after the protected stack restarts."""
+        self._nack_state.clear()
+        self._first_missing.clear()
+        self._scan_scheduled = False
+
     # -- diagnostics -------------------------------------------------------------
 
     @property
     def outstanding_labels(self) -> List[MessageId]:
-        """Labels currently being chased."""
-        now = self.protocol.now
+        """Labels currently being chased (attempts not yet exhausted)."""
         return [
             label
-            for label, (last, _) in self._nack_state.items()
-            if label not in self.protocol._seen and now - last < 10 * self.nack_backoff
+            for label, (_, attempts) in self._nack_state.items()
+            if attempts < self.max_nacks_per_label
         ]
 
 

@@ -42,7 +42,16 @@ class RstBroadcast(BroadcastProtocol):
     def __init__(self, entity_id: EntityId, group: GroupMembership) -> None:
         super().__init__(entity_id, group)
         self._sent: SentMatrix = {}
+        # Contiguous *settled prefix* per origin — not a raw delivery
+        # count.  The two coincide in crash-free runs (a message's matrix
+        # owes every receiver all lower seqnos from its origin, so
+        # deliveries per origin happen in seqno order), but differ at an
+        # amnesiac rejoiner: delivering the origin's *new* post-restart
+        # send must not count toward pre-crash history it never settled,
+        # or held messages owing that history unlock out of causal order.
         self._delivered_from: Dict[EntityId, int] = {}
+        # Out-of-prefix delivered seqnos awaiting contiguity.
+        self._delivered_seqnos: Dict[EntityId, set] = {}
 
     # -- matrix helpers -------------------------------------------------------
 
@@ -99,18 +108,43 @@ class RstBroadcast(BroadcastProtocol):
             if self._delivered_from.get(origin, 0) < owed:
                 yield after_threshold(("from", origin), owed)
 
+    def _advance_prefix(self, origin: EntityId, floor: int = 0) -> None:
+        seqnos = self._delivered_seqnos.setdefault(origin, set())
+        prefix = max(self._delivered_from.get(origin, 0), floor)
+        while prefix in seqnos:
+            seqnos.discard(prefix)
+            prefix += 1
+        if prefix > self._delivered_from.get(origin, 0):
+            self._delivered_from[origin] = prefix
+            self._advance_watermark(("from", origin), prefix)
+
     def _on_delivered(self, envelope: Envelope) -> None:
         origin = envelope.msg_id.sender
-        self._delivered_from[origin] = self._delivered_from.get(origin, 0) + 1
-        self._advance_watermark(("from", origin), self._delivered_from[origin])
+        self._delivered_seqnos.setdefault(origin, set()).add(
+            envelope.msg_id.seqno
+        )
+        self._advance_prefix(origin)
         matrix = envelope.metadata["sent_matrix"]
         self._merge(self._sent, matrix)
         # The delivered message itself is now known sent to us and (by the
         # broadcast) to every member of the sender's view.
+        floor = self._delivered_from.get(origin, 0)
         for member in self.group.view.members:
-            current = self._get(self._sent, origin, member)
-            floor = self._delivered_from[origin]
-            if current < floor:
+            if self._get(self._sent, origin, member) < floor:
+                self._sent.setdefault(origin, {})[member] = floor
+
+    def _reset_volatile(self) -> None:
+        self._sent = {}
+        self._delivered_from = {}
+        self._delivered_seqnos = {}
+
+    def _on_stable_skip(self, origin: EntityId, frontier: int) -> None:
+        self._advance_prefix(origin, floor=frontier)
+        # Mirror the delivered floor kept by `_on_delivered`: skipped
+        # prefixes were broadcast to the whole group.
+        floor = self._delivered_from.get(origin, 0)
+        for member in self.group.view.members:
+            if self._get(self._sent, origin, member) < floor:
                 self._sent.setdefault(origin, {})[member] = floor
 
     def _gap_labels(self, envelope: Envelope) -> Iterator[MessageId]:

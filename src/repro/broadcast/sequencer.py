@@ -91,7 +91,11 @@ class SequencerTotalOrder(BroadcastProtocol):
         order_message = Message(
             self._allocator.next_id(), self.ORDER_OPERATION, (seq, data_label)
         )
-        self.broadcast(Envelope(order_message))
+        envelope = Envelope(order_message)
+        # Keep our own copy (as `bcast` does) so lost bindings are
+        # recoverable from the sequencer's repair store.
+        self._envelopes_by_id[envelope.msg_id] = envelope
+        self.broadcast(envelope)
 
     # -- delivery predicate -------------------------------------------------------
 
@@ -122,6 +126,16 @@ class SequencerTotalOrder(BroadcastProtocol):
 
     def _is_control(self, envelope: Envelope) -> bool:
         return envelope.message.operation == self.ORDER_OPERATION
+
+    def _reset_volatile(self) -> None:
+        # NOTE: a restarted sequencer (or a rejoiner behind a compacted
+        # binding history) cannot resynchronise its global sequence — the
+        # module docstring's no-failover limitation.  The chaos campaigns
+        # exclude this protocol from crash schedules for that reason.
+        self._seq_to_msg.clear()
+        self._msg_to_seq.clear()
+        self._next_to_deliver = 0
+        self._next_seq_to_assign = 0
 
     def missing_for(self, envelope: Envelope) -> frozenset:
         """Data messages with known bindings below our delivery horizon.

@@ -1,0 +1,34 @@
+"""Chaos campaigns: crash-stop fault injection with always-on invariants.
+
+The paper assumes a substrate that keeps delivering causally consistent
+messages across member failures and regroupings; this package tests that
+assumption end-to-end.  :class:`ChaosCluster` wires every ordering
+protocol together with its recovery, garbage-collection and view-sync
+sidecars; :class:`ChaosCampaign` scripts timed crashes, restarts,
+partitions, loss phases and membership churn; and the
+:class:`~repro.analysis.invariants.InvariantMonitor` audits safety after
+every run.  See ``docs/ROBUSTNESS.md`` for the fault model and the
+campaign rules under which liveness is guaranteed.
+"""
+
+from repro.chaos.campaign import (
+    DISTURBANCES,
+    ChaosCampaign,
+    ChaosEvent,
+    random_campaign,
+)
+from repro.chaos.cluster import (
+    CHAOS_PROTOCOLS,
+    CampaignResult,
+    ChaosCluster,
+)
+
+__all__ = [
+    "CHAOS_PROTOCOLS",
+    "CampaignResult",
+    "ChaosCampaign",
+    "ChaosCluster",
+    "ChaosEvent",
+    "DISTURBANCES",
+    "random_campaign",
+]

@@ -1,0 +1,604 @@
+"""Fully wired protocol cluster for fault-injection campaigns.
+
+:class:`ChaosCluster` assembles, per member, the complete stack the paper
+assumes of its substrate: an ordering protocol
+(:mod:`repro.broadcast`), NACK/anti-entropy recovery
+(:class:`~repro.broadcast.recovery.RecoveryAgent`), stability-driven
+store compaction (:class:`~repro.broadcast.gc.StabilityTracker`) and
+view-synchronous membership (:class:`~repro.group.view_sync.ViewSyncAgent`)
+— then runs a :class:`~repro.chaos.campaign.ChaosCampaign` against it,
+drives repair to convergence and audits the
+:class:`~repro.analysis.invariants.InvariantMonitor` battery.
+
+Ground truth
+------------
+
+Checking causal order after crashes requires knowing, per data message,
+what its *protocol-guaranteed* causal predecessors were at send time —
+state the protocols themselves lose when a node crashes.  The cluster
+records this externally at each :meth:`ChaosCluster.app_send`:
+
+=================  ===========================================================
+``unordered``      nothing
+``fifo``           the member's previous data send (labels order the stream)
+``lamport_total``  the member's previous data send (stamps are monotone)
+``osend``          the explicitly declared ``Occurs-After`` set
+``cbcast``         data settled at the sender's current incarnation, plus
+                   *all* of its own prior sends (its clock component mirrors
+                   the durable label allocator)
+``rst``            the owed-count prefixes of the sent-matrix snapshot the
+                   message carries, min over the send-time view (counts are
+                   the whole guarantee; the sender's settled *set* can
+                   exceed what any count can express after a restart)
+=================  ===========================================================
+
+``sequencer`` (no sequencer failover) and ``asend`` (anonymous epoch
+closure an amnesiac member cannot reconstruct) are excluded from chaos
+campaigns; see ``docs/ROBUSTNESS.md``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.invariants import InvariantMonitor, Violation
+from repro.broadcast import (
+    CbcastBroadcast,
+    FifoBroadcast,
+    LamportTotalOrder,
+    OSendBroadcast,
+    RstBroadcast,
+    UnorderedBroadcast,
+)
+from repro.broadcast.gc import StabilityTracker
+from repro.broadcast.recovery import RecoveryAgent
+from repro.errors import (
+    ConfigurationError,
+    MembershipError,
+    ProtocolError,
+    SimulationError,
+)
+from repro.group.membership import GroupMembership
+from repro.group.view_sync import ViewSyncAgent, attach_view_sync
+from repro.net.faults import FaultPlan
+from repro.net.latency import LatencyModel, UniformLatency
+from repro.net.network import Network
+from repro.sim.rng import RngRegistry
+from repro.sim.scheduler import Scheduler
+from repro.types import EntityId, MessageId
+
+from repro.chaos.campaign import ChaosCampaign, ChaosEvent
+
+#: The protocols chaos campaigns run against.
+CHAOS_PROTOCOLS = {
+    "unordered": UnorderedBroadcast,
+    "fifo": FifoBroadcast,
+    "cbcast": CbcastBroadcast,
+    "osend": OSendBroadcast,
+    "rst": RstBroadcast,
+    "lamport_total": LamportTotalOrder,
+}
+
+#: Safety cap per scheduler drain: a repair loop that schedules this many
+#: events without quiescing is reported as a liveness violation instead
+#: of hanging the campaign.
+MAX_EVENTS_PER_DRAIN = 2_000_000
+
+
+@dataclass
+class CampaignResult:
+    """Outcome of one campaign run."""
+
+    protocol: str
+    campaign: str
+    violations: List[Violation]
+    sends: int
+    sends_skipped: int
+    crashes: int
+    restarts: int
+    data_messages: int
+    settle_rounds: int
+    sim_time: float
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def summary(self) -> str:
+        status = "OK" if self.ok else f"{len(self.violations)} VIOLATION(S)"
+        return (
+            f"{self.protocol:>13s} {self.campaign:<14s} {status:<16s} "
+            f"sends={self.sends} skipped={self.sends_skipped} "
+            f"crashes={self.crashes} settle_rounds={self.settle_rounds} "
+            f"t={self.sim_time:.1f}"
+        )
+
+
+class ChaosCluster:
+    """A group of fully equipped stacks under a chaos controller."""
+
+    def __init__(
+        self,
+        protocol: str = "cbcast",
+        members: Sequence[EntityId] = ("a", "b", "c", "d"),
+        seed: int = 0,
+        latency: Optional[LatencyModel] = None,
+        scan_interval: float = 2.0,
+        nack_backoff: float = 4.0,
+    ) -> None:
+        if protocol not in CHAOS_PROTOCOLS:
+            raise ConfigurationError(
+                f"unknown chaos protocol {protocol!r}; "
+                f"choose from {sorted(CHAOS_PROTOCOLS)}"
+            )
+        if len(members) < 2:
+            raise ConfigurationError("a chaos cluster needs >= 2 members")
+        self.protocol_name = protocol
+        self.members: Tuple[EntityId, ...] = tuple(members)
+        self.scheduler = Scheduler()
+        self.faults = FaultPlan()
+        self.network = Network(
+            self.scheduler,
+            latency=latency if latency is not None else UniformLatency(0.2, 1.8),
+            faults=self.faults,
+            rng=RngRegistry(seed),
+        )
+        self.group = GroupMembership(self.members)
+        protocol_cls = CHAOS_PROTOCOLS[protocol]
+        self.stacks: Dict[EntityId, "BroadcastProtocol"] = {}
+        for member in self.members:
+            stack = protocol_cls(member, self.group)
+            self.network.register(stack)
+            self.stacks[member] = stack
+        self.recoveries: Dict[EntityId, RecoveryAgent] = {}
+        for member, stack in self.stacks.items():
+            agent = RecoveryAgent(
+                stack, scan_interval=scan_interval, nack_backoff=nack_backoff
+            )
+            agent.start()
+            self.recoveries[member] = agent
+        self.trackers: Dict[EntityId, StabilityTracker] = {
+            member: StabilityTracker(stack)
+            for member, stack in self.stacks.items()
+        }
+        self.view_syncs: Dict[EntityId, ViewSyncAgent] = attach_view_sync(
+            self.stacks
+        )
+        # Ground-truth bookkeeping (see module docstring).
+        self.data_labels: Set[MessageId] = set()
+        self.dependencies: Dict[MessageId, frozenset] = {}
+        # Send-time view membership per label (the protocol's "audience").
+        self.audience: Dict[MessageId, frozenset] = {}
+        self._sends: Dict[EntityId, List[Tuple[MessageId, int]]] = {
+            member: [] for member in self.members
+        }
+        self._payload_counter = 0
+        self.sends_skipped = 0
+        self.crashes = 0
+        self.restarts = 0
+        # Set when a scheduler drain trips the event cap: the repair
+        # machinery livelocked instead of quiescing.
+        self._livelock: Optional[str] = None
+
+    # -- application traffic -------------------------------------------------
+
+    def _settled_data(self, member: EntityId) -> Set[MessageId]:
+        stack = self.stacks[member]
+        delivered = {
+            e.msg_id
+            for e in stack._delivered_envelopes
+            if e.msg_id in self.data_labels
+        }
+        return delivered | (set(stack._skipped_stable) & self.data_labels)
+
+    def _ground_truth_deps(self, member: EntityId) -> frozenset:
+        stack = self.stacks[member]
+        own = [label for label, _inc in self._sends[member]]
+        name = self.protocol_name
+        if name == "unordered":
+            return frozenset()
+        if name in ("fifo", "lamport_total"):
+            return frozenset(own[-1:])
+        if name == "osend":
+            # Deterministic application-level choice: depend on the last
+            # couple of data messages delivered here.
+            recent = [
+                e.msg_id
+                for e in stack._delivered_envelopes
+                if e.msg_id in self.data_labels
+            ]
+            return frozenset(recent[-2:])
+        settled = self._settled_data(member)
+        if name == "cbcast":
+            return frozenset(settled) | frozenset(own)
+        if name == "rst":
+            # The stamp the outgoing message will carry is a snapshot of
+            # the sender's sent-matrix, and that snapshot is the *whole*
+            # guarantee: each destination m delivers at least
+            # ``matrix[o][m]`` messages from origin ``o`` first — under
+            # seqno-contiguous accounting, labels ``o:0..matrix[o][m]-1``.
+            # The sender's settled *set* can exceed this (an amnesiac
+            # rejoiner may settle an out-of-prefix label whose position no
+            # count can express), so claim only the owed-count prefixes,
+            # taking the minimum over the send-time view so the dependency
+            # set is valid at every audience member.
+            matrix = stack._sent
+            view_members = self.group.view.members
+            deps = set()
+            for origin, cols in matrix.items():
+                owed = min(cols.get(m, 0) for m in view_members)
+                deps.update(
+                    label
+                    for label in (
+                        MessageId(origin, seqno) for seqno in range(owed)
+                    )
+                    if label in self.data_labels
+                )
+            return frozenset(deps)
+        raise ConfigurationError(f"no ground-truth rule for {name!r}")
+
+    def app_send(self, member: EntityId) -> Optional[MessageId]:
+        """Broadcast an application message from ``member``.
+
+        Returns the new label, or ``None`` if the send was skipped — the
+        member is crashed, out of the view, or flush-frozen (skipping is
+        itself part of what campaigns exercise).
+        """
+        stack = self.stacks[member]
+        if stack.crashed or member not in self.group.view:
+            self.sends_skipped += 1
+            return None
+        deps = self._ground_truth_deps(member)
+        self._payload_counter += 1
+        try:
+            if self.protocol_name == "osend":
+                label = stack.bcast(
+                    "app", self._payload_counter, occurs_after=deps
+                )
+            else:
+                label = stack.bcast("app", self._payload_counter)
+        except ProtocolError:
+            # Flush-frozen: the view-sync guard rejected the send before
+            # a label was allocated.
+            self.sends_skipped += 1
+            return None
+        self.data_labels.add(label)
+        self.dependencies[label] = deps
+        self.audience[label] = frozenset(self.group.view.members)
+        self._sends[member].append((label, stack.incarnation))
+        return label
+
+    # -- fault controls ------------------------------------------------------
+
+    def crash(self, member: EntityId) -> None:
+        self.stacks[member].crash()
+        self.crashes += 1
+
+    def restart(self, member: EntityId) -> None:
+        self.stacks[member].restart()
+        self.restarts += 1
+
+    def partition(self, *groups: Sequence[EntityId]) -> None:
+        self.faults.partition(*groups)
+
+    def heal(self) -> None:
+        self.faults.heal()
+
+    def set_loss(self, probability: float) -> None:
+        self.faults.drop_probability = probability
+
+    def set_duplicate(self, probability: float) -> None:
+        self.faults.duplicate_probability = probability
+
+    # -- membership churn ----------------------------------------------------
+
+    def propose_with_retry(
+        self, kind: str, entity: EntityId, attempts: int = 60
+    ) -> None:
+        """Propose ``kind``/``entity``, retrying while a flush is busy.
+
+        Proposal goes through the first up-and-in-view member (other than
+        ``entity``) with no pending change; if none qualifies right now,
+        retry after a delay until ``attempts`` runs out.
+        """
+
+        def attempt(remaining: int) -> None:
+            view = self.group.view
+            if kind == "join" and entity in view:
+                return
+            if kind == "leave" and entity not in view:
+                return
+            proposer = next(
+                (
+                    m
+                    for m in view.members
+                    if m != entity
+                    and not self.stacks[m].crashed
+                    and self.view_syncs[m]._pending_change is None
+                ),
+                None,
+            )
+            if proposer is not None:
+                try:
+                    self.view_syncs[proposer].propose(kind, entity)
+                    return
+                except (ProtocolError, MembershipError):
+                    pass
+            if remaining > 0:
+                self.scheduler.call_in(1.0, attempt, remaining - 1)
+
+        attempt(attempts)
+
+    def remove(self, member: EntityId) -> None:
+        """Crash ``member`` and propose its removal from the view."""
+        if not self.stacks[member].crashed:
+            self.crash(member)
+        self.propose_with_retry("leave", member)
+
+    def rejoin(self, member: EntityId, attempts: int = 60) -> None:
+        """Propose re-adding ``member``; restart it once the join installs.
+
+        The restart is deliberately deferred until the member is back in
+        the view: a node that wakes *before* the join flush completes
+        would receive in-flight old-view traffic whose ordering metadata
+        does not account for it (the RST sent-matrix records owed counts
+        per *view member*).
+        """
+        self.propose_with_retry("join", member)
+
+        def wake(remaining: int) -> None:
+            if member in self.group.view:
+                if self.stacks[member].crashed:
+                    self.restart(member)
+                return
+            if remaining > 0:
+                self.scheduler.call_in(1.0, wake, remaining - 1)
+
+        self.scheduler.call_in(1.0, wake, attempts)
+
+    # -- campaign execution --------------------------------------------------
+
+    def _apply(self, event: ChaosEvent) -> None:
+        action = event.action
+        if action == "send":
+            self.app_send(event.arg)
+        elif action == "crash":
+            self._crash_when_safe(event.arg)
+        elif action == "restart":
+            if self.stacks[event.arg].crashed:
+                self.restart(event.arg)
+        elif action == "remove":
+            self.remove(event.arg)
+        elif action == "rejoin":
+            self.rejoin(event.arg)
+        elif action == "partition":
+            self.partition(*event.arg)
+        elif action == "heal":
+            self.heal()
+        elif action == "loss":
+            self.set_loss(event.arg)
+        elif action == "dup":
+            self.set_duplicate(event.arg)
+
+    def _crash_when_safe(self, member: EntityId, attempts: int = 50) -> None:
+        """Crash ``member`` once no flush is active and nobody else is down.
+
+        Campaign rules keep at most one member down and never kill a
+        member mid-flush (a flush blocked on a crashed member nobody
+        removes is a documented limitation); the runner enforces both by
+        deferring the crash, bounded so a wedged flush cannot postpone
+        it forever — it is dropped instead.
+        """
+        others_down = any(
+            other.crashed
+            for name, other in self.stacks.items()
+            if name != member
+        )
+        flushing = any(
+            agent._pending_change is not None
+            for agent in self.view_syncs.values()
+        )
+        if not others_down and not flushing:
+            if not self.stacks[member].crashed:
+                self.crash(member)
+            return
+        if attempts > 0:
+            self.scheduler.call_in(1.0, self._crash_when_safe, member, attempts - 1)
+
+    def run_campaign(
+        self,
+        campaign: ChaosCampaign,
+        max_settle_rounds: int = 60,
+        check_invariants: bool = True,
+    ) -> CampaignResult:
+        """Execute ``campaign``, drive repair to convergence, audit."""
+        for event in campaign.events:
+            self.scheduler.call_at(event.time, self._apply, event)
+        try:
+            self.scheduler.run_until(campaign.duration, MAX_EVENTS_PER_DRAIN)
+        except SimulationError as exc:
+            self._livelock = str(exc)
+        self._restore()
+        violations, rounds = self.settle(max_settle_rounds)
+        if check_invariants:
+            violations = violations + self.check_invariants()
+        return CampaignResult(
+            protocol=self.protocol_name,
+            campaign=campaign.name,
+            violations=violations,
+            sends=sum(len(sends) for sends in self._sends.values()),
+            sends_skipped=self.sends_skipped,
+            crashes=self.crashes,
+            restarts=self.restarts,
+            data_messages=len(self.data_labels),
+            settle_rounds=rounds,
+            sim_time=self.scheduler.now,
+        )
+
+    def _restore(self) -> None:
+        """End-of-campaign cleanup: heal, de-fault, revive, re-admit."""
+        self.heal()
+        self.set_loss(0.0)
+        self.set_duplicate(0.0)
+        self._drain()
+        for member, stack in self.stacks.items():
+            if stack.crashed and member in self.group.view:
+                self.restart(member)
+        for member in self.members:
+            if member not in self.group.view:
+                self.rejoin(member)
+        self._drain()
+
+    def _drain(self) -> None:
+        """Run the scheduler to quiescence, recording a livelock if any.
+
+        The event-driven protocol timers all disarm themselves (recovery
+        scans stop when nothing is chaseable, flush checks ride delivery
+        hooks), so a queue that does not empty within the cap is a
+        liveness bug — recorded rather than raised so the campaign can
+        still report every other invariant.
+        """
+        if self._livelock is not None:
+            return
+        try:
+            self.scheduler.run(MAX_EVENTS_PER_DRAIN)
+        except SimulationError as exc:
+            self._livelock = str(exc)
+
+    # -- repair-to-convergence ----------------------------------------------
+
+    def _repair_participants(self) -> List[EntityId]:
+        return [
+            member
+            for member, stack in self.stacks.items()
+            if not stack.crashed
+        ]
+
+    def converged(self) -> bool:
+        if frozenset(self.group.view.members) != frozenset(self.members):
+            return False
+        if any(stack.crashed for stack in self.stacks.values()):
+            return False
+        if any(
+            agent._pending_change is not None
+            for agent in self.view_syncs.values()
+        ):
+            return False
+        union: Set[MessageId] = set()
+        for member in self.members:
+            union |= self._settled_data(member)
+        for member in self.members:
+            if union - self._settled_data(member):
+                return False
+            held_data = [
+                e.msg_id
+                for e in self.stacks[member].holdback_envelopes
+                if e.msg_id in self.data_labels
+            ]
+            if held_data:
+                return False
+        return True
+
+    def settle(
+        self, max_rounds: int = 60
+    ) -> Tuple[List[Violation], int]:
+        """Run repair rounds until convergence or the round budget.
+
+        Each round first repairs membership (restarts crashed in-view
+        members, re-proposes joins for members a late-installing leave
+        evicted), then drives one anti-entropy digest exchange and one
+        stability-gossip round at every up member, then drains the
+        scheduler.  Non-convergence within the budget is a *liveness*
+        violation — exactly the class of bug this harness exists to pin.
+        """
+        for round_number in range(1, max_rounds + 1):
+            if self._livelock is not None:
+                return (
+                    [Violation(
+                        "liveness",
+                        None,
+                        f"scheduler failed to quiesce: {self._livelock}",
+                    )],
+                    round_number - 1,
+                )
+            if self.converged():
+                return [], round_number - 1
+            self._repair_membership()
+            for member in self._repair_participants():
+                self.recoveries[member].anti_entropy_round()
+                self.trackers[member].gossip_round()
+            self._drain()
+        if self.converged():
+            return [], max_rounds
+        return [self._liveness_violation(max_rounds)], max_rounds
+
+    def _repair_membership(self) -> None:
+        """Undo membership damage that surfaced after ``_restore`` ran.
+
+        A deferred leave can install *during* settling (its proposal was
+        queued behind the tie-break winner), evicting a member that
+        ``_restore`` already revived; campaigns must end with the full
+        group, so re-propose the join and restart anyone crashed yet
+        still in the view.
+        """
+        for member, stack in self.stacks.items():
+            if stack.crashed and member in self.group.view:
+                self.restart(member)
+        for member in self.members:
+            if member in self.group.view:
+                continue
+            join_in_flight = any(
+                agent._pending_change is not None
+                and agent._pending_change.kind == "join"
+                and agent._pending_change.entity == member
+                for agent in self.view_syncs.values()
+            )
+            if not join_in_flight:
+                self.rejoin(member)
+
+    def _liveness_violation(self, rounds: int) -> Violation:
+        union: Set[MessageId] = set()
+        for member in self.members:
+            union |= self._settled_data(member)
+        report = []
+        for member in self.members:
+            stack = self.stacks[member]
+            missing = union - self._settled_data(member)
+            held = len(stack.holdback_envelopes)
+            pending = self.view_syncs[member]._pending_change
+            if missing or held or pending or stack.crashed:
+                report.append(
+                    f"{member}: missing={len(missing)} held={held} "
+                    f"pending_change={pending} crashed={stack.crashed}"
+                )
+        view = self.group.view
+        return Violation(
+            "liveness",
+            None,
+            f"no convergence after {rounds} repair rounds "
+            f"(view={view.view_id}:{','.join(view.members)}; "
+            + "; ".join(report) + ")",
+        )
+
+    # -- auditing ------------------------------------------------------------
+
+    def monitor(self) -> InvariantMonitor:
+        return InvariantMonitor(
+            self.stacks,
+            dependencies=self.dependencies,
+            data_labels=self.data_labels,
+            view_syncs=self.view_syncs,
+            trackers=self.trackers,
+            expected_members=self.members,
+            check_total_order=self.protocol_name == "lamport_total",
+            # RST's owed counts are per send-time view member; other
+            # protocols' ordering metadata is destination-independent.
+            audience=(
+                self.audience if self.protocol_name == "rst" else None
+            ),
+        )
+
+    def check_invariants(self) -> List[Violation]:
+        """Run the full safety battery against the cluster's final state."""
+        return self.monitor().check_all()

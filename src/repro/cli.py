@@ -195,6 +195,41 @@ def demo_timeline(args: argparse.Namespace) -> int:
     return 0
 
 
+def run_chaos(args: argparse.Namespace) -> int:
+    """Run seeded chaos campaigns and audit every safety invariant."""
+    from repro.chaos import CHAOS_PROTOCOLS, ChaosCluster, random_campaign
+
+    if args.protocol == "all":
+        protocols = sorted(CHAOS_PROTOCOLS)
+    elif args.protocol in CHAOS_PROTOCOLS:
+        protocols = [args.protocol]
+    else:
+        print(
+            f"unknown protocol {args.protocol!r}; choose from "
+            f"{', '.join(sorted(CHAOS_PROTOCOLS))} or 'all'",
+            file=sys.stderr,
+        )
+        return 2
+    members = tuple(f"n{i}" for i in range(args.members))
+    failures = 0
+    for seed in range(args.seed, args.seed + args.seeds):
+        for protocol in protocols:
+            cluster = ChaosCluster(
+                protocol=protocol, members=members, seed=seed
+            )
+            campaign = random_campaign(members, seed=seed)
+            result = cluster.run_campaign(campaign)
+            print(result.summary())
+            if not result.ok:
+                failures += 1
+                for violation in result.violations:
+                    print(f"    {violation}")
+    total = len(protocols) * args.seeds
+    status = "all safe" if not failures else f"{failures} FAILED"
+    print(f"\nchaos: {total} campaign(s), {status}")
+    return 1 if failures else 0
+
+
 DEMOS: Dict[str, Callable[[argparse.Namespace], int]] = {
     "counter": demo_counter,
     "lock": demo_lock,
@@ -226,6 +261,23 @@ def build_parser() -> argparse.ArgumentParser:
     graph.add_argument("--seed", type=int, default=42)
     graph.add_argument("--dot", action="store_true", help="emit Graphviz DOT")
 
+    chaos = subparsers.add_parser(
+        "chaos",
+        help="run seeded fault-injection campaigns with invariant checks",
+    )
+    chaos.add_argument(
+        "--protocol",
+        default="all",
+        help="protocol to torture, or 'all' (default)",
+    )
+    chaos.add_argument("--seed", type=int, default=1, help="first seed")
+    chaos.add_argument(
+        "--seeds", type=int, default=3, help="number of seeds per protocol"
+    )
+    chaos.add_argument(
+        "--members", type=int, default=4, help="group size (>= 2)"
+    )
+
     experiment = subparsers.add_parser(
         "experiment", help="run a reproduced experiment and print its table"
     )
@@ -254,6 +306,8 @@ def main(argv: List[str] | None = None) -> int:
         return DEMOS[args.name](args)
     if args.command == "graph":
         return demo_graph(args)
+    if args.command == "chaos":
+        return run_chaos(args)
     if args.command == "experiment":
         from repro.errors import ConfigurationError
         from repro.experiments import get_experiment

@@ -18,12 +18,20 @@ The flush protocol here is the classic one:
    by itself) — senders always know their own broadcasts, so the union
    of all digests covers the complete old-view traffic;
 4. when a member has collected ``FLUSH_OK`` from every old-view member
-   *and* has itself delivered the digest union, it installs the new
+   *and* has itself settled the digest union, it installs the new
    view, unfreezes, and notifies listeners.
 
 Step 4's delivery condition is what makes the change view-synchronous:
 every member delivers exactly the same old-view message set before the
 new view, even for messages still in flight when the flush began.
+
+Concurrent proposals for the *same* old view are serialised by a
+deterministic tie-break (:meth:`ViewSyncAgent._priority`): every member
+flushes the same winner first and re-proposes the losers against the new
+view after installation.  Without the tie-break, two members that each
+adopted "their" change first would wait forever for each other's
+FLUSH_OK — the deadlock pinned by
+``test_concurrent_proposals_converge`` in ``tests/group/test_view_sync.py``.
 
 Control traffic flows through the chassis interceptor chain like the
 recovery layer's, so it composes with every ordering protocol.
@@ -58,6 +66,23 @@ class ViewChange:
             raise ProtocolError(f"unknown view-change kind: {self.kind}")
 
 
+@dataclass(frozen=True)
+class InstallRecord:
+    """Audit trail of one installed view (for the invariant monitor).
+
+    ``snapshot`` is the member's settled label set (delivered plus
+    stable-prefix skips) at install time; view synchrony requires
+    ``digest_union <= snapshot``.
+    """
+
+    view_id: int
+    change: ViewChange
+    snapshot: frozenset
+    digest_union: frozenset
+    incarnation: int
+    time: float
+
+
 InstallListener = Callable[[GroupView], None]
 
 
@@ -69,36 +94,48 @@ class ViewSyncAgent:
     complete the flush installs the change there (subsequent completions
     see it already applied).  What the protocol guarantees — and the tests
     verify — is the view-synchrony property: at installation, every
-    member's delivered set for the old view is identical.
+    member's settled set for the old view covers the digest union.
     """
 
     def __init__(
         self,
         protocol: "BroadcastProtocol",
-        drain_poll_interval: float = 0.5,
         flush_resend_interval: float = 3.0,
         max_flush_resends: int = 25,
     ) -> None:
         self.protocol = protocol
-        self.drain_poll_interval = drain_poll_interval
         self.flush_resend_interval = flush_resend_interval
         self.max_flush_resends = max_flush_resends
         self._allocator = MessageIdAllocator(f"{protocol.entity_id}!vs")
         self.frozen = False
         self._pending_change: Optional[ViewChange] = None
+        # Same-view proposals that lost the tie-break; re-proposed against
+        # the new view after the winner installs.
+        self._deferred: List[ViewChange] = []
         self._flush_acks: Set[EntityId] = set()
         self._digests: Dict[EntityId, frozenset] = {}
         self._old_members: Tuple[EntityId, ...] = ()
         self._sent_flush_ok = False
         self._listeners: List[InstallListener] = []
         self.changes_installed = 0
-        # Delivered-set snapshot taken when we sent FLUSH_OK (diagnostics).
+        # Delivered-set snapshot taken at install time (diagnostics).
         self.flush_snapshot: Optional[frozenset] = None
+        # Durable audit log: survives restarts so post-mortem invariant
+        # checks can reconstruct what each incarnation installed.
+        self.install_history: List[InstallRecord] = []
         protocol.add_interceptor(self)
-        # Event-driven install check: the digest union may only become
-        # delivered later (e.g. repaired by the recovery layer), so every
-        # delivery re-checks instead of an open-ended poll timer.
-        protocol.on_deliver(lambda _envelope: self._try_install())
+        # Event-driven flush progress: the hold-back queue shrinks only on
+        # delivery or stable-prefix skip, and the digest union likewise
+        # only becomes settled through those events, so both checks hang
+        # off them.  A poll timer here would re-arm forever while a flush
+        # is blocked on in-flight repair, livelocking any run-to-quiescence
+        # driver (the scheduler's queue would never empty).
+        protocol.on_deliver(lambda _envelope: self._on_progress())
+        # The membership object is shared across the simulated group, so a
+        # peer completing the flush first advances our view out from under
+        # a still-pending change; finalize it instead of waiting forever
+        # for FLUSH_OK re-broadcasts the installers have stopped sending.
+        protocol.group.subscribe(self._on_view_installed)
 
     # -- API --------------------------------------------------------------
 
@@ -145,18 +182,55 @@ class ViewSyncAgent:
         return False
 
     def _on_proposal(self, change: ViewChange) -> None:
+        self._consider(change)
+
+    @staticmethod
+    def _priority(change: ViewChange) -> Tuple[int, EntityId]:
+        """Total order over same-view proposals; the minimum wins.
+
+        Leaves beat joins — removing a (presumed crashed) member is what
+        unblocks a stuck flush, so it must never queue behind a join —
+        and ties break on the lowest affected entity.  Every member
+        computes the same winner from the same candidate set, so
+        concurrent proposals converge on one flush instead of deadlocking
+        on each other's FLUSH_OK.
+        """
+        return (0 if change.kind == "leave" else 1, change.entity)
+
+    def _consider(self, change: ViewChange) -> None:
         current = self.protocol.group.view
         if change.old_view_id != current.view_id:
             return  # stale proposal for an already-changed view
-        if self._pending_change is not None:
-            return  # already flushing this change
+        if self.protocol.entity_id not in current.members:
+            # Not an old-view member (e.g. the entity being joined, or a
+            # crashed member that restarted out of the group): flushes are
+            # among old-view members only.
+            return
+        if change == self._pending_change or change in self._deferred:
+            return
+        if self._pending_change is None:
+            self._adopt(change)
+        elif self._priority(change) < self._priority(self._pending_change):
+            # A higher-priority rival: shelve the current flush target and
+            # restart the flush for the winner (acks and digests are
+            # per-change, so none of the collected state carries over).
+            self._defer(self._pending_change)
+            self._adopt(change)
+        else:
+            self._defer(change)
+
+    def _adopt(self, change: ViewChange) -> None:
         self._pending_change = change
-        self._old_members = current.members
+        self._old_members = self.protocol.group.view.members
         self._flush_acks = set()
         self._digests = {}
         self._sent_flush_ok = False
         self.frozen = True
-        self._poll_drained()
+        self._check_drained()
+
+    def _defer(self, change: ViewChange) -> None:
+        if change not in self._deferred:
+            self._deferred.append(change)
 
     def _known_labels(self) -> frozenset:
         """Every application label this member knows exists."""
@@ -164,32 +238,41 @@ class ViewSyncAgent:
             self.protocol._envelopes_by_id
         )
 
-    def _poll_drained(self) -> None:
+    def _on_progress(self) -> None:
+        """Re-check flush progress after a delivery or stable-skip."""
+        self._check_drained()
+        self._try_install()
+        self._finalize_if_stale()
+
+    def on_stable_skip(self, origin: EntityId, frontier: int) -> None:
+        # Interceptor hook: a stable-prefix skip can settle labels (and
+        # empty the hold-back queue) without any delivery firing.
+        self._on_progress()
+
+    def _check_drained(self) -> None:
         if self._pending_change is None or self._sent_flush_ok:
             return
         if self.protocol.holdback_size == 0:
             self._sent_flush_ok = True
-            self._send_flush_ok(resends_left=self.max_flush_resends)
-            return
-        self.protocol.scheduler.call_in(
-            self.drain_poll_interval, self._poll_drained
-        )
+            self._send_flush_ok(
+                self._pending_change, resends_left=self.max_flush_resends
+            )
 
-    def _send_flush_ok(self, resends_left: int) -> None:
+    def _send_flush_ok(self, change: ViewChange, resends_left: int) -> None:
         """Broadcast FLUSH_OK, re-broadcasting until the change installs.
 
         FLUSH_OK is control traffic outside the ordering protocol's
         repair store, so a lossy network can eat it; the digest payload
         is idempotent, so bounded re-broadcast is the simple cure.
         """
-        if self._pending_change is None:
-            return  # installed meanwhile
+        if self._pending_change != change:
+            return  # installed meanwhile, or a rival won the tie-break
         message = Message(
             self._allocator.next_id(),
             FLUSH_OK_OPERATION,
             (
                 self.protocol.entity_id,
-                self._pending_change,
+                change,
                 self._known_labels(),
             ),
         )
@@ -197,9 +280,10 @@ class ViewSyncAgent:
             self.protocol.entity_id, Envelope(message)
         )
         if resends_left > 0:
-            self.protocol.scheduler.call_in(
+            self.protocol.call_in(
                 self.flush_resend_interval,
                 self._send_flush_ok,
+                change,
                 resends_left - 1,
             )
 
@@ -207,10 +291,10 @@ class ViewSyncAgent:
         self, payload: Tuple[EntityId, ViewChange, frozenset]
     ) -> None:
         member, change, digest = payload
-        if self._pending_change is None:
-            # We may receive FLUSH_OKs before the proposal (reordering):
-            # process the proposal implicitly first.
-            self._on_proposal(change)
+        # A FLUSH_OK can overtake its VCHG (reordering) or name a rival
+        # proposal we have not heard: run it through the same adoption
+        # path first.
+        self._consider(change)
         if self._pending_change != change:
             return
         self._flush_acks.add(member)
@@ -220,14 +304,19 @@ class ViewSyncAgent:
     def _required_ackers(self) -> Set[EntityId]:
         """Old-view members whose FLUSH_OK we must collect.
 
-        A member being removed is presumed unable to participate (the
-        common reason for removal is a crash), so it is excluded — the
-        survivors' digests still cover everything they can ever deliver.
+        A member being removed — by the pending change *or by any
+        deferred leave* — is presumed unable to participate (the common
+        reason for removal is a crash), so it is excluded: the survivors'
+        digests still cover everything it can ever deliver.  Without the
+        deferred-leave exclusion, a flush for the tie-break winner could
+        wait forever on the crashed member a losing proposal was trying
+        to remove.
         """
         assert self._pending_change is not None
         required = set(self._old_members)
-        if self._pending_change.kind == "leave":
-            required.discard(self._pending_change.entity)
+        for change in (self._pending_change, *self._deferred):
+            if change.kind == "leave":
+                required.discard(change.entity)
         return required
 
     def _try_install(self) -> None:
@@ -238,16 +327,20 @@ class ViewSyncAgent:
         target: Set = set()
         for digest in self._digests.values():
             target |= digest
-        delivered = set(self.protocol.delivered)
-        if not target <= delivered:
+        # Stable-prefix skips count as settled: a rejoiner's digest may
+        # name compacted history no member can (or need) re-deliver.
+        settled = set(self.protocol.delivered) | set(
+            self.protocol.skipped_stable
+        )
+        if not target <= settled:
             # Old-view traffic still in flight (or being repaired by the
             # recovery layer); the per-delivery hook re-checks when it
             # lands.
             return
-        self.flush_snapshot = frozenset(delivered)
-        self._install()
+        self.flush_snapshot = frozenset(settled)
+        self._install(frozenset(target))
 
-    def _install(self) -> None:
+    def _install(self, digest_union: frozenset) -> None:
         change = self._pending_change
         assert change is not None
         membership = self.protocol.group
@@ -260,20 +353,120 @@ class ViewSyncAgent:
         view = membership.view
         self._pending_change = None
         self._flush_acks = set()
+        self._digests = {}
+        self._sent_flush_ok = False
         self.frozen = False
         self.changes_installed += 1
+        self.install_history.append(
+            InstallRecord(
+                view_id=view.view_id,
+                change=change,
+                snapshot=self.flush_snapshot or frozenset(),
+                digest_union=digest_union,
+                incarnation=self.protocol.incarnation,
+                time=self.protocol.now,
+            )
+        )
         for listener in self._listeners:
             listener(view)
+        self._repropose_deferred(view)
+
+    def _on_view_installed(self, view: GroupView) -> None:
+        # Deferred a tick: the first installer fires this synchronously
+        # from inside its own `_install`, before clearing its pending
+        # change — by the time the callback runs, a completed flush has
+        # cleaned up after itself and the check is a no-op.
+        self.protocol.call_in(0.0, self._finalize_if_stale)
+
+    def _finalize_if_stale(self) -> None:
+        """Resolve a pending change the shared view has moved past.
+
+        If the new view already reflects the change, a peer that
+        collected the FLUSH_OKs first completed it — adopt the outcome
+        once this member has settled every digest label it saw (the
+        recovery layer repairs the stragglers; each delivery re-runs this
+        check).  The installer's :class:`InstallRecord` carries the
+        authoritative digest union.  If the view changed some *other*
+        way, the pending change lost a race it never saw; re-propose it
+        against the new view.
+        """
+        change = self._pending_change
+        if change is None:
+            return
+        view = self.protocol.group.view
+        if view.view_id == change.old_view_id:
+            return
+        satisfied = (
+            (change.kind == "join" and change.entity in view)
+            or (change.kind == "leave" and change.entity not in view)
+        )
+        if not satisfied:
+            self._defer(change)
+            self._pending_change = None
+            self._flush_acks = set()
+            self._digests = {}
+            self._sent_flush_ok = False
+            self.frozen = False
+            self._repropose_deferred(view)
+            return
+        target: Set = set()
+        for digest in self._digests.values():
+            target |= digest
+        settled = set(self.protocol.delivered) | set(
+            self.protocol.skipped_stable
+        )
+        if not target <= settled:
+            return  # old-view traffic still being repaired; stay frozen
+        self.flush_snapshot = frozenset(settled)
+        self._install(frozenset(target))
+
+    def _repropose_deferred(self, view: GroupView) -> None:
+        """Re-propose tie-break losers against the freshly installed view.
+
+        Every member re-broadcasts the same (frozen, equality-comparable)
+        change, so duplicates collapse in :meth:`_consider`; changes made
+        moot by the installed winner are dropped.
+        """
+        deferred, self._deferred = self._deferred, []
+        for old in deferred:
+            if old.kind == "join" and old.entity in view:
+                continue
+            if old.kind == "leave" and old.entity not in view:
+                continue
+            change = ViewChange(old.kind, old.entity, view.view_id)
+            message = Message(
+                self._allocator.next_id(), VCHG_OPERATION, change
+            )
+            self.protocol.network.broadcast(
+                self.protocol.entity_id, Envelope(message)
+            )
+
+    # -- crash-stop integration ---------------------------------------------
+
+    def reset_volatile(self) -> None:
+        """Abandon any in-progress flush after the member restarts.
+
+        The flush state is volatile — survivors make progress by excluding
+        us (a ``leave`` proposal) or by re-sending FLUSH_OK until we catch
+        up.  ``install_history`` is durable audit data and survives.
+        """
+        self._pending_change = None
+        self._deferred.clear()
+        self._flush_acks = set()
+        self._digests = {}
+        self._old_members = ()
+        self._sent_flush_ok = False
+        self.frozen = False
+        self.flush_snapshot = None
 
 
 def attach_view_sync(
     protocols: Dict[EntityId, "BroadcastProtocol"],
-    drain_poll_interval: float = 0.5,
 ) -> Dict[EntityId, ViewSyncAgent]:
     """One agent per stack, with sends guarded during flushes."""
     agents = {}
     for entity, protocol in protocols.items():
-        agent = ViewSyncAgent(protocol, drain_poll_interval)
+        agent = ViewSyncAgent(protocol)
         agents[entity] = agent
         original_bcast = protocol.bcast
 

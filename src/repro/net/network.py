@@ -141,6 +141,12 @@ class Network:
     def _hop(
         self, source: EntityId, destination: EntityId, envelope: Envelope
     ) -> None:
+        origin = self._nodes.get(source)
+        if origin is not None and origin.crashed:
+            # A crashed node emits nothing (crash-stop); control agents
+            # whose timers slipped past the node guards land here.
+            self.hops_dropped += 1
+            return
         self.hops_sent += 1
         copies, blocked = self.faults.decide(
             source, destination, self._fault_rng
@@ -180,8 +186,9 @@ class Network:
         self, source: EntityId, destination: EntityId, envelope: Envelope
     ) -> None:
         node = self._nodes.get(destination)
-        if node is None:
-            # Destination departed while the hop was in flight.
+        if node is None or node.crashed:
+            # Destination departed (or is down) while the hop was in
+            # flight: crash-stop nodes receive nothing.
             self.hops_dropped += 1
             return
         self.hops_delivered += 1

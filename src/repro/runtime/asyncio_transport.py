@@ -84,7 +84,20 @@ class AsyncioNetwork:
         rng: Optional[RngRegistry] = None,
         trace: Optional[TraceRecorder] = None,
     ) -> None:
-        self._loop = loop if loop is not None else asyncio.get_event_loop()
+        if loop is not None:
+            self._loop = loop
+        else:
+            # Resolve from the running loop only: `get_event_loop()` is
+            # deprecated outside a running loop and, worse, could silently
+            # create a *new* loop on a non-main thread — timers scheduled
+            # there would never fire.
+            try:
+                self._loop = asyncio.get_running_loop()
+            except RuntimeError:
+                raise ConfigurationError(
+                    "AsyncioNetwork requires a running event loop; "
+                    "construct it inside a coroutine or pass loop="
+                ) from None
         self._idle = asyncio.Event()
         self._idle.set()
         self.scheduler = AsyncioClock(self._loop, self._idle.set)
@@ -170,7 +183,7 @@ class AsyncioNetwork:
         self, source: EntityId, destination: EntityId, envelope: Envelope
     ) -> None:
         node = self._nodes.get(destination)
-        if node is None:
+        if node is None or node.crashed:
             self.hops_dropped += 1
             return
         self.hops_delivered += 1
@@ -190,11 +203,17 @@ class AsyncioNetwork:
 
         Deliveries may schedule further sends, so waits in a loop until
         the idle event survives a zero-delay check.
+
+        The idle event is cleared *before* sampling ``outstanding``: with
+        the old clear-after-check order, a callback that ran between the
+        check and the clear would set the event, the clear would erase
+        that wakeup, and the wait could block for the full timeout (or
+        forever) with nothing actually outstanding.
         """
         while True:
+            self._idle.clear()
             if self.scheduler.outstanding == 0:
                 return
-            self._idle.clear()
             await asyncio.wait_for(self._idle.wait(), timeout)
             # Yield once so freshly-scheduled zero-delay work registers.
             await asyncio.sleep(0)

@@ -4,13 +4,31 @@ A :class:`SimNode` is an application entity (``a_i`` in the paper) attached
 to a scheduler and a network.  Subclasses — broadcast protocol stacks,
 replicas, clients — override :meth:`on_receive` to process incoming
 envelopes and use :meth:`send`/:meth:`broadcast` via the attached network.
+
+Crash-stop fault model
+----------------------
+
+A node can :meth:`crash` and later :meth:`restart`.  While crashed:
+
+* the network discards every hop addressed to it (and every hop it would
+  originate), so it neither receives nor sends;
+* timers armed through the node's *guarded* scheduling helpers
+  (:meth:`call_in` / :meth:`call_at` / :meth:`call_now`) are suppressed —
+  they fire only if the node is up **and** still in the incarnation that
+  armed them, so a restart also cancels the previous life's timers.
+
+:meth:`restart` begins a new *incarnation* (a monotonically increasing
+counter) and invokes the :meth:`_on_restart` hook, where subclasses model
+volatile-state loss — a restarted node is *amnesiac* except for whatever
+the subclass declares durable (e.g. its message-label allocator, so labels
+are never reused across incarnations).
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, Any, Callable, Optional
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, SimulationError
 from repro.types import Envelope, EntityId
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -24,6 +42,8 @@ class SimNode:
     def __init__(self, entity_id: EntityId) -> None:
         self.entity_id = entity_id
         self._network: Optional["Network"] = None
+        self._crashed = False
+        self._incarnation = 0
 
     # -- wiring -------------------------------------------------------------
 
@@ -48,10 +68,72 @@ class SimNode:
         """Current simulation time (shortcut for ``self.scheduler.now``)."""
         return self.scheduler.now
 
+    # -- crash-stop lifecycle ------------------------------------------------
+
+    @property
+    def crashed(self) -> bool:
+        """Whether the node is currently down."""
+        return self._crashed
+
+    @property
+    def incarnation(self) -> int:
+        """Number of restarts so far (0 for the original life)."""
+        return self._incarnation
+
+    def crash(self) -> None:
+        """Take the node down (crash-stop: no further sends or receives)."""
+        if self._crashed:
+            raise SimulationError(f"{self.entity_id!r} is already crashed")
+        self._crashed = True
+        self._on_crash()
+
+    def restart(self) -> None:
+        """Bring the node back up as a new, amnesiac incarnation."""
+        if not self._crashed:
+            raise SimulationError(f"{self.entity_id!r} is not crashed")
+        self._crashed = False
+        self._incarnation += 1
+        self._on_restart()
+
+    def _on_crash(self) -> None:
+        """Hook invoked when the node goes down."""
+
+    def _on_restart(self) -> None:
+        """Hook invoked on restart; subclasses drop volatile state here."""
+
+    # -- guarded timers --------------------------------------------------------
+
+    def call_at(self, time: float, callback: Callable[..., Any], *args: Any):
+        """Schedule ``callback`` at ``time``, suppressed if this node is
+        down (or restarted) when the timer fires."""
+        return self.scheduler.call_at(time, self._guard(callback), *args)
+
+    def call_in(self, delay: float, callback: Callable[..., Any], *args: Any):
+        """Schedule ``callback`` after ``delay`` with the crash guard."""
+        return self.scheduler.call_in(delay, self._guard(callback), *args)
+
+    def call_now(self, callback: Callable[..., Any], *args: Any):
+        """Schedule ``callback`` at the current time with the crash guard."""
+        return self.scheduler.call_now(self._guard(callback), *args)
+
+    def _guard(self, callback: Callable[..., Any]) -> Callable[..., Any]:
+        armed_in = self._incarnation
+
+        def guarded(*args: Any) -> None:
+            if self._crashed or self._incarnation != armed_in:
+                return
+            callback(*args)
+
+        return guarded
+
     # -- sending ------------------------------------------------------------
 
     def send(self, destination: EntityId, envelope: Envelope) -> None:
         """Send ``envelope`` point-to-point to ``destination``."""
+        if self._crashed:
+            raise SimulationError(
+                f"{self.entity_id!r} is crashed and cannot send"
+            )
         self.network.unicast(self.entity_id, destination, envelope)
 
     def broadcast(self, envelope: Envelope) -> None:
@@ -61,6 +143,10 @@ class SimNode:
         protocols treat the local replica uniformly — matching the paper's
         model where a member's own access message is "seen by all entities".
         """
+        if self._crashed:
+            raise SimulationError(
+                f"{self.entity_id!r} is crashed and cannot send"
+            )
         self.network.broadcast(self.entity_id, envelope)
 
     # -- receiving ------------------------------------------------------------

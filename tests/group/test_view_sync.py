@@ -126,3 +126,89 @@ class TestSequentialChanges:
         scheduler.run()
         assert membership.view.members == ("a", "b", "c", "e")
         assert membership.view.view_id == 2
+
+
+class TestConcurrentProposals:
+    """Concurrent same-view proposals used to deadlock: each member froze
+    on "its" change and waited forever for the other's FLUSH_OK."""
+
+    def test_concurrent_proposals_converge(self):
+        scheduler, _, membership, stacks, agents = make_group(
+            members=("a", "b", "c", "d")
+        )
+        # Two rival proposals in flight for view 0 at the same instant.
+        agents["a"].propose("leave", "c")
+        agents["b"].propose("leave", "d")
+        scheduler.run()
+        # The tie-break serialises them; both install, nobody deadlocks.
+        assert membership.view.members == ("a", "b")
+        assert membership.view.view_id == 2
+        assert all(not agent.frozen for agent in agents.values())
+        assert all(
+            agent._pending_change is None for agent in agents.values()
+        )
+
+    def test_leave_beats_concurrent_join(self):
+        scheduler, _, membership, stacks, agents = make_group()
+        agents["a"].propose("join", "e")
+        agents["b"].propose("leave", "c")
+        scheduler.run()
+        # The leave wins the tie-break and installs first; the join is
+        # re-proposed against the new view and lands second.
+        assert membership.view.members == ("a", "b", "e")
+        assert membership.view.view_id == 2
+        first, second = agents["a"].install_history[:2]
+        assert first.change.kind == "leave"
+        assert second.change.kind == "join"
+
+    def test_duplicate_proposals_install_once(self):
+        scheduler, _, membership, stacks, agents = make_group()
+        agents["a"].propose("leave", "c")
+        agents["b"].propose("leave", "c")
+        scheduler.run()
+        assert membership.view.members == ("a", "b")
+        assert membership.view.view_id == 1
+
+
+class TestStaleFlushFinalization:
+    """A pending flush whose (shared) view moved on must resolve instead
+    of waiting forever for FLUSH_OK re-broadcasts nobody sends anymore."""
+
+    def test_adopts_outcome_when_change_already_applied(self):
+        from repro.group.view_sync import ViewChange
+
+        scheduler, _, membership, stacks, agents = make_group()
+        agent = agents["a"]
+        agent._consider(ViewChange("leave", "c", old_view_id=0))
+        assert agent.frozen
+        # A peer completes the flush first and advances the shared view.
+        membership.leave("c")
+        scheduler.run()
+        assert not agent.frozen
+        assert agent._pending_change is None
+        assert agent.changes_installed == 1
+
+    def test_reproposes_when_view_changed_some_other_way(self):
+        from repro.group.view_sync import ViewChange
+
+        scheduler, _, membership, stacks, agents = make_group()
+        agents["a"]._consider(ViewChange("leave", "b", old_view_id=0))
+        # The view advances, but b is still a member: the pending change
+        # lost a race it never saw and must be re-proposed, not dropped.
+        membership.leave("c")
+        scheduler.run()
+        assert "b" not in membership.view.members
+        assert membership.view.view_id == 2
+        assert all(not agent.frozen for agent in agents.values())
+
+    def test_reset_volatile_abandons_flush(self):
+        from repro.group.view_sync import ViewChange
+
+        _, __, ___, ____, agents = make_group()
+        agent = agents["a"]
+        agent._consider(ViewChange("leave", "c", old_view_id=0))
+        assert agent.frozen
+        agent.reset_volatile()
+        assert not agent.frozen
+        assert agent._pending_change is None
+        assert agent._deferred == []

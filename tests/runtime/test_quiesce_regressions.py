@@ -1,0 +1,70 @@
+"""Regression tests for the asyncio transport's quiescence machinery."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.runtime.asyncio_transport import AsyncioNetwork
+
+
+def test_construction_outside_event_loop_raises():
+    """No silent fallback loop: outside a coroutine the constructor must
+    fail loudly instead of resolving a loop timers would never run on."""
+    with pytest.raises(ConfigurationError):
+        AsyncioNetwork()
+
+
+def test_construction_with_explicit_loop():
+    loop = asyncio.new_event_loop()
+    try:
+        net = AsyncioNetwork(loop=loop)
+        assert net.scheduler.outstanding == 0
+    finally:
+        loop.close()
+
+
+class _RacyClock:
+    """Stub clock reproducing the lost-wakeup interleaving.
+
+    The first ``outstanding`` read reports one callback still pending and
+    simultaneously fires the completion wakeup (``idle.set()``) — exactly
+    the window in which the final callback finishes between the caller's
+    check and its wait.  With the old check-then-clear order the clear
+    erased that wakeup and ``quiesce`` blocked on a quiesced network; the
+    fixed clear-then-check order either sees zero outstanding or keeps
+    the wakeup.
+    """
+
+    def __init__(self, idle: asyncio.Event) -> None:
+        self._idle = idle
+        self.reads = 0
+
+    @property
+    def outstanding(self) -> int:
+        self.reads += 1
+        if self.reads == 1:
+            self._idle.set()
+            return 1
+        return 0
+
+
+def test_quiesce_survives_wakeup_race():
+    async def scenario() -> None:
+        net = AsyncioNetwork()
+        net.scheduler = _RacyClock(net._idle)
+        # Must return promptly; the old ordering timed out here.
+        await asyncio.wait_for(net.quiesce(timeout=5.0), timeout=1.0)
+        assert net.scheduler.reads >= 2
+
+    asyncio.run(scenario())
+
+
+def test_quiesce_returns_when_nothing_outstanding():
+    async def scenario() -> None:
+        net = AsyncioNetwork()
+        await asyncio.wait_for(net.quiesce(timeout=1.0), timeout=1.0)
+
+    asyncio.run(scenario())

@@ -1,0 +1,124 @@
+"""Crash-stop fault model: crash/restart transitions, guards, amnesia."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.broadcast.fifo import FifoBroadcast
+from repro.broadcast.unordered import UnorderedBroadcast
+from repro.errors import SimulationError
+from tests.conftest import build_group
+
+
+class TestTransitions:
+    def test_crash_marks_node_down(self):
+        _, _, stacks = build_group(UnorderedBroadcast)
+        stacks["a"].crash()
+        assert stacks["a"].crashed
+        assert not stacks["b"].crashed
+
+    def test_double_crash_raises(self):
+        _, _, stacks = build_group(UnorderedBroadcast)
+        stacks["a"].crash()
+        with pytest.raises(SimulationError):
+            stacks["a"].crash()
+
+    def test_restart_of_up_node_raises(self):
+        _, _, stacks = build_group(UnorderedBroadcast)
+        with pytest.raises(SimulationError):
+            stacks["a"].restart()
+
+    def test_restart_increments_incarnation(self):
+        _, _, stacks = build_group(UnorderedBroadcast)
+        assert stacks["a"].incarnation == 0
+        stacks["a"].crash()
+        stacks["a"].restart()
+        assert stacks["a"].incarnation == 1
+        assert not stacks["a"].crashed
+
+
+class TestCrashedIsolation:
+    def test_crashed_node_cannot_send(self):
+        _, _, stacks = build_group(UnorderedBroadcast)
+        stacks["a"].crash()
+        with pytest.raises(SimulationError):
+            stacks["a"].bcast("app")
+
+    def test_network_drops_hops_to_crashed_destination(self):
+        scheduler, net, stacks = build_group(UnorderedBroadcast)
+        stacks["c"].crash()
+        stacks["a"].bcast("app")
+        scheduler.run()
+        assert len(stacks["b"].delivered) == 1
+        assert len(stacks["c"].delivered) == 0
+        assert net.hops_dropped >= 1
+
+    def test_in_flight_copies_to_crashing_node_are_lost(self):
+        scheduler, _, stacks = build_group(UnorderedBroadcast)
+        stacks["a"].bcast("app")
+        # Crash before any latency elapses: the copy is in flight.
+        stacks["c"].crash()
+        scheduler.run()
+        assert len(stacks["c"].delivered) == 0
+
+
+class TestGuardedTimers:
+    def test_timer_suppressed_while_crashed(self):
+        scheduler, _, stacks = build_group(UnorderedBroadcast)
+        fired = []
+        stacks["a"].call_in(1.0, fired.append, 1)
+        stacks["a"].crash()
+        scheduler.run()
+        assert fired == []
+
+    def test_timer_from_previous_incarnation_suppressed(self):
+        scheduler, _, stacks = build_group(UnorderedBroadcast)
+        fired = []
+        stacks["a"].call_in(1.0, fired.append, 1)
+        stacks["a"].crash()
+        stacks["a"].restart()  # incarnation changed before the timer fires
+        scheduler.run()
+        assert fired == []
+
+    def test_timer_fires_when_node_stays_up(self):
+        scheduler, _, stacks = build_group(UnorderedBroadcast)
+        fired = []
+        stacks["a"].call_in(1.0, fired.append, 1)
+        scheduler.run()
+        assert fired == [1]
+
+
+class TestAmnesia:
+    def test_restart_wipes_delivered_state_and_archives_it(self):
+        scheduler, _, stacks = build_group(FifoBroadcast)
+        labels = [stacks["a"].bcast("app") for _ in range(3)]
+        scheduler.run()
+        assert list(stacks["b"].delivered) == labels
+        stacks["b"].crash()
+        stacks["b"].restart()
+        assert list(stacks["b"].delivered) == []
+        assert stacks["b"].holdback_size == 0
+        archived, skipped = stacks["b"].incarnation_archive[0]
+        assert [e.msg_id for e in archived] == labels
+        assert skipped == frozenset()
+
+    def test_label_allocator_is_durable_across_restart(self):
+        scheduler, _, stacks = build_group(FifoBroadcast)
+        first = stacks["a"].bcast("app")
+        scheduler.run()
+        stacks["a"].crash()
+        stacks["a"].restart()
+        second = stacks["a"].bcast("app")
+        # Labels must never be reused across incarnations.
+        assert second.seqno == first.seqno + 1
+
+    def test_rejoiner_fifo_blocks_on_lost_history(self):
+        """An amnesiac FIFO member holds new traffic behind wiped history."""
+        scheduler, _, stacks = build_group(FifoBroadcast)
+        stacks["a"].bcast("app")
+        scheduler.run()
+        stacks["b"].crash()
+        stacks["b"].restart()
+        stacks["a"].bcast("app")  # seqno 1; b's next-expected reset to 0
+        scheduler.run()
+        assert stacks["b"].holdback_size == 1
