@@ -25,7 +25,8 @@ perf-guard:
 # Seeded fault-injection campaigns (crash/partition/loss/churn) across
 # every crash-eligible protocol; fails on any safety-invariant violation.
 chaos-quick:
-	PYTHONPATH=src python -m repro chaos --protocol all --seeds 3
+	PYTHONPATH=src python -m repro chaos --protocol all --seeds 2
+	PYTHONPATH=src python -m repro chaos --protocol all --seeds 2 --overlap
 
 examples:
 	@for f in examples/*.py; do echo "== $$f"; python $$f > /dev/null && echo ok; done

@@ -16,6 +16,11 @@ paper's model takes for granted of its substrate:
 ``total-order``
     For total-order protocols: any two members' final-incarnation logs
     agree on the relative order of every common pair of data labels.
+``sequencer-epoch``
+    For the sequencer protocol: all members agree, per global sequence
+    number, on the winning ``(epoch, label)`` binding (the deterministic
+    cross-epoch resolution converged), and on the position every common
+    data label was actually delivered at.
 ``view-synchrony``
     At each view installation, the member had settled the union of all
     collected flush digests (the relaxed, *auditable* form of "same
@@ -79,6 +84,10 @@ class InvariantMonitor:
     check_total_order:
         Enable the pairwise total-order check (meaningful only for
         total-order protocols).
+    sequencer_epochs:
+        Enable the sequencer binding-agreement check (meaningful only for
+        the sequencer protocol, whose stacks expose ``binding_table`` and
+        ``delivered_positions``).
     audience:
         Optional per-label set of members the protocol *guarantees*
         ordering for (the send-time view).  RST's sent-matrix records
@@ -102,6 +111,7 @@ class InvariantMonitor:
         trackers: Optional[Dict[EntityId, object]] = None,
         expected_members: Optional[Iterable[EntityId]] = None,
         check_total_order: bool = False,
+        sequencer_epochs: bool = False,
         audience: Optional[Dict[MessageId, frozenset]] = None,
     ) -> None:
         self.protocols = protocols
@@ -116,6 +126,7 @@ class InvariantMonitor:
             frozenset(expected_members) if expected_members is not None else None
         )
         self.check_total_order = check_total_order
+        self.sequencer_epochs = sequencer_epochs
         self.audience = audience
 
     # -- incarnation plumbing ------------------------------------------------
@@ -228,6 +239,59 @@ class InvariantMonitor:
                     ))
         return violations
 
+    def check_sequencer_epochs(self) -> List[Violation]:
+        """Binding agreement for the sequencer protocol.
+
+        Two sub-properties, both over final-incarnation state:
+
+        * members that know a binding for the same global sequence number
+          agree on its winning ``(epoch, label)`` — the higher-epoch-wins
+          merge is order-independent, so any disagreement means an
+          unresolved (or wrongly resolved) cross-epoch conflict;
+        * members that delivered the same data label delivered it at the
+          same global position.
+        """
+        if not self.sequencer_epochs:
+            return []
+        violations = []
+        tables = {
+            member: dict(protocol.binding_table)
+            for member, protocol in self.protocols.items()
+            if hasattr(protocol, "binding_table")
+        }
+        members = sorted(tables)
+        for i, first in enumerate(members):
+            for second in members[i + 1:]:
+                for seq in tables[first].keys() & tables[second].keys():
+                    if tables[first][seq] != tables[second][seq]:
+                        violations.append(Violation(
+                            "sequencer-epoch",
+                            first,
+                            f"{first!r} and {second!r} disagree on the "
+                            f"binding for seq {seq}: "
+                            f"{tables[first][seq]} vs {tables[second][seq]}",
+                        ))
+        positions = {
+            member: dict(protocol.delivered_positions)
+            for member, protocol in self.protocols.items()
+            if hasattr(protocol, "delivered_positions")
+        }
+        members = sorted(positions)
+        for i, first in enumerate(members):
+            for second in members[i + 1:]:
+                for label in (
+                    positions[first].keys() & positions[second].keys()
+                ):
+                    if positions[first][label] != positions[second][label]:
+                        violations.append(Violation(
+                            "sequencer-epoch",
+                            first,
+                            f"{first!r} delivered {label} at position "
+                            f"{positions[first][label]} but {second!r} at "
+                            f"{positions[second][label]}",
+                        ))
+        return violations
+
     def check_view_synchrony(self) -> List[Violation]:
         violations = []
         for member, agent in self.view_syncs.items():
@@ -334,6 +398,7 @@ class InvariantMonitor:
             self.check_duplicate_deliveries()
             + self.check_causal_order()
             + self.check_total_order_agreement()
+            + self.check_sequencer_epochs()
             + self.check_view_synchrony()
             + self.check_gc_safety()
             + self.check_convergence()

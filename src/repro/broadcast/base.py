@@ -117,6 +117,14 @@ class BroadcastProtocol(SimNode):
 
     protocol_name = "base"
 
+    #: Whether crash-stop chaos campaigns may crash members running this
+    #: protocol.  Declared at the definition site so the chaos matrix
+    #: (`repro.chaos.cluster.CHAOS_PROTOCOLS`) derives from the protocols
+    #: themselves; a protocol whose semantics cannot survive amnesia
+    #: (e.g. ASend's anonymous epoch counting) opts out by overriding
+    #: this to ``False``.
+    crash_eligible = True
+
     #: Delivery engine: "indexed" (event-driven wakeups) or "naive"
     #: (reference full-rescan drain).  May be overridden per class or per
     #: instance *before* any traffic is processed.
@@ -165,6 +173,13 @@ class BroadcastProtocol(SimNode):
         # rejoiner fast-forwards past them instead of NACKing forever.
         self._skipped_stable: Set[MessageId] = set()
         self._stable_floor: Dict[EntityId, int] = {}
+        # Durable write-ahead log of every envelope we originated into our
+        # own label stream (data via `bcast`, in-stream control via
+        # `send_logged`).  Stable storage: without it, a sender that
+        # crashes after an unreplicated send leaves a permanent FIFO gap
+        # in its own stream that no surviving member can fill.  Restart
+        # replays it (see `_on_restart`).
+        self._outbox: Dict[MessageId, Envelope] = {}
         #: Delivery history of previous incarnations, archived at restart:
         #: ``(delivered_envelopes, skipped_stable)`` per lost life.
         self.incarnation_archive: List[
@@ -190,8 +205,22 @@ class BroadcastProtocol(SimNode):
         # Keep our own stamped copy: if every network copy (including the
         # self-delivery hop) is lost, retransmission must still be possible.
         self._envelopes_by_id[message.msg_id] = envelope
+        self._outbox[message.msg_id] = envelope
         self.broadcast(envelope)
         return message.msg_id
+
+    def send_logged(self, envelope: Envelope) -> None:
+        """Send an in-stream control envelope with stable-storage logging.
+
+        For protocol control messages that occupy the sender's own label
+        stream (Lamport acks, sequencer order bindings): logged to the
+        durable outbox and kept in the repair store exactly like `bcast`
+        data, so a crash between send and first remote receipt cannot
+        orphan the stream position.
+        """
+        self._envelopes_by_id[envelope.msg_id] = envelope
+        self._outbox[envelope.msg_id] = envelope
+        self.broadcast(envelope)
 
     # -- hooks for subclasses ---------------------------------------------------
 
@@ -267,6 +296,18 @@ class BroadcastProtocol(SimNode):
         RST delivered counts, Lamport FIFO streams) fast-forward them here
         so fresh traffic is not blocked behind irrecoverable history.
         """
+
+    def compactable_origin(self, origin: EntityId) -> bool:
+        """Whether the stability tracker may compact ``origin``'s bodies.
+
+        Protocols whose control history must stay servable forever (the
+        sequencer's order bindings: a compacted binding would strand an
+        amnesiac rejoiner on an unfillable position) exempt that origin's
+        namespace here.  Exempt origins are also excluded from advertised
+        stable frontiers, so their labels are recovered by NACK, never
+        skip-settled.
+        """
+        return True
 
     # -- recovery integration -----------------------------------------------
 
@@ -344,11 +385,20 @@ class BroadcastProtocol(SimNode):
         """Model volatile-state loss: wipe everything but durable identity.
 
         Durable across incarnations: the label allocator (labels are never
-        reused), the shared group membership, registered callbacks and
-        interceptors, and cumulative diagnostics.  Everything else — the
-        hold-back queue, dedup set, delivered state, repair store and the
-        wakeup index — is volatile and lost with the crash.  The previous
-        life's delivery history is archived for post-hoc analysis.
+        reused), the outbox (stable-storage log of own sends), the shared
+        group membership, registered callbacks and interceptors, and
+        cumulative diagnostics.  Everything else — the hold-back queue,
+        dedup set, delivered state, repair store and the wakeup index — is
+        volatile and lost with the crash.  The previous life's delivery
+        history is archived for post-hoc analysis.
+
+        After the wipe the outbox is replayed: every logged send is
+        re-received locally (rebuilding our own stream as a recovering
+        process replays its log) and re-broadcast to the group (peers
+        dedup known labels; the ones only we ever held fill their FIFO
+        gaps).  Without this, a send whose every network copy was lost
+        before the crash would leave a permanently unfillable gap in our
+        stream, stalling all our post-restart traffic behind it.
         """
         self.incarnation_archive.append(
             (list(self._delivered_envelopes), frozenset(self._skipped_stable))
@@ -377,6 +427,19 @@ class BroadcastProtocol(SimNode):
             reset = getattr(agent, "reset_volatile", None)
             if reset is not None:
                 reset()
+        replay = sorted(
+            self._outbox,
+            # Control namespaces (e.g. the sequencer's order stream)
+            # replay before the main stream: a replayed binding must be
+            # in place before the data it binds, or the recovering
+            # sequencer would mistake its own old data for unbound
+            # traffic and re-issue orders for it.
+            key=lambda label: (label.sender == self.entity_id, label),
+        )
+        for label in replay:
+            envelope = self._outbox[label]
+            self.on_receive(self.entity_id, envelope)
+            self.broadcast(envelope)
 
     # -- receive path -------------------------------------------------------------
 

@@ -110,6 +110,8 @@ class StabilityTracker:
         droppable = []
         frontiers: Dict[EntityId, int] = {}
         for label in store:
+            if not self.protocol.compactable_origin(label.sender):
+                continue  # exempt namespace (e.g. sequencer order bindings)
             frontier = frontiers.get(label.sender)
             if frontier is None:
                 frontier = self.stable_frontier(label.sender)
@@ -136,7 +138,14 @@ class StabilityTracker:
             estimate = self.stable_frontier(origin)
             if estimate > frontiers.get(origin, 0):
                 frontiers[origin] = estimate
-        return {o: f for o, f in frontiers.items() if f > 0}
+        # Exempt namespaces are never compacted, so never invite receivers
+        # to skip-settle them — their labels must arrive (or be NACKed) so
+        # the bindings they carry are actually learned.
+        return {
+            o: f
+            for o, f in frontiers.items()
+            if f > 0 and self.protocol.compactable_origin(o)
+        }
 
     # -- crash-stop integration --------------------------------------------------
 

@@ -107,11 +107,10 @@ class LamportTotalOrder(BroadcastProtocol):
         ack = Message(self._allocator.next_id(), self.ACK_OPERATION, data_label)
         stamped = self._stamp(Envelope(ack))
         # Acks ride the main label stream, so a lost ack is a FIFO gap
-        # every member stalls on.  Keep our own copy (as `bcast` does for
-        # data) so the recovery layer can re-inject and serve it even if
-        # every network copy — including the self-delivery hop — drops.
-        self._envelopes_by_id[stamped.msg_id] = stamped
-        self.broadcast(stamped)
+        # every member stalls on.  Log it like `bcast` data (durable
+        # outbox + repair store) so it survives every network copy being
+        # dropped and survives our own crash.
+        self.send_logged(stamped)
 
     # -- delivery -----------------------------------------------------------------
 

@@ -11,8 +11,16 @@ campaigns that respect the rules under which the repair machinery is
   every partition with a heal, every loss/duplication phase with a reset
   — campaigns end with the full group healthy;
 * membership changes are not scheduled while another disturbance is in
-  flight (a flush blocked on a crashed member that nobody proposes to
-  remove is a documented limitation, not a bug).
+  flight.
+
+``random_campaign(..., overlap=True)`` relaxes the serialisation rules:
+episodes start while earlier ones are still in flight (membership churn
+may coincide with an in-flight crash or partition), relying on the
+failure detector (:class:`~repro.group.auto_membership.MembershipManager`)
+to repair whatever the overlap wedges.  Two rules survive the
+relaxation: outages never take the group below two live members, and
+every disturbance is still paired with its recovery — campaigns end with
+the full group healthy.
 
 The :class:`~repro.chaos.cluster.ChaosCluster` runner executes the
 script, then drives repair to convergence and audits every safety
@@ -85,14 +93,23 @@ def random_campaign(
     seed: int,
     disturbances: Sequence[str] = DISTURBANCES,
     sends_per_member: int = 6,
+    overlap: bool = False,
 ) -> ChaosCampaign:
     """Generate a seeded random campaign over ``members``.
 
-    Disturbance episodes are laid out sequentially (never overlapping),
-    each paired with its recovery action; sends are sprinkled across the
-    whole timeline, including inside disturbance windows — sends from a
-    crashed or flush-frozen member are skipped by the runner, which is
-    itself part of what the campaign exercises.
+    By default, disturbance episodes are laid out sequentially (never
+    overlapping), each paired with its recovery action; sends are
+    sprinkled across the whole timeline, including inside disturbance
+    windows — sends from a crashed or flush-frozen member are skipped by
+    the runner, which is itself part of what the campaign exercises.
+
+    With ``overlap=True``, the cursor advances only a fraction of each
+    episode, so later disturbances land while earlier ones are still in
+    flight.  Outage members (crash/churn) are drawn from members not
+    already down in the window, and concurrent outages are capped so at
+    least two members stay up at any time; if no member fits, the episode
+    falls back to serial placement after the in-flight outages end.
+    Every disturbance stays paired with its recovery.
     """
     if len(members) < 2:
         raise ConfigurationError("a chaos campaign needs >= 2 members")
@@ -104,23 +121,68 @@ def random_campaign(
     kinds = list(disturbances)
     rng.shuffle(kinds)
     cursor = 4.0
+    # Outage windows laid so far: (start, end, member).
+    down_windows: list = []
+    max_down = max(1, len(members) - 2)
+
+    def pick_down_member(start: float, length: float):
+        """A member that may go down for [start, start+length), or None."""
+        end = start + length
+        overlapping = [
+            w for w in down_windows if w[0] < end and start < w[1]
+        ]
+        if len(overlapping) >= max_down:
+            return None
+        busy = {w[2] for w in overlapping}
+        candidates = [m for m in members if m not in busy]
+        if not candidates:
+            return None
+        return rng.choice(candidates)
+
+    def place_outage(length: float):
+        """Choose (start, member) for an outage of ``length``."""
+        nonlocal cursor
+        member = pick_down_member(cursor, length)
+        if member is None:
+            # No room to overlap: serialise after the in-flight outages.
+            cursor = max([w[1] for w in down_windows] + [cursor]) + 1.0
+            member = rng.choice(list(members))
+        down_windows.append((cursor, cursor + length, member))
+        return member
+
     for kind in kinds:
         if kind == "crash":
-            member = rng.choice(list(members))
-            downtime = rng.uniform(8.0, 14.0)
+            if overlap:
+                downtime = rng.uniform(8.0, 14.0)
+                member = place_outage(downtime)
+            else:
+                member = rng.choice(list(members))
+                downtime = rng.uniform(8.0, 14.0)
+                down_windows.append((cursor, cursor + downtime, member))
             events.append(ChaosEvent(round(cursor, 2), "crash", member))
             events.append(
                 ChaosEvent(round(cursor + downtime, 2), "restart", member)
             )
-            cursor += downtime + rng.uniform(5.0, 9.0)
+            if overlap:
+                cursor += downtime * rng.uniform(0.25, 0.6)
+            else:
+                cursor += downtime + rng.uniform(5.0, 9.0)
         elif kind == "churn":
-            member = rng.choice(list(members))
-            away = rng.uniform(10.0, 16.0)
+            if overlap:
+                away = rng.uniform(10.0, 16.0)
+                member = place_outage(away)
+            else:
+                member = rng.choice(list(members))
+                away = rng.uniform(10.0, 16.0)
+                down_windows.append((cursor, cursor + away, member))
             events.append(ChaosEvent(round(cursor, 2), "remove", member))
             events.append(
                 ChaosEvent(round(cursor + away, 2), "rejoin", member)
             )
-            cursor += away + rng.uniform(10.0, 14.0)
+            if overlap:
+                cursor += away * rng.uniform(0.3, 0.7)
+            else:
+                cursor += away + rng.uniform(10.0, 14.0)
         elif kind == "partition":
             shuffled = list(members)
             rng.shuffle(shuffled)
@@ -129,22 +191,32 @@ def random_campaign(
             heal_after = rng.uniform(5.0, 9.0)
             events.append(ChaosEvent(round(cursor, 2), "partition", groups))
             events.append(ChaosEvent(round(cursor + heal_after, 2), "heal"))
-            cursor += heal_after + rng.uniform(5.0, 8.0)
+            if overlap:
+                cursor += heal_after * rng.uniform(0.4, 0.8)
+            else:
+                cursor += heal_after + rng.uniform(5.0, 8.0)
         elif kind == "loss":
             phase = rng.uniform(8.0, 12.0)
             events.append(ChaosEvent(
                 round(cursor, 2), "loss", round(rng.uniform(0.05, 0.25), 3)
             ))
             events.append(ChaosEvent(round(cursor + phase, 2), "loss", 0.0))
-            cursor += phase + rng.uniform(4.0, 7.0)
+            if overlap:
+                cursor += phase * rng.uniform(0.3, 0.7)
+            else:
+                cursor += phase + rng.uniform(4.0, 7.0)
         elif kind == "dup":
             phase = rng.uniform(6.0, 10.0)
             events.append(ChaosEvent(
                 round(cursor, 2), "dup", round(rng.uniform(0.1, 0.3), 3)
             ))
             events.append(ChaosEvent(round(cursor + phase, 2), "dup", 0.0))
-            cursor += phase + rng.uniform(4.0, 7.0)
-    duration = cursor + 8.0
+            if overlap:
+                cursor += phase * rng.uniform(0.3, 0.7)
+            else:
+                cursor += phase + rng.uniform(4.0, 7.0)
+    tail = max([cursor] + [event.time for event in events])
+    duration = tail + 8.0
     for _ in range(sends_per_member * len(members)):
         when = round(rng.uniform(0.5, duration - 6.0), 2)
         events.append(ChaosEvent(when, "send", rng.choice(list(members))))
@@ -154,6 +226,5 @@ def random_campaign(
             (event.time, index, event) for index, event in enumerate(events)
         )
     )
-    return ChaosCampaign(
-        name=f"random-{seed}", events=ordered, duration=duration
-    )
+    name = f"overlap-{seed}" if overlap else f"random-{seed}"
+    return ChaosCampaign(name=name, events=ordered, duration=duration)

@@ -22,6 +22,9 @@ records this externally at each :meth:`ChaosCluster.app_send`:
 ``unordered``      nothing
 ``fifo``           the member's previous data send (labels order the stream)
 ``lamport_total``  the member's previous data send (stamps are monotone)
+``sequencer``      nothing (pure total order: the sequencer's arrival order
+                   is the only guarantee; audited by the ``total-order``
+                   and ``sequencer-epoch`` invariants instead)
 ``osend``          the explicitly declared ``Occurs-After`` set
 ``cbcast``         data settled at the sender's current incarnation, plus
                    *all* of its own prior sends (its clock component mirrors
@@ -32,23 +35,32 @@ records this externally at each :meth:`ChaosCluster.app_send`:
                    exceed what any count can express after a restart)
 =================  ===========================================================
 
-``sequencer`` (no sequencer failover) and ``asend`` (anonymous epoch
-closure an amnesiac member cannot reconstruct) are excluded from chaos
-campaigns; see ``docs/ROBUSTNESS.md``.
+Eligibility is declared on the protocol classes themselves
+(``BroadcastProtocol.crash_eligible``): ``asend`` opts out (anonymous
+epoch closure an amnesiac member cannot reconstruct); everything else —
+the sequencer included, via its epoch-based failover — is in the matrix.
+
+Every stack also carries a
+:class:`~repro.group.auto_membership.MembershipManager`: heartbeats feed
+a failure detector whose suspicions turn into automatic ``leave``
+proposals, so a crash mid-flush un-wedges itself (the removal wins the
+flush tie-break and re-forms the quorum).  See ``docs/ROBUSTNESS.md``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.analysis.invariants import InvariantMonitor, Violation
 from repro.broadcast import (
+    ASendTotalOrder,
     CbcastBroadcast,
     FifoBroadcast,
     LamportTotalOrder,
     OSendBroadcast,
     RstBroadcast,
+    SequencerTotalOrder,
     UnorderedBroadcast,
 )
 from repro.broadcast.gc import StabilityTracker
@@ -59,6 +71,7 @@ from repro.errors import (
     ProtocolError,
     SimulationError,
 )
+from repro.group.auto_membership import MembershipManager, manage_membership
 from repro.group.membership import GroupMembership
 from repro.group.view_sync import ViewSyncAgent, attach_view_sync
 from repro.net.faults import FaultPlan
@@ -70,14 +83,32 @@ from repro.types import EntityId, MessageId
 
 from repro.chaos.campaign import ChaosCampaign, ChaosEvent
 
-#: The protocols chaos campaigns run against.
+#: Every protocol the repo ships; eligibility is read off the classes.
+_CANDIDATE_PROTOCOLS = (
+    UnorderedBroadcast,
+    FifoBroadcast,
+    CbcastBroadcast,
+    OSendBroadcast,
+    RstBroadcast,
+    LamportTotalOrder,
+    SequencerTotalOrder,
+    ASendTotalOrder,
+)
+
+#: The protocols chaos campaigns run against — derived from the
+#: ``crash_eligible`` marker each class declares, so protocols opt in or
+#: out at the definition site.
 CHAOS_PROTOCOLS = {
-    "unordered": UnorderedBroadcast,
-    "fifo": FifoBroadcast,
-    "cbcast": CbcastBroadcast,
-    "osend": OSendBroadcast,
-    "rst": RstBroadcast,
-    "lamport_total": LamportTotalOrder,
+    cls.protocol_name: cls
+    for cls in _CANDIDATE_PROTOCOLS
+    if cls.crash_eligible
+}
+
+#: Protocols that opted out (for error messages and tests).
+CHAOS_EXCLUDED = {
+    cls.protocol_name: cls
+    for cls in _CANDIDATE_PROTOCOLS
+    if not cls.crash_eligible
 }
 
 #: Safety cap per scheduler drain: a repair loop that schedules this many
@@ -100,6 +131,10 @@ class CampaignResult:
     data_messages: int
     settle_rounds: int
     sim_time: float
+    #: Repair-latency metrics (suspicion delay, flush duration, handoff
+    #: delay, proposal counts) — regressions in time-to-repair are as
+    #: interesting as safety violations.
+    repair: Dict[str, float] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -107,12 +142,29 @@ class CampaignResult:
 
     def summary(self) -> str:
         status = "OK" if self.ok else f"{len(self.violations)} VIOLATION(S)"
-        return (
+        line = (
             f"{self.protocol:>13s} {self.campaign:<14s} {status:<16s} "
             f"sends={self.sends} skipped={self.sends_skipped} "
             f"crashes={self.crashes} settle_rounds={self.settle_rounds} "
             f"t={self.sim_time:.1f}"
         )
+        repair = self.repair
+        if repair.get("suspicions"):
+            line += (
+                f" susp={repair['suspicions']:.0f}"
+                f"/{repair['suspicion_delay_mean']:.1f}s"
+            )
+        if repair.get("removals_proposed"):
+            line += f" rm={repair['removals_proposed']:.0f}"
+        if repair.get("flushes"):
+            line += f" flush={repair['flush_duration_mean']:.1f}s"
+        if repair.get("handoffs"):
+            line += f" handoff={repair['handoffs']:.0f}"
+            if "handoff_delay_mean" in repair:
+                # No delay when the predecessor was deposed alive (e.g.
+                # partitioned out): there is no crash to measure from.
+                line += f"/{repair['handoff_delay_mean']:.1f}s"
+        return line
 
 
 class ChaosCluster:
@@ -126,8 +178,17 @@ class ChaosCluster:
         latency: Optional[LatencyModel] = None,
         scan_interval: float = 2.0,
         nack_backoff: float = 4.0,
+        overlap: bool = False,
+        auto_membership: bool = True,
+        heartbeat_interval: float = 1.0,
+        suspicion_timeout: float = 5.0,
     ) -> None:
         if protocol not in CHAOS_PROTOCOLS:
+            if protocol in CHAOS_EXCLUDED:
+                raise ConfigurationError(
+                    f"protocol {protocol!r} declares crash_eligible=False "
+                    "and cannot run chaos campaigns"
+                )
             raise ConfigurationError(
                 f"unknown chaos protocol {protocol!r}; "
                 f"choose from {sorted(CHAOS_PROTOCOLS)}"
@@ -165,6 +226,19 @@ class ChaosCluster:
         self.view_syncs: Dict[EntityId, ViewSyncAgent] = attach_view_sync(
             self.stacks
         )
+        #: Overlapping-disturbance mode: crashes are not deferred past
+        #: in-flight flushes or other members' outages (beyond the
+        #: two-up floor) — the failure detector is expected to repair
+        #: whatever the overlap wedges.
+        self.overlap = overlap
+        self.managers: Dict[EntityId, MembershipManager] = {}
+        if auto_membership:
+            self.managers = manage_membership(
+                self.stacks,
+                self.view_syncs,
+                heartbeat_interval=heartbeat_interval,
+                suspicion_timeout=suspicion_timeout,
+            )
         # Ground-truth bookkeeping (see module docstring).
         self.data_labels: Set[MessageId] = set()
         self.dependencies: Dict[MessageId, frozenset] = {}
@@ -177,6 +251,9 @@ class ChaosCluster:
         self.sends_skipped = 0
         self.crashes = 0
         self.restarts = 0
+        # Crash times per member (latest crash), for suspicion-delay and
+        # handoff-delay accounting.
+        self._crash_log: Dict[EntityId, float] = {}
         # Set when a scheduler drain trips the event cap: the repair
         # machinery livelocked instead of quiescing.
         self._livelock: Optional[str] = None
@@ -196,7 +273,11 @@ class ChaosCluster:
         stack = self.stacks[member]
         own = [label for label, _inc in self._sends[member]]
         name = self.protocol_name
-        if name == "unordered":
+        if name in ("unordered", "sequencer"):
+            # The sequencer offers pure total order: delivery position is
+            # the sequencer's arrival order, which promises nothing about
+            # causal precedence — audited by `total-order` and
+            # `sequencer-epoch` instead.
             return frozenset()
         if name in ("fifo", "lamport_total"):
             return frozenset(own[-1:])
@@ -274,6 +355,7 @@ class ChaosCluster:
     def crash(self, member: EntityId) -> None:
         self.stacks[member].crash()
         self.crashes += 1
+        self._crash_log[member] = self.scheduler.now
 
     def restart(self, member: EntityId) -> None:
         self.stacks[member].restart()
@@ -367,7 +449,13 @@ class ChaosCluster:
             self._crash_when_safe(event.arg)
         elif action == "restart":
             if self.stacks[event.arg].crashed:
-                self.restart(event.arg)
+                if event.arg in self.group.view:
+                    self.restart(event.arg)
+                else:
+                    # The failure detector already removed this plainly
+                    # crashed member; it must come back through a join
+                    # flush, not wake inside a view it is no longer in.
+                    self.rejoin(event.arg)
         elif action == "remove":
             self.remove(event.arg)
         elif action == "rejoin":
@@ -382,27 +470,40 @@ class ChaosCluster:
             self.set_duplicate(event.arg)
 
     def _crash_when_safe(self, member: EntityId, attempts: int = 50) -> None:
-        """Crash ``member`` once no flush is active and nobody else is down.
+        """Crash ``member``, deferring only as far as the mode requires.
 
-        Campaign rules keep at most one member down and never kill a
-        member mid-flush (a flush blocked on a crashed member nobody
-        removes is a documented limitation); the runner enforces both by
-        deferring the crash, bounded so a wedged flush cannot postpone
-        it forever — it is dropped instead.
+        Serial mode keeps at most one member down and never kills a
+        member mid-flush; the runner enforces both by deferring the
+        crash, bounded so a wedged flush cannot postpone it forever — it
+        is dropped instead.  Overlap mode crashes straight into in-flight
+        flushes and other members' outages (the failure detector is the
+        repair path) and defers only for the two-up floor, below which no
+        flush quorum could ever re-form.
         """
-        others_down = any(
-            other.crashed
-            for name, other in self.stacks.items()
-            if name != member
-        )
-        flushing = any(
-            agent._pending_change is not None
-            for agent in self.view_syncs.values()
-        )
-        if not others_down and not flushing:
-            if not self.stacks[member].crashed:
-                self.crash(member)
-            return
+        if self.overlap:
+            up_after = sum(
+                1
+                for name, other in self.stacks.items()
+                if name != member and not other.crashed
+            )
+            if up_after >= 2:
+                if not self.stacks[member].crashed:
+                    self.crash(member)
+                return
+        else:
+            others_down = any(
+                other.crashed
+                for name, other in self.stacks.items()
+                if name != member
+            )
+            flushing = any(
+                agent._pending_change is not None
+                for agent in self.view_syncs.values()
+            )
+            if not others_down and not flushing:
+                if not self.stacks[member].crashed:
+                    self.crash(member)
+                return
         if attempts > 0:
             self.scheduler.call_in(1.0, self._crash_when_safe, member, attempts - 1)
 
@@ -413,6 +514,8 @@ class ChaosCluster:
         check_invariants: bool = True,
     ) -> CampaignResult:
         """Execute ``campaign``, drive repair to convergence, audit."""
+        for manager in self.managers.values():
+            manager.start(campaign.duration)
         for event in campaign.events:
             self.scheduler.call_at(event.time, self._apply, event)
         try:
@@ -434,7 +537,65 @@ class ChaosCluster:
             data_messages=len(self.data_labels),
             settle_rounds=rounds,
             sim_time=self.scheduler.now,
+            repair=self.repair_metrics(),
         )
+
+    def repair_metrics(self) -> Dict[str, float]:
+        """Aggregate time-to-repair observations across the cluster.
+
+        * *suspicion delay* — crash to first suspicion of that member
+          (failure-detection latency);
+        * *flush duration* — first freeze to install, per installed view
+          (how long membership changes block sending);
+        * *handoff delay* — previous sequencer's crash to the successor's
+          binding handoff (total-order repair latency).
+        """
+        metrics: Dict[str, float] = {}
+        susp_delays: List[float] = []
+        removals = 0
+        for manager in self.managers.values():
+            removals += manager.removals_proposed
+            for suspect, when in manager.suspicion_log:
+                crashed_at = self._crash_log.get(suspect)
+                if crashed_at is not None and crashed_at <= when:
+                    susp_delays.append(when - crashed_at)
+        if susp_delays:
+            metrics["suspicions"] = float(len(susp_delays))
+            metrics["suspicion_delay_mean"] = sum(susp_delays) / len(
+                susp_delays
+            )
+            metrics["suspicion_delay_max"] = max(susp_delays)
+        if removals:
+            metrics["removals_proposed"] = float(removals)
+        flush_durations = [
+            record.flush_duration
+            for agent in self.view_syncs.values()
+            for record in agent.install_history
+        ]
+        if flush_durations:
+            metrics["flushes"] = float(len(flush_durations))
+            metrics["flush_duration_mean"] = sum(flush_durations) / len(
+                flush_durations
+            )
+            metrics["flush_duration_max"] = max(flush_durations)
+        handoff_delays: List[float] = []
+        handoff_count = 0
+        for stack in self.stacks.values():
+            for handoff in getattr(stack, "handoffs", []):
+                if not handoff["took_over"]:
+                    continue
+                handoff_count += 1
+                crashed_at = self._crash_log.get(handoff["previous"])
+                if crashed_at is not None and crashed_at <= handoff["time"]:
+                    handoff_delays.append(handoff["time"] - crashed_at)
+        if handoff_count:
+            metrics["handoffs"] = float(handoff_count)
+        if handoff_delays:
+            metrics["handoff_delay_mean"] = sum(handoff_delays) / len(
+                handoff_delays
+            )
+            metrics["handoff_delay_max"] = max(handoff_delays)
+        return metrics
 
     def _restore(self) -> None:
         """End-of-campaign cleanup: heal, de-fault, revive, re-admit."""
@@ -545,6 +706,14 @@ class ChaosCluster:
         for member, stack in self.stacks.items():
             if stack.crashed and member in self.group.view:
                 self.restart(member)
+        # Re-announce wedged flushes: a participant that crashed mid-flush
+        # forgot it was flushing, and the others' bounded FLUSH_OK resends
+        # may be long exhausted.  The nudge makes the amnesiac adopt the
+        # change and makes everyone who already flushed re-send one
+        # FLUSH_OK — both idempotent.
+        for agent in self.view_syncs.values():
+            if agent._pending_change is not None and not agent.protocol.crashed:
+                agent.nudge()
         for member in self.members:
             if member in self.group.view:
                 continue
@@ -591,7 +760,9 @@ class ChaosCluster:
             view_syncs=self.view_syncs,
             trackers=self.trackers,
             expected_members=self.members,
-            check_total_order=self.protocol_name == "lamport_total",
+            check_total_order=self.protocol_name
+            in ("lamport_total", "sequencer"),
+            sequencer_epochs=self.protocol_name == "sequencer",
             # RST's owed counts are per send-time view member; other
             # protocols' ordering metadata is destination-independent.
             audience=(

@@ -215,9 +215,14 @@ def run_chaos(args: argparse.Namespace) -> int:
     for seed in range(args.seed, args.seed + args.seeds):
         for protocol in protocols:
             cluster = ChaosCluster(
-                protocol=protocol, members=members, seed=seed
+                protocol=protocol,
+                members=members,
+                seed=seed,
+                overlap=args.overlap,
             )
-            campaign = random_campaign(members, seed=seed)
+            campaign = random_campaign(
+                members, seed=seed, overlap=args.overlap
+            )
             result = cluster.run_campaign(campaign)
             print(result.summary())
             if not result.ok:
@@ -226,7 +231,8 @@ def run_chaos(args: argparse.Namespace) -> int:
                     print(f"    {violation}")
     total = len(protocols) * args.seeds
     status = "all safe" if not failures else f"{failures} FAILED"
-    print(f"\nchaos: {total} campaign(s), {status}")
+    mode = "overlapping" if args.overlap else "serialised"
+    print(f"\nchaos: {total} {mode} campaign(s), {status}")
     return 1 if failures else 0
 
 
@@ -276,6 +282,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     chaos.add_argument(
         "--members", type=int, default=4, help="group size (>= 2)"
+    )
+    chaos.add_argument(
+        "--overlap",
+        action="store_true",
+        help="let disturbances overlap (detector-driven repair mode)",
     )
 
     experiment = subparsers.add_parser(

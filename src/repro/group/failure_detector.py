@@ -6,6 +6,12 @@ each monitored entity is expected to produce a heartbeat at least every
 Suspicion feeds :class:`~repro.group.membership.GroupMembership` in the
 dynamic-membership integration tests, exercising the protocols' behaviour
 when a member departs mid-activity.
+
+The monitored set is dynamic (:meth:`HeartbeatFailureDetector.monitor` /
+:meth:`~HeartbeatFailureDetector.forget`): under churn the owner —
+:class:`~repro.group.auto_membership.MembershipManager` — keeps it in sync
+with view installs, so a joiner's heartbeats are accepted immediately and
+a removed member is not suspected forever.
 """
 
 from __future__ import annotations
@@ -28,6 +34,7 @@ class HeartbeatFailureDetector:
         monitored: Iterable[EntityId],
         timeout: float,
         check_interval: Optional[float] = None,
+        active: Optional[Callable[[], bool]] = None,
     ) -> None:
         if timeout <= 0:
             raise ConfigurationError(f"timeout must be positive, got {timeout}")
@@ -36,6 +43,10 @@ class HeartbeatFailureDetector:
         self._check_interval = (
             check_interval if check_interval is not None else timeout / 2
         )
+        # Optional owner-liveness gate: the tick keeps re-arming off the
+        # raw scheduler (so it survives the owner's crash guard), but a
+        # crashed owner must not accrue suspicions it could never act on.
+        self._active = active
         self._last_heard: Dict[EntityId, float] = {
             entity: scheduler.now for entity in monitored
         }
@@ -67,15 +78,58 @@ class HeartbeatFailureDetector:
     def _tick(self) -> None:
         if not self._running:
             return
-        now = self._scheduler.now
-        for entity, last in self._last_heard.items():
-            if entity in self._suspected:
-                continue
-            if now - last > self._timeout:
-                self._suspected.add(entity)
-                for listener in self._listeners:
-                    listener(entity)
+        if self._active is None or self._active():
+            now = self._scheduler.now
+            for entity, last in list(self._last_heard.items()):
+                if entity in self._suspected:
+                    continue
+                if now - last > self._timeout:
+                    self._suspected.add(entity)
+                    for listener in self._listeners:
+                        listener(entity)
         self._schedule_tick()
+
+    # -- monitored set -------------------------------------------------------
+
+    def monitor(self, entity: EntityId) -> None:
+        """Start monitoring ``entity`` (idempotent).
+
+        The grace clock starts *now*: a just-joined member owes its first
+        heartbeat a full timeout from here, not from detector construction.
+        """
+        if entity in self._last_heard:
+            return
+        self._last_heard[entity] = self._scheduler.now
+        self._suspected.discard(entity)
+
+    def forget(self, entity: EntityId) -> None:
+        """Stop monitoring ``entity`` (idempotent).
+
+        A member removed from the view must not stay suspected forever —
+        its silence is now expected, not a failure.
+        """
+        self._last_heard.pop(entity, None)
+        self._suspected.discard(entity)
+
+    def is_monitored(self, entity: EntityId) -> bool:
+        return entity in self._last_heard
+
+    @property
+    def monitored(self) -> Set[EntityId]:
+        return set(self._last_heard)
+
+    def reset_clocks(self) -> None:
+        """Restart every grace clock and clear suspicions.
+
+        Used when the detector's owner restarts after a crash: its notion
+        of "how long each peer has been silent" is amnesiac state, so every
+        peer gets a fresh full timeout instead of being suspected for
+        silence the owner never actually observed.
+        """
+        now = self._scheduler.now
+        for entity in self._last_heard:
+            self._last_heard[entity] = now
+        self._suspected.clear()
 
     # -- inputs --------------------------------------------------------------
 

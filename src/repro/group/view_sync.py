@@ -81,6 +81,10 @@ class InstallRecord:
     digest_union: frozenset
     incarnation: int
     time: float
+    #: How long this member was frozen before the install (from first
+    #: adopting a proposal for the old view to installation) — the
+    #: flush-unblock latency the chaos report aggregates.
+    flush_duration: float = 0.0
 
 
 InstallListener = Callable[[GroupView], None]
@@ -120,6 +124,9 @@ class ViewSyncAgent:
         self.changes_installed = 0
         # Delivered-set snapshot taken at install time (diagnostics).
         self.flush_snapshot: Optional[frozenset] = None
+        # When this member first froze for the currently pending flush
+        # chain (rival adoptions keep the original start time).
+        self._flush_started: Optional[float] = None
         # Durable audit log: survives restarts so post-mortem invariant
         # checks can reconstruct what each incarnation installed.
         self.install_history: List[InstallRecord] = []
@@ -142,9 +149,17 @@ class ViewSyncAgent:
     def on_install(self, listener: InstallListener) -> None:
         self._listeners.append(listener)
 
-    def propose(self, kind: str, entity: EntityId) -> None:
-        """Propose a membership change to the group."""
-        if self._pending_change is not None:
+    def propose(self, kind: str, entity: EntityId, force: bool = False) -> None:
+        """Propose a membership change to the group.
+
+        With ``force=True`` a proposal is broadcast even while another
+        change is in flight: concurrent same-view proposals are exactly
+        what the deterministic tie-break serialises, and a failure
+        detector *must* be able to inject a ``leave`` into a flush that is
+        stuck waiting on the crashed member (leaves win the tie-break, so
+        the removal flushes first and unblocks the rest).
+        """
+        if self._pending_change is not None and not force:
             raise ProtocolError("a view change is already in progress")
         view = self.protocol.group.view
         if kind == "join" and entity in view:
@@ -152,6 +167,25 @@ class ViewSyncAgent:
         if kind == "leave" and entity not in view:
             raise MembershipError(f"{entity!r} is not a member")
         change = ViewChange(kind, entity, view.view_id)
+        message = Message(self._allocator.next_id(), VCHG_OPERATION, change)
+        self.protocol.network.broadcast(
+            self.protocol.entity_id, Envelope(message)
+        )
+
+    def nudge(self) -> None:
+        """Re-broadcast the pending proposal to restart a wedged flush.
+
+        A flush can stall forever if a participant crashed mid-flush and
+        lost its pending state on restart (it no longer knows a flush is
+        running, so it never sends FLUSH_OK) after the bounded FLUSH_OK
+        re-broadcasts of the others were exhausted.  Re-announcing the
+        pending VCHG is idempotent — members already flushing treat the
+        duplicate as a FLUSH_OK re-send prompt (see `_on_proposal`), and
+        the amnesiac member adopts the change afresh and flushes.
+        """
+        change = self._pending_change
+        if change is None or self.protocol.crashed:
+            return
         message = Message(self._allocator.next_id(), VCHG_OPERATION, change)
         self.protocol.network.broadcast(
             self.protocol.entity_id, Envelope(message)
@@ -183,6 +217,15 @@ class ViewSyncAgent:
 
     def _on_proposal(self, change: ViewChange) -> None:
         self._consider(change)
+        if change == self._pending_change and self._sent_flush_ok:
+            # A duplicate announcement of the change we already flushed
+            # for means someone is still missing our FLUSH_OK (e.g. a
+            # `nudge` on behalf of a restarted participant after our
+            # bounded re-sends ran out).  Answer with exactly one re-send
+            # here — NOT in `_consider`, which `_on_flush_ok` also calls:
+            # that would turn every FLUSH_OK receipt into a re-broadcast
+            # storm.
+            self._send_flush_ok(change, resends_left=0)
 
     @staticmethod
     def _priority(change: ViewChange) -> Tuple[int, EntityId]:
@@ -206,6 +249,13 @@ class ViewSyncAgent:
             # crashed member that restarted out of the group): flushes are
             # among old-view members only.
             return
+        if change.kind == "leave" and len(current.members) == 1:
+            # Refusing to empty the group: cascaded detector removals can
+            # shrink the view to one member while a leave for it is still
+            # in flight (e.g. mutual suspicion across a partition).  The
+            # last member stays; every member computes the same refusal
+            # from the same (change, view) pair, so nobody flushes for it.
+            return
         if change == self._pending_change or change in self._deferred:
             return
         if self._pending_change is None:
@@ -226,6 +276,8 @@ class ViewSyncAgent:
         self._digests = {}
         self._sent_flush_ok = False
         self.frozen = True
+        if self._flush_started is None:
+            self._flush_started = self.protocol.now
         self._check_drained()
 
     def _defer(self, change: ViewChange) -> None:
@@ -351,11 +403,13 @@ class ViewSyncAgent:
             else:
                 membership.leave(change.entity)
         view = membership.view
+        started = self._flush_started
         self._pending_change = None
         self._flush_acks = set()
         self._digests = {}
         self._sent_flush_ok = False
         self.frozen = False
+        self._flush_started = None
         self.changes_installed += 1
         self.install_history.append(
             InstallRecord(
@@ -365,6 +419,9 @@ class ViewSyncAgent:
                 digest_union=digest_union,
                 incarnation=self.protocol.incarnation,
                 time=self.protocol.now,
+                flush_duration=(
+                    self.protocol.now - started if started is not None else 0.0
+                ),
             )
         )
         for listener in self._listeners:
@@ -407,6 +464,7 @@ class ViewSyncAgent:
             self._digests = {}
             self._sent_flush_ok = False
             self.frozen = False
+            self._flush_started = None
             self._repropose_deferred(view)
             return
         target: Set = set()
@@ -458,6 +516,7 @@ class ViewSyncAgent:
         self._sent_flush_ok = False
         self.frozen = False
         self.flush_snapshot = None
+        self._flush_started = None
 
 
 def attach_view_sync(

@@ -1,13 +1,15 @@
-"""Tests for the fixed-sequencer total order."""
+"""Tests for the fixed-sequencer total order and its epoch failover."""
 
 from __future__ import annotations
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.broadcast.sequencer import SequencerTotalOrder
+from repro.errors import ProtocolError
 from repro.net.latency import UniformLatency
-from tests.conftest import build_group
+from tests.conftest import build_group, mid
 
 
 class TestRoles:
@@ -78,6 +80,103 @@ class TestTotalOrder:
         assert stacks["c"].app_delivered == []
         scheduler.run()
         assert len(stacks["c"].app_delivered) == 1
+
+
+class TestEpochFailover:
+    def test_successor_adopts_bindings_and_keeps_ordering(self):
+        scheduler, _, stacks = build_group(
+            SequencerTotalOrder, latency=UniformLatency(0.1, 1.0), seed=11
+        )
+        membership = stacks["a"].group
+        for member in ("a", "b", "c"):
+            stacks[member].bcast("pre")
+        scheduler.run()
+        stacks["a"].crash()
+        membership.leave("a")
+        scheduler.run()
+        assert stacks["b"].is_sequencer
+        for member in ("b", "c"):
+            stacks[member].bcast("post")
+        scheduler.run()
+        orders = [stacks[m].app_delivered for m in ("b", "c")]
+        assert orders[0] == orders[1]
+        assert len(orders[0]) == 5
+        # Post-handoff assignments carry the new epoch; the adopted
+        # prefix keeps the old one.
+        epochs = {
+            seq: epoch for seq, (epoch, _) in stacks["b"].binding_table.items()
+        }
+        assert epochs[0] == 0
+        assert max(epochs.values()) == membership.view.view_id
+
+    def test_handoff_reissues_orders_for_unbound_data(self):
+        # The old sequencer's binding broadcasts are very slow: it
+        # crashes while every member holds data it cannot place.  The
+        # successor must re-issue those orders under its own epoch.
+        from repro.net.latency import ConstantLatency, PerPairLatency
+
+        latency = PerPairLatency(
+            {
+                ("a", "a"): ConstantLatency(60.0),
+                ("a", "b"): ConstantLatency(60.0),
+                ("a", "c"): ConstantLatency(60.0),
+            },
+            default=ConstantLatency(0.3),
+        )
+        scheduler, _, stacks = build_group(SequencerTotalOrder, latency=latency)
+        membership = stacks["a"].group
+        stacks["b"].bcast("wedged")
+        scheduler.run_until(5.0)
+        assert stacks["c"].app_delivered == []
+        stacks["a"].crash()
+        membership.leave("a")
+        scheduler.run_until(20.0)
+        assert len(stacks["b"].app_delivered) == 1
+        assert stacks["b"].app_delivered == stacks["c"].app_delivered
+        handoffs = [h for h in stacks["b"].handoffs if h["took_over"]]
+        assert len(handoffs) == 1
+        assert handoffs[0]["reissued"] >= 1
+        # The old epoch-0 binding still in flight loses to (or agrees
+        # with) the epoch-1 re-issue once it finally lands.
+        scheduler.run()
+        assert stacks["b"].app_delivered == stacks["c"].app_delivered
+
+    def test_cross_epoch_conflict_higher_epoch_wins(self):
+        _, __, stacks = build_group(SequencerTotalOrder)
+        sequencer = stacks["a"]
+        old, new = mid("b", 0), mid("c", 0)
+        sequencer._accept_binding(5, old, 0)
+        sequencer._accept_binding(5, new, 1)
+        assert sequencer.binding_table[5] == (1, new)
+        # A stale replay of the deposed epoch's binding is ignored.
+        sequencer._accept_binding(5, old, 0)
+        assert sequencer.binding_table[5] == (1, new)
+
+    def test_same_epoch_conflict_is_protocol_error(self):
+        _, __, stacks = build_group(SequencerTotalOrder)
+        sequencer = stacks["a"]
+        sequencer._accept_binding(3, mid("b", 0), 2)
+        with pytest.raises(ProtocolError):
+            sequencer._accept_binding(3, mid("c", 0), 2)
+
+    def test_restarted_sequencer_resyncs_counter(self):
+        scheduler, _, stacks = build_group(
+            SequencerTotalOrder, latency=UniformLatency(0.1, 1.0), seed=9
+        )
+        for member in ("a", "b", "c"):
+            stacks[member].bcast("pre")
+        scheduler.run()
+        stacks["a"].crash()
+        stacks["a"].restart()
+        # The assignment counter is durable high-water state: a fresh
+        # incarnation must not hand out positions 0..2 again.
+        assert stacks["a"]._next_seq_to_assign == 3
+        label = stacks["b"].bcast("post")
+        scheduler.run()
+        assert stacks["b"].global_sequence_of(label) == 3
+        orders = [stacks[m].app_delivered for m in ("b", "c")]
+        assert orders[0] == orders[1]
+        assert len(orders[0]) == 4
 
 
 class TestTotalOrderProperty:

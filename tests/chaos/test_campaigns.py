@@ -64,13 +64,35 @@ class TestCampaignSchema:
 
 
 class TestClusterConstruction:
-    @pytest.mark.parametrize("excluded", ["sequencer", "asend"])
-    def test_crash_ineligible_protocols_rejected(self, excluded):
-        # sequencer: no failover for the fixed orderer; asend: the token
-        # site is a single point of order.  Both are documented
-        # exclusions, not oversights (docs/ROBUSTNESS.md).
+    def test_crash_ineligible_protocols_rejected(self):
+        # asend: the token site is a single point of order — a documented
+        # exclusion, not an oversight (docs/ROBUSTNESS.md).  The
+        # sequencer used to be excluded too; epoch failover made it
+        # eligible.
         with pytest.raises(ConfigurationError):
-            ChaosCluster(protocol=excluded, members=MEMBERS)
+            ChaosCluster(protocol="asend", members=MEMBERS)
+
+    def test_eligibility_derives_from_protocol_markers(self):
+        # The matrix is defined at the protocol definition site, not in
+        # the harness: every class advertising crash_eligible=True is
+        # torturable, every opt-out is rejected with a dedicated error.
+        from repro.broadcast import ASendTotalOrder, SequencerTotalOrder
+        from repro.chaos.cluster import _CANDIDATE_PROTOCOLS, CHAOS_EXCLUDED
+
+        assert ASendTotalOrder.crash_eligible is False
+        assert SequencerTotalOrder.crash_eligible is True
+        assert set(CHAOS_PROTOCOLS) == {
+            cls.protocol_name
+            for cls in _CANDIDATE_PROTOCOLS
+            if cls.crash_eligible
+        }
+        assert set(CHAOS_EXCLUDED) == {
+            cls.protocol_name
+            for cls in _CANDIDATE_PROTOCOLS
+            if not cls.crash_eligible
+        }
+        assert "sequencer" in CHAOS_PROTOCOLS
+        assert "asend" in CHAOS_EXCLUDED
 
     def test_unknown_protocol_rejected(self):
         with pytest.raises(ConfigurationError):

@@ -1,0 +1,136 @@
+"""Overlapping-disturbance chaos: detector-driven self-healing.
+
+Serialised campaigns (``test_campaigns.py``) never start a disturbance
+while another is in flight, so the repair machinery is only ever asked
+to fix one thing at a time.  These tests drop that crutch:
+
+* a handcrafted membership flush wedged by a participant crashing
+  mid-flush — only the failure detector's automatic leave proposal can
+  re-form the quorum and complete it;
+* a handcrafted sequencer crash mid-stream — the successor must adopt
+  the binding prefix and re-issue orders under its own epoch;
+* seeded ``overlap=True`` random campaigns, where churn, crashes and
+  partitions coincide.
+
+Each scenario must end with zero safety violations and the full group
+re-formed.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chaos import (
+    ChaosCampaign,
+    ChaosCluster,
+    ChaosEvent,
+    random_campaign,
+)
+
+MEMBERS = ("n0", "n1", "n2", "n3")
+
+
+def mid_flush_crash_campaign() -> ChaosCampaign:
+    """A flush participant crashes mid-flush.
+
+    The ``remove`` of n1 at t=6 starts a flush among {n0, n2, n3}; n2
+    crashes 0.6s later, before the flush can complete, and stays down
+    long enough that the bounded FLUSH_OK re-sends alone cannot finish
+    it.  Completion requires the detector to suspect n2 and inject a
+    second leave into the running flush.
+    """
+    return ChaosCampaign(
+        name="mid-flush-crash",
+        events=(
+            ChaosEvent(1.0, "send", "n0"),
+            ChaosEvent(2.0, "send", "n2"),
+            ChaosEvent(3.0, "send", "n3"),
+            ChaosEvent(6.0, "remove", "n1"),
+            ChaosEvent(6.6, "crash", "n2"),
+            ChaosEvent(12.0, "send", "n0"),
+            ChaosEvent(25.0, "restart", "n2"),
+            ChaosEvent(30.0, "rejoin", "n1"),
+            ChaosEvent(34.0, "send", "n3"),
+        ),
+        duration=42.0,
+    )
+
+
+def sequencer_crash_campaign() -> ChaosCampaign:
+    """The sequencer crashes with assigned-but-undelivered orders."""
+    return ChaosCampaign(
+        name="sequencer-crash",
+        events=(
+            ChaosEvent(1.0, "send", "n0"),
+            ChaosEvent(1.5, "send", "n1"),
+            ChaosEvent(2.0, "send", "n2"),
+            ChaosEvent(6.0, "crash", "n0"),
+            ChaosEvent(8.0, "send", "n1"),
+            ChaosEvent(9.0, "send", "n3"),
+            ChaosEvent(24.0, "restart", "n0"),
+            ChaosEvent(28.0, "send", "n2"),
+        ),
+        duration=36.0,
+    )
+
+
+class TestMidFlushCrash:
+    @pytest.mark.parametrize("protocol", ["cbcast", "fifo"])
+    def test_detector_completes_a_wedged_flush(self, protocol):
+        cluster = ChaosCluster(
+            protocol=protocol, members=MEMBERS, seed=1, overlap=True
+        )
+        result = cluster.run_campaign(mid_flush_crash_campaign())
+        assert result.ok, "\n".join(
+            [result.summary()] + [str(v) for v in result.violations]
+        )
+        # The flush did not stall: the full group re-formed (rejoin
+        # order may differ — joins append to the view)...
+        assert set(cluster.group.view.members) == set(MEMBERS)
+        # ...because the detector proposed removing the mid-flush
+        # casualty (at least n2; the campaign's own remove of n1 is a
+        # manual proposal, not counted here).
+        assert result.repair.get("removals_proposed", 0) >= 1
+        assert result.repair.get("flushes", 0) >= 2
+        assert any(
+            suspect == "n2"
+            for manager in cluster.managers.values()
+            for suspect, _ in manager.suspicion_log
+        )
+
+
+class TestSequencerCrash:
+    def test_successor_hands_off_and_order_survives(self):
+        cluster = ChaosCluster(
+            protocol="sequencer", members=MEMBERS, seed=1, overlap=True
+        )
+        result = cluster.run_campaign(sequencer_crash_campaign())
+        # The monitor checks total-order and sequencer-epoch agreement;
+        # zero violations means the handoff preserved both.
+        assert result.ok, "\n".join(
+            [result.summary()] + [str(v) for v in result.violations]
+        )
+        assert set(cluster.group.view.members) == set(MEMBERS)
+        handoffs = [
+            handoff
+            for stack in cluster.stacks.values()
+            for handoff in getattr(stack, "handoffs", [])
+            if handoff["took_over"]
+        ]
+        assert handoffs, "no successor ever took over the sequencer role"
+
+
+@pytest.mark.parametrize("protocol", ["cbcast", "sequencer", "lamport_total"])
+@pytest.mark.parametrize("seed", [1, 2])
+class TestSeededOverlapCampaigns:
+    def test_campaign_has_zero_violations(self, protocol, seed):
+        cluster = ChaosCluster(
+            protocol=protocol, members=MEMBERS, seed=seed, overlap=True
+        )
+        campaign = random_campaign(MEMBERS, seed=seed, overlap=True)
+        result = cluster.run_campaign(campaign)
+        assert result.ok, "\n".join(
+            [result.summary()] + [str(v) for v in result.violations]
+        )
+        assert result.data_messages > 0
+        assert result.crashes + result.restarts > 0

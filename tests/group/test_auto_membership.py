@@ -95,6 +95,25 @@ class TestCrashHandling:
         scheduler.run()
         assert label in stacks["b"].delivered
 
+    def test_fallback_proposer_takes_over_when_primary_crashes(self):
+        # d falls silent; a — the lowest-ranked live member, hence the
+        # primary proposer — crashes before its own suspicion of d even
+        # fires.  Without the rank-staggered fallback timers the removal
+        # would never be proposed and the group would keep a dead member
+        # forever; with them, b (the next-lowest survivor) proposes both
+        # removals.
+        scheduler, faults, membership, stacks, agents, managers = (
+            make_cluster(("a", "b", "c", "d"))
+        )
+        for manager in managers.values():
+            manager.start(duration=60.0)
+        scheduler.call_at(5.0, faults.partition, {"a", "b", "c"}, {"d"})
+        scheduler.call_at(7.0, stacks["a"].crash)
+        scheduler.run()
+        assert membership.view.members == ("b", "c")
+        assert managers["a"].removals_proposed == 0
+        assert managers["b"].removals_proposed >= 1
+
     def test_in_flight_messages_flushed_before_removal(self):
         scheduler, faults, membership, stacks, agents, managers = make_cluster()
         for manager in managers.values():

@@ -59,6 +59,76 @@ class TestSuspicion:
         assert detector.is_suspected("a")
 
 
+class TestMonitoredSet:
+    def test_monitor_adds_entity_with_fresh_grace(self):
+        scheduler, detector = make_detector()
+        detector.start()
+        scheduler.run_until(5.0)
+        detector.monitor("c")
+        assert detector.is_monitored("c")
+        assert not detector.is_suspected("c")
+        scheduler.run_until(10.0)
+        assert detector.is_suspected("c")
+
+    def test_monitor_is_idempotent(self):
+        scheduler, detector = make_detector()
+        detector.start()
+        # Half the timeout passes in silence; re-monitoring an already
+        # monitored entity must not reset its silence clock.
+        scheduler.run_until(1.5)
+        detector.monitor("a")
+        scheduler.run_until(2.6)
+        assert detector.is_suspected("a")
+
+    def test_forget_removes_and_unsuspects(self):
+        scheduler, detector = make_detector()
+        suspected = []
+        detector.subscribe(suspected.append)
+        detector.start()
+        scheduler.run_until(5.0)
+        assert detector.is_suspected("a")
+        detector.forget("a")
+        assert not detector.is_monitored("a")
+        assert not detector.is_suspected("a")
+        scheduler.run_until(10.0)
+        assert suspected.count("a") == 1  # never re-suspected
+
+    def test_forget_unknown_entity_is_a_noop(self):
+        _, detector = make_detector()
+        detector.forget("ghost")
+        assert not detector.is_monitored("ghost")
+
+    def test_reset_clocks_grants_fresh_grace(self):
+        scheduler, detector = make_detector()
+        detector.start()
+        scheduler.run_until(5.0)
+        assert detector.suspected == {"a", "b"}
+        detector.reset_clocks()
+        assert not detector.suspected
+        scheduler.run_until(6.5)
+        assert not detector.suspected  # inside the fresh grace period
+        scheduler.run_until(10.0)
+        assert detector.suspected == {"a", "b"}
+
+    def test_inactive_owner_accrues_no_suspicions(self):
+        scheduler = Scheduler()
+        active = [True]
+        detector = HeartbeatFailureDetector(
+            scheduler,
+            ["a"],
+            timeout=2.0,
+            check_interval=0.5,
+            active=lambda: active[0],
+        )
+        detector.start()
+        active[0] = False  # owner crashed: silence must not be judged
+        scheduler.run_until(5.0)
+        assert not detector.suspected
+        active[0] = True
+        scheduler.run_until(10.0)
+        assert detector.is_suspected("a")
+
+
 class TestLifecycle:
     def test_stop_halts_checking(self):
         scheduler, detector = make_detector()
