@@ -12,13 +12,16 @@ bench:
 	pytest benchmarks/ --benchmark-only
 
 # Core trio (drain-scale, claim-scale, proto-overhead) -> BENCH_core.json,
-# plus the full drain sweep -> BENCH_drain_scale.json.
+# plus the full drain sweep -> BENCH_drain_scale.json and the shard
+# scaling sweep -> BENCH_shard_scale.json.
 bench-quick:
 	PYTHONPATH=src:benchmarks python benchmarks/bench_drain_scale.py
+	PYTHONPATH=src:benchmarks python benchmarks/bench_shard_scale.py
 	PYTHONPATH=src:benchmarks python benchmarks/run_core.py
 
-# Fail if the indexed drain regresses >25% vs the committed baseline
-# (override with PERF_GUARD_TOLERANCE=0.4 etc.).
+# Fail if the indexed drain or the sharded throughput regresses >25% vs
+# the committed baselines, or if 1->8 shard scaling drops below 3x at 0%
+# cross traffic (override with PERF_GUARD_TOLERANCE=0.4 etc.).
 perf-guard:
 	PYTHONPATH=src:benchmarks python benchmarks/perf_guard.py
 
@@ -27,6 +30,7 @@ perf-guard:
 chaos-quick:
 	PYTHONPATH=src python -m repro chaos --protocol all --seeds 2
 	PYTHONPATH=src python -m repro chaos --protocol all --seeds 2 --overlap
+	PYTHONPATH=src python -m repro shard --seeds 2
 
 examples:
 	@for f in examples/*.py; do echo "== $$f"; python $$f > /dev/null && echo ok; done

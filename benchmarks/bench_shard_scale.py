@@ -1,0 +1,170 @@
+"""SHARD-SCALE benchmark — throughput vs shard count at fixed fleet size.
+
+A fixed fleet of 24 members is split into 1/2/4/8 replication groups.
+Every broadcast costs O(group size) deliveries, so sharding the object
+space divides per-operation work by the shard count — *until*
+cross-shard traffic re-couples the groups through dependency projection
+and wider frontier bookkeeping.  The sweep measures both effects:
+session throughput at 0%, 10% and 50% cross-shard write fractions.
+
+Run as a script (or via ``make bench-quick``) to write
+``BENCH_shard_scale.json``; ``make perf-guard`` replays the sweep and
+compares against the committed baseline.  Ops/sec numbers are
+machine-relative — only the shards=1 -> shards=8 *scaling ratio* is
+portable (acceptance: >= 3x at 0% cross).
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import sys
+import time
+from pathlib import Path
+from typing import Callable
+
+from repro.shard import ShardedCluster
+
+SHARD_COUNTS = (1, 2, 4, 8)
+CROSS_FRACTIONS = (0.0, 0.1, 0.5)
+TOTAL_MEMBERS = 24
+SESSIONS = 8
+TOTAL_OPS = 240
+REPEATS = 3
+SEED = 7
+REPORT_PATH = Path(__file__).resolve().parent.parent / "BENCH_shard_scale.json"
+
+
+def run_case(
+    shards: int, cross_fraction: float, total_ops: int = TOTAL_OPS
+) -> float:
+    """One timed fill of the sharded object space; returns puts per second.
+
+    The op mix is generated *outside* the timed region; the clock covers
+    issuing every write through the session layer and draining the
+    simulator to quiescence (all deliveries performed at every member).
+    """
+    cluster = ShardedCluster(
+        shards=shards,
+        members_per_shard=TOTAL_MEMBERS // shards,
+        seed=SEED,
+    )
+    rng = random.Random(SEED)
+    shard_ids = list(cluster.shard_ids)
+    plan = []
+    for index in range(total_ops):
+        session = f"sess{index % SESSIONS}"
+        home = (index % SESSIONS) % shards
+        target = (
+            rng.choice(shard_ids)
+            if rng.random() < cross_fraction
+            else home
+        )
+        key = cluster.shard_map.sample_key(target, rng)
+        plan.append((session, key, f"v{index}"))
+    start = time.perf_counter()
+    for session, key, value in plan:
+        cluster.router.session(session).put(key, value)
+    cluster.drain()
+    elapsed = time.perf_counter() - start
+    issued = sum(s.ops_issued for s in cluster.router.sessions.values())
+    if issued != total_ops:
+        raise AssertionError(
+            f"shards={shards} cross={cross_fraction}: "
+            f"issued {issued}/{total_ops}"
+        )
+    return total_ops / elapsed
+
+
+def best_of(repeats: int, case: Callable[[], float]) -> float:
+    return max(case() for _ in range(repeats))
+
+
+def run_sweep(
+    shard_counts=SHARD_COUNTS,
+    cross_fractions=CROSS_FRACTIONS,
+    repeats=REPEATS,
+) -> dict:
+    results = []
+    for cross_fraction in cross_fractions:
+        base = None
+        for shards in shard_counts:
+            throughput = best_of(
+                repeats, lambda: run_case(shards, cross_fraction)
+            )
+            if base is None:
+                base = throughput
+            results.append(
+                {
+                    "shards": shards,
+                    "cross_fraction": cross_fraction,
+                    "ops_per_sec": round(throughput, 1),
+                    "scaling_vs_one_shard": round(throughput / base, 2),
+                }
+            )
+    return {
+        "benchmark": "shard_scale",
+        "unit": "session puts/sec to quiescence (higher is better)",
+        "config": {
+            "total_members": TOTAL_MEMBERS,
+            "sessions": SESSIONS,
+            "total_ops": TOTAL_OPS,
+            "shard_counts": list(shard_counts),
+            "cross_fractions": list(cross_fractions),
+            "repeats": repeats,
+        },
+        "results": results,
+    }
+
+
+def write_report(path: Path = REPORT_PATH) -> dict:
+    report = run_sweep()
+    path.write_text(json.dumps(report, indent=2) + "\n")
+    return report
+
+
+# -- pytest entry points (not tier-1: benchmarks/ is outside testpaths) ------
+
+
+def test_throughput_scales_with_shard_count():
+    """Acceptance: >= 3x throughput from 1 to 8 shards at 0% cross."""
+    one = best_of(2, lambda: run_case(1, 0.0))
+    eight = best_of(2, lambda: run_case(8, 0.0))
+    assert eight / one >= 3.0, f"only {eight / one:.1f}x from 1 -> 8 shards"
+
+
+def test_sharded_fill_is_causally_consistent():
+    """The benchmark workload itself passes the cross-shard audit."""
+    cluster = ShardedCluster(shards=4, members_per_shard=3, seed=SEED)
+    rng = random.Random(SEED)
+    for index in range(60):
+        session = f"sess{index % 4}"
+        target = rng.randrange(4)
+        key = cluster.shard_map.sample_key(target, rng)
+        cluster.router.session(session).put(key, f"v{index}")
+    cluster.drain()
+    violations, _rounds = cluster.settle()
+    assert violations == []
+    assert cluster.check_invariants() == []
+
+
+def main() -> int:
+    report = write_report()
+    print(f"wrote {REPORT_PATH}")
+    for row in report["results"]:
+        print(
+            f"  shards={row['shards']} cross={row['cross_fraction']:.0%}: "
+            f"{row['ops_per_sec']:>10.1f} ops/s "
+            f"({row['scaling_vs_one_shard']}x vs 1 shard)"
+        )
+    zero_cross_top = max(
+        row["scaling_vs_one_shard"]
+        for row in report["results"]
+        if row["cross_fraction"] == 0.0 and row["shards"] == 8
+    )
+    print(f"scaling 1 -> 8 shards at 0% cross: {zero_cross_top}x")
+    return 0 if zero_cross_top >= 3.0 else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,13 +1,17 @@
-"""``make perf-guard`` — fail on drain-engine throughput regressions.
+"""``make perf-guard`` — fail on benchmark throughput regressions.
 
-Replays the drain-scale sweep and compares indexed-drain ops/sec against
-the committed baseline ``BENCH_drain_scale.json``, case by case.  A case
-regresses when current throughput falls more than the tolerance below
-baseline (default 25%; override with ``PERF_GUARD_TOLERANCE=0.4`` etc.).
+Replays the drain-scale and shard-scale sweeps and compares throughput
+against the committed baselines (``BENCH_drain_scale.json``,
+``BENCH_shard_scale.json``), case by case.  A case regresses when
+current throughput falls more than the tolerance below baseline
+(default 25%; override with ``PERF_GUARD_TOLERANCE=0.4`` etc.).  The
+shard guard additionally enforces the portable acceptance ratio: >= 3x
+throughput from 1 to 8 shards at 0% cross-shard traffic.
 
-The committed baseline is machine-relative: after intentional changes
-(or on a different machine class), regenerate it with
-``python benchmarks/bench_drain_scale.py`` and commit the new JSON.
+The committed baselines are machine-relative: after intentional changes
+(or on a different machine class), regenerate them with
+``python benchmarks/bench_drain_scale.py`` /
+``python benchmarks/bench_shard_scale.py`` and commit the new JSON.
 """
 
 from __future__ import annotations
@@ -16,10 +20,70 @@ import json
 import os
 import sys
 
+import bench_shard_scale
 from bench_drain_scale import REPORT_PATH, best_of, run_case, run_sweep
 
 DEFAULT_TOLERANCE = 0.25
 RETRY_REPEATS = 5
+
+#: Portable floor for shards=1 -> shards=8 scaling at 0% cross traffic.
+MIN_SHARD_SCALING = 3.0
+
+
+def guard_shard_scale(tolerance: float) -> int:
+    """Shard-scale section; returns the number of confirmed failures."""
+    path = bench_shard_scale.REPORT_PATH
+    if not path.exists():
+        print(f"no baseline at {path}; run bench_shard_scale.py first")
+        return 1
+    baseline_by_case = {
+        (row["shards"], row["cross_fraction"]): row
+        for row in json.loads(path.read_text())["results"]
+    }
+    current = bench_shard_scale.run_sweep(repeats=2)
+    failures = []
+    for row in current["results"]:
+        key = (row["shards"], row["cross_fraction"])
+        base = baseline_by_case.get(key)
+        if base is None:
+            continue  # baseline predates this case; nothing to guard
+        floor = base["ops_per_sec"] * (1.0 - tolerance)
+        ok = row["ops_per_sec"] >= floor
+        print(
+            f"  shards={row['shards']} cross={row['cross_fraction']:.0%}: "
+            f"{row['ops_per_sec']:>10.1f} vs baseline "
+            f"{base['ops_per_sec']:>10.1f} ({'ok' if ok else 'REGRESSED'})"
+        )
+        if not ok:
+            failures.append(key)
+    confirmed = []
+    for shards, cross_fraction in failures:
+        floor = baseline_by_case[(shards, cross_fraction)][
+            "ops_per_sec"
+        ] * (1.0 - tolerance)
+        retried = best_of(
+            RETRY_REPEATS,
+            lambda: bench_shard_scale.run_case(shards, cross_fraction),
+        )
+        print(
+            f"  retry shards={shards} cross={cross_fraction:.0%}: "
+            f"{retried:.1f} vs floor {floor:.1f} "
+            f"({'ok' if retried >= floor else 'REGRESSED'})"
+        )
+        if retried < floor:
+            confirmed.append((shards, cross_fraction))
+    scaling = [
+        row["scaling_vs_one_shard"]
+        for row in current["results"]
+        if row["cross_fraction"] == 0.0 and row["shards"] == 8
+    ]
+    if scaling and scaling[0] < MIN_SHARD_SCALING:
+        print(
+            f"  shard scaling 1 -> 8 at 0% cross: {scaling[0]}x "
+            f"(< {MIN_SHARD_SCALING}x acceptance)"
+        )
+        confirmed.append(("scaling", 0.0))
+    return len(confirmed)
 
 
 def main() -> int:
@@ -69,10 +133,11 @@ def main() -> int:
             if retried < floor:
                 confirmed.append((scenario, members, depth))
         failures = confirmed
-    if failures:
+    shard_failures = guard_shard_scale(tolerance)
+    if failures or shard_failures:
         print(
-            f"perf-guard: {len(failures)} case(s) regressed more than "
-            f"{tolerance:.0%} vs {REPORT_PATH.name}"
+            f"perf-guard: {len(failures) + shard_failures} case(s) "
+            f"regressed more than {tolerance:.0%} vs the committed baselines"
         )
         return 1
     print(f"perf-guard: all cases within {tolerance:.0%} of baseline")

@@ -28,7 +28,7 @@ from repro.errors import ProtocolError
 from repro.graph.depgraph import DependencyGraph
 from repro.graph.predicates import OccursAfter
 from repro.group.membership import GroupMembership
-from repro.types import Envelope, EntityId, MessageId
+from repro.types import Envelope, EntityId, MessageId, freeze_ancestors
 
 AncestorSpec = Union[None, MessageId, Iterable[MessageId], OccursAfter]
 
@@ -49,17 +49,29 @@ class OSendBroadcast(BroadcastProtocol):
         operation: str,
         payload: object = None,
         occurs_after: AncestorSpec = None,
+        cross_deps: AncestorSpec = None,
     ) -> MessageId:
         """Broadcast ``operation`` constrained by ``Occurs-After``.
 
         ``occurs_after`` may be ``None`` (spontaneous message), a single
         label, an iterable of labels (AND dependency, relation (3)), or a
         prebuilt :class:`OccursAfter`.
+
+        ``cross_deps`` declares causal ancestors that live in *other*
+        replication groups (``repro.shard``): they are stamped onto the
+        envelope for observation and audit, but the local delivery
+        predicate ignores them — a foreign label is never delivered in
+        this group, so the sender must discharge such precedence before
+        issuing the send (by projecting the foreign ancestor's in-group
+        causal past into ``occurs_after``; see ``docs/SHARDING.md``).
         """
-        return self.bcast(operation, payload, occurs_after=occurs_after)
+        return self.bcast(
+            operation, payload, occurs_after=occurs_after, cross_deps=cross_deps
+        )
 
     def _stamp(self, envelope: Envelope, **options: object) -> Envelope:
         occurs_after = options.pop("occurs_after", None)
+        cross_deps = freeze_ancestors(options.pop("cross_deps", None))
         if options:
             raise ProtocolError(f"unknown OSend options: {options}")
         if isinstance(occurs_after, OccursAfter):
@@ -69,6 +81,16 @@ class OSendBroadcast(BroadcastProtocol):
         if envelope.msg_id in predicate.ancestors:
             raise ProtocolError(
                 f"{envelope.msg_id} cannot occur after itself"
+            )
+        if cross_deps & predicate.ancestors:
+            raise ProtocolError(
+                "a label cannot be both an in-group Occurs-After ancestor "
+                f"and a cross-group dependency: "
+                f"{sorted(map(str, cross_deps & predicate.ancestors))}"
+            )
+        if cross_deps:
+            return envelope.with_metadata(
+                occurs_after=predicate, cross_deps=cross_deps
             )
         return envelope.with_metadata(occurs_after=predicate)
 
@@ -110,6 +132,11 @@ class OSendBroadcast(BroadcastProtocol):
         """
         blocked = self._predicate_of(envelope).missing(self._delivered_ids)
         return frozenset(l for l in blocked if l not in self._seen)
+
+    @staticmethod
+    def cross_deps_of(envelope: Envelope) -> frozenset[MessageId]:
+        """Cross-group causal ancestors stamped on ``envelope`` (if any)."""
+        return envelope.metadata.get("cross_deps", frozenset())
 
     # -- the extracted graph -------------------------------------------------
 

@@ -41,7 +41,13 @@ DISTURBANCES = ("crash", "partition", "loss", "dup", "churn")
 
 _ACTIONS = frozenset(
     ("send", "crash", "restart", "remove", "rejoin",
-     "partition", "heal", "loss", "dup")
+     "partition", "heal", "loss", "dup",
+     # Sharded-mode actions, interpreted by
+     # :meth:`repro.shard.cluster.ShardedCluster.run_campaign`: keyed
+     # session writes, stable-point barrier reads, slot rebalancing.
+     # Fault actions in a sharded campaign carry ``(shard, arg)`` so the
+     # runner can dispatch them to the right replication group.
+     "op", "read", "rebalance")
 )
 
 
@@ -62,6 +68,13 @@ class ChaosEvent:
     ``heal``         remove all partitions
     ``loss``         set the per-hop drop probability to ``arg``
     ``dup``          set the per-hop duplication probability to ``arg``
+
+    Sharded campaigns (:func:`repro.shard.campaign.sharded_campaign`)
+    additionally use:
+
+    ``op``           keyed session write: ``arg = (session, key, value)``
+    ``read``         stable-point barrier read: ``arg = (session, shards)``
+    ``rebalance``    move a slot between groups: ``arg = (slot, dest)``
     """
 
     time: float

@@ -182,6 +182,7 @@ class ChaosCluster:
         auto_membership: bool = True,
         heartbeat_interval: float = 1.0,
         suspicion_timeout: float = 5.0,
+        scheduler: Optional[Scheduler] = None,
     ) -> None:
         if protocol not in CHAOS_PROTOCOLS:
             if protocol in CHAOS_EXCLUDED:
@@ -197,7 +198,10 @@ class ChaosCluster:
             raise ConfigurationError("a chaos cluster needs >= 2 members")
         self.protocol_name = protocol
         self.members: Tuple[EntityId, ...] = tuple(members)
-        self.scheduler = Scheduler()
+        # An external scheduler lets several clusters share one simulated
+        # timeline — each remains its own replication group on its own
+        # network (`repro.shard` runs one cluster per shard this way).
+        self.scheduler = scheduler if scheduler is not None else Scheduler()
         self.faults = FaultPlan()
         self.network = Network(
             self.scheduler,

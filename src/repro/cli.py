@@ -236,6 +236,58 @@ def run_chaos(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def run_shard(args: argparse.Namespace) -> int:
+    """Run seeded sharded campaigns with the cross-shard causal audit."""
+    from repro.shard import (
+        SHARDED_DISTURBANCES,
+        ShardedCluster,
+        sharded_campaign,
+    )
+
+    if args.disturbances == "all":
+        disturbances = SHARDED_DISTURBANCES
+    else:
+        disturbances = tuple(args.disturbances.split(","))
+        unknown = set(disturbances) - set(SHARDED_DISTURBANCES)
+        if unknown:
+            print(
+                f"unknown disturbances {sorted(unknown)}; choose from "
+                f"{', '.join(SHARDED_DISTURBANCES)} or 'all'",
+                file=sys.stderr,
+            )
+            return 2
+    failures = 0
+    for seed in range(args.seed, args.seed + args.seeds):
+        cluster = ShardedCluster(
+            shards=args.shards,
+            members_per_shard=args.members,
+            seed=seed,
+        )
+        campaign = sharded_campaign(
+            cluster.shard_map,
+            {s: g.members for s, g in cluster.groups.items()},
+            seed=seed,
+            sessions=args.sessions,
+            ops_per_session=args.ops,
+            cross_fraction=args.cross,
+            read_fraction=args.reads,
+            disturbances=disturbances,
+            rebalance=not args.no_rebalance,
+        )
+        result = cluster.run_campaign(campaign)
+        print(result.summary())
+        if not result.ok:
+            failures += 1
+            for violation in result.violations:
+                print(f"    {violation}")
+    status = "all consistent" if not failures else f"{failures} FAILED"
+    print(
+        f"\nshard: {args.seeds} campaign(s) x {args.shards} shard(s), "
+        f"{status}"
+    )
+    return 1 if failures else 0
+
+
 DEMOS: Dict[str, Callable[[argparse.Namespace], int]] = {
     "counter": demo_counter,
     "lock": demo_lock,
@@ -289,6 +341,43 @@ def build_parser() -> argparse.ArgumentParser:
         help="let disturbances overlap (detector-driven repair mode)",
     )
 
+    shard = subparsers.add_parser(
+        "shard",
+        help="run sharded campaigns with the cross-shard causal audit",
+    )
+    shard.add_argument(
+        "--shards", type=int, default=3, help="replication groups (>= 1)"
+    )
+    shard.add_argument(
+        "--members", type=int, default=3, help="members per shard (>= 2)"
+    )
+    shard.add_argument("--seed", type=int, default=1, help="first seed")
+    shard.add_argument(
+        "--seeds", type=int, default=3, help="number of campaigns"
+    )
+    shard.add_argument(
+        "--sessions", type=int, default=4, help="client sessions"
+    )
+    shard.add_argument(
+        "--ops", type=int, default=10, help="operations per session"
+    )
+    shard.add_argument(
+        "--cross", type=float, default=0.5,
+        help="fraction of writes leaving a session's home shard",
+    )
+    shard.add_argument(
+        "--reads", type=float, default=0.2,
+        help="fraction of operations that are multi-shard barrier reads",
+    )
+    shard.add_argument(
+        "--disturbances", default="crash,partition,loss",
+        help="comma-separated fault kinds, or 'all'",
+    )
+    shard.add_argument(
+        "--no-rebalance", action="store_true",
+        help="skip the mid-campaign slot move",
+    )
+
     experiment = subparsers.add_parser(
         "experiment", help="run a reproduced experiment and print its table"
     )
@@ -319,6 +408,8 @@ def main(argv: List[str] | None = None) -> int:
         return demo_graph(args)
     if args.command == "chaos":
         return run_chaos(args)
+    if args.command == "shard":
+        return run_shard(args)
     if args.command == "experiment":
         from repro.errors import ConfigurationError
         from repro.experiments import get_experiment

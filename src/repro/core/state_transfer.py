@@ -16,7 +16,7 @@ with the group without observing the full history.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, FrozenSet, List
+from typing import Any, Callable, FrozenSet, List
 
 from repro.broadcast.base import BroadcastProtocol
 from repro.core.replica import Replica
@@ -72,6 +72,38 @@ def take_snapshot(replica: Replica, at_stable_point: bool = True) -> Snapshot:
         covered=covered,
         donor=replica.entity_id,
         stable_index=-1,
+    )
+
+
+def restrict_snapshot(
+    snapshot: Snapshot,
+    select_key: Callable[[Any], bool],
+    select_label: Callable[[MessageId], bool],
+) -> Snapshot:
+    """Project a mapping-state snapshot onto a key subset.
+
+    Shard rebalancing (:mod:`repro.shard.rebalance`) transfers only the
+    moving slot's fraction of a group's object space: the donor snapshot
+    is fenced at a stable point as usual, then restricted to the keys the
+    moving slot owns (``select_key``) and the labels that wrote them
+    (``select_label``).  The restriction of a causally-fenced snapshot is
+    itself consistent: a stable point covers a causal cut, and dropping
+    whole keys removes complete per-key write histories, never a prefix
+    of one.
+
+    Raises :class:`~repro.errors.ProtocolError` if the snapshot's state
+    is not a mapping.
+    """
+    if not isinstance(snapshot.state, dict):
+        raise ProtocolError(
+            "restrict_snapshot requires a mapping-state snapshot, got "
+            f"{type(snapshot.state).__name__}"
+        )
+    return Snapshot(
+        state={k: v for k, v in snapshot.state.items() if select_key(k)},
+        covered=frozenset(l for l in snapshot.covered if select_label(l)),
+        donor=snapshot.donor,
+        stable_index=snapshot.stable_index,
     )
 
 

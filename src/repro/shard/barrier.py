@@ -1,0 +1,252 @@
+"""Consistent multi-shard reads at stable points.
+
+Section 4 of the paper makes stable points *locally detectable*: a
+non-commutative message's ``Occurs-After`` cut is processed identically
+at every member before the message itself is.  The barrier exploits
+exactly that: for each touched shard it broadcasts a non-commutative
+``barrier`` operation whose ``Occurs-After`` is a contact member's
+current delivered frontier.  When the barrier delivers anywhere, causal
+delivery guarantees its cut — the barrier's transitive causal past — is
+settled in the same relative order at every member of that shard, so
+the cut is a legal read snapshot with no extra agreement traffic
+("without requiring separate message exchanges", Section 7).
+
+Cross-shard closure: a covered write may carry ``cross_deps`` into
+another *touched* shard whose cut does not cover them yet (the barriers
+raced).  The barrier then issues a supplemental barrier on that shard
+whose ``Occurs-After`` includes the missing labels, and re-checks —
+bounded rounds, after which the union of cuts is closed under both
+in-group and cross-group dependency edges restricted to the touched
+shards: a causally consistent multi-shard snapshot.
+
+The read *value* is folded from the cluster ledger (issue-order fold of
+the covered writes), not from any member's live state — so reads are
+insensitive to store compaction and crash amnesia.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.shard.ledger import DATA_KINDS
+from repro.types import MessageId
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.shard.cluster import ShardedCluster
+
+#: One-second retries per barrier broadcast before the read aborts.
+BARRIER_ATTEMPTS = 240
+
+#: Closure-extension rounds before the read aborts.  Each round can only
+#: chase cross-dependencies of labels the previous round added, so real
+#: workloads converge in one or two.
+MAX_CLOSURE_ROUNDS = 8
+
+
+@dataclass(frozen=True)
+class BarrierRead:
+    """The outcome of one stable-point barrier read."""
+
+    session: Optional[str]
+    shards: Tuple[int, ...]
+    value: Dict[str, object]
+    covered: Dict[int, FrozenSet[MessageId]]
+    barrier_labels: Dict[int, Tuple[MessageId, ...]]
+    rounds: int
+    issued_at: float
+    completed_at: float
+
+    @property
+    def labels(self) -> FrozenSet[MessageId]:
+        """Every data label the snapshot covers, across shards."""
+        return frozenset(
+            label for cut in self.covered.values() for label in cut
+        )
+
+
+class StablePointBarrier:
+    """One in-flight barrier read across a set of shards."""
+
+    def __init__(
+        self,
+        cluster: "ShardedCluster",
+        shards: Sequence[int],
+        on_complete: Callable[[Optional[BarrierRead]], None],
+        session: Optional[str] = None,
+        baseline: Optional[Dict[int, FrozenSet[MessageId]]] = None,
+        cross: Optional[Dict[int, FrozenSet[MessageId]]] = None,
+        max_rounds: int = MAX_CLOSURE_ROUNDS,
+    ) -> None:
+        self.cluster = cluster
+        self.shards: Tuple[int, ...] = tuple(dict.fromkeys(shards))
+        self.on_complete = on_complete
+        self.session = session
+        #: Per-shard labels the barrier must cover regardless of what the
+        #: contact has delivered — the issuing session's frontier, so a
+        #: read observes the session's own writes (session order demands
+        #: it, and the cross-shard audit checks it).
+        self.baseline: Dict[int, FrozenSet[MessageId]] = {
+            shard: frozenset((baseline or {}).get(shard, frozenset()))
+            for shard in self.shards
+        }
+        #: The issuing session's *full* per-shard frontier.  Each barrier
+        #: label stamps the other shards' part as ``cross_deps`` so the
+        #: global graph records the session-order edge "earlier op ≺ this
+        #: barrier" — without it, another session covering this barrier
+        #: through a contact's delivered frontier would absorb a causal
+        #: past with the issuing session's foreign writes missing, and
+        #: its later writes would under-declare their Occurs-After.
+        self._cross_frontier: Dict[int, FrozenSet[MessageId]] = {
+            shard: frozenset(labels)
+            for shard, labels in (cross or {}).items()
+        }
+        self.max_rounds = max_rounds
+        self.covered: Dict[int, Set[MessageId]] = {s: set() for s in self.shards}
+        self._barrier_labels: Dict[int, List[MessageId]] = {
+            s: [] for s in self.shards
+        }
+        self._waiting: Set[MessageId] = set()
+        #: Issue obligations parked on a retry timer (contact down); the
+        #: read must not complete while any touched shard is unfenced.
+        self._retries = 0
+        self._rounds = 0
+        self._done = False
+        self.issued_at = cluster.scheduler.now
+
+    def start(self) -> None:
+        self.cluster.barriers_started += 1
+        for shard in self.shards:
+            self._issue(shard, frozenset(), BARRIER_ATTEMPTS)
+
+    # -- barrier issue / delivery ------------------------------------------
+
+    def _issue(
+        self, shard: int, extra: FrozenSet[MessageId], attempts: int
+    ) -> None:
+        if self._done:
+            return
+        cluster = self.cluster
+        contact = cluster.contact(shard)
+        label = None
+        if contact is not None:
+            deps = cluster.maximal(
+                set(cluster.delivered_frontier(shard, contact))
+                | set(self.baseline[shard])
+                | set(extra)
+            )
+            cross: Set[MessageId] = set()
+            for other, labels in self._cross_frontier.items():
+                if other != shard:
+                    cross |= labels
+            label = cluster.shard_send(
+                shard,
+                "barrier",
+                None,
+                occurs_after=deps,
+                cross_deps=cluster.maximal(cross),
+                session=self.session,
+                preferred=contact,
+            )
+        if label is None:
+            if attempts <= 0:
+                self._abort()
+                return
+            self._retries += 1
+            cluster.scheduler.call_in(
+                1.0, self._retry, shard, extra, attempts - 1
+            )
+            return
+        self._barrier_labels[shard].append(label)
+        self._waiting.add(label)
+        cluster.watch(
+            label,
+            lambda _member, shard=shard, label=label: self._delivered(
+                shard, label
+            ),
+        )
+
+    def _retry(
+        self, shard: int, extra: FrozenSet[MessageId], attempts: int
+    ) -> None:
+        self._retries -= 1
+        self._issue(shard, extra, attempts)
+
+    def _delivered(self, shard: int, label: MessageId) -> None:
+        if self._done:
+            return
+        self._waiting.discard(label)
+        cluster = self.cluster
+        cut = cluster.graph.causal_past(label) | {label}
+        self.covered[shard] |= {
+            l
+            for l in cut
+            if cluster.shard_of_label.get(l) == shard
+            and cluster.ops[l].kind in DATA_KINDS
+        }
+        if not self._waiting and not self._retries:
+            self._check_closure()
+
+    # -- cross-shard closure ----------------------------------------------
+
+    def _check_closure(self) -> None:
+        cluster = self.cluster
+        touched = set(self.shards)
+        missing: Dict[int, Set[MessageId]] = {}
+        for shard in self.shards:
+            for label in self.covered[shard]:
+                for dep in cluster.ops[label].cross_deps:
+                    dep_shard = cluster.shard_of_label.get(dep)
+                    if (
+                        dep_shard in touched
+                        and cluster.ops[dep].kind in DATA_KINDS
+                        and dep not in self.covered[dep_shard]
+                    ):
+                        missing.setdefault(dep_shard, set()).add(dep)
+        if not missing:
+            self._complete()
+            return
+        self._rounds += 1
+        if self._rounds > self.max_rounds:
+            self._abort()
+            return
+        for shard, labels in sorted(missing.items()):
+            self._issue(shard, frozenset(labels), BARRIER_ATTEMPTS)
+
+    # -- completion --------------------------------------------------------
+
+    def _complete(self) -> None:
+        self._done = True
+        cluster = self.cluster
+        ordered = sorted(
+            (label for shard in self.shards for label in self.covered[shard]),
+            key=lambda label: cluster.ops[label].index,
+        )
+        value: Dict[str, object] = {}
+        for label in ordered:
+            record = cluster.ops[label]
+            if record.kind == "put":
+                value[record.key] = record.value["value"]
+            elif record.kind == "migrate":
+                value.update(record.value["entries"])
+        read = BarrierRead(
+            session=self.session,
+            shards=self.shards,
+            value=value,
+            covered={s: frozenset(c) for s, c in self.covered.items()},
+            barrier_labels={
+                s: tuple(labels) for s, labels in self._barrier_labels.items()
+            },
+            rounds=self._rounds,
+            issued_at=self.issued_at,
+            completed_at=cluster.scheduler.now,
+        )
+        cluster.barrier_reads.append(read)
+        self.on_complete(read)
+
+    def _abort(self) -> None:
+        if self._done:
+            return
+        self._done = True
+        self.cluster.reads_failed += 1
+        self.on_complete(None)

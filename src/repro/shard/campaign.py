@@ -1,0 +1,161 @@
+"""Seeded sharded chaos campaigns.
+
+:func:`sharded_campaign` lays out per-shard disturbances (each fault
+event targets one replication group), cross-shard session traffic, and
+optionally one slot rebalance placed *inside* a crash window on the
+moving slot's source shard — the overlap the acceptance battery cares
+about: a drain barrier racing a dead contact, sessions waiting out the
+frozen slot, and the cutover handoff all under churn.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Mapping, Sequence, Tuple
+
+from repro.chaos.campaign import ChaosCampaign, ChaosEvent
+from repro.errors import ConfigurationError
+from repro.shard.map import ShardMap
+from repro.types import EntityId
+
+#: Disturbance kinds the sharded generator can draw from.
+SHARDED_DISTURBANCES = ("crash", "partition", "loss", "dup", "churn")
+
+
+def sharded_campaign(
+    shard_map: ShardMap,
+    shard_members: Mapping[int, Sequence[EntityId]],
+    seed: int,
+    *,
+    sessions: int = 4,
+    ops_per_session: int = 12,
+    cross_fraction: float = 0.5,
+    read_fraction: float = 0.2,
+    disturbances: Sequence[str] = ("crash", "partition", "loss"),
+    rebalance: bool = True,
+) -> ChaosCampaign:
+    """Generate a seeded campaign over a sharded cluster.
+
+    Each session has a *home* shard; ``cross_fraction`` of its writes
+    target a uniformly random shard instead (keys are sampled to route
+    there under the initial map), and ``read_fraction`` of its
+    operations are two-shard barrier reads.  Fault events carry
+    ``(shard, arg)`` so the runner dispatches them to one group.
+
+    With ``rebalance`` and >= 2 shards, one slot move is scheduled; if
+    the campaign has a crash window, the move starts mid-window on the
+    crashed member's shard — rebalance overlapping a crash.
+    """
+    if not 0.0 <= cross_fraction <= 1.0:
+        raise ConfigurationError("cross_fraction must be in [0, 1]")
+    if not 0.0 <= read_fraction <= 1.0:
+        raise ConfigurationError("read_fraction must be in [0, 1]")
+    shards = sorted(shard_members)
+    if shards != list(range(shard_map.num_shards)):
+        raise ConfigurationError(
+            "shard_members must cover exactly the map's shards"
+        )
+    unknown = set(disturbances) - set(SHARDED_DISTURBANCES)
+    if unknown:
+        raise ConfigurationError(f"unknown disturbances: {sorted(unknown)}")
+    rng = random.Random(seed)
+    events = []
+    cursor = 4.0
+    crash_windows: list = []  # (start, end, shard)
+    kinds = list(disturbances)
+    rng.shuffle(kinds)
+    for kind in kinds:
+        shard = rng.choice(shards)
+        members = list(shard_members[shard])
+        if kind in ("crash", "churn"):
+            member = rng.choice(members)
+            downtime = rng.uniform(8.0, 14.0)
+            start_action = "crash" if kind == "crash" else "remove"
+            end_action = "restart" if kind == "crash" else "rejoin"
+            events.append(ChaosEvent(
+                round(cursor, 2), start_action, (shard, member)
+            ))
+            events.append(ChaosEvent(
+                round(cursor + downtime, 2), end_action, (shard, member)
+            ))
+            crash_windows.append((cursor, cursor + downtime, shard))
+            cursor += downtime * rng.uniform(0.4, 0.7)
+        elif kind == "partition":
+            rng.shuffle(members)
+            cut = rng.randint(1, len(members) - 1)
+            groups = (tuple(members[:cut]), tuple(members[cut:]))
+            heal_after = rng.uniform(5.0, 9.0)
+            events.append(ChaosEvent(
+                round(cursor, 2), "partition", (shard, groups)
+            ))
+            events.append(ChaosEvent(
+                round(cursor + heal_after, 2), "heal", (shard, None)
+            ))
+            cursor += heal_after + rng.uniform(3.0, 6.0)
+        elif kind == "loss":
+            phase = rng.uniform(8.0, 12.0)
+            events.append(ChaosEvent(
+                round(cursor, 2), "loss",
+                (shard, round(rng.uniform(0.05, 0.2), 3)),
+            ))
+            events.append(ChaosEvent(
+                round(cursor + phase, 2), "loss", (shard, 0.0)
+            ))
+            cursor += phase + rng.uniform(3.0, 6.0)
+        elif kind == "dup":
+            phase = rng.uniform(6.0, 10.0)
+            events.append(ChaosEvent(
+                round(cursor, 2), "dup",
+                (shard, round(rng.uniform(0.1, 0.3), 3)),
+            ))
+            events.append(ChaosEvent(
+                round(cursor + phase, 2), "dup", (shard, 0.0)
+            ))
+            cursor += phase + rng.uniform(3.0, 6.0)
+    if rebalance and shard_map.num_shards >= 2:
+        if crash_windows:
+            start, end, source = crash_windows[0]
+            when = round(start + (end - start) * 0.4, 2)
+        else:
+            source = rng.choice(shards)
+            when = round(cursor, 2)
+            cursor += 4.0
+        slot = rng.choice(shard_map.slots_of(source))
+        dest = rng.choice([s for s in shards if s != source])
+        events.append(ChaosEvent(when, "rebalance", (slot, dest)))
+    tail = max([cursor] + [event.time for event in events])
+    duration = tail + 10.0
+    counter = 0
+    for index in range(sessions):
+        session = f"sess{index}"
+        home = shards[index % len(shards)]
+        for _ in range(ops_per_session):
+            when = round(rng.uniform(0.5, duration - 8.0), 2)
+            if rng.random() < read_fraction:
+                if len(shards) >= 2:
+                    touched = tuple(sorted(rng.sample(shards, 2)))
+                else:
+                    touched = (shards[0],)
+                events.append(ChaosEvent(
+                    when, "read", (session, touched)
+                ))
+            else:
+                target = (
+                    rng.choice(shards)
+                    if rng.random() < cross_fraction
+                    else home
+                )
+                key = shard_map.sample_key(target, rng)
+                counter += 1
+                events.append(ChaosEvent(
+                    when, "op", (session, key, f"v{counter}")
+                ))
+    ordered: Tuple[ChaosEvent, ...] = tuple(
+        event
+        for _, _, event in sorted(
+            (event.time, index, event) for index, event in enumerate(events)
+        )
+    )
+    return ChaosCampaign(
+        name=f"sharded-{seed}", events=ordered, duration=duration
+    )

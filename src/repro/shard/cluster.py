@@ -1,0 +1,544 @@
+"""N replication groups, one simulated timeline, one object space.
+
+:class:`ShardedCluster` composes one fully wired
+:class:`~repro.chaos.cluster.ChaosCluster` per shard — each its own
+``OSend`` causal-broadcast group with recovery, GC, view-sync and
+auto-membership, on its own network — all sharing a single
+:class:`~repro.sim.scheduler.Scheduler`.  No ordering machinery spans
+groups: cross-shard causality travels only as explicit ``Occurs-After``
+ancestors injected by the session layer (:mod:`repro.shard.router`) and
+as audit-only ``cross_deps`` stamps, which is exactly the paper's bet —
+application-declared precedence needs no system-wide clocks.
+
+The cluster keeps the global ground truth (:mod:`repro.shard.ledger`):
+every issued operation, its dependency sets, and the global dependency
+graph over both edge kinds.  On top of that ride the barrier reads
+(:mod:`repro.shard.barrier`), slot moves (:mod:`repro.shard.rebalance`)
+and the post-campaign audit: each group's full
+:class:`~repro.analysis.invariants.InvariantMonitor` battery plus the
+cross-shard causal-consistency check
+(:class:`~repro.analysis.invariants.CrossShardChecker`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from repro.analysis.invariants import CrossShardChecker, Violation
+from repro.chaos.campaign import ChaosCampaign, ChaosEvent
+from repro.chaos.cluster import MAX_EVENTS_PER_DRAIN, ChaosCluster
+from repro.core.commutativity import CommutativitySpec
+from repro.core.stable_points import StablePointDetector
+from repro.errors import ConfigurationError, ProtocolError, SimulationError
+from repro.graph.depgraph import DependencyGraph
+from repro.net.latency import LatencyModel
+from repro.shard.ledger import COMMUTATIVE_KINDS, OpRecord
+from repro.shard.map import ShardMap
+from repro.shard.rebalance import Rebalancer
+from repro.shard.router import ShardRouter
+from repro.sim.scheduler import Scheduler
+from repro.types import EntityId, MessageId
+
+if False:  # pragma: no cover - typing only
+    from repro.shard.barrier import BarrierRead
+
+
+@dataclass
+class ShardedResult:
+    """Outcome of one sharded campaign run."""
+
+    name: str
+    shards: int
+    violations: List[Violation]
+    ops: int
+    ops_skipped: int
+    reads: int
+    reads_failed: int
+    rebalances: int
+    rebalances_aborted: int
+    crashes: int
+    restarts: int
+    data_messages: int
+    settle_rounds: int
+    sim_time: float
+    stable_points: Dict[EntityId, int] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def summary(self) -> str:
+        status = "OK" if self.ok else f"{len(self.violations)} VIOLATION(S)"
+        return (
+            f"{self.name:<16s} shards={self.shards} {status:<16s} "
+            f"ops={self.ops} skipped={self.ops_skipped} "
+            f"reads={self.reads}/{self.reads + self.reads_failed} "
+            f"moves={self.rebalances}"
+            + (f"(-{self.rebalances_aborted})" if self.rebalances_aborted else "")
+            + f" crashes={self.crashes} settle_rounds={self.settle_rounds} "
+            f"t={self.sim_time:.1f}"
+        )
+
+
+class ShardedCluster:
+    """A sharded object space over independent causal-broadcast groups."""
+
+    def __init__(
+        self,
+        shards: int = 2,
+        members_per_shard: int = 3,
+        seed: int = 0,
+        *,
+        num_slots: int = 16,
+        latency: Optional[LatencyModel] = None,
+        overlap: bool = False,
+        auto_membership: bool = True,
+        scan_interval: float = 2.0,
+        nack_backoff: float = 4.0,
+    ) -> None:
+        if shards < 1:
+            raise ConfigurationError("a sharded cluster needs >= 1 shard")
+        self.scheduler = Scheduler()
+        self.shard_map = ShardMap(shards, num_slots=num_slots)
+        self.shard_ids: Tuple[int, ...] = tuple(range(shards))
+        self.groups: Dict[int, ChaosCluster] = {}
+        self.shard_of_member: Dict[EntityId, int] = {}
+        for shard in self.shard_ids:
+            members = tuple(
+                f"s{shard}n{index}" for index in range(members_per_shard)
+            )
+            # Distinct derived seeds: each group gets its own RNG registry
+            # (shared streams would entangle the shards' latency draws).
+            group = ChaosCluster(
+                protocol="osend",
+                members=members,
+                seed=seed * 1_000_003 + shard,
+                latency=latency,
+                scan_interval=scan_interval,
+                nack_backoff=nack_backoff,
+                overlap=overlap,
+                auto_membership=auto_membership,
+                scheduler=self.scheduler,
+            )
+            self.groups[shard] = group
+            for member in members:
+                self.shard_of_member[member] = shard
+        # -- the global ledger (ground truth; see repro.shard.ledger) ----
+        self.graph = DependencyGraph()
+        self.ops: Dict[MessageId, OpRecord] = {}
+        self.issue_order: List[MessageId] = []
+        self.shard_of_label: Dict[MessageId, int] = {}
+        #: session -> issue-order batches (a write is a singleton batch; a
+        #: read's barrier labels form one batch — they are concurrent).
+        self.session_batches: Dict[str, List[List[MessageId]]] = {}
+        #: label -> callbacks fired on its first delivery anywhere.
+        self._watchers: Dict[MessageId, List[Callable[[EntityId], None]]] = {}
+        self.detectors: Dict[EntityId, StablePointDetector] = {}
+        spec = CommutativitySpec(commutative_ops=COMMUTATIVE_KINDS)
+        for shard, group in self.groups.items():
+            for member, stack in group.stacks.items():
+                detector = StablePointDetector(member, spec)
+                self.detectors[member] = detector
+                stack.on_deliver(self._delivery_hook(member, detector))
+        self.router = ShardRouter(self)
+        self.rebalancer = Rebalancer(self)
+        self.barrier_reads: List["BarrierRead"] = []
+        self.barriers_started = 0
+        self.reads_failed = 0
+        self._livelock: Optional[str] = None
+
+    # -- delivery plumbing -------------------------------------------------
+
+    def _delivery_hook(self, member: EntityId, detector: StablePointDetector):
+        def hook(envelope) -> None:
+            detector.observe(envelope, self.scheduler.now)
+            watchers = self._watchers.pop(envelope.msg_id, None)
+            if watchers:
+                for watcher in watchers:
+                    watcher(member)
+
+        return hook
+
+    def watch(
+        self, label: MessageId, callback: Callable[[EntityId], None]
+    ) -> None:
+        """Invoke ``callback`` on ``label``'s first delivery anywhere.
+
+        Fires immediately if some member of the label's group already
+        settled it (delivered, or skip-settled via a stable prefix).
+        """
+        shard = self.shard_of_label[label]
+        for member, stack in self.groups[shard].stacks.items():
+            if label in stack._delivered_ids:
+                callback(member)
+                return
+        self._watchers.setdefault(label, []).append(callback)
+
+    # -- the ledger --------------------------------------------------------
+
+    def shard_send(
+        self,
+        shard: int,
+        kind: str,
+        payload: object,
+        *,
+        occurs_after: Iterable[MessageId],
+        cross_deps: Iterable[MessageId],
+        session: Optional[str],
+        key: Optional[str] = None,
+        slot: Optional[int] = None,
+        preferred: Optional[EntityId] = None,
+    ) -> Optional[MessageId]:
+        """Broadcast one operation in ``shard``'s group and record it.
+
+        Tries each up, in-view member (``preferred`` first) until one
+        accepts the send; returns ``None`` if none can right now (all
+        crashed, evicted, or flush-frozen) — callers retry on a timer.
+        """
+        group = self.groups[shard]
+        deps = frozenset(occurs_after)
+        cross = frozenset(cross_deps)
+        foreign = [l for l in deps if self.shard_of_label.get(l) != shard]
+        if foreign:
+            raise ProtocolError(
+                f"occurs_after for shard {shard} names foreign labels: "
+                f"{sorted(map(str, foreign))}"
+            )
+        local = [l for l in cross if self.shard_of_label.get(l) == shard]
+        if local:
+            raise ProtocolError(
+                f"cross_deps for shard {shard} names in-group labels: "
+                f"{sorted(map(str, local))}"
+            )
+        order = list(group.members)
+        if preferred in group.stacks:
+            order.remove(preferred)
+            order.insert(0, preferred)
+        for member in order:
+            stack = group.stacks[member]
+            if stack.crashed or member not in group.group.view:
+                continue
+            try:
+                label = stack.bcast(
+                    kind, payload, occurs_after=deps, cross_deps=cross
+                )
+            except ProtocolError:
+                # Flush-frozen: try the next member.
+                continue
+            self._record(
+                label,
+                shard=shard,
+                kind=kind,
+                key=key,
+                slot=slot,
+                value=payload,
+                deps=deps,
+                cross_deps=cross,
+                session=session,
+            )
+            group._sends[member].append((label, stack.incarnation))
+            return label
+        return None
+
+    def _record(
+        self,
+        label: MessageId,
+        *,
+        shard: int,
+        kind: str,
+        key: Optional[str],
+        slot: Optional[int],
+        value: object,
+        deps: FrozenSet[MessageId],
+        cross_deps: FrozenSet[MessageId],
+        session: Optional[str],
+    ) -> None:
+        self.graph.add(label, deps | cross_deps)
+        self.ops[label] = OpRecord(
+            label=label,
+            shard=shard,
+            kind=kind,
+            key=key,
+            slot=slot,
+            value=value,
+            deps=deps,
+            cross_deps=cross_deps,
+            session=session,
+            index=len(self.issue_order),
+            time=self.scheduler.now,
+        )
+        self.issue_order.append(label)
+        self.shard_of_label[label] = shard
+        group = self.groups[shard]
+        group.data_labels.add(label)
+        group.dependencies[label] = deps
+        group.audience[label] = frozenset(group.group.view.members)
+
+    def note_session_batch(
+        self, session: str, labels: List[MessageId]
+    ) -> None:
+        if labels:
+            self.session_batches.setdefault(session, []).append(list(labels))
+
+    # -- causal-order utilities -------------------------------------------
+
+    def maximal(self, labels: Iterable[MessageId]) -> FrozenSet[MessageId]:
+        """Prune ``labels`` to its maximal elements under the graph."""
+        pool = set(labels)
+        return frozenset(
+            label
+            for label in pool
+            if not any(
+                other != label and self.graph.precedes(label, other)
+                for other in pool
+            )
+        )
+
+    def project(
+        self, labels: Iterable[MessageId], shard: int
+    ) -> FrozenSet[MessageId]:
+        """``labels``' transitive causal past, restricted to ``shard``.
+
+        The projection follows *both* edge kinds (in-group and cross),
+        which is what lets a session that observed a label on shard B
+        correctly depend on that label's shard-A ancestors.
+        """
+        result: Set[MessageId] = set()
+        for label in labels:
+            if self.shard_of_label.get(label) == shard:
+                result.add(label)
+            for ancestor in self.graph.causal_past(label):
+                if self.shard_of_label.get(ancestor) == shard:
+                    result.add(ancestor)
+        return self.maximal(result)
+
+    def contact(self, shard: int) -> Optional[EntityId]:
+        """The first up, in-view member of ``shard``'s group, if any."""
+        group = self.groups[shard]
+        for member in group.members:
+            if not group.stacks[member].crashed and member in group.group.view:
+                return member
+        return None
+
+    def delivered_frontier(
+        self, shard: int, member: EntityId
+    ) -> FrozenSet[MessageId]:
+        """Maximal ledger labels ``member`` has settled in its group."""
+        group = self.groups[shard]
+        stack = group.stacks[member]
+        settled = {
+            e.msg_id
+            for e in stack._delivered_envelopes
+            if e.msg_id in group.data_labels
+        }
+        settled |= set(stack._skipped_stable) & group.data_labels
+        return self.maximal(settled)
+
+    # -- campaign execution ------------------------------------------------
+
+    def _apply_sharded(self, event: ChaosEvent) -> None:
+        action = event.action
+        if action == "op":
+            session, key, value = event.arg
+            self.router.session(session).put(key, value)
+        elif action == "read":
+            session, shards = event.arg
+            self.router.session(session).read(shards)
+        elif action == "rebalance":
+            slot, dest = event.arg
+            self.rebalancer.move_slot(slot, dest)
+        else:
+            shard, arg = event.arg
+            self.groups[shard]._apply(ChaosEvent(event.time, action, arg))
+
+    def run_campaign(
+        self,
+        campaign: ChaosCampaign,
+        max_settle_rounds: int = 80,
+        check_invariants: bool = True,
+    ) -> ShardedResult:
+        """Execute ``campaign``, drive repair to convergence, audit."""
+        for group in self.groups.values():
+            for manager in group.managers.values():
+                manager.start(campaign.duration)
+        for event in campaign.events:
+            self.scheduler.call_at(event.time, self._apply_sharded, event)
+        try:
+            self.scheduler.run_until(campaign.duration, MAX_EVENTS_PER_DRAIN)
+        except SimulationError as exc:
+            self._livelock = str(exc)
+        self._restore()
+        violations, rounds = self.settle(max_settle_rounds)
+        if check_invariants:
+            violations = violations + self.check_invariants()
+        sessions = self.router.sessions.values()
+        moves = self.rebalancer.moves
+        return ShardedResult(
+            name=campaign.name,
+            shards=len(self.shard_ids),
+            violations=violations,
+            ops=sum(s.ops_issued for s in sessions),
+            ops_skipped=sum(s.ops_skipped for s in sessions),
+            reads=len(self.barrier_reads),
+            reads_failed=self.reads_failed,
+            rebalances=sum(1 for m in moves if m.phase == "done"),
+            rebalances_aborted=sum(1 for m in moves if m.phase == "aborted"),
+            crashes=sum(g.crashes for g in self.groups.values()),
+            restarts=sum(g.restarts for g in self.groups.values()),
+            data_messages=len(self.ops),
+            settle_rounds=rounds,
+            sim_time=self.scheduler.now,
+            stable_points={
+                member: detector.count
+                for member, detector in self.detectors.items()
+            },
+        )
+
+    def _restore(self) -> None:
+        """End-of-campaign cleanup across every group."""
+        for group in self.groups.values():
+            group.heal()
+            group.set_loss(0.0)
+            group.set_duplicate(0.0)
+        self._drain()
+        for group in self.groups.values():
+            for member, stack in group.stacks.items():
+                if stack.crashed and member in group.group.view:
+                    group.restart(member)
+            for member in group.members:
+                if member not in group.group.view:
+                    group.rejoin(member)
+        self._drain()
+
+    def drain(self) -> None:
+        """Run the shared scheduler to quiescence (public, for demos)."""
+        self._drain()
+
+    def _drain(self) -> None:
+        if self._livelock is not None:
+            return
+        try:
+            self.scheduler.run(MAX_EVENTS_PER_DRAIN)
+        except SimulationError as exc:
+            self._livelock = str(exc)
+
+    # -- repair-to-convergence --------------------------------------------
+
+    def converged(self) -> bool:
+        if any(not group.converged() for group in self.groups.values()):
+            return False
+        if self.router.busy():
+            return False
+        if self.rebalancer.active():
+            return False
+        return True
+
+    def settle(self, max_rounds: int = 80) -> Tuple[List[Violation], int]:
+        """Repair rounds (per group) until global convergence.
+
+        Convergence additionally requires the session layer to be idle:
+        every queued write issued or dropped, every barrier read
+        completed or aborted, no slot frozen — liveness of the *sharded*
+        machinery is audited, not just of each group.
+        """
+        for round_number in range(1, max_rounds + 1):
+            if self._livelock is not None:
+                return (
+                    [Violation(
+                        "liveness",
+                        None,
+                        f"scheduler failed to quiesce: {self._livelock}",
+                    )],
+                    round_number - 1,
+                )
+            if self.converged():
+                return [], round_number - 1
+            for group in self.groups.values():
+                group._repair_membership()
+                for member in group._repair_participants():
+                    group.recoveries[member].anti_entropy_round()
+                    group.trackers[member].gossip_round()
+            self.router.kick()
+            self._drain()
+        if self.converged():
+            return [], max_rounds
+        return [self._liveness_violation(max_rounds)], max_rounds
+
+    def _liveness_violation(self, rounds: int) -> Violation:
+        report = []
+        for shard, group in self.groups.items():
+            if not group.converged():
+                view = group.group.view
+                report.append(
+                    f"shard {shard} not converged "
+                    f"(view={view.view_id}:{','.join(view.members)})"
+                )
+        report.extend(self.router.stuck_report())
+        if self.rebalancer.active():
+            report.append("rebalance in flight")
+        return Violation(
+            "liveness",
+            None,
+            f"no convergence after {rounds} repair rounds "
+            f"({'; '.join(report)})",
+        )
+
+    # -- auditing ----------------------------------------------------------
+
+    def check_invariants(self) -> List[Violation]:
+        """Per-group batteries + cross-shard CC + routing audit."""
+        violations: List[Violation] = []
+        for shard in self.shard_ids:
+            violations.extend(self.groups[shard].check_invariants())
+        violations.extend(self.check_cross_shard())
+        violations.extend(self._check_routing())
+        return violations
+
+    def check_cross_shard(self) -> List[Violation]:
+        protocols: Dict[EntityId, object] = {}
+        for group in self.groups.values():
+            protocols.update(group.stacks)
+        checker = CrossShardChecker(
+            protocols,
+            shard_of_member=self.shard_of_member,
+            shard_of_label=self.shard_of_label,
+            dependencies={l: r.deps for l, r in self.ops.items()},
+            cross_dependencies={
+                l: r.cross_deps for l, r in self.ops.items()
+            },
+            session_batches=self.session_batches,
+            issue_order=self.issue_order,
+        )
+        return checker.check()
+
+    def _check_routing(self) -> List[Violation]:
+        """No put may reach a slot's *old* group after its cutover."""
+        violations: List[Violation] = []
+        for move in self.rebalancer.moves:
+            if move.phase != "done" or move.cutover_index is None:
+                continue
+            superseded = any(
+                other is not move
+                and other.slot == move.slot
+                and other.cutover_index is not None
+                and other.cutover_index > move.cutover_index
+                for other in self.rebalancer.moves
+            )
+            if superseded:
+                continue
+            for label in self.issue_order[move.cutover_index:]:
+                record = self.ops[label]
+                if (
+                    record.kind == "put"
+                    and record.slot == move.slot
+                    and record.shard == move.source
+                ):
+                    violations.append(Violation(
+                        "shard-routing",
+                        None,
+                        f"{label} put key {record.key!r} on shard "
+                        f"{record.shard} after slot {move.slot} moved to "
+                        f"{move.dest}",
+                    ))
+        return violations

@@ -1,0 +1,53 @@
+"""The cluster-wide operation ledger.
+
+Each shard runs its *own* causal-broadcast group; no protocol instance
+ever sees the whole object space.  The ledger is the sharded cluster's
+external ground truth (mirroring what :class:`~repro.chaos.cluster.
+ChaosCluster` records at ``app_send`` for a single group): one
+:class:`OpRecord` per issued operation, holding both the in-group
+``Occurs-After`` set and the cross-group dependency stamp, in global
+issue order.  The invariant battery audits delivery logs against it, and
+:class:`~repro.shard.barrier.StablePointBarrier` folds read values from
+it — so reads survive store compaction and crashes without any
+per-member key/value state machine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Optional
+
+from repro.types import MessageId
+
+#: Operation kinds that carry object-space data.  ``barrier`` is control
+#: traffic: it synchronises but writes nothing.
+DATA_KINDS = frozenset({"put", "migrate"})
+
+#: Kinds that commute between stable points (paper Section 6): ``put``s
+#: on distinct keys are independent; ``barrier`` and ``migrate`` are the
+#: synchronization points themselves.
+COMMUTATIVE_KINDS = frozenset({"put"})
+
+
+@dataclass(frozen=True)
+class OpRecord:
+    """One issued operation, as recorded at send time.
+
+    ``deps`` is the in-group ``Occurs-After`` AND-dependency the envelope
+    carries; ``cross_deps`` the foreign labels stamped for audit (their
+    in-group projections were already folded into ``deps`` by the
+    router — see ``docs/SHARDING.md``).  ``index`` is the global issue
+    ordinal; every dependency points at a lower index.
+    """
+
+    label: MessageId
+    shard: int
+    kind: str
+    key: Optional[str]
+    slot: Optional[int]
+    value: object
+    deps: FrozenSet[MessageId]
+    cross_deps: FrozenSet[MessageId]
+    session: Optional[str]
+    index: int
+    time: float

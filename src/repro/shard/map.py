@@ -1,0 +1,110 @@
+"""Deterministic, versioned key -> shard assignment.
+
+Keys hash onto a fixed ring of *slots* (CRC-32, stable across runs and
+platforms); slots are assigned to shards.  Rebalancing reassigns one
+slot at a time and bumps the map version — routers compare versions to
+know a cutover happened, and every key's slot is permanent, so a move
+relocates a well-defined key range.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ShardMap:
+    """An immutable slot->shard table; ``reassign`` returns a successor."""
+
+    num_shards: int
+    num_slots: int = 64
+    version: int = 0
+    assignment: Tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.num_shards < 1:
+            raise ConfigurationError("a shard map needs >= 1 shard")
+        if self.num_slots < self.num_shards:
+            raise ConfigurationError(
+                f"{self.num_slots} slot(s) cannot cover "
+                f"{self.num_shards} shard(s)"
+            )
+        if not self.assignment:
+            object.__setattr__(
+                self,
+                "assignment",
+                tuple(slot % self.num_shards for slot in range(self.num_slots)),
+            )
+        if len(self.assignment) != self.num_slots:
+            raise ConfigurationError(
+                f"assignment covers {len(self.assignment)} of "
+                f"{self.num_slots} slots"
+            )
+        for slot, shard in enumerate(self.assignment):
+            if not 0 <= shard < self.num_shards:
+                raise ConfigurationError(
+                    f"slot {slot} assigned to unknown shard {shard}"
+                )
+
+    # -- lookups -----------------------------------------------------------
+
+    def slot_of(self, key: str) -> int:
+        """The key's permanent slot (stable across map versions)."""
+        return zlib.crc32(key.encode("utf-8")) % self.num_slots
+
+    def shard_for_slot(self, slot: int) -> int:
+        if not 0 <= slot < self.num_slots:
+            raise ConfigurationError(f"unknown slot {slot}")
+        return self.assignment[slot]
+
+    def shard_of(self, key: str) -> int:
+        return self.assignment[self.slot_of(key)]
+
+    def slots_of(self, shard: int) -> Tuple[int, ...]:
+        """All slots currently assigned to ``shard``."""
+        if not 0 <= shard < self.num_shards:
+            raise ConfigurationError(f"unknown shard {shard}")
+        return tuple(
+            slot for slot, owner in enumerate(self.assignment) if owner == shard
+        )
+
+    # -- evolution ---------------------------------------------------------
+
+    def reassign(self, slot: int, to_shard: int) -> "ShardMap":
+        """A successor map with ``slot`` owned by ``to_shard``."""
+        if not 0 <= slot < self.num_slots:
+            raise ConfigurationError(f"unknown slot {slot}")
+        if not 0 <= to_shard < self.num_shards:
+            raise ConfigurationError(f"unknown shard {to_shard}")
+        assignment = list(self.assignment)
+        assignment[slot] = to_shard
+        return ShardMap(
+            num_shards=self.num_shards,
+            num_slots=self.num_slots,
+            version=self.version + 1,
+            assignment=tuple(assignment),
+        )
+
+    # -- workload support --------------------------------------------------
+
+    def sample_key(self, shard: int, rng, prefix: str = "k") -> str:
+        """A key that currently routes to ``shard`` (deterministic scan).
+
+        ``rng`` picks the scan's starting point; the first matching key
+        from there is returned, so the same registry stream reproduces
+        the same workload.
+        """
+        if not self.slots_of(shard):
+            raise ConfigurationError(f"shard {shard} owns no slots")
+        start = rng.randrange(1_000_000)
+        for offset in range(200_000):
+            key = f"{prefix}{start + offset}"
+            if self.shard_of(key) == shard:
+                return key
+        raise ConfigurationError(
+            f"could not find a key for shard {shard}"
+        )  # pragma: no cover - astronomically unlikely

@@ -1,0 +1,273 @@
+"""Client-side routing with per-session cross-shard dependency tracking.
+
+The paper's ``OSend`` lets the *application* declare causal precedence
+(Section 3.1); this layer is that application.  Each :class:`Session`
+keeps a per-shard *frontier* — the maximal labels its causal past
+projects onto each shard — and stamps every write with:
+
+* ``occurs_after`` = the frontier of the destination shard (in-group
+  labels the group's own delivery predicate can enforce), plus the
+  slot's migration-handoff label if the key's slot ever moved;
+* ``cross_deps``   = the frontiers of every *other* shard (foreign
+  labels; stamped for observation and audit — their in-group projection
+  is what ``occurs_after`` already carries).
+
+Observing a label (the session's own write, or a barrier label from a
+completed read) *absorbs* its full transitive causal past into the
+frontier, projected per shard through the cluster's global dependency
+graph.  Projection is what makes the scheme sound: if ``put1(A)`` ≺
+``put2(B)`` ≺ ``barrier(B)`` was observed, a later write to shard A
+depends on ``put1`` even though the session never touched A before.
+
+Sessions are FIFO: an operation is issued only after every earlier one
+(writes issue, reads complete).  A write whose slot is frozen by an
+in-flight rebalance waits at the head of the queue — preserving session
+order through the cutover.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Callable, Deque, Dict, FrozenSet, List, Optional, Sequence, Set
+
+from repro.types import MessageId
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.shard.barrier import BarrierRead
+    from repro.shard.cluster import ShardedCluster
+
+#: One-second retries an operation survives before being dropped — the
+#: contact may be crashed, flush-frozen, or the slot frozen mid-move;
+#: bounded so campaign settling always terminates.
+PUT_ATTEMPTS = 240
+
+
+class Session:
+    """One client session: FIFO keyed writes and barrier reads."""
+
+    def __init__(self, router: "ShardRouter", name: str) -> None:
+        self.router = router
+        self.name = name
+        #: shard -> maximal labels of this session's causal past there.
+        self.frontier: Dict[int, FrozenSet[MessageId]] = {}
+        self._queue: Deque[list] = deque()
+        self._reading = False
+        self._retry_armed = False
+        self.ops_issued = 0
+        self.ops_skipped = 0
+        self.reads: List["BarrierRead"] = []
+        self.reads_failed = 0
+
+    # -- public API --------------------------------------------------------
+
+    def put(self, key: str, value: object) -> None:
+        """Queue a keyed write; issues as soon as the session's turn comes."""
+        self._queue.append(["put", key, value, PUT_ATTEMPTS])
+        self.pump()
+
+    def read(
+        self,
+        shards: Optional[Sequence[int]] = None,
+        callback: Optional[Callable[["BarrierRead"], None]] = None,
+    ) -> None:
+        """Queue a consistent multi-shard read (all shards by default)."""
+        chosen = tuple(shards) if shards is not None else None
+        self._queue.append(["read", chosen, callback])
+        self.pump()
+
+    @property
+    def idle(self) -> bool:
+        return not self._queue and not self._reading
+
+    # -- engine ------------------------------------------------------------
+
+    def pump(self) -> None:
+        """Issue queued operations until blocked (frozen slot, read)."""
+        while self._queue and not self._reading:
+            entry = self._queue[0]
+            if entry[0] == "put":
+                _, key, value, _attempts = entry
+                if not self._issue_put(key, value):
+                    entry[3] -= 1
+                    if entry[3] <= 0:
+                        self.ops_skipped += 1
+                        self._queue.popleft()
+                        continue
+                    self._arm_retry()
+                    return
+                self._queue.popleft()
+            else:
+                _, shards, callback = entry
+                self._queue.popleft()
+                self._begin_read(shards, callback)
+                return
+
+    def _issue_put(self, key: str, value: object) -> bool:
+        cluster = self.router.cluster
+        slot = self.router.map.slot_of(key)
+        if self.router.slot_frozen(slot):
+            return False
+        shard = self.router.map.shard_for_slot(slot)
+        deps: Set[MessageId] = set(self.frontier.get(shard, ()))
+        handoff = self.router.handoff_dep(slot)
+        if handoff is not None:
+            # The slot moved here at some point: every later write must
+            # follow the migration record, or an uninvolved session's
+            # write could be delivered before the state it overwrites.
+            deps.add(handoff)
+        cross: Set[MessageId] = set()
+        for other, labels in self.frontier.items():
+            if other != shard:
+                cross |= labels
+        label = cluster.shard_send(
+            shard,
+            "put",
+            {"key": key, "value": value},
+            occurs_after=cluster.maximal(deps),
+            cross_deps=cluster.maximal(cross),
+            session=self.name,
+            key=key,
+            slot=slot,
+        )
+        if label is None:
+            return False
+        # The new label dominates everything it was stamped with.
+        self.frontier[shard] = frozenset({label})
+        if handoff is not None:
+            # The handoff label drags in causal past the session never
+            # observed (the migration follows the moved writes *and* the
+            # destination frontier, which reach other shards through
+            # cross-dependencies).  Fold it in, or the session's next
+            # write to those shards under-declares its Occurs-After.
+            self._absorb(label)
+        cluster.note_session_batch(self.name, [label])
+        self.ops_issued += 1
+        return True
+
+    def _begin_read(
+        self,
+        shards: Optional[Sequence[int]],
+        callback: Optional[Callable[["BarrierRead"], None]],
+    ) -> None:
+        from repro.shard.barrier import StablePointBarrier
+
+        cluster = self.router.cluster
+        touched = tuple(shards) if shards is not None else cluster.shard_ids
+        self._reading = True
+
+        def done(read: Optional["BarrierRead"]) -> None:
+            self._reading = False
+            if read is None:
+                self.reads_failed += 1
+            else:
+                self.reads.append(read)
+                labels = [
+                    label
+                    for per_shard in read.barrier_labels.values()
+                    for label in per_shard
+                ]
+                cluster.note_session_batch(self.name, labels)
+                for label in labels:
+                    self._absorb(label)
+                if callback is not None:
+                    callback(read)
+            self.pump()
+
+        StablePointBarrier(
+            cluster,
+            touched,
+            on_complete=done,
+            session=self.name,
+            baseline={
+                shard: self.frontier.get(shard, frozenset())
+                for shard in touched
+            },
+            cross=dict(self.frontier),
+        ).start()
+
+    def _absorb(self, label: MessageId) -> None:
+        """Fold ``label``'s transitive causal past into the frontier."""
+        cluster = self.router.cluster
+        for shard in cluster.shard_ids:
+            projected = cluster.project((label,), shard)
+            if projected:
+                merged = set(self.frontier.get(shard, ())) | set(projected)
+                self.frontier[shard] = cluster.maximal(merged)
+
+    def _arm_retry(self) -> None:
+        if self._retry_armed:
+            return
+        self._retry_armed = True
+
+        def fire() -> None:
+            self._retry_armed = False
+            self.pump()
+
+        self.router.cluster.scheduler.call_in(1.0, fire)
+
+
+class ShardRouter:
+    """Routes session traffic onto shard groups; owns slot freezes."""
+
+    def __init__(self, cluster: "ShardedCluster") -> None:
+        self.cluster = cluster
+        self._sessions: Dict[str, Session] = {}
+        self._frozen: Set[int] = set()
+        #: slot -> migration record every post-cutover write must follow.
+        self._handoff: Dict[int, MessageId] = {}
+
+    @property
+    def map(self):
+        return self.cluster.shard_map
+
+    def session(self, name: str) -> Session:
+        if name not in self._sessions:
+            self._sessions[name] = Session(self, name)
+        return self._sessions[name]
+
+    @property
+    def sessions(self) -> Dict[str, Session]:
+        return dict(self._sessions)
+
+    # -- rebalance coordination -------------------------------------------
+
+    def slot_frozen(self, slot: int) -> bool:
+        return slot in self._frozen
+
+    def handoff_dep(self, slot: int) -> Optional[MessageId]:
+        return self._handoff.get(slot)
+
+    def freeze_slot(self, slot: int) -> None:
+        self._frozen.add(slot)
+
+    def unfreeze_slot(
+        self, slot: int, handoff: Optional[MessageId] = None
+    ) -> None:
+        self._frozen.discard(slot)
+        if handoff is not None:
+            self._handoff[slot] = handoff
+        self.kick()
+
+    # -- liveness plumbing -------------------------------------------------
+
+    def kick(self) -> None:
+        """Re-pump every session (after an unfreeze or a repair round)."""
+        for session in self._sessions.values():
+            session.pump()
+
+    def busy(self) -> bool:
+        return bool(self._frozen) or any(
+            not session.idle for session in self._sessions.values()
+        )
+
+    def stuck_report(self) -> List[str]:
+        report = []
+        for name, session in self._sessions.items():
+            if not session.idle:
+                report.append(
+                    f"session {name}: queued={len(session._queue)} "
+                    f"reading={session._reading}"
+                )
+        if self._frozen:
+            report.append(f"frozen slots: {sorted(self._frozen)}")
+        return report

@@ -17,6 +17,7 @@ from repro.workload.generators import (
     cycle_schedule,
     mixed_schedule,
     poisson_arrivals,
+    sharded_schedule,
     uniform_arrivals,
 )
 
@@ -33,5 +34,6 @@ __all__ = [
     "save_schedule",
     "schedule_from_json",
     "schedule_to_json",
+    "sharded_schedule",
     "uniform_arrivals",
 ]

@@ -21,12 +21,18 @@ from repro.types import EntityId, MessageId
 
 @dataclass(frozen=True)
 class ScheduledRequest:
-    """One client request to inject at a simulated time."""
+    """One client request to inject at a simulated time.
+
+    ``session`` names the client session the request belongs to (used by
+    sharded workloads, where session order is a consistency obligation);
+    single-group workloads leave it ``None``.
+    """
 
     time: float
     member: EntityId
     operation: str
     payload: Any = None
+    session: Optional[str] = None
 
 
 def poisson_arrivals(
@@ -143,6 +149,79 @@ def mixed_schedule(
         schedule.append(
             ScheduledRequest(times[index], member, operation, payload)
         )
+    return schedule
+
+
+def sharded_schedule(
+    shard_map: Any,
+    sessions: int,
+    ops_per_session: int,
+    rng: random.Random,
+    cross_fraction: float = 0.5,
+    read_fraction: float = 0.2,
+    arrival_rate: float = 1.0,
+    key_prefix: str = "k",
+) -> List[ScheduledRequest]:
+    """Keyed multi-shard session traffic for a sharded object space.
+
+    Each session gets a *home* shard (round-robin over the map's shards)
+    and issues ``ops_per_session`` requests: with probability
+    ``read_fraction`` a two-shard barrier ``read`` (payload
+    ``{"shards": [...]}``), otherwise a keyed ``put`` whose key routes —
+    under ``shard_map`` — to the home shard, or with probability
+    ``cross_fraction`` to a uniformly random shard (payload
+    ``{"key": ..., "value": ...}``).  ``member`` is the request's target
+    shard rendered as ``"shard<N>"`` (reads target the lowest touched
+    shard); the session layer re-routes by key anyway, so the field only
+    matters for replay bookkeeping.
+
+    Requests arrive as one Poisson process, dealt to sessions round-robin
+    — sessions overlap in time, and each per-session subsequence stays
+    time-ordered, which is what session order means.
+    """
+    if sessions < 1 or ops_per_session < 0:
+        raise ConfigurationError(
+            f"sessions={sessions} must be >= 1 and "
+            f"ops_per_session={ops_per_session} >= 0"
+        )
+    if not 0.0 <= cross_fraction <= 1.0:
+        raise ConfigurationError("cross_fraction must be in [0, 1]")
+    if not 0.0 <= read_fraction <= 1.0:
+        raise ConfigurationError("read_fraction must be in [0, 1]")
+    shards = list(range(shard_map.num_shards))
+    times = poisson_arrivals(arrival_rate, sessions * ops_per_session, rng)
+    schedule: List[ScheduledRequest] = []
+    index = 0
+    for number in range(sessions):
+        session = f"sess{number}"
+        home = shards[number % len(shards)]
+        for turn in range(ops_per_session):
+            when = times[turn * sessions + number]
+            if rng.random() < read_fraction and len(shards) >= 2:
+                touched = sorted(rng.sample(shards, 2))
+                schedule.append(ScheduledRequest(
+                    when,
+                    f"shard{touched[0]}",
+                    "read",
+                    {"shards": touched},
+                    session=session,
+                ))
+            else:
+                target = (
+                    rng.choice(shards)
+                    if rng.random() < cross_fraction
+                    else home
+                )
+                key = shard_map.sample_key(target, rng, prefix=key_prefix)
+                schedule.append(ScheduledRequest(
+                    when,
+                    f"shard{target}",
+                    "put",
+                    {"key": key, "value": f"v{index}"},
+                    session=session,
+                ))
+            index += 1
+    schedule.sort(key=lambda request: request.time)
     return schedule
 
 

@@ -19,7 +19,12 @@ from typing import List, Sequence, Union
 from repro.errors import ConfigurationError
 from repro.workload.generators import ScheduledRequest
 
-FORMAT_VERSION = 1
+#: Version 2 added the optional per-request ``session`` field (sharded
+#: workloads).  Version-1 documents — no ``session`` keys — still load;
+#: their requests get ``session=None``, which is what they meant.
+FORMAT_VERSION = 2
+
+_SUPPORTED_VERSIONS = (1, 2)
 
 
 def schedule_to_json(schedule: Sequence[ScheduledRequest]) -> str:
@@ -33,14 +38,15 @@ def schedule_to_json(schedule: Sequence[ScheduledRequest]) -> str:
                 f"payload of request at t={request.time} is not "
                 f"JSON-representable: {exc}"
             ) from exc
-        entries.append(
-            {
-                "time": request.time,
-                "member": request.member,
-                "operation": request.operation,
-                "payload": request.payload,
-            }
-        )
+        entry = {
+            "time": request.time,
+            "member": request.member,
+            "operation": request.operation,
+            "payload": request.payload,
+        }
+        if request.session is not None:
+            entry["session"] = request.session
+        entries.append(entry)
     return json.dumps(
         {"version": FORMAT_VERSION, "requests": entries}, indent=2
     )
@@ -55,7 +61,7 @@ def schedule_from_json(document: str) -> List[ScheduledRequest]:
     if not isinstance(data, dict) or "requests" not in data:
         raise ConfigurationError("schedule JSON lacks a 'requests' list")
     version = data.get("version")
-    if version != FORMAT_VERSION:
+    if version not in _SUPPORTED_VERSIONS:
         raise ConfigurationError(
             f"unsupported schedule format version: {version!r}"
         )
@@ -68,6 +74,7 @@ def schedule_from_json(document: str) -> List[ScheduledRequest]:
                     member=entry["member"],
                     operation=entry["operation"],
                     payload=entry.get("payload"),
+                    session=entry.get("session"),
                 )
             )
         except (KeyError, TypeError, ValueError) as exc:

@@ -1,0 +1,176 @@
+"""CrossShardChecker unit tests against hand-built delivery logs."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Set, Tuple
+
+from repro.analysis.invariants import CrossShardChecker, iter_incarnations
+from repro.types import Envelope, Message, MessageId
+
+
+class StubProtocol:
+    """Just enough surface for :func:`iter_incarnations`."""
+
+    def __init__(
+        self,
+        delivered: Iterable[MessageId],
+        skipped: Iterable[MessageId] = (),
+        archive: Iterable[
+            Tuple[Iterable[MessageId], Iterable[MessageId]]
+        ] = (),
+    ) -> None:
+        self.incarnation_archive: List[Tuple[List[Envelope], Set[MessageId]]] = [
+            ([_env(label) for label in labels], set(skips))
+            for labels, skips in archive
+        ]
+        self.incarnation = len(self.incarnation_archive)
+        self._delivered_envelopes = [_env(label) for label in delivered]
+        self._skipped_stable = set(skipped)
+
+
+def _env(label: MessageId) -> Envelope:
+    return Envelope(Message(label, "op", None))
+
+
+A0 = MessageId("a", 0)
+A1 = MessageId("a", 1)
+B0 = MessageId("b", 0)
+C0 = MessageId("c", 0)
+
+
+def checker(protocols, **overrides) -> CrossShardChecker:
+    """A two-shard world: labels from 'a'/'c' on shard 0, 'b' on shard 1."""
+    config = dict(
+        shard_of_member={"m0": 0, "m1": 1},
+        shard_of_label={A0: 0, A1: 0, B0: 1, C0: 0},
+        dependencies={},
+        cross_dependencies={},
+        session_batches={},
+        issue_order=[A0, A1, B0, C0],
+    )
+    config.update(overrides)
+    return CrossShardChecker(protocols, **config)
+
+
+class TestHappensBefore:
+    def test_closure_spans_session_and_dependency_edges(self):
+        check = checker(
+            {},
+            dependencies={C0: frozenset({A1})},
+            session_batches={"s": [[A0], [A1]]},
+        )
+        ancestors = check.happens_before()
+        assert ancestors[C0] == {A0, A1}
+        assert ancestors[A1] == {A0}
+        assert ancestors[A0] == set()
+
+    def test_cross_deps_are_happens_before_edges(self):
+        check = checker(
+            {},
+            cross_dependencies={B0: frozenset({A0})},
+            dependencies={},
+            session_batches={"s": [[B0], [C0]]},
+        )
+        # C0 follows B0 in session order; B0 cross-depends on A0 — the
+        # shard-0 obligation A0 < C0 exists only through the cross edge.
+        assert check.happens_before()[C0] == {A0, B0}
+
+    def test_read_batch_labels_are_concurrent(self):
+        check = checker({}, session_batches={"s": [[A0, A1], [C0]]})
+        ancestors = check.happens_before()
+        assert A1 not in ancestors[A0]
+        assert A0 not in ancestors[A1]
+        assert ancestors[C0] == {A0, A1}
+
+
+class TestCheck:
+    def test_ordered_log_passes(self):
+        check = checker(
+            {"m0": StubProtocol([A0, A1, C0])},
+            dependencies={A1: frozenset({A0}), C0: frozenset({A1})},
+        )
+        assert check.check() == []
+
+    def test_reordered_ancestor_flagged(self):
+        check = checker(
+            {"m0": StubProtocol([C0, A1, A0])},
+            dependencies={A1: frozenset({A0}), C0: frozenset({A1})},
+        )
+        violations = check.check()
+        assert violations
+        assert all(v.invariant == "cross-shard-causal" for v in violations)
+        assert any("delivered before" in v.detail for v in violations)
+
+    def test_missing_ancestor_flagged(self):
+        check = checker(
+            {"m0": StubProtocol([C0])},
+            dependencies={C0: frozenset({A0})},
+        )
+        (violation,) = check.check()
+        assert "without its happens-before ancestor" in violation.detail
+
+    def test_skipped_ancestor_is_exempt(self):
+        check = checker(
+            {"m0": StubProtocol([C0], skipped=[A0])},
+            dependencies={C0: frozenset({A0})},
+        )
+        assert check.check() == []
+
+    def test_foreign_shard_ancestors_impose_no_local_order(self):
+        # C0 (shard 0) happens-after B0 (shard 1); m0 never delivers B0
+        # and must not be penalised for it.
+        check = checker(
+            {"m0": StubProtocol([A0, C0])},
+            dependencies={C0: frozenset({A0})},
+            cross_dependencies={C0: frozenset({B0})},
+        )
+        assert check.check() == []
+
+    def test_transitive_obligation_via_cross_edge(self):
+        # A0 < B0 (cross) < C0 (session) — delivering C0 before A0 on
+        # shard 0 violates the closure even with no direct shard-0 edge.
+        check = checker(
+            {"m0": StubProtocol([C0, A0])},
+            cross_dependencies={B0: frozenset({A0})},
+            session_batches={"s": [[B0], [C0]]},
+        )
+        violations = check.check()
+        assert len(violations) == 1
+        assert "C0" not in violations[0].detail  # labels render as c:0
+        assert "c:0" in violations[0].detail and "a:0" in violations[0].detail
+
+    def test_each_incarnation_checked_independently(self):
+        # Incarnation 0 delivered in order; the restarted life redelivers
+        # out of order — only the current incarnation is flagged.
+        protocol = StubProtocol(
+            delivered=[C0, A0],
+            archive=[([A0, C0], [])],
+        )
+        check = checker(
+            {"m0": protocol}, dependencies={C0: frozenset({A0})}
+        )
+        violations = check.check()
+        assert len(violations) == 1
+        assert "incarnation 1" in violations[0].detail
+
+    def test_non_ledger_traffic_ignored(self):
+        noise = MessageId("ctl", 0)
+        check = checker(
+            {"m0": StubProtocol([noise, A0, C0])},
+            dependencies={C0: frozenset({A0})},
+        )
+        assert check.check() == []
+
+
+class TestIterIncarnations:
+    def test_yields_archive_then_current(self):
+        protocol = StubProtocol(
+            delivered=[C0],
+            skipped=[A1],
+            archive=[([A0], [B0])],
+        )
+        lives = list(iter_incarnations(protocol))
+        assert [(inc, [e.msg_id for e in envs], skips) for inc, envs, skips in lives] == [
+            (0, [A0], {B0}),
+            (1, [C0], {A1}),
+        ]

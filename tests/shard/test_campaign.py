@@ -1,0 +1,112 @@
+"""Sharded campaign generation and seeded end-to-end acceptance runs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.shard import (
+    SHARDED_DISTURBANCES,
+    ShardMap,
+    ShardedCluster,
+    sharded_campaign,
+)
+
+MEMBERS = {
+    0: ("s0n0", "s0n1", "s0n2"),
+    1: ("s1n0", "s1n1", "s1n2"),
+}
+
+
+def make_campaign(seed: int = 3, **overrides):
+    return sharded_campaign(
+        ShardMap(2, num_slots=16), MEMBERS, seed=seed, **overrides
+    )
+
+
+class TestGenerator:
+    def test_deterministic_per_seed(self):
+        assert make_campaign(seed=4) == make_campaign(seed=4)
+        assert make_campaign(seed=4) != make_campaign(seed=5)
+
+    def test_events_sorted_by_time(self):
+        times = [event.time for event in make_campaign().events]
+        assert times == sorted(times)
+
+    def test_fault_events_target_one_shard(self):
+        campaign = make_campaign(disturbances=SHARDED_DISTURBANCES)
+        for event in campaign.events:
+            if event.action in ("op", "read", "rebalance"):
+                continue
+            shard, _arg = event.arg
+            assert shard in MEMBERS
+
+    def test_rebalance_lands_inside_first_crash_window(self):
+        campaign = make_campaign(disturbances=("crash",))
+        crashes = [e for e in campaign.events if e.action == "crash"]
+        restarts = [e for e in campaign.events if e.action == "restart"]
+        (move,) = [e for e in campaign.events if e.action == "rebalance"]
+        assert crashes[0].time < move.time < restarts[0].time
+
+    def test_rebalance_can_be_disabled(self):
+        campaign = make_campaign(rebalance=False)
+        assert not [e for e in campaign.events if e.action == "rebalance"]
+
+    def test_ops_carry_keys_routed_by_initial_map(self):
+        shard_map = ShardMap(2, num_slots=16)
+        campaign = make_campaign(cross_fraction=0.0, read_fraction=0.0)
+        ops = [e for e in campaign.events if e.action == "op"]
+        assert ops
+        for event in ops:
+            _session, key, _value = event.arg
+            assert shard_map.shard_of(key) in MEMBERS
+
+    def test_bad_fractions_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_campaign(cross_fraction=1.5)
+        with pytest.raises(ConfigurationError):
+            make_campaign(read_fraction=-0.1)
+
+    def test_shard_members_must_match_map(self):
+        with pytest.raises(ConfigurationError):
+            sharded_campaign(
+                ShardMap(3, num_slots=16), MEMBERS, seed=0
+            )
+
+    def test_unknown_disturbance_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_campaign(disturbances=("meteor",))
+
+
+class TestEndToEnd:
+    @pytest.mark.parametrize("seed", [0, 3, 5])
+    def test_seeded_campaign_is_causally_consistent(self, seed):
+        cluster = ShardedCluster(shards=2, members_per_shard=3, seed=seed)
+        campaign = sharded_campaign(
+            cluster.shard_map,
+            {s: g.members for s, g in cluster.groups.items()},
+            seed=seed,
+            sessions=3,
+            ops_per_session=8,
+            cross_fraction=0.5,
+            read_fraction=0.2,
+        )
+        result = cluster.run_campaign(campaign)
+        assert result.ok, [str(v) for v in result.violations]
+        assert result.ops > 0
+        assert result.data_messages >= result.ops
+
+    def test_full_disturbance_sweep(self):
+        cluster = ShardedCluster(shards=3, members_per_shard=3, seed=9)
+        campaign = sharded_campaign(
+            cluster.shard_map,
+            {s: g.members for s, g in cluster.groups.items()},
+            seed=9,
+            sessions=3,
+            ops_per_session=8,
+            disturbances=SHARDED_DISTURBANCES,
+        )
+        result = cluster.run_campaign(campaign)
+        assert result.ok, [str(v) for v in result.violations]
+        assert result.crashes >= 1
+        assert "OK" in result.summary()

@@ -1,0 +1,107 @@
+"""ShardMap: deterministic routing, versioned reassignment."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.shard import ShardMap
+
+
+class TestLookups:
+    def test_slot_of_is_stable_across_instances(self):
+        first = ShardMap(3, num_slots=16)
+        second = ShardMap(5, num_slots=16)
+        for key in ("alpha", "beta", "k123", ""):
+            assert first.slot_of(key) == second.slot_of(key)
+
+    def test_default_assignment_round_robins(self):
+        shard_map = ShardMap(3, num_slots=7)
+        assert shard_map.assignment == (0, 1, 2, 0, 1, 2, 0)
+
+    def test_shard_of_agrees_with_slot_chain(self):
+        shard_map = ShardMap(4, num_slots=32)
+        for key in (f"k{i}" for i in range(50)):
+            slot = shard_map.slot_of(key)
+            assert shard_map.shard_of(key) == shard_map.shard_for_slot(slot)
+
+    def test_slots_of_partitions_the_ring(self):
+        shard_map = ShardMap(3, num_slots=10)
+        seen = sorted(
+            slot
+            for shard in range(3)
+            for slot in shard_map.slots_of(shard)
+        )
+        assert seen == list(range(10))
+
+    def test_unknown_slot_and_shard_rejected(self):
+        shard_map = ShardMap(2, num_slots=4)
+        with pytest.raises(ConfigurationError):
+            shard_map.shard_for_slot(4)
+        with pytest.raises(ConfigurationError):
+            shard_map.slots_of(2)
+
+
+class TestValidation:
+    def test_needs_at_least_one_shard(self):
+        with pytest.raises(ConfigurationError):
+            ShardMap(0)
+
+    def test_slots_must_cover_shards(self):
+        with pytest.raises(ConfigurationError):
+            ShardMap(5, num_slots=3)
+
+    def test_assignment_length_checked(self):
+        with pytest.raises(ConfigurationError):
+            ShardMap(2, num_slots=4, assignment=(0, 1))
+
+    def test_assignment_targets_checked(self):
+        with pytest.raises(ConfigurationError):
+            ShardMap(2, num_slots=2, assignment=(0, 5))
+
+
+class TestReassign:
+    def test_reassign_bumps_version_and_moves_one_slot(self):
+        shard_map = ShardMap(2, num_slots=4)
+        moved = shard_map.reassign(1, 0)
+        assert moved.version == shard_map.version + 1
+        assert moved.assignment == (0, 0, 0, 1)
+        # The original is untouched (maps are immutable values).
+        assert shard_map.assignment == (0, 1, 0, 1)
+
+    def test_keys_follow_their_slot(self):
+        shard_map = ShardMap(2, num_slots=4)
+        rng = random.Random(3)
+        key = shard_map.sample_key(1, rng)
+        slot = shard_map.slot_of(key)
+        moved = shard_map.reassign(slot, 0)
+        assert moved.shard_of(key) == 0
+        assert moved.slot_of(key) == slot
+
+    def test_reassign_bounds_checked(self):
+        shard_map = ShardMap(2, num_slots=4)
+        with pytest.raises(ConfigurationError):
+            shard_map.reassign(9, 0)
+        with pytest.raises(ConfigurationError):
+            shard_map.reassign(0, 2)
+
+
+class TestSampleKey:
+    def test_sampled_key_routes_to_requested_shard(self):
+        shard_map = ShardMap(4, num_slots=16)
+        rng = random.Random(11)
+        for shard in range(4):
+            assert shard_map.shard_of(shard_map.sample_key(shard, rng)) == shard
+
+    def test_sampling_is_deterministic_per_rng_state(self):
+        shard_map = ShardMap(3, num_slots=8)
+        assert shard_map.sample_key(2, random.Random(5)) == shard_map.sample_key(
+            2, random.Random(5)
+        )
+
+    def test_shard_without_slots_rejected(self):
+        shard_map = ShardMap(2, num_slots=2, assignment=(0, 0))
+        with pytest.raises(ConfigurationError):
+            shard_map.sample_key(1, random.Random(0))

@@ -1,0 +1,164 @@
+"""Session layer: frontier tracking, dependency stamping, slot freezes."""
+
+from __future__ import annotations
+
+from repro.shard import ShardedCluster
+
+
+def quiet_cluster(shards: int = 2, seed: int = 0) -> ShardedCluster:
+    return ShardedCluster(shards=shards, members_per_shard=3, seed=seed)
+
+
+def key_for(cluster: ShardedCluster, shard: int, salt: int = 0) -> str:
+    """The lexically first deterministic key routing to ``shard``."""
+    index = salt * 10_000
+    while True:
+        key = f"k{index}"
+        if cluster.shard_map.shard_of(key) == shard:
+            return key
+        index += 1
+
+
+class TestPuts:
+    def test_put_routes_to_owning_shard(self):
+        cluster = quiet_cluster()
+        session = cluster.router.session("s")
+        key = key_for(cluster, 1)
+        session.put(key, "v1")
+        cluster.drain()
+        (label,) = cluster.issue_order
+        assert cluster.ops[label].shard == 1
+        assert cluster.ops[label].key == key
+
+    def test_same_shard_writes_chain_occurs_after(self):
+        cluster = quiet_cluster()
+        session = cluster.router.session("s")
+        key = key_for(cluster, 0)
+        session.put(key, "v1")
+        session.put(key, "v2")
+        cluster.drain()
+        first, second = cluster.issue_order
+        assert cluster.ops[second].deps == frozenset({first})
+        assert session.frontier[0] == frozenset({second})
+
+    def test_cross_shard_write_stamps_cross_deps(self):
+        cluster = quiet_cluster()
+        session = cluster.router.session("s")
+        session.put(key_for(cluster, 0), "a")
+        session.put(key_for(cluster, 1), "b")
+        cluster.drain()
+        first, second = cluster.issue_order
+        record = cluster.ops[second]
+        assert record.shard == 1
+        assert record.deps == frozenset()  # no earlier shard-1 write
+        assert record.cross_deps == frozenset({first})
+
+    def test_independent_sessions_do_not_share_frontiers(self):
+        cluster = quiet_cluster()
+        key = key_for(cluster, 0)
+        cluster.router.session("a").put(key, "va")
+        cluster.drain()
+        cluster.router.session("b").put(key, "vb")
+        cluster.drain()
+        _, second = cluster.issue_order
+        assert cluster.ops[second].deps == frozenset()
+
+    def test_session_batches_record_issue_order(self):
+        cluster = quiet_cluster()
+        session = cluster.router.session("s")
+        session.put(key_for(cluster, 0), "a")
+        session.put(key_for(cluster, 1), "b")
+        cluster.drain()
+        assert cluster.session_batches["s"] == [
+            [cluster.issue_order[0]],
+            [cluster.issue_order[1]],
+        ]
+
+
+class TestReads:
+    def test_read_sees_own_writes(self):
+        cluster = quiet_cluster()
+        session = cluster.router.session("s")
+        k0, k1 = key_for(cluster, 0), key_for(cluster, 1)
+        session.put(k0, "x")
+        session.put(k1, "y")
+        session.read()
+        cluster.drain()
+        (read,) = session.reads
+        assert read.value == {k0: "x", k1: "y"}
+
+    def test_read_absorbs_foreign_past_into_frontier(self):
+        cluster = quiet_cluster()
+        writer = cluster.router.session("w")
+        k0 = key_for(cluster, 0)
+        writer.put(k0, "x")
+        cluster.drain()
+        reader = cluster.router.session("r")
+        reader.read()
+        cluster.drain()
+        put_label = cluster.issue_order[0]
+        # The reader's next shard-0 write must causally follow the put it
+        # observed, even though another session issued it.
+        reader.put(k0, "y")
+        cluster.drain()
+        record = cluster.ops[cluster.issue_order[-1]]
+        assert any(
+            dep == put_label or cluster.graph.precedes(put_label, dep)
+            for dep in record.deps
+        )
+
+    def test_reads_are_fifo_with_writes(self):
+        cluster = quiet_cluster()
+        session = cluster.router.session("s")
+        k0 = key_for(cluster, 0)
+        seen = []
+        session.put(k0, "before")
+        session.read(callback=lambda read: seen.append(read.value[k0]))
+        session.put(k0, "after")
+        cluster.drain()
+        assert seen == ["before"]
+        assert session.idle
+
+
+class TestSlotFreeze:
+    def test_frozen_slot_blocks_then_resumes(self):
+        cluster = quiet_cluster()
+        session = cluster.router.session("s")
+        key = key_for(cluster, 0)
+        slot = cluster.shard_map.slot_of(key)
+        cluster.router.freeze_slot(slot)
+        session.put(key, "v")
+        cluster.scheduler.run_until(5.0)
+        assert session.ops_issued == 0
+        assert not session.idle
+        cluster.router.unfreeze_slot(slot)
+        cluster.drain()
+        assert session.ops_issued == 1
+        assert session.idle
+
+    def test_handoff_dep_injected_after_unfreeze(self):
+        cluster = quiet_cluster()
+        fence = cluster.router.session("fence")
+        key = key_for(cluster, 0)
+        fence.put(key, "pre")
+        cluster.drain()
+        fence_label = cluster.issue_order[0]
+        slot = cluster.shard_map.slot_of(key)
+        cluster.router.freeze_slot(slot)
+        cluster.router.unfreeze_slot(slot, handoff=fence_label)
+        other = cluster.router.session("other")
+        other.put(key, "post")
+        cluster.drain()
+        record = cluster.ops[cluster.issue_order[-1]]
+        assert fence_label in record.deps
+
+    def test_unreachable_shard_exhausts_attempts(self):
+        cluster = quiet_cluster()
+        for member in cluster.groups[0].members:
+            cluster.groups[0].crash(member)
+        session = cluster.router.session("s")
+        session.put(key_for(cluster, 0), "v")
+        cluster.drain()  # 240 one-second retries, then the op is dropped
+        assert session.ops_issued == 0
+        assert session.ops_skipped == 1
+        assert session.idle

@@ -46,6 +46,41 @@ class TestDemos:
         assert out.count("\n") >= 7
 
 
+class TestShard:
+    def test_sharded_campaign_runs_clean(self, capsys):
+        assert main(["shard", "--shards", "2", "--seeds", "1",
+                     "--sessions", "3", "--ops", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "sharded-1" in out
+        assert "all consistent" in out
+
+    def test_multiple_seeds_and_shards(self, capsys):
+        assert main(["shard", "--shards", "3", "--seeds", "2",
+                     "--sessions", "3", "--ops", "5",
+                     "--disturbances", "crash"]) == 0
+        out = capsys.readouterr().out
+        assert "2 campaign(s) x 3 shard(s)" in out
+
+    def test_unknown_disturbance_rejected(self, capsys):
+        assert main(["shard", "--disturbances", "meteor"]) == 2
+        assert "unknown disturbance" in capsys.readouterr().err
+
+    def test_seed_determinism(self, capsys):
+        main(["shard", "--seeds", "1", "--sessions", "3", "--ops", "6"])
+        first = capsys.readouterr().out
+        main(["shard", "--seeds", "1", "--sessions", "3", "--ops", "6"])
+        second = capsys.readouterr().out
+        # Summaries embed wall-clock time; compare everything before it.
+        strip = lambda s: [line.split(" t=")[0] for line in s.splitlines()]
+        assert strip(first) == strip(second)
+
+    def test_no_rebalance_flag(self, capsys):
+        assert main(["shard", "--shards", "2", "--seeds", "1",
+                     "--sessions", "2", "--ops", "4",
+                     "--no-rebalance"]) == 0
+        assert "moves=0" in capsys.readouterr().out
+
+
 class TestGraph:
     def test_ascii_rendering(self, capsys):
         assert main(["graph"]) == 0
