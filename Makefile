@@ -1,6 +1,6 @@
 # Convenience targets for the causal-broadcast reproduction.
 
-.PHONY: install test bench bench-quick perf-guard chaos-quick examples demos lint-clean
+.PHONY: install test bench bench-quick perf-guard chaos-quick serve-smoke examples demos lint-clean
 
 install:
 	python setup.py develop
@@ -12,18 +12,27 @@ bench:
 	pytest benchmarks/ --benchmark-only
 
 # Core trio (drain-scale, claim-scale, proto-overhead) -> BENCH_core.json,
-# plus the full drain sweep -> BENCH_drain_scale.json and the shard
-# scaling sweep -> BENCH_shard_scale.json.
+# plus the full drain sweep -> BENCH_drain_scale.json, the shard scaling
+# sweep -> BENCH_shard_scale.json, and the serve-layer wire sweep over
+# real sockets -> BENCH_wire.json.
 bench-quick:
 	PYTHONPATH=src:benchmarks python benchmarks/bench_drain_scale.py
 	PYTHONPATH=src:benchmarks python benchmarks/bench_shard_scale.py
+	PYTHONPATH=src:benchmarks python benchmarks/bench_wire_throughput.py
 	PYTHONPATH=src:benchmarks python benchmarks/run_core.py
 
-# Fail if the indexed drain or the sharded throughput regresses >25% vs
-# the committed baselines, or if 1->8 shard scaling drops below 3x at 0%
-# cross traffic (override with PERF_GUARD_TOLERANCE=0.4 etc.).
+# Fail if the indexed drain, the sharded throughput, or the wire-layer
+# throughput regresses >25% vs the committed baselines, if 1->8 shard
+# scaling drops below 3x at 0% cross traffic, or if the wire floor /
+# batching acceptance breaks (override with PERF_GUARD_TOLERANCE=0.4).
 perf-guard:
 	PYTHONPATH=src:benchmarks python benchmarks/perf_guard.py
+
+# Boot the serving layer end-to-end over real sockets: 8 pipelined
+# clients, a replica crash mid-run, token reconnects, graceful drain,
+# and a session-guarantee audit of the recorded wire history.
+serve-smoke:
+	PYTHONPATH=src python examples/serve_demo.py
 
 # Seeded fault-injection campaigns (crash/partition/loss/churn) across
 # every crash-eligible protocol; fails on any safety-invariant violation.

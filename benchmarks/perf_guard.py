@@ -1,17 +1,21 @@
 """``make perf-guard`` — fail on benchmark throughput regressions.
 
-Replays the drain-scale and shard-scale sweeps and compares throughput
-against the committed baselines (``BENCH_drain_scale.json``,
-``BENCH_shard_scale.json``), case by case.  A case regresses when
-current throughput falls more than the tolerance below baseline
-(default 25%; override with ``PERF_GUARD_TOLERANCE=0.4`` etc.).  The
-shard guard additionally enforces the portable acceptance ratio: >= 3x
-throughput from 1 to 8 shards at 0% cross-shard traffic.
+Replays the drain-scale, shard-scale, and wire-throughput sweeps and
+compares throughput against the committed baselines
+(``BENCH_drain_scale.json``, ``BENCH_shard_scale.json``,
+``BENCH_wire.json``), case by case.  A case regresses when current
+throughput falls more than the tolerance below baseline (default 25%;
+override with ``PERF_GUARD_TOLERANCE=0.4`` etc.; the socket-crossing
+wire sweep gets extra slack).  The shard guard additionally enforces
+the portable acceptance ratio (>= 3x throughput from 1 to 8 shards at
+0% cross-shard traffic), and the wire guard enforces that pipelined
+writes genuinely coalesce into multi-op batch cycles.
 
 The committed baselines are machine-relative: after intentional changes
 (or on a different machine class), regenerate them with
 ``python benchmarks/bench_drain_scale.py`` /
-``python benchmarks/bench_shard_scale.py`` and commit the new JSON.
+``python benchmarks/bench_shard_scale.py`` /
+``python benchmarks/bench_wire_throughput.py`` and commit the new JSON.
 """
 
 from __future__ import annotations
@@ -21,6 +25,7 @@ import os
 import sys
 
 import bench_shard_scale
+import bench_wire_throughput
 from bench_drain_scale import REPORT_PATH, best_of, run_case, run_sweep
 
 DEFAULT_TOLERANCE = 0.25
@@ -28,6 +33,11 @@ RETRY_REPEATS = 5
 
 #: Portable floor for shards=1 -> shards=8 scaling at 0% cross traffic.
 MIN_SHARD_SCALING = 3.0
+
+#: The wire sweep crosses real sockets and an event loop, so it is far
+#: noisier than the in-process sims — guard it with extra slack on top
+#: of the shared tolerance.
+WIRE_EXTRA_TOLERANCE = 0.15
 
 
 def guard_shard_scale(tolerance: float) -> int:
@@ -86,6 +96,65 @@ def guard_shard_scale(tolerance: float) -> int:
     return len(confirmed)
 
 
+def guard_wire(tolerance: float) -> int:
+    """Serve-layer wire section; returns the number of confirmed failures."""
+    path = bench_wire_throughput.REPORT_PATH
+    if not path.exists():
+        print(f"no baseline at {path}; run bench_wire_throughput.py first")
+        return 1
+    tolerance = min(0.95, tolerance + WIRE_EXTRA_TOLERANCE)
+    baseline_by_case = {
+        (row["clients"], row["pipeline"]): row
+        for row in json.loads(path.read_text())["results"]
+    }
+    current = bench_wire_throughput.run_sweep(repeats=1)
+    failures = []
+    for row in current["results"]:
+        key = (row["clients"], row["pipeline"])
+        base = baseline_by_case.get(key)
+        if base is None:
+            continue  # baseline predates this case; nothing to guard
+        floor = base["ops_per_sec"] * (1.0 - tolerance)
+        ok = row["ops_per_sec"] >= floor
+        print(
+            f"  wire clients={row['clients']:>2} pipeline={row['pipeline']}: "
+            f"{row['ops_per_sec']:>8.1f} vs baseline "
+            f"{base['ops_per_sec']:>8.1f} ({'ok' if ok else 'REGRESSED'})"
+        )
+        if not ok:
+            failures.append(key)
+    confirmed = []
+    for clients, pipeline in failures:
+        floor = baseline_by_case[(clients, pipeline)]["ops_per_sec"] * (
+            1.0 - tolerance
+        )
+        retried = bench_wire_throughput.best_of(
+            3, lambda: bench_wire_throughput.run_case(clients, pipeline)
+        )["ops_per_sec"]
+        print(
+            f"  retry wire clients={clients} pipeline={pipeline}: "
+            f"{retried:.1f} vs floor {floor:.1f} "
+            f"({'ok' if retried >= floor else 'REGRESSED'})"
+        )
+        if retried < floor:
+            confirmed.append((clients, pipeline))
+    pipelined = next(
+        (
+            row
+            for row in current["results"]
+            if (row["clients"], row["pipeline"]) == (8, 8)
+        ),
+        None,
+    )
+    if pipelined is not None and pipelined["mean_batch"] < 4.0:
+        print(
+            f"  wire batching acceptance: mean batch "
+            f"{pipelined['mean_batch']} at 8x8 (< 4.0)"
+        )
+        confirmed.append(("batching", 0))
+    return len(confirmed)
+
+
 def main() -> int:
     tolerance = float(os.environ.get("PERF_GUARD_TOLERANCE", DEFAULT_TOLERANCE))
     if not REPORT_PATH.exists():
@@ -134,10 +203,12 @@ def main() -> int:
                 confirmed.append((scenario, members, depth))
         failures = confirmed
     shard_failures = guard_shard_scale(tolerance)
-    if failures or shard_failures:
+    wire_failures = guard_wire(tolerance)
+    if failures or shard_failures or wire_failures:
         print(
-            f"perf-guard: {len(failures) + shard_failures} case(s) "
-            f"regressed more than {tolerance:.0%} vs the committed baselines"
+            f"perf-guard: {len(failures) + shard_failures + wire_failures} "
+            f"case(s) regressed more than {tolerance:.0%} vs the committed "
+            f"baselines"
         )
         return 1
     print(f"perf-guard: all cases within {tolerance:.0%} of baseline")

@@ -15,7 +15,7 @@ disciplines on the ``OSend`` primitive.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.broadcast.osend import OSendBroadcast
 from repro.core.commutativity import CommutativitySpec
@@ -63,6 +63,35 @@ def kv_spec() -> CommutativitySpec:
         return None
 
     return CommutativitySpec(commutative_ops=set(), extra_rule=rule)
+
+
+def fold_ledger(records: Iterable) -> Dict[str, object]:
+    """Fold issue-ordered ledger records into key/value state.
+
+    The single place the store's write semantics live for readers that
+    work off the cluster ledger rather than a replica's live state: the
+    stable-point barrier (:mod:`repro.shard.barrier`) folds its snapshot
+    cut through this, and the serving layer's session-local ``get`` fast
+    path folds a session's causal past the same way — both therefore
+    agree with :func:`kv_machine`'s ``put`` by construction.
+
+    ``records`` are :class:`~repro.shard.ledger.OpRecord`-shaped objects
+    (``kind``/``value`` attributes) already sorted by issue index; kinds
+    other than ``put``/``migrate`` are control traffic and fold to
+    nothing.
+    """
+    machine = kv_machine()
+    state = machine.initial_state
+    for record in records:
+        if record.kind == "put":
+            state = machine.apply(
+                state, Message(record.label, "put", record.value)
+            )
+        elif record.kind == "migrate":
+            entries = {key: value for key, value in state}
+            entries.update(record.value["entries"])
+            state = frozenset(entries.items())
+    return dict(state)
 
 
 class KeyedFrontEnd:

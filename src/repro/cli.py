@@ -288,6 +288,90 @@ def run_shard(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def run_serve(args: argparse.Namespace) -> int:
+    """Serve the sharded object space to real TCP clients."""
+    import asyncio
+    import signal
+
+    from repro.serve import ServeServer
+
+    async def main() -> int:
+        server = ServeServer(
+            shards=args.shards,
+            members_per_shard=args.members,
+            seed=args.seed,
+            host=args.host,
+            port=args.port,
+        )
+        await server.start()
+        # Explicit handlers: a backgrounded shell job inherits SIGINT as
+        # ignored, so the default KeyboardInterrupt path never fires.
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(sig, stop.set)
+            except (NotImplementedError, RuntimeError):
+                pass  # platforms without unix signal support
+        print(
+            f"serving {args.shards} shard(s) x {args.members} member(s) "
+            f"on {args.host}:{server.port}  (SIGINT/SIGTERM drains and stops)"
+        )
+        serve_task = asyncio.ensure_future(server.serve_forever())
+        await stop.wait()
+        await server.shutdown()
+        serve_task.cancel()
+        try:
+            await serve_task
+        except asyncio.CancelledError:
+            pass
+        if args.stats:
+            print(server.metrics.render())
+        violations = server.check_invariants()
+        status = "clean" if not violations else f"{len(violations)} VIOLATION(S)"
+        print(f"drained; audit: {status}")
+        for violation in violations:
+            print(f"    {violation}")
+        return 1 if violations else 0
+
+    try:
+        return asyncio.run(main())
+    except KeyboardInterrupt:
+        return 0
+
+
+def run_loadgen(args: argparse.Namespace) -> int:
+    """Drive a running server with pipelined client sessions."""
+    import asyncio
+
+    from repro.serve import run_load
+
+    async def main() -> int:
+        report = await run_load(
+            args.host,
+            args.port,
+            clients=args.clients,
+            ops_per_client=args.ops,
+            pipeline=args.pipeline,
+            read_every=args.read_every,
+            reconnect_every=args.reconnect_every,
+            rate=args.rate,
+            seed=args.seed,
+            fetch_stats=args.stats,
+        )
+        print(report.summary())
+        if args.stats and report.server_stats is not None:
+            print("server stats:")
+            for key, value in sorted(report.server_stats.items()):
+                if key != "latency":
+                    print(f"  {key:<22} {value}")
+            for kind, quantiles in report.server_stats["latency"].items():
+                print(f"  latency[{kind}]: {quantiles}")
+        return 1 if report.errors else 0
+
+    return asyncio.run(main())
+
+
 DEMOS: Dict[str, Callable[[argparse.Namespace], int]] = {
     "counter": demo_counter,
     "lock": demo_lock,
@@ -378,6 +462,55 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip the mid-campaign slot move",
     )
 
+    serve = subparsers.add_parser(
+        "serve", help="serve the sharded object space over TCP"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=7411,
+        help="listen port (0 picks an ephemeral port)",
+    )
+    serve.add_argument("--shards", type=int, default=2)
+    serve.add_argument(
+        "--members", type=int, default=3, help="replicas per shard group"
+    )
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument(
+        "--stats", action="store_true",
+        help="print the server metrics table after drain",
+    )
+
+    loadgen = subparsers.add_parser(
+        "loadgen", help="drive a running serve instance with pipelined load"
+    )
+    loadgen.add_argument("--host", default="127.0.0.1")
+    loadgen.add_argument("--port", type=int, default=7411)
+    loadgen.add_argument("--clients", type=int, default=8)
+    loadgen.add_argument(
+        "--ops", type=int, default=100, help="operations per client"
+    )
+    loadgen.add_argument(
+        "--pipeline", type=int, default=8,
+        help="writes kept in flight per connection",
+    )
+    loadgen.add_argument(
+        "--read-every", type=int, default=10,
+        help="every Nth op is a consistent barrier read (0 disables)",
+    )
+    loadgen.add_argument(
+        "--reconnect-every", type=int, default=0,
+        help="reconnect with the causal token every N ops (0 disables)",
+    )
+    loadgen.add_argument(
+        "--rate", type=float, default=None,
+        help="open-loop target ops/s per client (default: closed loop)",
+    )
+    loadgen.add_argument("--seed", type=int, default=0)
+    loadgen.add_argument(
+        "--stats", action="store_true",
+        help="also fetch and print the server metrics snapshot",
+    )
+
     experiment = subparsers.add_parser(
         "experiment", help="run a reproduced experiment and print its table"
     )
@@ -410,6 +543,10 @@ def main(argv: List[str] | None = None) -> int:
         return run_chaos(args)
     if args.command == "shard":
         return run_shard(args)
+    if args.command == "serve":
+        return run_serve(args)
+    if args.command == "loadgen":
+        return run_loadgen(args)
     if args.command == "experiment":
         from repro.errors import ConfigurationError
         from repro.experiments import get_experiment

@@ -219,6 +219,31 @@ class DependencyGraph:
             return False
         return earlier in self._closure(later)
 
+    def maximal_elements(
+        self, labels: Iterable[MessageId]
+    ) -> FrozenSet[MessageId]:
+        """Prune ``labels`` to those not in any other member's causal past.
+
+        Equivalent to keeping each label that no other label in the set
+        :meth:`precedes`, but costs one closure intersection per element
+        instead of O(n²) pairwise queries — frontier maintenance calls
+        this on every absorb, so the difference is structural.  Labels
+        unknown to the graph cannot shadow others but can themselves be
+        shadowed (they may appear in closures as dangling ancestors),
+        matching the pairwise semantics.
+        """
+        pool = set(labels)
+        if len(pool) <= 1:
+            return frozenset(pool)
+        shadowed: Set[MessageId] = set()
+        for label in pool:
+            if label in self._ancestors and label not in shadowed:
+                # Everything in label's closure is shadowed by label;
+                # label's own closure is a subset of any shadower's, so
+                # already-shadowed labels are safe to skip.
+                shadowed |= pool & self._closure(label)
+        return frozenset(pool - shadowed)
+
     def concurrent(self, a: MessageId, b: MessageId) -> bool:
         """The paper's ‖ relation: neither precedes the other."""
         if a == b:

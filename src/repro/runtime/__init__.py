@@ -1,11 +1,23 @@
 """Real-time (asyncio) runtime and wire codec for the protocol stacks."""
 
-from repro.runtime.asyncio_transport import AsyncioClock, AsyncioNetwork
-from repro.runtime.codec import decode_envelope, encode_envelope
+from repro.runtime.asyncio_transport import (
+    AsyncioClock,
+    AsyncioNetwork,
+    quiesce_all,
+)
+from repro.runtime.codec import (
+    decode_envelope,
+    decode_value,
+    encode_envelope,
+    encode_value,
+)
 
 __all__ = [
     "AsyncioClock",
     "AsyncioNetwork",
     "decode_envelope",
+    "decode_value",
     "encode_envelope",
+    "encode_value",
+    "quiesce_all",
 ]

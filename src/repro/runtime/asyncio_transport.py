@@ -17,7 +17,7 @@ experiments should use :class:`repro.sim.scheduler.Scheduler`.
 from __future__ import annotations
 
 import asyncio
-from typing import Any, Callable, Dict, Optional
+from typing import Any, Callable, Dict, Iterable, Optional
 
 from repro.errors import ConfigurationError, MembershipError
 from repro.net.faults import FaultPlan, RELIABLE
@@ -217,3 +217,28 @@ class AsyncioNetwork:
             await asyncio.wait_for(self._idle.wait(), timeout)
             # Yield once so freshly-scheduled zero-delay work registers.
             await asyncio.sleep(0)
+
+
+async def quiesce_all(
+    networks: Iterable[AsyncioNetwork], timeout: Optional[float] = None
+) -> None:
+    """Quiesce several networks hosted on one event loop, together.
+
+    A sharded deployment runs one :class:`AsyncioNetwork` per replication
+    group on a single loop (the serving layer's live topology).  Awaiting
+    each network's :meth:`~AsyncioNetwork.quiesce` in sequence is not
+    enough: a callback on network B may run while network A's quiesce is
+    returning and schedule fresh work on A.  This helper loops until one
+    full pass observes *every* network simultaneously idle.
+
+    ``timeout`` bounds each individual wait, as in ``quiesce``.
+    """
+    nets = list(networks)
+    while True:
+        for net in nets:
+            await net.quiesce(timeout)
+        # One extra yield: deliveries finishing on the last network may
+        # have scheduled zero-delay work on an earlier one.
+        await asyncio.sleep(0)
+        if all(net.scheduler.outstanding == 0 for net in nets):
+            return

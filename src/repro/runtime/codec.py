@@ -14,9 +14,17 @@ Payloads must be JSON-compatible scalars/lists/dicts, with two
 extensions used by the library's own control traffic: ``MessageId``
 values and frozensets of them are encoded structurally.
 
-The codec is deliberately strict: unknown metadata keys raise instead of
-being dropped silently, so a protocol extension cannot lose information
-on the wire without a test noticing.
+The codec is deliberately strict about *metadata*: unknown metadata keys
+raise instead of being dropped silently, so a protocol extension cannot
+lose information on the wire without a test noticing.  Unknown top-level
+*envelope* fields, by contrast, are ignored on decode — a newer peer may
+annotate envelopes (tracing ids, routing hints) without breaking older
+decoders, which is what lets the wire format evolve one side at a time.
+
+:func:`encode_value` / :func:`decode_value` expose the payload value
+codec on its own; the serving layer (:mod:`repro.serve.wire`) reuses it
+for request/reply documents so labels and label sets cross the client
+wire with the same structural encoding the envelope payloads use.
 """
 
 from __future__ import annotations
@@ -75,6 +83,24 @@ def _decode_value(value: Any) -> Any:
     if isinstance(value, list):
         return [_decode_value(v) for v in value]
     return value
+
+
+def encode_value(value: Any) -> Any:
+    """Encode one payload value into JSON-compatible structures.
+
+    Scalars pass through; ``MessageId``, sets, tuples and non-string-keyed
+    dicts become tagged objects (``__mid__``/``__set__``/…).  Raises
+    :class:`ProtocolError` on anything JSON cannot carry.
+    """
+    return _encode_value(value)
+
+
+def decode_value(value: Any) -> Any:
+    """Inverse of :func:`encode_value` (post-``json.loads`` structures)."""
+    try:
+        return _decode_value(value)
+    except (TypeError, ValueError) as exc:
+        raise ProtocolError(f"malformed wire value: {exc}") from exc
 
 
 # -- metadata encoding ------------------------------------------------------------
@@ -144,7 +170,13 @@ def encode_envelope(envelope: Envelope) -> bytes:
 
 
 def decode_envelope(data: bytes) -> Envelope:
-    """Parse an envelope from :func:`encode_envelope` output."""
+    """Parse an envelope from :func:`encode_envelope` output.
+
+    Top-level fields this decoder does not know are ignored (forward
+    compatibility: a newer encoder may annotate envelopes); unknown
+    *metadata* keys still raise, because metadata is what the ordering
+    protocols act on and must never be silently dropped.
+    """
     try:
         document = json.loads(data.decode("utf-8"))
     except (ValueError, UnicodeDecodeError) as exc:

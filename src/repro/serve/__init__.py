@@ -1,0 +1,41 @@
+"""Wire-facing serving layer over the sharded causal object space.
+
+The paper's Section 6.1 front-end managers, made real: an asyncio TCP
+server (:mod:`repro.serve.server`) fronts a
+:class:`~repro.shard.cluster.ShardedCluster` for external clients over a
+length-prefixed JSON protocol (:mod:`repro.serve.wire`), with pipelining,
+per-cycle write batching, admission control, and causal *session tokens*
+that let a client reconnect anywhere without losing read-your-writes or
+monotonic causal order.  A pipelined client and a closed/open-loop load
+generator ride along; see ``docs/SERVING.md``.
+"""
+
+from repro.serve.client import ServeClient, ServeError, reconnect
+from repro.serve.loadgen import LoadReport, run_load
+from repro.serve.metrics import ServeMetrics, percentile
+from repro.serve.server import ServeServer
+from repro.serve.wire import (
+    MAX_FRAME,
+    SERVE_WIRE_VERSION,
+    decode_frame,
+    encode_frame,
+    read_frame,
+    write_frame,
+)
+
+__all__ = [
+    "LoadReport",
+    "MAX_FRAME",
+    "SERVE_WIRE_VERSION",
+    "ServeClient",
+    "ServeError",
+    "ServeMetrics",
+    "ServeServer",
+    "decode_frame",
+    "encode_frame",
+    "percentile",
+    "read_frame",
+    "reconnect",
+    "run_load",
+    "write_frame",
+]

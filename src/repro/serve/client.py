@@ -1,0 +1,209 @@
+"""Pipelined asyncio client for the serving layer.
+
+:class:`ServeClient` speaks the length-prefixed frame protocol
+(:mod:`repro.serve.wire`).  Requests are *pipelined*: :meth:`put` sends
+the frame immediately and returns an awaitable future, so a caller can
+keep many operations in flight on one connection and await them in any
+order — a background reader task matches replies to futures by ``rid``.
+
+Causal continuity across connections is the client's responsibility and
+is one line: every reply carries the session's current token, the client
+remembers the newest one, and a reconnect presents it in ``hello``.  The
+server folds the token's frontier back into the (possibly fresh) session
+state, so read-your-writes and monotonic order survive disconnects —
+the token *is* the session, the TCP connection is just a vehicle.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.errors import ProtocolError
+from repro.serve.wire import read_frame, write_frame
+
+
+class ServeError(ProtocolError):
+    """An error reply (or a dead connection) surfaced to the caller."""
+
+
+class ServeClient:
+    """One pipelined connection to a :class:`~repro.serve.server.ServeServer`."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        session: str,
+        token: Optional[str] = None,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.session = session
+        self.token = token
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._recv_task: Optional[asyncio.Task] = None
+        self._waiting: Dict[int, asyncio.Future] = {}
+        self._next_rid = 0
+        self._recv_dead = False
+        self.server_said_bye = False
+        self.hello_reply: Optional[Dict[str, Any]] = None
+
+    # -- connection lifecycle ----------------------------------------------
+
+    async def connect(self) -> Dict[str, Any]:
+        """Open the connection and perform the hello handshake."""
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port
+        )
+        self._recv_task = asyncio.ensure_future(self._recv_loop())
+        reply = await self._request({
+            "t": "hello", "session": self.session, "token": self.token,
+        })
+        self.hello_reply = reply
+        return reply
+
+    async def close(self) -> None:
+        """Polite close: say bye, then tear the connection down."""
+        if self._writer is not None and not self._writer.is_closing():
+            try:
+                write_frame(self._writer, {"t": "bye"})
+                await self._writer.drain()
+            except (ConnectionError, RuntimeError):
+                pass
+            self._writer.close()
+        if self._recv_task is not None:
+            self._recv_task.cancel()
+            try:
+                await self._recv_task
+            except asyncio.CancelledError:
+                pass
+            self._recv_task = None
+        self._fail_outstanding("connection closed")
+
+    # -- the pipeline ------------------------------------------------------
+
+    def submit(self, document: Dict[str, Any]) -> "asyncio.Future[Dict[str, Any]]":
+        """Send one request frame now; resolve its reply later.
+
+        The returned future raises :class:`ServeError` for error replies.
+        This is the pipelining primitive — callers that want one-at-a-time
+        semantics just await it immediately.
+        """
+        if self._writer is None or self._recv_dead:
+            # Once the reader loop has exited (bye, EOF, or error) no
+            # reply can ever arrive — failing fast beats a future that
+            # nothing will resolve.
+            raise ServeError("not connected")
+        rid = self._next_rid
+        self._next_rid += 1
+        document = dict(document)
+        document["rid"] = rid
+        future: asyncio.Future = asyncio.get_event_loop().create_future()
+        self._waiting[rid] = future
+        try:
+            write_frame(self._writer, document)
+        except (ConnectionError, RuntimeError) as exc:
+            self._waiting.pop(rid, None)
+            raise ServeError(f"send failed: {exc}") from exc
+        return future
+
+    async def _request(self, document: Dict[str, Any]) -> Dict[str, Any]:
+        return await self.submit(document)
+
+    async def _recv_loop(self) -> None:
+        assert self._reader is not None
+        try:
+            while True:
+                frame = await read_frame(self._reader)
+                if frame is None:
+                    break
+                if frame.get("t") == "bye":
+                    self.server_said_bye = True
+                    break
+                self._dispatch_reply(frame)
+        except (ProtocolError, ConnectionError):
+            pass
+        finally:
+            self._recv_dead = True
+            self._fail_outstanding("connection lost")
+
+    def _dispatch_reply(self, frame: Dict[str, Any]) -> None:
+        rid = frame.get("rid")
+        future = self._waiting.pop(rid, None)
+        if future is None or future.done():
+            return
+        token = frame.get("token")
+        if token is not None:
+            self.token = token
+        if frame.get("t") == "error":
+            future.set_exception(ServeError(str(frame.get("error"))))
+        else:
+            future.set_result(frame)
+
+    def _fail_outstanding(self, reason: str) -> None:
+        for future in self._waiting.values():
+            if not future.done():
+                future.set_exception(ServeError(reason))
+        self._waiting.clear()
+
+    # -- convenience API ---------------------------------------------------
+
+    def put(self, key: str, value: object) -> "asyncio.Future[Dict[str, Any]]":
+        """Pipelined write; the reply carries the label and a fresh token."""
+        return self.submit({"t": "put", "key": key, "value": value})
+
+    async def put_wait(self, key: str, value: object) -> Dict[str, Any]:
+        return await self.put(key, value)
+
+    async def get(self, key: str) -> Optional[object]:
+        """Session-local read (read-your-writes; no global snapshot)."""
+        reply = await self._request({"t": "get", "key": key})
+        return reply.get("value")
+
+    async def read(
+        self, shards: Optional[Sequence[int]] = None
+    ) -> Dict[str, Any]:
+        """Consistent multi-shard barrier read; reply carries the values."""
+        document: Dict[str, Any] = {"t": "read"}
+        if shards is not None:
+            document["shards"] = list(shards)
+        return await self._request(document)
+
+    async def fetch_token(self) -> str:
+        reply = await self._request({"t": "token"})
+        return reply["token"]
+
+    async def stats(self) -> Dict[str, Any]:
+        reply = await self._request({"t": "stats"})
+        return reply["stats"]
+
+    async def chaos(
+        self,
+        action: str,
+        shard: int,
+        member: Optional[str] = None,
+    ) -> Dict[str, Any]:
+        """Ask the server to crash/restart a replica (demos and tests)."""
+        return await self._request({
+            "t": "chaos", "action": action, "shard": shard, "member": member,
+        })
+
+    @property
+    def outstanding(self) -> int:
+        return len(self._waiting)
+
+
+async def reconnect(client: ServeClient) -> ServeClient:
+    """Close ``client`` and return a fresh one resuming its session.
+
+    The new connection presents the old connection's newest token, so the
+    resumed session's causal floor covers everything the old one did —
+    the reconnect is invisible to the session guarantees.
+    """
+    token = client.token
+    await client.close()
+    fresh = ServeClient(client.host, client.port, client.session, token=token)
+    await fresh.connect()
+    return fresh

@@ -1,0 +1,186 @@
+"""Multi-connection load generator for the serving layer.
+
+Drives N concurrent :class:`~repro.serve.client.ServeClient` sessions
+against one server in either of two shapes:
+
+* **closed loop** (the default): each client keeps up to ``pipeline``
+  writes outstanding and issues the next as soon as one completes —
+  throughput is whatever the server sustains at that concurrency;
+* **open loop**: each client targets ``rate`` operations per second,
+  sleeping between issues regardless of completions — latency under a
+  fixed offered load, the shape that exposes queueing.
+
+Every ``read_every``-th operation is a consistent barrier read (a sync
+point for the session's pipeline).  With ``reconnect_every`` set, a
+client periodically drains its pipeline, disconnects, and reconnects
+presenting its causal token — exercising exactly the session-continuity
+path the tokens exist for.
+
+Latencies are measured client-side (request write to reply dispatch) and
+reported as p50/p99 over all clients; the report also folds in the
+server's own metrics snapshot when ``fetch_stats`` is set, so one object
+carries both sides of the wire.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.serve.client import ServeClient, ServeError, reconnect
+from repro.serve.metrics import percentile
+
+
+@dataclass
+class LoadReport:
+    """Outcome of one load run (plus the server's view, if fetched)."""
+
+    clients: int
+    pipeline: int
+    ops: int
+    reads: int
+    errors: int
+    reconnects: int
+    elapsed: float
+    latencies_ms: List[float] = field(repr=False, default_factory=list)
+    server_stats: Optional[Dict[str, object]] = field(
+        repr=False, default=None
+    )
+
+    @property
+    def ops_per_sec(self) -> float:
+        return self.ops / self.elapsed if self.elapsed > 0 else 0.0
+
+    @property
+    def p50_ms(self) -> Optional[float]:
+        return percentile(self.latencies_ms, 0.50)
+
+    @property
+    def p99_ms(self) -> Optional[float]:
+        return percentile(self.latencies_ms, 0.99)
+
+    def summary(self) -> str:
+        p50 = f"{self.p50_ms:.2f}" if self.p50_ms is not None else "-"
+        p99 = f"{self.p99_ms:.2f}" if self.p99_ms is not None else "-"
+        return (
+            f"clients={self.clients} pipeline={self.pipeline} "
+            f"ops={self.ops} reads={self.reads} errors={self.errors} "
+            f"reconnects={self.reconnects} "
+            f"{self.ops_per_sec:.0f} ops/s p50={p50}ms p99={p99}ms"
+        )
+
+
+async def _drive_client(
+    host: str,
+    port: int,
+    name: str,
+    *,
+    ops: int,
+    pipeline: int,
+    read_every: int,
+    reconnect_every: int,
+    key_space: int,
+    rate: Optional[float],
+    seed: int,
+    report: LoadReport,
+) -> None:
+    rng = random.Random(seed)
+    client = ServeClient(host, port, name)
+    await client.connect()
+    outstanding: List[asyncio.Future] = []
+    issued = 0
+
+    async def reap(down_to: int) -> None:
+        nonlocal outstanding
+        while len(outstanding) > down_to:
+            future = outstanding.pop(0)
+            started = getattr(future, "_lg_started", None)
+            try:
+                await future
+                if started is not None:
+                    report.latencies_ms.append(
+                        (time.perf_counter() - started) * 1000.0
+                    )
+                report.ops += 1
+            except ServeError:
+                report.errors += 1
+
+    try:
+        while issued < ops:
+            issued += 1
+            if read_every and issued % read_every == 0:
+                # A barrier read is a session sync point: drain the
+                # pipeline first, then await the read itself.
+                await reap(0)
+                started = time.perf_counter()
+                try:
+                    await client.read()
+                    report.latencies_ms.append(
+                        (time.perf_counter() - started) * 1000.0
+                    )
+                    report.ops += 1
+                    report.reads += 1
+                except ServeError:
+                    report.errors += 1
+            else:
+                key = f"k{rng.randrange(key_space)}"
+                future = client.put(key, f"{name}:{issued}")
+                future._lg_started = time.perf_counter()  # type: ignore[attr-defined]
+                outstanding.append(future)
+                await reap(pipeline - 1)
+            if reconnect_every and issued % reconnect_every == 0:
+                await reap(0)
+                client = await reconnect(client)
+                report.reconnects += 1
+            if rate is not None and rate > 0:
+                await asyncio.sleep(rng.expovariate(rate))
+        await reap(0)
+    finally:
+        await client.close()
+
+
+async def run_load(
+    host: str,
+    port: int,
+    *,
+    clients: int = 8,
+    ops_per_client: int = 50,
+    pipeline: int = 8,
+    read_every: int = 10,
+    reconnect_every: int = 0,
+    key_space: int = 64,
+    rate: Optional[float] = None,
+    seed: int = 0,
+    session_prefix: str = "load",
+    fetch_stats: bool = False,
+) -> LoadReport:
+    """Run the load shape and return a :class:`LoadReport`."""
+    report = LoadReport(
+        clients=clients, pipeline=pipeline,
+        ops=0, reads=0, errors=0, reconnects=0, elapsed=0.0,
+    )
+    started = time.perf_counter()
+    await asyncio.gather(*[
+        _drive_client(
+            host, port, f"{session_prefix}{index}",
+            ops=ops_per_client,
+            pipeline=max(1, pipeline),
+            read_every=read_every,
+            reconnect_every=reconnect_every,
+            key_space=key_space,
+            rate=rate,
+            seed=seed * 10_007 + index,
+            report=report,
+        )
+        for index in range(clients)
+    ])
+    report.elapsed = time.perf_counter() - started
+    if fetch_stats:
+        probe = ServeClient(host, port, f"{session_prefix}-probe")
+        await probe.connect()
+        report.server_stats = await probe.stats()
+        await probe.close()
+    return report

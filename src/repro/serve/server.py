@@ -1,0 +1,645 @@
+"""Wire-facing server fronting the sharded causal object space.
+
+:class:`ServeServer` is the paper's Section 6.1 front-end manager made
+real: external clients connect over TCP, issue ``put``/``read``
+requests, and the server turns them into ``Occurs-After``-annotated
+broadcasts on the sharded cluster (:mod:`repro.shard`).  The causal
+session state lives in the router's :class:`~repro.shard.router.Session`
+objects; clients carry it across connections as opaque tokens
+(:meth:`Session.export_token`), so a client may disconnect and reconnect
+without losing read-your-writes or monotonic causal order.
+
+Execution model
+---------------
+
+The object space runs on the deterministic simulator; the wire runs on
+asyncio.  The server bridges them with a *batch cycle*: requests that
+arrive while a cycle is in flight accumulate, then one flush issues
+every queued write through the session layer (grouped per shard) and
+drives the simulator to quiescence **once** for the whole batch.  The
+simulator drive is the expensive part, so batching amortises it across
+every pipelined request in the cycle — the same lesson as the paper's
+message-packing ablation, applied at the serving edge.
+
+Flow control, both directions:
+
+* **admission** — at most ``max_inflight`` unanswered requests per
+  connection; past that the server stops reading the socket, so TCP
+  backpressure reaches the client before memory does;
+* **slow clients** — replies go through ``writer.drain()``, so a client
+  that stops reading pauses its own reply stream without wedging the
+  batch cycle for everyone else.
+
+Shutdown is a graceful drain: stop accepting, answer everything already
+admitted, say ``bye`` on every connection, then (optionally) heal the
+cluster — restart crashed replicas and run repair rounds to convergence.
+
+Every answered operation is recorded per session; the recorded wire
+history is checked against the four session guarantees
+(:mod:`repro.analysis.session_guarantees`) — over a causal broadcast
+substrate with correct ``Occurs-After`` stamping, all four hold even
+with replicas crashing mid-run, and the serve test suite and CI smoke
+assert exactly that.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.analysis.session_guarantees import (
+    GuaranteeViolation,
+    SessionOp,
+    check_all_session_guarantees,
+)
+from repro.analysis.invariants import Violation
+from repro.apps.kvstore import fold_ledger
+from repro.errors import ProtocolError
+from repro.serve.metrics import ServeMetrics
+from repro.serve.wire import (
+    SERVE_WIRE_VERSION,
+    read_frame,
+    write_frame,
+)
+from repro.shard.cluster import ShardedCluster
+from repro.shard.ledger import DATA_KINDS
+from repro.shard.router import Session
+from repro.types import EntityId, MessageId
+
+#: Default cap on unanswered requests per connection.
+MAX_INFLIGHT = 64
+
+#: Wall-clock seconds between background repair rounds (anti-entropy +
+#: stability gossip at every up replica) while the server is idle.
+REPAIR_INTERVAL = 0.25
+
+
+class _Connection:
+    """Per-connection state: session binding, admission, liveness."""
+
+    def __init__(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        self.reader = reader
+        self.writer = writer
+        self.session: Optional[Session] = None
+        self.inflight = 0
+        self.can_admit = asyncio.Event()
+        self.can_admit.set()
+        self.closed = False
+
+    def release(self) -> None:
+        self.inflight -= 1
+        if not self.can_admit.is_set():
+            self.can_admit.set()
+
+
+class _PendingOp:
+    """One admitted request waiting for (or resolved by) a batch cycle."""
+
+    __slots__ = ("conn", "frame", "started", "label", "read", "error")
+
+    def __init__(self, conn: _Connection, frame: Dict[str, Any], now: float):
+        self.conn = conn
+        self.frame = frame
+        self.started = now
+        self.label: Optional[MessageId] = None
+        self.read = None
+        self.error: Optional[str] = None
+
+
+class ServeServer:
+    """Asyncio TCP server over a :class:`ShardedCluster`."""
+
+    def __init__(
+        self,
+        cluster: Optional[ShardedCluster] = None,
+        *,
+        shards: int = 2,
+        members_per_shard: int = 3,
+        seed: int = 0,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_inflight: int = MAX_INFLIGHT,
+        repair_interval: float = REPAIR_INTERVAL,
+    ) -> None:
+        self.cluster = cluster if cluster is not None else ShardedCluster(
+            shards=shards, members_per_shard=members_per_shard, seed=seed
+        )
+        self.host = host
+        self.port = port
+        self.max_inflight = max_inflight
+        self.repair_interval = repair_interval
+        self.metrics = ServeMetrics()
+        #: session name -> answered ops, in issue order.  Entries are
+        #: ("write", label) or ("read", BarrierRead).
+        self.history: Dict[str, List[Tuple[str, object]]] = {}
+        self._pending: List[_PendingOp] = []
+        self._flush_task: Optional[asyncio.Task] = None
+        self._repair_task: Optional[asyncio.Task] = None
+        self._connections: Set[_Connection] = set()
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._draining = False
+        self.heal_violations: List[Violation] = []
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind and start accepting; resolves ``self.port`` if it was 0."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        if self.repair_interval > 0:
+            self._repair_task = asyncio.ensure_future(self._repair_loop())
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "start() first"
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def shutdown(self, *, heal: bool = True) -> None:
+        """Graceful drain: answer admitted work, bye, optionally heal.
+
+        With ``heal=True`` every crashed in-view replica is restarted and
+        repair rounds run to convergence; liveness failures land in
+        ``self.heal_violations`` instead of raising, so callers can fold
+        them into their own report.
+        """
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        while self._pending or (
+            self._flush_task is not None and not self._flush_task.done()
+        ):
+            await asyncio.sleep(0.005)
+        if self._repair_task is not None:
+            self._repair_task.cancel()
+            try:
+                await self._repair_task
+            except asyncio.CancelledError:
+                pass
+            self._repair_task = None
+        for conn in list(self._connections):
+            try:
+                write_frame(conn.writer, {"t": "bye"})
+                self.metrics.bump("frames_out")
+                await conn.writer.drain()
+            except (ConnectionError, RuntimeError):
+                pass
+            self._close_connection(conn)
+        if heal:
+            self.heal_violations = self._heal()
+
+    def _heal(self) -> List[Violation]:
+        cluster = self.cluster
+        for group in cluster.groups.values():
+            for member, stack in group.stacks.items():
+                if stack.crashed and member in group.group.view:
+                    group.restart(member)
+            for member in group.members:
+                if member not in group.group.view:
+                    group.rejoin(member)
+        cluster.drain()
+        violations, _rounds = cluster.settle()
+        return violations
+
+    # -- background repair -------------------------------------------------
+
+    async def _repair_loop(self) -> None:
+        while True:
+            await asyncio.sleep(self.repair_interval)
+            if not self._pending:
+                self._repair_round()
+
+    def _repair_round(self) -> None:
+        """One anti-entropy + gossip round at every up replica.
+
+        Fills gaps crashed-and-dropped deliveries left behind (a restarted
+        replica catches up here) without touching membership — a replica
+        killed over the wire stays down until asked to restart.
+        """
+        for group in self.cluster.groups.values():
+            for member in group._repair_participants():
+                group.recoveries[member].anti_entropy_round()
+                group.trackers[member].gossip_round()
+        self.cluster.router.kick()
+        self.cluster.drain()
+
+    # -- connection handling -----------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        conn = _Connection(reader, writer)
+        self._connections.add(conn)
+        self.metrics.bump("connections_opened")
+        try:
+            while True:
+                frame = await read_frame(reader)
+                if frame is None or frame.get("t") == "bye":
+                    break
+                self.metrics.bump("frames_in")
+                await self._dispatch(conn, frame)
+        except ProtocolError as exc:
+            await self._send_error(conn, None, str(exc))
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            self._close_connection(conn)
+
+    def _close_connection(self, conn: _Connection) -> None:
+        if conn.closed:
+            return
+        conn.closed = True
+        self._connections.discard(conn)
+        self.metrics.bump("connections_closed")
+        try:
+            conn.writer.close()
+        except RuntimeError:
+            pass
+
+    async def _send(self, conn: _Connection, document: Dict[str, Any]) -> None:
+        if conn.closed:
+            return
+        try:
+            write_frame(conn.writer, document)
+            self.metrics.bump("frames_out")
+            await conn.writer.drain()
+        except (ConnectionError, RuntimeError):
+            self._close_connection(conn)
+
+    async def _send_error(
+        self, conn: _Connection, rid: Optional[int], message: str
+    ) -> None:
+        self.metrics.bump("errors")
+        await self._send(
+            conn, {"t": "error", "rid": rid, "error": message}
+        )
+
+    # -- request dispatch --------------------------------------------------
+
+    async def _dispatch(self, conn: _Connection, frame: Dict[str, Any]) -> None:
+        kind = frame.get("t")
+        rid = frame.get("rid")
+        if kind == "hello":
+            await self._handle_hello(conn, frame)
+            return
+        if conn.session is None:
+            await self._send_error(conn, rid, "hello required first")
+            return
+        if kind in ("put", "read", "get"):
+            if self._draining:
+                await self._send_error(conn, rid, "server is draining")
+                return
+            while conn.inflight >= self.max_inflight:
+                # Admission control: stop reading this socket until the
+                # pipeline drains below the cap — the client feels it as
+                # TCP backpressure, not an error.
+                self.metrics.bump("admission_waits")
+                conn.can_admit.clear()
+                await conn.can_admit.wait()
+            conn.inflight += 1
+            self.metrics.inflight += 1
+            self._enqueue(conn, frame)
+            return
+        if kind == "token":
+            await self._send(conn, {
+                "t": "reply", "rid": rid, "ok": True,
+                "token": conn.session.export_token(),
+            })
+            return
+        if kind == "stats":
+            self.metrics.queue_depth = len(self._pending)
+            await self._send(conn, {
+                "t": "reply", "rid": rid, "ok": True,
+                "stats": self.metrics.snapshot(),
+            })
+            return
+        if kind == "chaos":
+            await self._handle_chaos(conn, frame)
+            return
+        await self._send_error(conn, rid, f"unknown request type: {kind!r}")
+
+    async def _handle_hello(
+        self, conn: _Connection, frame: Dict[str, Any]
+    ) -> None:
+        rid = frame.get("rid")
+        name = frame.get("session")
+        if not isinstance(name, str) or not name:
+            await self._send_error(conn, rid, "hello needs a session name")
+            return
+        session = self.cluster.router.session(name)
+        token = frame.get("token")
+        dropped: int = 0
+        if token is not None:
+            try:
+                dropped = len(session.import_token(token))
+            except ProtocolError as exc:
+                await self._send_error(conn, rid, str(exc))
+                return
+            self.metrics.bump("tokens_imported")
+            self.metrics.bump("token_labels_dropped", dropped)
+        conn.session = session
+        self.history.setdefault(name, [])
+        await self._send(conn, {
+            "t": "reply", "rid": rid, "ok": True,
+            "wire_version": SERVE_WIRE_VERSION,
+            "session": name,
+            "shards": len(self.cluster.shard_ids),
+            "token": session.export_token(),
+            "token_labels_dropped": dropped,
+        })
+
+    async def _handle_chaos(
+        self, conn: _Connection, frame: Dict[str, Any]
+    ) -> None:
+        """Fault injection over the wire (demos, CI smoke, soak tests)."""
+        rid = frame.get("rid")
+        action = frame.get("action")
+        shard = frame.get("shard")
+        if shard not in self.cluster.groups:
+            await self._send_error(conn, rid, f"unknown shard: {shard!r}")
+            return
+        group = self.cluster.groups[shard]
+        member: Optional[EntityId] = frame.get("member")
+        if action == "crash":
+            if member is None:
+                member = next(
+                    (m for m in group.members if not group.stacks[m].crashed),
+                    None,
+                )
+            if member is None or group.stacks[member].crashed:
+                await self._send_error(conn, rid, "no up member to crash")
+                return
+            up = sum(1 for s in group.stacks.values() if not s.crashed)
+            if up <= 1:
+                await self._send_error(
+                    conn, rid, f"refusing to crash the last member of shard {shard}"
+                )
+                return
+            group.crash(member)
+            self.cluster.drain()
+        elif action == "restart":
+            if member is None or not group.stacks[member].crashed:
+                await self._send_error(conn, rid, "member is not crashed")
+                return
+            group.restart(member)
+            self._repair_round()
+        else:
+            await self._send_error(conn, rid, f"unknown chaos action: {action!r}")
+            return
+        await self._send(conn, {
+            "t": "reply", "rid": rid, "ok": True,
+            "action": action, "shard": shard, "member": member,
+        })
+
+    # -- the batch cycle ---------------------------------------------------
+
+    def _enqueue(self, conn: _Connection, frame: Dict[str, Any]) -> None:
+        loop = asyncio.get_event_loop()
+        self._pending.append(_PendingOp(conn, frame, loop.time()))
+        self.metrics.queue_depth = len(self._pending)
+        if self._flush_task is None or self._flush_task.done():
+            self._flush_task = asyncio.ensure_future(self._flush())
+
+    async def _flush(self) -> None:
+        # Yield once so every request already parsed in this loop tick
+        # joins the same cycle — this is where pipelining turns into
+        # batching.
+        await asyncio.sleep(0)
+        while self._pending:
+            batch, self._pending = self._pending, []
+            self.metrics.queue_depth = 0
+            try:
+                await self._run_cycle(batch)
+            except Exception as exc:  # noqa: BLE001 - cycle must not die silently
+                # A failed cycle still answers (with errors) and still
+                # releases admission slots — a wedged pipeline would
+                # otherwise deadlock every client on the connection.
+                for op in batch:
+                    self.metrics.inflight -= 1
+                    op.conn.release()
+                    await self._send_error(
+                        op.conn, op.frame.get("rid"), f"server error: {exc}"
+                    )
+                raise
+
+    async def _run_cycle(self, batch: List[_PendingOp]) -> None:
+        per_shard: Dict[int, int] = {}
+        for op in batch:
+            frame = op.frame
+            kind = frame.get("t")
+            session = op.conn.session
+            if kind == "put":
+                key = frame.get("key")
+                if not isinstance(key, str):
+                    op.error = "put needs a string key"
+                    continue
+                try:
+                    # The kv fold stores state as a frozenset of pairs,
+                    # so values must be hashable; reject per-op here
+                    # rather than letting the fold poison the batch.
+                    hash(frame.get("value"))
+                except TypeError:
+                    op.error = (
+                        "put value must be hashable "
+                        "(use scalars, tuples, or labels — not dicts/lists)"
+                    )
+                    continue
+                shard = self.cluster.shard_map.shard_of(key)
+                per_shard[shard] = per_shard.get(shard, 0) + 1
+                session.put(
+                    key,
+                    frame.get("value"),
+                    on_issued=lambda label, op=op: self._put_issued(op, label),
+                )
+            elif kind == "read":
+                shards = frame.get("shards")
+                if shards is not None and (
+                    not isinstance(shards, list)
+                    or any(s not in self.cluster.groups for s in shards)
+                ):
+                    op.error = f"read names unknown shards: {shards!r}"
+                    continue
+                session.read(
+                    shards=shards,
+                    callback=lambda read, op=op: setattr(op, "read", read),
+                )
+        self.metrics.record_batch(len(batch))
+        for shard, count in sorted(per_shard.items()):
+            self.metrics.bump(f"shard{shard}_batch_puts", count)
+        # One simulator drive for the whole cycle: every queued write
+        # issues (or exhausts its retries), every barrier completes (or
+        # aborts), every delivery lands.
+        self.cluster.drain()
+        loop = asyncio.get_event_loop()
+        drains = []
+        for op in batch:
+            reply = self._build_reply(op)
+            millis = (loop.time() - op.started) * 1000.0
+            self.metrics.record_latency(op.frame.get("t", "op"), millis)
+            self.metrics.record_latency("op", millis)
+            if not op.conn.closed:
+                try:
+                    write_frame(op.conn.writer, reply)
+                    self.metrics.bump("frames_out")
+                    drains.append(op.conn)
+                except (ConnectionError, RuntimeError):
+                    self._close_connection(op.conn)
+            op.conn.release()
+            self.metrics.inflight -= 1
+        # Slow-client write pausing: drain each touched connection; a
+        # stalled reader delays only its own replies.
+        for conn in dict.fromkeys(drains):
+            try:
+                await conn.writer.drain()
+            except (ConnectionError, RuntimeError):
+                self._close_connection(conn)
+
+    def _put_issued(self, op: _PendingOp, label: Optional[MessageId]) -> None:
+        op.label = label
+        if label is not None:
+            session = op.conn.session
+            self.history[session.name].append(("write", label))
+
+    def _build_reply(self, op: _PendingOp) -> Dict[str, Any]:
+        frame = op.frame
+        rid = frame.get("rid")
+        kind = frame.get("t")
+        session = op.conn.session
+        self.metrics.bump("ops")
+        if op.error is not None:
+            self.metrics.bump("errors")
+            return {"t": "error", "rid": rid, "error": op.error}
+        if kind == "put":
+            self.metrics.bump("puts")
+            if op.label is None:
+                self.metrics.bump("puts_dropped")
+                self.metrics.bump("errors")
+                return {
+                    "t": "error", "rid": rid,
+                    "error": "put was dropped (shard unreachable)",
+                }
+            return {
+                "t": "reply", "rid": rid, "ok": True,
+                "label": op.label,
+                "token": session.export_token(),
+            }
+        if kind == "get":
+            self.metrics.bump("gets")
+            key = frame.get("key")
+            return {
+                "t": "reply", "rid": rid, "ok": True,
+                "key": key,
+                "value": self._session_get(session, key),
+                "token": session.export_token(),
+            }
+        self.metrics.bump("reads")
+        read = op.read
+        if read is None:
+            self.metrics.bump("reads_failed")
+            self.metrics.bump("errors")
+            return {
+                "t": "error", "rid": rid,
+                "error": "barrier read aborted",
+            }
+        self.history[session.name].append(("read", read))
+        return {
+            "t": "reply", "rid": rid, "ok": True,
+            "value": dict(read.value),
+            "shards": list(read.shards),
+            "rounds": read.rounds,
+            "barrier_labels": {
+                str(shard): list(labels)
+                for shard, labels in read.barrier_labels.items()
+            },
+            "token": session.export_token(),
+        }
+
+    def _session_get(self, session: Session, key: str) -> Optional[object]:
+        """Session-local fast read: fold the session's own causal past.
+
+        Cheaper than a barrier (no broadcast, no stable point): the value
+        under the session's current frontier — read-your-writes for this
+        session, no cross-session freshness promise.  Spontaneous reads
+        wanting a consistent global cut use ``read``.
+        """
+        cluster = self.cluster
+        past: Set[MessageId] = set()
+        for labels in session.frontier.values():
+            for label in labels:
+                past.add(label)
+                past |= cluster.graph.causal_past(label)
+        records = sorted(
+            (
+                cluster.ops[label]
+                for label in past
+                if label in cluster.ops
+                and cluster.ops[label].kind in DATA_KINDS
+            ),
+            key=lambda record: record.index,
+        )
+        return fold_ledger(records).get(key)
+
+    # -- auditing ----------------------------------------------------------
+
+    def session_logs(self) -> Dict[str, List[SessionOp]]:
+        """The recorded wire history as session-guarantee checker input.
+
+        A write is its label.  A read is anchored at its first barrier
+        label (every barrier label of a read carries the session's whole
+        frontier as ``Occurs-After``/``cross_deps``, so any one of them
+        witnesses the session-order edge); its observed set is the data
+        the snapshot covered, restricted to writes.
+        """
+        all_writes = {
+            entry[1]
+            for entries in self.history.values()
+            for entry in entries
+            if entry[0] == "write"
+        }
+        logs: Dict[str, List[SessionOp]] = {}
+        for name, entries in self.history.items():
+            log: List[SessionOp] = []
+            for entry in entries:
+                if entry[0] == "write":
+                    log.append(SessionOp("write", entry[1]))
+                else:
+                    read = entry[1]
+                    anchor = min(
+                        (
+                            label
+                            for labels in read.barrier_labels.values()
+                            for label in labels
+                        ),
+                        key=lambda label: self.cluster.ops[label].index,
+                    )
+                    log.append(SessionOp(
+                        "read", anchor, frozenset(read.labels & all_writes)
+                    ))
+            logs[name] = log
+        return logs
+
+    def session_guarantee_violations(self) -> List[GuaranteeViolation]:
+        """Check the recorded wire history against all four guarantees."""
+        results = check_all_session_guarantees(
+            self.cluster.graph, self.session_logs()
+        )
+        return [
+            violation
+            for violations in results.values()
+            for violation in violations
+        ]
+
+    def check_invariants(self) -> List[Violation]:
+        """Full cluster battery + cross-shard audit + wire guarantees."""
+        violations = list(self.cluster.check_invariants())
+        violations.extend(
+            Violation("session-guarantee", None, str(v))
+            for v in self.session_guarantee_violations()
+        )
+        return violations

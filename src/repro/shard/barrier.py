@@ -216,19 +216,15 @@ class StablePointBarrier:
     # -- completion --------------------------------------------------------
 
     def _complete(self) -> None:
+        from repro.apps.kvstore import fold_ledger
+
         self._done = True
         cluster = self.cluster
         ordered = sorted(
             (label for shard in self.shards for label in self.covered[shard]),
             key=lambda label: cluster.ops[label].index,
         )
-        value: Dict[str, object] = {}
-        for label in ordered:
-            record = cluster.ops[label]
-            if record.kind == "put":
-                value[record.key] = record.value["value"]
-            elif record.kind == "migrate":
-                value.update(record.value["entries"])
+        value = fold_ledger(cluster.ops[label] for label in ordered)
         read = BarrierRead(
             session=self.session,
             shards=self.shards,

@@ -285,15 +285,7 @@ class ShardedCluster:
 
     def maximal(self, labels: Iterable[MessageId]) -> FrozenSet[MessageId]:
         """Prune ``labels`` to its maximal elements under the graph."""
-        pool = set(labels)
-        return frozenset(
-            label
-            for label in pool
-            if not any(
-                other != label and self.graph.precedes(label, other)
-                for other in pool
-            )
-        )
+        return self.graph.maximal_elements(labels)
 
     def project(
         self, labels: Iterable[MessageId], shard: int

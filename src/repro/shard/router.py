@@ -27,9 +27,11 @@ order through the cutover.
 
 from __future__ import annotations
 
+import json
 from collections import deque
 from typing import TYPE_CHECKING, Callable, Deque, Dict, FrozenSet, List, Optional, Sequence, Set
 
+from repro.errors import ProtocolError
 from repro.types import MessageId
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -40,6 +42,11 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 #: contact may be crashed, flush-frozen, or the slot frozen mid-move;
 #: bounded so campaign settling always terminates.
 PUT_ATTEMPTS = 240
+
+#: Version tag carried by serialized session tokens.  Bump when the
+#: token schema changes; importers reject tags they do not understand
+#: rather than silently misreading a newer layout.
+TOKEN_VERSION = 1
 
 
 class Session:
@@ -60,9 +67,20 @@ class Session:
 
     # -- public API --------------------------------------------------------
 
-    def put(self, key: str, value: object) -> None:
-        """Queue a keyed write; issues as soon as the session's turn comes."""
-        self._queue.append(["put", key, value, PUT_ATTEMPTS])
+    def put(
+        self,
+        key: str,
+        value: object,
+        on_issued: Optional[Callable[[Optional[MessageId]], None]] = None,
+    ) -> None:
+        """Queue a keyed write; issues as soon as the session's turn comes.
+
+        ``on_issued`` (if given) fires exactly once: with the assigned
+        label when the write broadcasts, or with ``None`` if the write
+        exhausts its retry budget and is dropped.  The serving layer uses
+        it to answer wire requests with the label the put became.
+        """
+        self._queue.append(["put", key, value, PUT_ATTEMPTS, on_issued])
         self.pump()
 
     def read(
@@ -79,6 +97,80 @@ class Session:
     def idle(self) -> bool:
         return not self._queue and not self._reading
 
+    # -- causal session tokens ---------------------------------------------
+
+    def export_token(self) -> str:
+        """Serialize this session's per-shard frontier as an opaque token.
+
+        The token is self-contained: a client can disconnect, hand the
+        token to any server fronting the same object space, and
+        :meth:`import_token` restores the causal floor under which its
+        next operations issue — read-your-writes and monotonic order
+        survive the reconnect.  Version-tagged so the schema can evolve
+        (importers reject tags they do not know).
+        """
+        return json.dumps(
+            {
+                "v": TOKEN_VERSION,
+                "session": self.name,
+                "frontier": {
+                    str(shard): sorted(
+                        [label.sender, label.seqno] for label in labels
+                    )
+                    for shard, labels in sorted(self.frontier.items())
+                    if labels
+                },
+            },
+            separators=(",", ":"),
+        )
+
+    def import_token(self, token: str) -> FrozenSet[MessageId]:
+        """Merge a previously exported token into this session's frontier.
+
+        Labels the cluster's ledger does not know (a token minted against
+        a different object space, or one whose history this server never
+        saw) cannot be ordered against anything here; they are dropped
+        and returned so callers can surface the loss.  A structurally
+        invalid token, or one carrying an unknown version tag or a shard
+        outside this cluster's map, raises :class:`ProtocolError` — a
+        newer layout must never be silently misread as an empty frontier.
+        """
+        try:
+            document = json.loads(token)
+        except (TypeError, ValueError) as exc:
+            raise ProtocolError(f"malformed session token: {exc}") from exc
+        if not isinstance(document, dict):
+            raise ProtocolError("malformed session token: not an object")
+        version = document.get("v")
+        if version != TOKEN_VERSION:
+            raise ProtocolError(
+                f"unknown session token version: {version!r} "
+                f"(this node speaks {TOKEN_VERSION})"
+            )
+        frontier = document.get("frontier")
+        if not isinstance(frontier, dict):
+            raise ProtocolError("malformed session token: missing frontier")
+        cluster = self.router.cluster
+        unknown: Set[MessageId] = set()
+        for shard_key, pairs in frontier.items():
+            try:
+                shard = int(shard_key)
+                labels = {MessageId(sender, seqno) for sender, seqno in pairs}
+            except (TypeError, ValueError) as exc:
+                raise ProtocolError(
+                    f"malformed session token frontier: {exc}"
+                ) from exc
+            if shard not in cluster.groups:
+                raise ProtocolError(
+                    f"session token names unknown shard {shard}"
+                )
+            known = {label for label in labels if label in cluster.graph}
+            unknown |= labels - known
+            if known:
+                merged = set(self.frontier.get(shard, ())) | known
+                self.frontier[shard] = cluster.maximal(merged)
+        return frozenset(unknown)
+
     # -- engine ------------------------------------------------------------
 
     def pump(self) -> None:
@@ -86,27 +178,32 @@ class Session:
         while self._queue and not self._reading:
             entry = self._queue[0]
             if entry[0] == "put":
-                _, key, value, _attempts = entry
-                if not self._issue_put(key, value):
+                _, key, value, _attempts, on_issued = entry
+                label = self._issue_put(key, value)
+                if label is None:
                     entry[3] -= 1
                     if entry[3] <= 0:
                         self.ops_skipped += 1
                         self._queue.popleft()
+                        if on_issued is not None:
+                            on_issued(None)
                         continue
                     self._arm_retry()
                     return
                 self._queue.popleft()
+                if on_issued is not None:
+                    on_issued(label)
             else:
                 _, shards, callback = entry
                 self._queue.popleft()
                 self._begin_read(shards, callback)
                 return
 
-    def _issue_put(self, key: str, value: object) -> bool:
+    def _issue_put(self, key: str, value: object) -> Optional[MessageId]:
         cluster = self.router.cluster
         slot = self.router.map.slot_of(key)
         if self.router.slot_frozen(slot):
-            return False
+            return None
         shard = self.router.map.shard_for_slot(slot)
         deps: Set[MessageId] = set(self.frontier.get(shard, ()))
         handoff = self.router.handoff_dep(slot)
@@ -130,7 +227,7 @@ class Session:
             slot=slot,
         )
         if label is None:
-            return False
+            return None
         # The new label dominates everything it was stamped with.
         self.frontier[shard] = frozenset({label})
         if handoff is not None:
@@ -142,7 +239,7 @@ class Session:
             self._absorb(label)
         cluster.note_session_batch(self.name, [label])
         self.ops_issued += 1
-        return True
+        return label
 
     def _begin_read(
         self,

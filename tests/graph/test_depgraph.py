@@ -239,3 +239,73 @@ class TestGraphProperties:
         for x in graph.nodes:
             for y in graph.nodes:
                 assert graph.precedes(x, y) == reduced.precedes(x, y)
+
+
+def pairwise_maximal(graph: DependencyGraph, labels) -> frozenset:
+    """Reference implementation: all-pairs precedes filtering."""
+    pool = set(labels)
+    return frozenset(
+        label
+        for label in pool
+        if not any(
+            other != label and graph.precedes(label, other)
+            for other in pool
+        )
+    )
+
+
+class TestMaximalElements:
+    def test_diamond_maximal_is_sink(self):
+        graph = diamond()
+        assert graph.maximal_elements(graph.nodes) == frozenset(
+            {mid("sink")}
+        )
+
+    def test_antichain_is_its_own_maximal(self):
+        graph = DependencyGraph()
+        labels = [mid(s) for s in "xyz"]
+        for label in labels:
+            graph.add(label)
+        assert graph.maximal_elements(labels) == frozenset(labels)
+
+    def test_empty_and_singleton(self):
+        graph = diamond()
+        assert graph.maximal_elements([]) == frozenset()
+        assert graph.maximal_elements([mid("root")]) == frozenset(
+            {mid("root")}
+        )
+
+    def test_unknown_label_survives_unless_shadowed(self):
+        graph = diamond()
+        ghost = mid("ghost")
+        # Unknown to the graph, concurrent with everything: kept.
+        result = graph.maximal_elements([ghost, mid("sink")])
+        assert result == frozenset({ghost, mid("sink")})
+
+    def test_dangling_ancestor_is_shadowed_by_descendant(self):
+        graph = DependencyGraph()
+        dangler = mid("dangler")
+        child = mid("child")
+        graph.add(child, [dangler])  # dangler referenced, never added
+        assert graph.maximal_elements([dangler, child]) == frozenset(
+            {child}
+        )
+
+    @given(random_dags(), st.data())
+    def test_matches_pairwise_reference(self, graph, data):
+        nodes = graph.nodes
+        subset = data.draw(
+            st.sets(st.sampled_from(nodes), max_size=len(nodes))
+            if nodes
+            else st.just(set())
+        )
+        assert graph.maximal_elements(subset) == pairwise_maximal(
+            graph, subset
+        )
+
+    @given(random_dags())
+    def test_result_is_an_antichain(self, graph):
+        result = graph.maximal_elements(graph.nodes)
+        for x in result:
+            for y in result:
+                assert not graph.precedes(x, y)

@@ -68,3 +68,88 @@ def test_quiesce_returns_when_nothing_outstanding():
         await asyncio.wait_for(net.quiesce(timeout=1.0), timeout=1.0)
 
     asyncio.run(scenario())
+
+
+class TestMultiClusterHosting:
+    """Several independent shard-like groups sharing one event loop."""
+
+    @staticmethod
+    def make_group(net, shard, members=("n0", "n1", "n2")):
+        from repro.broadcast.osend import OSendBroadcast
+        from repro.group.membership import GroupMembership
+        from repro.net.latency import ConstantLatency  # noqa: F401 - idiom
+
+        names = [f"s{shard}{m}" for m in members]
+        membership = GroupMembership(names)
+        return {
+            name: net.register(OSendBroadcast(name, membership))
+            for name in names
+        }
+
+    def test_two_networks_quiesce_together(self):
+        from repro.net.latency import ConstantLatency
+        from repro.runtime.asyncio_transport import quiesce_all
+
+        async def scenario():
+            nets = [
+                AsyncioNetwork(latency=ConstantLatency(0.001))
+                for _ in range(2)
+            ]
+            groups = [
+                self.make_group(net, shard)
+                for shard, net in enumerate(nets)
+            ]
+            # Concurrent per-shard traffic, including causal chains.
+            for shard, group in enumerate(groups):
+                stacks = list(group.values())
+                first = stacks[0].osend(f"shard{shard}-a")
+                stacks[1].osend(f"shard{shard}-b", occurs_after=first)
+            await asyncio.wait_for(quiesce_all(nets), timeout=5)
+            assert all(net.scheduler.outstanding == 0 for net in nets)
+            return groups
+
+        groups = asyncio.run(scenario())
+        for group in groups:
+            for stack in group.values():
+                assert len(stack.delivered) == 2
+
+    def test_cross_network_ping_pong_quiesces(self):
+        """Delivery on one network triggers a send on another: the naive
+        one-pass quiesce would return while the second network still had
+        timers pending; quiesce_all must not."""
+        from repro.net.latency import ConstantLatency
+        from repro.runtime.asyncio_transport import quiesce_all
+
+        async def scenario():
+            net_a = AsyncioNetwork(latency=ConstantLatency(0.001))
+            net_b = AsyncioNetwork(latency=ConstantLatency(0.001))
+            group_a = self.make_group(net_a, 0)
+            group_b = self.make_group(net_b, 1)
+            b_first = next(iter(group_b.values()))
+
+            def relay(env):
+                if env.message.operation == "ping":
+                    b_first.osend("pong")
+
+            for stack in group_a.values():
+                stack.on_deliver(relay)
+            next(iter(group_a.values())).osend("ping")
+            await asyncio.wait_for(quiesce_all([net_a, net_b]), timeout=5)
+            return group_a, group_b
+
+        group_a, group_b = asyncio.run(scenario())
+        assert all(len(s.delivered) == 1 for s in group_a.values())
+        # Every member of A relayed once: B delivered 3 pongs everywhere.
+        assert all(len(s.delivered) == 3 for s in group_b.values())
+
+    def test_quiesce_all_with_no_traffic(self):
+        from repro.runtime.asyncio_transport import quiesce_all
+
+        async def scenario():
+            nets = [AsyncioNetwork() for _ in range(3)]
+            await asyncio.wait_for(quiesce_all(nets), timeout=1)
+
+        asyncio.run(scenario())
+
+    def test_quiesce_all_is_importable_from_runtime(self):
+        from repro.runtime import quiesce_all  # noqa: F401

@@ -1,0 +1,92 @@
+"""Load-generator tests (small shapes; the big runs live in benchmarks)."""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.serve import LoadReport, ServeServer, run_load
+
+
+def run_shape(**kwargs):
+    async def scenario():
+        srv = ServeServer(shards=2, members_per_shard=3, seed=9)
+        await srv.start()
+        try:
+            report = await run_load("127.0.0.1", srv.port, **kwargs)
+        finally:
+            await srv.shutdown()
+        return srv, report
+
+    return asyncio.run(scenario())
+
+
+class TestClosedLoop:
+    def test_all_ops_complete_without_errors(self):
+        srv, report = run_shape(clients=4, ops_per_client=12, pipeline=4)
+        assert report.ops == 4 * 12
+        assert report.errors == 0
+        assert report.elapsed > 0
+        assert len(report.latencies_ms) == report.ops
+
+    def test_reads_happen_at_the_requested_cadence(self):
+        srv, report = run_shape(
+            clients=2, ops_per_client=12, pipeline=3, read_every=4
+        )
+        assert report.reads == 2 * 3  # every 4th of 12 ops, per client
+        assert report.errors == 0
+
+    def test_reconnects_present_tokens(self):
+        srv, report = run_shape(
+            clients=3, ops_per_client=10, pipeline=2, reconnect_every=5
+        )
+        assert report.reconnects == 3 * 2
+        assert srv.metrics.counters["tokens_imported"] == report.reconnects
+        assert srv.metrics.counters["token_labels_dropped"] == 0
+        assert report.errors == 0
+
+    def test_load_history_passes_session_guarantees(self):
+        srv, report = run_shape(
+            clients=4, ops_per_client=10, pipeline=4,
+            read_every=3, reconnect_every=7,
+        )
+        assert report.errors == 0
+        assert srv.session_guarantee_violations() == []
+
+    def test_server_stats_folded_into_report(self):
+        srv, report = run_shape(
+            clients=2, ops_per_client=6, pipeline=2, fetch_stats=True
+        )
+        assert report.server_stats is not None
+        assert report.server_stats["puts"] >= 8
+        assert "latency" in report.server_stats
+
+
+class TestOpenLoop:
+    def test_rate_limited_run_completes(self):
+        srv, report = run_shape(
+            clients=2, ops_per_client=6, pipeline=2, rate=200.0
+        )
+        assert report.ops == 12
+        assert report.errors == 0
+
+
+class TestReport:
+    def test_quantiles_and_summary(self):
+        report = LoadReport(
+            clients=1, pipeline=1, ops=4, reads=1, errors=0,
+            reconnects=0, elapsed=2.0,
+            latencies_ms=[1.0, 2.0, 3.0, 4.0],
+        )
+        assert report.ops_per_sec == 2.0
+        assert report.p50_ms == 3.0  # nearest-rank on an even-size sample
+        assert report.p99_ms == 4.0
+        text = report.summary()
+        assert "2 ops/s" in text and "p99=4.00ms" in text
+
+    def test_empty_report_summary(self):
+        report = LoadReport(
+            clients=0, pipeline=1, ops=0, reads=0, errors=0,
+            reconnects=0, elapsed=0.0,
+        )
+        assert report.p50_ms is None
+        assert "p50=-" in report.summary()

@@ -1,0 +1,286 @@
+"""End-to-end serving-layer tests over real localhost sockets."""
+
+from __future__ import annotations
+
+import asyncio
+from contextlib import asynccontextmanager
+
+import pytest
+
+from repro.serve import ServeClient, ServeError, ServeServer, reconnect
+from repro.serve.wire import read_frame, write_frame
+
+
+@asynccontextmanager
+async def server(**kwargs):
+    kwargs.setdefault("shards", 2)
+    kwargs.setdefault("members_per_shard", 3)
+    kwargs.setdefault("seed", 5)
+    srv = ServeServer(**kwargs)
+    await srv.start()
+    try:
+        yield srv
+    finally:
+        await srv.shutdown()
+
+
+@asynccontextmanager
+async def client(srv: ServeServer, name: str = "c", token=None):
+    cli = ServeClient("127.0.0.1", srv.port, name, token=token)
+    await cli.connect()
+    try:
+        yield cli
+    finally:
+        await cli.close()
+
+
+def run(coro_fn):
+    return asyncio.run(coro_fn())
+
+
+class TestBasics:
+    def test_hello_reply_shape(self):
+        async def scenario():
+            async with server() as srv, client(srv) as cli:
+                reply = cli.hello_reply
+                assert reply["wire_version"] == 1
+                assert reply["shards"] == 2
+                assert reply["token_labels_dropped"] == 0
+                assert isinstance(reply["token"], str)
+
+        run(scenario)
+
+    def test_put_returns_label_and_token(self):
+        async def scenario():
+            async with server() as srv, client(srv) as cli:
+                reply = await cli.put_wait("k", "v")
+                assert reply["ok"] and reply["label"] is not None
+                assert cli.token == reply["token"]
+
+        run(scenario)
+
+    def test_get_is_read_your_writes(self):
+        async def scenario():
+            async with server() as srv, client(srv) as cli:
+                await cli.put_wait("k", "v1")
+                assert await cli.get("k") == "v1"
+                assert await cli.get("missing") is None
+
+        run(scenario)
+
+    def test_unhashable_value_errors_without_poisoning_batch(self):
+        """The kv fold needs hashable values; one bad op must not take
+        down the ops pipelined alongside it."""
+
+        async def scenario():
+            async with server() as srv, client(srv) as cli:
+                good = cli.put("good", "v")
+                bad = cli.put("bad", {"nested": "dict"})
+                assert (await good)["ok"]
+                with pytest.raises(ServeError, match="hashable"):
+                    await bad
+                assert await cli.get("good") == "v"
+
+        run(scenario)
+
+    def test_barrier_read_spans_shards(self):
+        async def scenario():
+            async with server() as srv, client(srv) as cli:
+                for i in range(8):  # enough keys to hit both shards
+                    await cli.put_wait(f"k{i}", i)
+                snapshot = await cli.read()
+                assert snapshot["shards"] == [0, 1]
+                assert all(
+                    snapshot["value"][f"k{i}"] == i for i in range(8)
+                )
+                assert srv.session_guarantee_violations() == []
+
+        run(scenario)
+
+    def test_pipelined_puts_batch_into_few_cycles(self):
+        async def scenario():
+            async with server() as srv, client(srv) as cli:
+                futures = [cli.put(f"k{i}", i) for i in range(20)]
+                replies = await asyncio.gather(*futures)
+                assert all(r["ok"] for r in replies)
+                counters = srv.metrics.counters
+                assert counters["puts"] == 20
+                assert counters["batched_ops"] == 20
+                # Pipelined submissions coalesce: far fewer drain cycles
+                # than operations.
+                assert counters["batches"] < 20
+
+        run(scenario)
+
+    def test_unknown_request_type_errors(self):
+        async def scenario():
+            async with server() as srv, client(srv) as cli:
+                with pytest.raises(ServeError, match="unknown request"):
+                    await cli._request({"t": "teleport"})
+
+        run(scenario)
+
+    def test_read_with_unknown_shard_errors(self):
+        async def scenario():
+            async with server() as srv, client(srv) as cli:
+                await cli.put_wait("k", 1)
+                with pytest.raises(ServeError, match="unknown shard"):
+                    await cli.read(shards=[0, 9])
+
+        run(scenario)
+
+    def test_request_before_hello_rejected(self):
+        async def scenario():
+            async with server() as srv:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", srv.port
+                )
+                write_frame(writer, {"t": "get", "key": "k", "rid": 0})
+                await writer.drain()
+                reply = await read_frame(reader)
+                assert reply["t"] == "error"
+                assert "hello required" in reply["error"]
+                writer.close()
+
+        run(scenario)
+
+
+class TestSessionTokens:
+    def test_reconnect_preserves_read_your_writes(self):
+        async def scenario():
+            async with server() as srv:
+                cli = ServeClient("127.0.0.1", srv.port, "alice")
+                await cli.connect()
+                await cli.put_wait("k", "mine")
+                cli = await reconnect(cli)
+                assert await cli.get("k") == "mine"
+                assert cli.hello_reply["token_labels_dropped"] == 0
+                await cli.close()
+                assert srv.session_guarantee_violations() == []
+
+        run(scenario)
+
+    def test_token_carries_frontier_to_a_fresh_session_name(self):
+        """The token, not the server-side session entry, is the state."""
+
+        async def scenario():
+            async with server() as srv:
+                async with client(srv, "writer") as writer:
+                    await writer.put_wait("k", "from-writer")
+                    token = await writer.fetch_token()
+                async with client(srv, "heir", token=token) as heir:
+                    assert await heir.get("k") == "from-writer"
+
+        run(scenario)
+
+    def test_malformed_token_is_an_error_reply(self):
+        async def scenario():
+            async with server() as srv:
+                cli = ServeClient(
+                    "127.0.0.1", srv.port, "x", token="{not json"
+                )
+                with pytest.raises(ServeError):
+                    await cli.connect()
+                await cli.close()
+
+        run(scenario)
+
+
+class TestAdmissionControl:
+    def test_small_cap_stalls_but_completes(self):
+        async def scenario():
+            async with server(max_inflight=2) as srv:
+                async with client(srv) as cli:
+                    futures = [cli.put(f"k{i}", i) for i in range(20)]
+                    replies = await asyncio.gather(*futures)
+                    assert all(r["ok"] for r in replies)
+                    assert srv.metrics.counters["admission_waits"] > 0
+                    assert srv.metrics.counters["puts"] == 20
+
+        run(scenario)
+
+
+class TestChaosOverTheWire:
+    def test_crash_mid_run_keeps_guarantees(self):
+        async def scenario():
+            async with server() as srv:
+                async with client(srv) as cli:
+                    for i in range(6):
+                        await cli.put_wait(f"k{i}", i)
+                    crashed = await cli.chaos("crash", shard=0)
+                    assert crashed["member"].startswith("s0")
+                    for i in range(6, 12):
+                        await cli.put_wait(f"k{i}", i)
+                    snapshot = await cli.read()
+                    assert all(
+                        snapshot["value"][f"k{i}"] == i for i in range(12)
+                    )
+                assert srv.session_guarantee_violations() == []
+            # Graceful shutdown healed the crash before the audit.
+            assert srv.heal_violations == []
+            assert srv.check_invariants() == []
+
+        run(scenario)
+
+    def test_refuses_to_crash_last_member(self):
+        async def scenario():
+            async with server() as srv:
+                async with client(srv) as cli:
+                    first = await cli.chaos("crash", shard=1)
+                    second = await cli.chaos("crash", shard=1)
+                    assert first["member"] != second["member"]
+                    with pytest.raises(ServeError, match="last member"):
+                        await cli.chaos("crash", shard=1)
+
+        run(scenario)
+
+    def test_restart_rejoins_traffic(self):
+        async def scenario():
+            async with server() as srv:
+                async with client(srv) as cli:
+                    crashed = await cli.chaos("crash", shard=0)
+                    await cli.put_wait("k", "while-down")
+                    await cli.chaos(
+                        "restart", shard=0, member=crashed["member"]
+                    )
+                    await cli.put_wait("k2", "after-restart")
+                    assert await cli.get("k") == "while-down"
+                assert srv.session_guarantee_violations() == []
+
+        run(scenario)
+
+
+class TestGracefulDrain:
+    def test_shutdown_says_bye_and_audits_clean(self):
+        async def scenario():
+            srv = ServeServer(shards=2, members_per_shard=3, seed=5)
+            await srv.start()
+            cli = ServeClient("127.0.0.1", srv.port, "s")
+            await cli.connect()
+            await cli.put_wait("k", 1)
+            await srv.shutdown()
+            # The recv loop saw the server-initiated bye frame.
+            for _ in range(50):
+                if cli.server_said_bye:
+                    break
+                await asyncio.sleep(0.01)
+            assert cli.server_said_bye
+            assert srv.heal_violations == []
+            assert srv.check_invariants() == []
+            with pytest.raises(ServeError):
+                await cli.put_wait("k", 2)
+            await cli.close()
+
+        run(scenario)
+
+    def test_requests_during_drain_are_rejected(self):
+        async def scenario():
+            async with server() as srv:
+                async with client(srv) as cli:
+                    await cli.put_wait("k", 1)
+                    srv._draining = True
+                    with pytest.raises(ServeError, match="draining"):
+                        await cli.put_wait("k", 2)
+                    srv._draining = False
+
+        run(scenario)

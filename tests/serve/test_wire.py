@@ -1,0 +1,113 @@
+"""Framing tests for the serve-layer wire protocol."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.serve.wire import (
+    MAX_FRAME,
+    decode_frame,
+    encode_frame,
+    read_frame,
+    write_frame,
+)
+from repro.types import MessageId
+
+
+def reader_with(data: bytes) -> asyncio.StreamReader:
+    reader = asyncio.StreamReader()
+    reader.feed_data(data)
+    reader.feed_eof()
+    return reader
+
+
+def read_all(data: bytes):
+    async def scenario():
+        reader = reader_with(data)
+        frames = []
+        while True:
+            frame = await read_frame(reader)
+            if frame is None:
+                return frames
+            frames.append(frame)
+
+    return asyncio.run(scenario())
+
+
+class TestRoundTrip:
+    def test_simple_document(self):
+        blob = encode_frame({"t": "put", "key": "k", "value": 3})
+        assert decode_frame(blob[4:]) == {"t": "put", "key": "k", "value": 3}
+
+    def test_length_prefix_is_big_endian_body_length(self):
+        blob = encode_frame({"t": "bye"})
+        assert int.from_bytes(blob[:4], "big") == len(blob) - 4
+
+    def test_structured_values_survive(self):
+        label = MessageId("s0n1", 7)
+        blob = encode_frame({"t": "r", "label": label,
+                             "labels": frozenset({label})})
+        doc = decode_frame(blob[4:])
+        assert doc["label"] == label
+        assert doc["labels"] == frozenset({label})
+
+    def test_stream_of_frames(self):
+        blob = encode_frame({"n": 1}) + encode_frame({"n": 2})
+        assert read_all(blob) == [{"n": 1}, {"n": 2}]
+
+    def test_write_frame_feeds_read_frame(self):
+        async def scenario():
+            reader = asyncio.StreamReader()
+
+            class _Writer:
+                def write(self, data):
+                    reader.feed_data(data)
+
+            write_frame(_Writer(), {"t": "hello", "session": "s"})
+            reader.feed_eof()
+            return await read_frame(reader)
+
+        assert asyncio.run(scenario()) == {"t": "hello", "session": "s"}
+
+
+class TestEdges:
+    def test_clean_eof_returns_none(self):
+        assert read_all(b"") == []
+
+    def test_mid_prefix_eof_raises(self):
+        with pytest.raises(ProtocolError):
+            read_all(b"\x00\x00")
+
+    def test_mid_body_eof_raises(self):
+        blob = encode_frame({"t": "x"})
+        with pytest.raises(ProtocolError):
+            read_all(blob[:-1])
+
+    def test_oversized_outbound_rejected(self):
+        with pytest.raises(ProtocolError):
+            encode_frame({"blob": "x" * (MAX_FRAME + 1)})
+
+    def test_oversized_inbound_rejected_before_read(self):
+        huge = (MAX_FRAME + 1).to_bytes(4, "big")
+        with pytest.raises(ProtocolError):
+            read_all(huge + b"x")
+
+    def test_non_object_body_rejected(self):
+        import json
+
+        body = json.dumps([1, 2]).encode()
+        with pytest.raises(ProtocolError):
+            read_all(len(body).to_bytes(4, "big") + body)
+
+    def test_garbage_body_rejected(self):
+        body = b"{not json"
+        with pytest.raises(ProtocolError):
+            read_all(len(body).to_bytes(4, "big") + body)
+
+    def test_unknown_fields_pass_through(self):
+        # Forward compatibility: framing does not police the schema.
+        blob = encode_frame({"t": "put", "future_field": [1, 2]})
+        assert decode_frame(blob[4:])["future_field"] == [1, 2]

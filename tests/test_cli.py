@@ -99,3 +99,62 @@ class TestGraph:
         main(["graph", "--seed", "9"])
         second = capsys.readouterr().out
         assert first == second
+
+
+class TestServeCommands:
+    def test_serve_parser_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert (args.host, args.port) == ("127.0.0.1", 7411)
+        assert (args.shards, args.members) == (2, 3)
+        assert args.stats is False
+
+    def test_loadgen_parser_defaults(self):
+        args = build_parser().parse_args(["loadgen"])
+        assert (args.clients, args.ops, args.pipeline) == (8, 100, 8)
+        assert args.read_every == 10
+        assert args.reconnect_every == 0
+        assert args.rate is None
+
+    def test_serve_rejects_bad_port(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--port", "lots"])
+
+    def test_loadgen_cli_against_live_server(self, capsys):
+        import asyncio
+        import threading
+
+        from repro.serve import ServeServer
+
+        started = threading.Event()
+        holder = {}
+
+        def serve_thread():
+            async def body():
+                srv = ServeServer(shards=2, members_per_shard=3, seed=2)
+                await srv.start()
+                holder["port"] = srv.port
+                holder["stop"] = asyncio.Event()
+                holder["loop"] = asyncio.get_running_loop()
+                started.set()
+                await holder["stop"].wait()
+                await srv.shutdown()
+                holder["violations"] = srv.session_guarantee_violations()
+
+            asyncio.run(body())
+
+        thread = threading.Thread(target=serve_thread)
+        thread.start()
+        assert started.wait(10)
+        try:
+            rc = main([
+                "loadgen", "--port", str(holder["port"]),
+                "--clients", "2", "--ops", "6", "--pipeline", "2",
+                "--reconnect-every", "4",
+            ])
+        finally:
+            holder["loop"].call_soon_threadsafe(holder["stop"].set)
+            thread.join(15)
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "ops/s" in out and "errors=0" in out
+        assert holder["violations"] == []
