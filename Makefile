@@ -1,6 +1,6 @@
 # Convenience targets for the causal-broadcast reproduction.
 
-.PHONY: install test bench bench-quick perf-guard chaos-quick serve-smoke examples demos lint-clean
+.PHONY: install test bench bench-quick perf-guard chaos-quick serve-smoke serve-smoke-procs examples demos lint-clean
 
 install:
 	python setup.py develop
@@ -33,6 +33,20 @@ perf-guard:
 # and a session-guarantee audit of the recorded wire history.
 serve-smoke:
 	PYTHONPATH=src python examples/serve_demo.py
+
+# The multi-process topology end-to-end through the CLI: a 2-worker
+# serve (one process per shard) driven with binary-codec pipelined load
+# plus token reconnects, then a graceful SIGINT drain whose exit code
+# carries the aggregated worker audits.
+serve-smoke-procs:
+	PYTHONPATH=src python -m repro serve --port 7412 --procs 2 --stats & \
+	SERVER_PID=$$!; \
+	sleep 2; \
+	PYTHONPATH=src python -m repro loadgen --port 7412 \
+	  --clients 6 --ops 30 --pipeline 4 --reconnect-every 11 \
+	  --codec binary --stats || { kill -INT $$SERVER_PID; exit 1; }; \
+	kill -INT $$SERVER_PID; \
+	wait $$SERVER_PID
 
 # Seeded fault-injection campaigns (crash/partition/loss/churn) across
 # every crash-eligible protocol; fails on any safety-invariant violation.

@@ -1,20 +1,25 @@
 """WIRE benchmark — serve-layer throughput and p99 over real sockets.
 
-Boots a :class:`repro.serve.ServeServer` (2 shards x 3 replicas) on an
-ephemeral localhost port and drives it with the closed-loop load
-generator across a sweep of (clients, pipeline) shapes.  Each case
-reports wall-clock ops/sec and client-observed p50/p99 latency, so the
-sweep shows both axes the server's batching exists for: more concurrent
-connections coalesce into the same per-cycle ``shard_send`` batches
-(throughput should *grow* with clients), while deeper pipelines trade
-latency for that batching win.
+Boots a serve instance (2 shards x 3 replicas) on an ephemeral
+localhost port and drives it with the closed-loop load generator across
+a sweep of (clients, pipeline, procs, codec) shapes.  Each case reports
+wall-clock ops/sec and client-observed p50/p99 latency, so the sweep
+shows every axis the serving layer optimises:
+
+* more concurrent connections coalesce into the same per-cycle
+  ``shard_send`` batches (throughput should *grow* with clients);
+* deeper pipelines trade latency for that batching win;
+* the ``binary`` codec drops the JSON round-trip on both hops;
+* ``procs > 1`` runs each shard subset in its own worker process behind
+  the routing front-end (:class:`repro.serve.MultiProcServeServer`).
 
 Run as a script (or via ``make bench-quick``) to write
 ``BENCH_wire.json``; ``make perf-guard`` replays the sweep and compares
 ops/sec against the committed baseline.  Absolute numbers are
-machine-relative — the portable acceptance is only that batching works
-at all: 8 pipelined clients must clear a modest ops/sec floor and their
-writes must actually coalesce (mean ops per drain cycle well above 1).
+machine-relative — the portable acceptances are only that batching works
+at all (8 pipelined clients clear a modest ops/sec floor with mean ops
+per drain cycle well above 1) and that the fast path is actually fast
+(multi-process binary at 8x8 must not lose to single-process JSON).
 """
 
 from __future__ import annotations
@@ -26,22 +31,40 @@ import time
 from pathlib import Path
 from typing import Callable
 
-from repro.serve import ServeServer, run_load
+from repro.serve import MultiProcServeServer, ServeServer, run_load
 
-#: (clients, pipeline) shapes; one case each, at constant total ops so
-#: the sweep isolates the concurrency shape from ledger growth.
-CASES = ((1, 1), (4, 4), (8, 8), (16, 8))
+#: (clients, pipeline, procs, codec) shapes; constant total ops so the
+#: sweep isolates the serving shape from ledger growth.
+CASES = (
+    (1, 1, 1, "json"),
+    (4, 4, 1, "json"),
+    (8, 8, 1, "json"),
+    (16, 8, 1, "json"),
+    (8, 8, 1, "binary"),
+    (16, 8, 1, "binary"),
+    (8, 8, 2, "json"),
+    (16, 8, 2, "json"),
+    (8, 8, 2, "binary"),
+    (16, 8, 2, "binary"),
+)
 TOTAL_OPS = 480
 READ_EVERY = 10
-REPEATS = 2
+REPEATS = 3
 SEED = 11
 #: Portable floor: 8x8 must beat this many ops/s *and* out-run 1x1.
 MIN_PIPELINED_OPS = 150.0
 REPORT_PATH = Path(__file__).resolve().parent.parent / "BENCH_wire.json"
 
 
-async def _run_case_async(clients: int, pipeline: int) -> dict:
-    server = ServeServer(shards=2, members_per_shard=3, seed=SEED)
+async def _run_case_async(
+    clients: int, pipeline: int, procs: int = 1, codec: str = "json"
+) -> dict:
+    if procs > 1:
+        server = MultiProcServeServer(
+            shards=2, members_per_shard=3, seed=SEED, procs=procs
+        )
+    else:
+        server = ServeServer(shards=2, members_per_shard=3, seed=SEED)
     await server.start()
     try:
         started = time.perf_counter()
@@ -52,37 +75,46 @@ async def _run_case_async(clients: int, pipeline: int) -> dict:
             pipeline=pipeline,
             read_every=READ_EVERY,
             seed=SEED,
+            codec=codec,
         )
         elapsed = time.perf_counter() - started
     finally:
         await server.shutdown()
     if report.errors:
         raise AssertionError(
-            f"clients={clients} pipeline={pipeline}: "
-            f"{report.errors} errored ops"
+            f"clients={clients} pipeline={pipeline} procs={procs} "
+            f"codec={codec}: {report.errors} errored ops"
         )
     if server.session_guarantee_violations():
         raise AssertionError(
-            f"clients={clients} pipeline={pipeline}: benchmark load "
-            "violated session guarantees"
+            f"clients={clients} pipeline={pipeline} procs={procs} "
+            f"codec={codec}: benchmark load violated session guarantees"
         )
+    if procs > 1:
+        stats = server.aggregate_stats()
+        batches = stats.get("batches", 0)
+        batched_ops = stats.get("batched_ops", 0)
+    else:
+        batches = server.metrics.counters["batches"]
+        batched_ops = server.metrics.counters["batched_ops"]
     return {
         "clients": clients,
         "pipeline": pipeline,
+        "procs": procs,
+        "codec": codec,
         "ops": report.ops,
         "ops_per_sec": report.ops / elapsed,
         "p50_ms": report.p50_ms,
         "p99_ms": report.p99_ms,
-        "batches": server.metrics.counters["batches"],
-        "mean_batch": (
-            server.metrics.counters["batched_ops"]
-            / max(1, server.metrics.counters["batches"])
-        ),
+        "batches": batches,
+        "mean_batch": batched_ops / max(1, batches),
     }
 
 
-def run_case(clients: int, pipeline: int) -> dict:
-    return asyncio.run(_run_case_async(clients, pipeline))
+def run_case(
+    clients: int, pipeline: int, procs: int = 1, codec: str = "json"
+) -> dict:
+    return asyncio.run(_run_case_async(clients, pipeline, procs, codec))
 
 
 def best_of(repeats: int, case: Callable[[], dict]) -> dict:
@@ -92,11 +124,16 @@ def best_of(repeats: int, case: Callable[[], dict]) -> dict:
 
 def run_sweep(cases=CASES, repeats=REPEATS) -> dict:
     results = []
-    for clients, pipeline in cases:
-        row = best_of(repeats, lambda: run_case(clients, pipeline))
+    for clients, pipeline, procs, codec in cases:
+        row = best_of(
+            repeats,
+            lambda: run_case(clients, pipeline, procs, codec),
+        )
         results.append({
             "clients": row["clients"],
             "pipeline": row["pipeline"],
+            "procs": row["procs"],
+            "codec": row["codec"],
             "ops_per_sec": round(row["ops_per_sec"], 1),
             "p50_ms": round(row["p50_ms"], 2),
             "p99_ms": round(row["p99_ms"], 2),
@@ -142,12 +179,18 @@ def test_benchmark_load_keeps_session_guarantees():
     run_case(4, 4)  # raises on violations
 
 
+def test_multiproc_binary_case_keeps_session_guarantees():
+    """The fast path (workers + binary codec) passes the same audit."""
+    run_case(4, 4, procs=2, codec="binary")  # raises on violations
+
+
 def main() -> int:
     report = write_report()
     print(f"wrote {REPORT_PATH}")
     for row in report["results"]:
         print(
-            f"  clients={row['clients']:>2} pipeline={row['pipeline']}: "
+            f"  clients={row['clients']:>2} pipeline={row['pipeline']} "
+            f"procs={row['procs']} codec={row['codec']:<6}: "
             f"{row['ops_per_sec']:>8.1f} ops/s "
             f"p50={row['p50_ms']}ms p99={row['p99_ms']}ms "
             f"(mean batch {row['mean_batch']})"

@@ -9,7 +9,10 @@ override with ``PERF_GUARD_TOLERANCE=0.4`` etc.; the socket-crossing
 wire sweep gets extra slack).  The shard guard additionally enforces
 the portable acceptance ratio (>= 3x throughput from 1 to 8 shards at
 0% cross-shard traffic), and the wire guard enforces that pipelined
-writes genuinely coalesce into multi-op batch cycles.
+writes genuinely coalesce into multi-op batch cycles and that the
+serving fast path (multi-process workers + binary codec) does not lose
+to single-process JSON at the 8x8 shape within the same sweep
+(advisory on single-core hosts, where workers cannot run in parallel).
 
 The committed baselines are machine-relative: after intentional changes
 (or on a different machine class), regenerate them with
@@ -38,6 +41,11 @@ MIN_SHARD_SCALING = 3.0
 #: noisier than the in-process sims — guard it with extra slack on top
 #: of the shared tolerance.
 WIRE_EXTRA_TOLERANCE = 0.15
+
+#: Same-run ratio floor for the serving fast path: multi-process binary
+#: must at least match single-process JSON at the 8x8 shape (it should
+#: win outright wherever the workers get real cores).
+MIN_WIRE_SCALING = 1.0
 
 
 def guard_shard_scale(tolerance: float) -> int:
@@ -96,6 +104,16 @@ def guard_shard_scale(tolerance: float) -> int:
     return len(confirmed)
 
 
+def _wire_key(row: dict) -> tuple:
+    """Sweep-case key; old baselines predate the procs/codec axes."""
+    return (
+        row["clients"],
+        row["pipeline"],
+        row.get("procs", 1),
+        row.get("codec", "json"),
+    )
+
+
 def guard_wire(tolerance: float) -> int:
     """Serve-layer wire section; returns the number of confirmed failures."""
     path = bench_wire_throughput.REPORT_PATH
@@ -104,45 +122,50 @@ def guard_wire(tolerance: float) -> int:
         return 1
     tolerance = min(0.95, tolerance + WIRE_EXTRA_TOLERANCE)
     baseline_by_case = {
-        (row["clients"], row["pipeline"]): row
+        _wire_key(row): row
         for row in json.loads(path.read_text())["results"]
     }
     current = bench_wire_throughput.run_sweep(repeats=1)
     failures = []
     for row in current["results"]:
-        key = (row["clients"], row["pipeline"])
+        key = _wire_key(row)
         base = baseline_by_case.get(key)
         if base is None:
             continue  # baseline predates this case; nothing to guard
         floor = base["ops_per_sec"] * (1.0 - tolerance)
         ok = row["ops_per_sec"] >= floor
         print(
-            f"  wire clients={row['clients']:>2} pipeline={row['pipeline']}: "
+            f"  wire clients={row['clients']:>2} pipeline={row['pipeline']} "
+            f"procs={row['procs']} codec={row['codec']:<6}: "
             f"{row['ops_per_sec']:>8.1f} vs baseline "
             f"{base['ops_per_sec']:>8.1f} ({'ok' if ok else 'REGRESSED'})"
         )
         if not ok:
             failures.append(key)
     confirmed = []
-    for clients, pipeline in failures:
-        floor = baseline_by_case[(clients, pipeline)]["ops_per_sec"] * (
-            1.0 - tolerance
-        )
+    for clients, pipeline, procs, codec in failures:
+        floor = baseline_by_case[(clients, pipeline, procs, codec)][
+            "ops_per_sec"
+        ] * (1.0 - tolerance)
         retried = bench_wire_throughput.best_of(
-            3, lambda: bench_wire_throughput.run_case(clients, pipeline)
+            3,
+            lambda: bench_wire_throughput.run_case(
+                clients, pipeline, procs, codec
+            ),
         )["ops_per_sec"]
         print(
-            f"  retry wire clients={clients} pipeline={pipeline}: "
+            f"  retry wire clients={clients} pipeline={pipeline} "
+            f"procs={procs} codec={codec}: "
             f"{retried:.1f} vs floor {floor:.1f} "
             f"({'ok' if retried >= floor else 'REGRESSED'})"
         )
         if retried < floor:
-            confirmed.append((clients, pipeline))
+            confirmed.append((clients, pipeline, procs, codec))
     pipelined = next(
         (
             row
             for row in current["results"]
-            if (row["clients"], row["pipeline"]) == (8, 8)
+            if _wire_key(row) == (8, 8, 1, "json")
         ),
         None,
     )
@@ -151,8 +174,53 @@ def guard_wire(tolerance: float) -> int:
             f"  wire batching acceptance: mean batch "
             f"{pipelined['mean_batch']} at 8x8 (< 4.0)"
         )
-        confirmed.append(("batching", 0))
+        confirmed.append(("batching", 0, 0, ""))
+    confirmed.extend(_wire_scaling_floor(current))
     return len(confirmed)
+
+
+def _wire_scaling_floor(current: dict) -> list:
+    """The fast path must not lose to the slow path on the same run.
+
+    Compares multi-process binary against single-process JSON at the
+    8x8 shape *within one sweep* — both sides rode the same host noise,
+    so the ratio is far steadier than either absolute number.  A losing
+    first sample is re-measured best-of-3 on both sides before failing.
+    On a single-core host the workers cannot run in parallel at all and
+    the comparison degenerates to pure IPC overhead, so there the floor
+    is advisory (printed, never failing).
+    """
+    rows = {_wire_key(row): row for row in current["results"]}
+    fast = rows.get((8, 8, 2, "binary"))
+    slow = rows.get((8, 8, 1, "json"))
+    if fast is None or slow is None:
+        return []
+    advisory = (os.cpu_count() or 1) < 2
+    ratio = fast["ops_per_sec"] / max(1e-9, slow["ops_per_sec"])
+    ok = ratio >= MIN_WIRE_SCALING
+    print(
+        f"  wire scaling floor (8x8): multiproc binary "
+        f"{fast['ops_per_sec']:.1f} vs single-proc json "
+        f"{slow['ops_per_sec']:.1f} = {ratio:.2f}x "
+        f"(need >= {MIN_WIRE_SCALING}x"
+        f"{', advisory on single-core host' if advisory else ''})"
+    )
+    if ok or advisory:
+        return []
+    fast_retry = bench_wire_throughput.best_of(
+        3, lambda: bench_wire_throughput.run_case(8, 8, 2, "binary")
+    )["ops_per_sec"]
+    slow_retry = bench_wire_throughput.best_of(
+        3, lambda: bench_wire_throughput.run_case(8, 8, 1, "json")
+    )["ops_per_sec"]
+    ratio = fast_retry / max(1e-9, slow_retry)
+    ok = ratio >= MIN_WIRE_SCALING
+    print(
+        f"  retry wire scaling floor (8x8): {fast_retry:.1f} vs "
+        f"{slow_retry:.1f} = {ratio:.2f}x "
+        f"({'ok' if ok else 'REGRESSED'})"
+    )
+    return [] if ok else [("wire-scaling", 8, 8, "")]
 
 
 def main() -> int:

@@ -138,6 +138,11 @@ class BroadcastProtocol(SimNode):
         self._pending: Dict[MessageId, Envelope] = {}
         self._seen: Set[MessageId] = set()
         self._delivered_ids: Set[MessageId] = set()
+        #: Bumped whenever ``_delivered_ids`` mutates outside `_deliver`
+        #: (stable-prefix skip, restart wipe, state transfer) — lets
+        #: callers that cache views of the delivered set detect that the
+        #: set changed without a delivery callback firing.
+        self._settled_version = 0
         self._delivery_log: List[DeliveryRecord] = []
         self._delivered_envelopes: List[Envelope] = []
         self._envelopes_by_id: Dict[MessageId, Envelope] = {}
@@ -351,6 +356,7 @@ class BroadcastProtocol(SimNode):
         if frontier <= floor:
             return
         self._stable_floor[origin] = frontier
+        self._settled_version += 1
         for seqno in range(floor, frontier):
             label = MessageId(origin, seqno)
             if label in self._delivered_ids:
@@ -406,6 +412,7 @@ class BroadcastProtocol(SimNode):
         self._pending.clear()
         self._seen.clear()
         self._delivered_ids.clear()
+        self._settled_version += 1
         self._delivery_log.clear()
         self._delivered_envelopes.clear()
         self._envelopes_by_id.clear()

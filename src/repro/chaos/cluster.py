@@ -79,6 +79,7 @@ from repro.net.latency import LatencyModel, UniformLatency
 from repro.net.network import Network
 from repro.sim.rng import RngRegistry
 from repro.sim.scheduler import Scheduler
+from repro.sim.trace import TraceRecorder
 from repro.types import EntityId, MessageId
 
 from repro.chaos.campaign import ChaosCampaign, ChaosEvent
@@ -183,6 +184,7 @@ class ChaosCluster:
         heartbeat_interval: float = 1.0,
         suspicion_timeout: float = 5.0,
         scheduler: Optional[Scheduler] = None,
+        hop_events: str = "full",
     ) -> None:
         if protocol not in CHAOS_PROTOCOLS:
             if protocol in CHAOS_EXCLUDED:
@@ -203,11 +205,16 @@ class ChaosCluster:
         # network (`repro.shard` runs one cluster per shard this way).
         self.scheduler = scheduler if scheduler is not None else Scheduler()
         self.faults = FaultPlan()
+        # `hop_events` tunes how much per-hop detail the trace keeps:
+        # analysis runs want "full"; serving-path clusters pass "off" so
+        # the simulator's hot loop skips assembling per-hop events
+        # entirely (send/deliver events are always kept).
         self.network = Network(
             self.scheduler,
             latency=latency if latency is not None else UniformLatency(0.2, 1.8),
             faults=self.faults,
             rng=RngRegistry(seed),
+            trace=TraceRecorder(hop_events=hop_events),
         )
         self.group = GroupMembership(self.members)
         protocol_cls = CHAOS_PROTOCOLS[protocol]

@@ -293,16 +293,26 @@ def run_serve(args: argparse.Namespace) -> int:
     import asyncio
     import signal
 
-    from repro.serve import ServeServer
+    from repro.serve import MultiProcServeServer, ServeServer
 
     async def main() -> int:
-        server = ServeServer(
-            shards=args.shards,
-            members_per_shard=args.members,
-            seed=args.seed,
-            host=args.host,
-            port=args.port,
-        )
+        if args.procs > 1:
+            server = MultiProcServeServer(
+                shards=args.shards,
+                members_per_shard=args.members,
+                seed=args.seed,
+                procs=args.procs,
+                host=args.host,
+                port=args.port,
+            )
+        else:
+            server = ServeServer(
+                shards=args.shards,
+                members_per_shard=args.members,
+                seed=args.seed,
+                host=args.host,
+                port=args.port,
+            )
         await server.start()
         # Explicit handlers: a backgrounded shell job inherits SIGINT as
         # ignored, so the default KeyboardInterrupt path never fires.
@@ -313,9 +323,11 @@ def run_serve(args: argparse.Namespace) -> int:
                 loop.add_signal_handler(sig, stop.set)
             except (NotImplementedError, RuntimeError):
                 pass  # platforms without unix signal support
+        topology = f" across {args.procs} worker process(es)" if args.procs > 1 else ""
         print(
-            f"serving {args.shards} shard(s) x {args.members} member(s) "
-            f"on {args.host}:{server.port}  (SIGINT/SIGTERM drains and stops)"
+            f"serving {args.shards} shard(s) x {args.members} member(s)"
+            f"{topology} on {args.host}:{server.port}  "
+            "(SIGINT/SIGTERM drains and stops)"
         )
         serve_task = asyncio.ensure_future(server.serve_forever())
         await stop.wait()
@@ -326,8 +338,18 @@ def run_serve(args: argparse.Namespace) -> int:
         except asyncio.CancelledError:
             pass
         if args.stats:
-            print(server.metrics.render())
-        violations = server.check_invariants()
+            if args.procs > 1:
+                print("aggregated stats:")
+                for key, value in sorted(server.aggregate_stats().items()):
+                    if key not in ("latency", "workers", "frontend"):
+                        print(f"  {key:<22} {value}")
+            else:
+                print(server.metrics.render())
+        if args.procs > 1:
+            violations = list(server.heal_violations)
+            violations += server.session_guarantee_violations()
+        else:
+            violations = server.check_invariants()
         status = "clean" if not violations else f"{len(violations)} VIOLATION(S)"
         print(f"drained; audit: {status}")
         for violation in violations:
@@ -358,14 +380,17 @@ def run_loadgen(args: argparse.Namespace) -> int:
             rate=args.rate,
             seed=args.seed,
             fetch_stats=args.stats,
+            codec=args.codec,
         )
         print(report.summary())
         if args.stats and report.server_stats is not None:
             print("server stats:")
             for key, value in sorted(report.server_stats.items()):
-                if key != "latency":
+                if key not in ("latency", "workers", "frontend"):
                     print(f"  {key:<22} {value}")
-            for kind, quantiles in report.server_stats["latency"].items():
+            for kind, quantiles in report.server_stats.get(
+                "latency", {}
+            ).items():
                 print(f"  latency[{kind}]: {quantiles}")
         return 1 if report.errors else 0
 
@@ -476,6 +501,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument("--seed", type=int, default=0)
     serve.add_argument(
+        "--procs", type=int, default=1,
+        help="worker processes; >1 runs each shard subset in its own "
+        "process behind a routing front-end",
+    )
+    serve.add_argument(
         "--stats", action="store_true",
         help="print the server metrics table after drain",
     )
@@ -506,6 +536,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="open-loop target ops/s per client (default: closed loop)",
     )
     loadgen.add_argument("--seed", type=int, default=0)
+    loadgen.add_argument(
+        "--codec", choices=["json", "binary"], default="json",
+        help="frame codec to negotiate (binary skips the JSON round-trip)",
+    )
     loadgen.add_argument(
         "--stats", action="store_true",
         help="also fetch and print the server metrics snapshot",

@@ -138,6 +138,7 @@ def install_snapshot(replica: Replica, snapshot: Snapshot) -> None:
     replica._stable_fold_labels = set(snapshot.covered)
     protocol._seen |= set(snapshot.covered)
     protocol._delivered_ids |= set(snapshot.covered)
+    protocol._settled_version += 1
     graph = getattr(protocol, "graph", None)
     if graph is not None:
         for label in snapshot.covered:

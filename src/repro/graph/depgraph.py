@@ -69,6 +69,16 @@ class DependencyGraph:
         self._descendants: Dict[MessageId, Set[MessageId]] = {}
         # Memoised transitive-ancestor closures (invariants above).
         self._reach: Dict[MessageId, FrozenSet[MessageId]] = {}
+        # Added labels as a plain set, so causal_past can restrict a
+        # closure to added nodes with one C-level intersection instead of
+        # a per-label Python filter (hot in the barrier/frontier paths).
+        self._added: Set[MessageId] = set()
+        # Memoised causal_past results.  A cached past goes stale in
+        # exactly two cases: the node's closure was invalidated (handled
+        # by sharing _invalidate_below), or a dangling ancestor
+        # materialised (the closure is unchanged but the added-filter
+        # result grows) — handled in add() for referenced labels.
+        self._past: Dict[MessageId, FrozenSet[MessageId]] = {}
 
     # -- construction -----------------------------------------------------
 
@@ -109,14 +119,20 @@ class DependencyGraph:
                         f"edge {ancestor} -> {msg_id} would create a cycle"
                     )
         self._ancestors[msg_id] = ancestors
+        self._added.add(msg_id)
         self._descendants.setdefault(msg_id, set())
         for ancestor in ancestors:
             self._descendants.setdefault(ancestor, set()).add(msg_id)
-        if referenced and ancestors:
-            # msg_id materialised with ancestry: descendants' memoised
-            # closures hold msg_id as a bare endpoint and miss what lies
-            # above it.
-            self._invalidate_below(msg_id)
+        if referenced:
+            if ancestors:
+                # msg_id materialised with ancestry: descendants' memoised
+                # closures hold msg_id as a bare endpoint and miss what
+                # lies above it.
+                self._invalidate_below(msg_id)
+            else:
+                # Closures below stay valid, but cached pasts must now
+                # include msg_id itself (it just became an added node).
+                self._invalidate_past_below(msg_id)
 
     # -- closure cache -----------------------------------------------------
 
@@ -156,11 +172,31 @@ class DependencyGraph:
         removed it.
         """
         memo = self._reach
+        past = self._past
         queue = list(self._descendants.get(source, ()))
         while queue:
             node = queue.pop()
             if memo.pop(node, None) is not None:
+                past.pop(node, None)
                 queue.extend(self._descendants.get(node, ()))
+
+    def _invalidate_past_below(self, source: MessageId) -> None:
+        """Drop cached pasts of ``source``'s transitive descendants.
+
+        Used when a referenced label materialises *without* ancestors:
+        closures below are still correct (invariant 1), but pasts cached
+        before the materialisation are missing the newly added node.
+        """
+        past = self._past
+        stack = list(self._descendants.get(source, ()))
+        seen: Set[MessageId] = set()
+        while stack:
+            node = stack.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            past.pop(node, None)
+            stack.extend(self._descendants.get(node, ()))
 
     # -- basic queries -------------------------------------------------------
 
@@ -232,15 +268,20 @@ class DependencyGraph:
         shadowed (they may appear in closures as dangling ancestors),
         matching the pairwise semantics.
         """
-        pool = set(labels)
-        if len(pool) <= 1:
-            return frozenset(pool)
+        ordered = list(dict.fromkeys(labels))
+        if len(ordered) <= 1:
+            return frozenset(ordered)
+        pool = set(ordered)
         shadowed: Set[MessageId] = set()
-        for label in pool:
-            if label in self._ancestors and label not in shadowed:
-                # Everything in label's closure is shadowed by label;
-                # label's own closure is a subset of any shadower's, so
-                # already-shadowed labels are safe to skip.
+        ancestors = self._ancestors
+        for label in ordered:
+            # Everything in label's closure is shadowed by label; label's
+            # own closure is a subset of any shadower's, so
+            # already-shadowed labels are safe to skip.  Iteration follows
+            # the caller's order: callers that present likely-maximal
+            # labels first (e.g. newest-issued first) shadow most of the
+            # pool in the first few intersections.
+            if label in ancestors and label not in shadowed:
                 shadowed |= pool & self._closure(label)
         return frozenset(pool - shadowed)
 
@@ -254,9 +295,11 @@ class DependencyGraph:
         """All added transitive ancestors of ``msg_id``."""
         if msg_id not in self._ancestors:
             return frozenset()
-        return frozenset(
-            m for m in self._closure(msg_id) if m in self._ancestors
-        )
+        cached = self._past.get(msg_id)
+        if cached is None:
+            cached = frozenset(self._closure(msg_id) & self._added)
+            self._past[msg_id] = cached
+        return cached
 
     def concurrency_classes(self) -> List[FrozenSet[MessageId]]:
         """Maximal antichains found greedily in insertion order.

@@ -13,10 +13,15 @@ generator ride along; see ``docs/SERVING.md``.
 from repro.serve.client import ServeClient, ServeError, reconnect
 from repro.serve.loadgen import LoadReport, run_load
 from repro.serve.metrics import ServeMetrics, percentile
+from repro.serve.procs import MultiProcServeServer, merge_tokens, partition_shards
 from repro.serve.server import ServeServer
 from repro.serve.wire import (
+    CODEC_BINARY,
+    CODEC_JSON,
     MAX_FRAME,
     SERVE_WIRE_VERSION,
+    SUPPORTED_CODECS,
+    FrameBuffer,
     decode_frame,
     encode_frame,
     read_frame,
@@ -24,15 +29,22 @@ from repro.serve.wire import (
 )
 
 __all__ = [
+    "CODEC_BINARY",
+    "CODEC_JSON",
+    "FrameBuffer",
     "LoadReport",
     "MAX_FRAME",
+    "MultiProcServeServer",
     "SERVE_WIRE_VERSION",
+    "SUPPORTED_CODECS",
     "ServeClient",
     "ServeError",
     "ServeMetrics",
     "ServeServer",
     "decode_frame",
     "encode_frame",
+    "merge_tokens",
+    "partition_shards",
     "percentile",
     "read_frame",
     "reconnect",

@@ -12,6 +12,12 @@ remembers the newest one, and a reconnect presents it in ``hello``.  The
 server folds the token's frontier back into the (possibly fresh) session
 state, so read-your-writes and monotonic order survive disconnects —
 the token *is* the session, the TCP connection is just a vehicle.
+
+A client may ask for the ``binary`` frame codec: the ``hello`` goes out
+as JSON (every server speaks it), and the connection switches codecs
+only when the server's hello reply confirms the choice — a server that
+never heard of codecs simply ignores the field and the connection stays
+on JSON, so new clients work against old servers and vice versa.
 """
 
 from __future__ import annotations
@@ -20,7 +26,12 @@ import asyncio
 from typing import Any, Dict, List, Optional, Sequence
 
 from repro.errors import ProtocolError
-from repro.serve.wire import read_frame, write_frame
+from repro.serve.wire import (
+    CODEC_JSON,
+    decode_frame,
+    read_frame_bytes,
+    write_frame,
+)
 
 
 class ServeError(ProtocolError):
@@ -36,16 +47,22 @@ class ServeClient:
         port: int,
         session: str,
         token: Optional[str] = None,
+        codec: str = CODEC_JSON,
     ) -> None:
         self.host = host
         self.port = port
         self.session = session
         self.token = token
+        #: The codec this client *asks* for; ``negotiated_codec`` is what
+        #: the server actually granted (JSON until the hello confirms).
+        self.codec = codec
+        self.negotiated_codec = CODEC_JSON
         self._reader: Optional[asyncio.StreamReader] = None
         self._writer: Optional[asyncio.StreamWriter] = None
         self._recv_task: Optional[asyncio.Task] = None
         self._waiting: Dict[int, asyncio.Future] = {}
         self._next_rid = 0
+        self._hello_rid: Optional[int] = None
         self._recv_dead = False
         self.server_said_bye = False
         self.hello_reply: Optional[Dict[str, Any]] = None
@@ -57,9 +74,11 @@ class ServeClient:
         self._reader, self._writer = await asyncio.open_connection(
             self.host, self.port
         )
+        self.negotiated_codec = CODEC_JSON
         self._recv_task = asyncio.ensure_future(self._recv_loop())
         reply = await self._request({
             "t": "hello", "session": self.session, "token": self.token,
+            "codec": self.codec,
         })
         self.hello_reply = reply
         return reply
@@ -68,7 +87,7 @@ class ServeClient:
         """Polite close: say bye, then tear the connection down."""
         if self._writer is not None and not self._writer.is_closing():
             try:
-                write_frame(self._writer, {"t": "bye"})
+                write_frame(self._writer, {"t": "bye"}, self.negotiated_codec)
                 await self._writer.drain()
             except (ConnectionError, RuntimeError):
                 pass
@@ -100,10 +119,14 @@ class ServeClient:
         self._next_rid += 1
         document = dict(document)
         document["rid"] = rid
+        if document.get("t") == "hello":
+            # Remember which reply may carry the codec grant; the switch
+            # happens when it resolves, before any later reply is sent.
+            self._hello_rid = rid
         future: asyncio.Future = asyncio.get_event_loop().create_future()
         self._waiting[rid] = future
         try:
-            write_frame(self._writer, document)
+            write_frame(self._writer, document, self.negotiated_codec)
         except (ConnectionError, RuntimeError) as exc:
             self._waiting.pop(rid, None)
             raise ServeError(f"send failed: {exc}") from exc
@@ -116,9 +139,13 @@ class ServeClient:
         assert self._reader is not None
         try:
             while True:
-                frame = await read_frame(self._reader)
-                if frame is None:
+                # Raw read, then decode with whatever codec is active by
+                # the time the bytes are in hand — the hello reply can
+                # switch it for the frames that follow.
+                body = await read_frame_bytes(self._reader)
+                if body is None:
                     break
+                frame = decode_frame(body, self.negotiated_codec)
                 if frame.get("t") == "bye":
                     self.server_said_bye = True
                     break
@@ -132,6 +159,11 @@ class ServeClient:
     def _dispatch_reply(self, frame: Dict[str, Any]) -> None:
         rid = frame.get("rid")
         future = self._waiting.pop(rid, None)
+        if rid is not None and rid == self._hello_rid:
+            self._hello_rid = None
+            if frame.get("t") != "error":
+                # Absent on pre-negotiation servers: stay on JSON.
+                self.negotiated_codec = frame.get("codec", CODEC_JSON)
         if future is None or future.done():
             return
         token = frame.get("token")
@@ -200,10 +232,25 @@ async def reconnect(client: ServeClient) -> ServeClient:
 
     The new connection presents the old connection's newest token, so the
     resumed session's causal floor covers everything the old one did —
-    the reconnect is invisible to the session guarantees.
+    the reconnect is invisible to the session guarantees.  It also
+    re-runs codec negotiation with the same preference, so a binary
+    client stays binary across the reconnect.
+
+    While the old connection is still alive we ask the server for a
+    fresh token rather than trusting the last reply's: against a
+    multi-process front-end the per-reply tokens carry one worker's
+    shards, while the ``token`` verb merges every worker's frontier.
     """
     token = client.token
+    if not client._recv_dead and client._writer is not None:
+        try:
+            token = await client.fetch_token()
+        except (ServeError, KeyError):
+            token = client.token
     await client.close()
-    fresh = ServeClient(client.host, client.port, client.session, token=token)
+    fresh = ServeClient(
+        client.host, client.port, client.session,
+        token=token, codec=client.codec,
+    )
     await fresh.connect()
     return fresh

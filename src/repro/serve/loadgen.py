@@ -32,6 +32,7 @@ from typing import Dict, List, Optional
 
 from repro.serve.client import ServeClient, ServeError, reconnect
 from repro.serve.metrics import percentile
+from repro.serve.wire import CODEC_JSON
 
 
 @dataclass
@@ -85,10 +86,11 @@ async def _drive_client(
     key_space: int,
     rate: Optional[float],
     seed: int,
+    codec: str,
     report: LoadReport,
 ) -> None:
     rng = random.Random(seed)
-    client = ServeClient(host, port, name)
+    client = ServeClient(host, port, name, codec=codec)
     await client.connect()
     outstanding: List[asyncio.Future] = []
     issued = 0
@@ -156,6 +158,7 @@ async def run_load(
     seed: int = 0,
     session_prefix: str = "load",
     fetch_stats: bool = False,
+    codec: str = CODEC_JSON,
 ) -> LoadReport:
     """Run the load shape and return a :class:`LoadReport`."""
     report = LoadReport(
@@ -173,13 +176,14 @@ async def run_load(
             key_space=key_space,
             rate=rate,
             seed=seed * 10_007 + index,
+            codec=codec,
             report=report,
         )
         for index in range(clients)
     ])
     report.elapsed = time.perf_counter() - started
     if fetch_stats:
-        probe = ServeClient(host, port, f"{session_prefix}-probe")
+        probe = ServeClient(host, port, f"{session_prefix}-probe", codec=codec)
         await probe.connect()
         report.server_stats = await probe.stats()
         await probe.close()

@@ -1,0 +1,917 @@
+"""Multi-process serve mode: shard workers behind a routing front-end.
+
+One process per shard subset, each running a full
+:class:`~repro.serve.server.ServeServer` over a *subset*
+:class:`~repro.shard.cluster.ShardedCluster` (same global
+:class:`~repro.shard.map.ShardMap`, same per-shard seeds, so the hosted
+groups are byte-identical to the single-process layout).  A front-end
+acceptor process — the one that constructed
+:class:`MultiProcServeServer` — speaks the ordinary serve wire protocol
+to clients and routes each frame to the worker hosting its shard:
+
+* ``put``/``get``/``chaos`` go to exactly one worker, and the reply body
+  is forwarded back to the client *verbatim* — the front-end decodes
+  replies only far enough to match the ``rid``, never re-encodes;
+* ``hello``/``read``/``token``/``stats`` fan out to every worker and the
+  front-end merges the replies (shards are disjoint across workers, so
+  value maps and token frontiers merge by plain union);
+* codec negotiation happens at the front-end *and* is mirrored to every
+  worker, so both hops of a binary connection speak binary.
+
+Per client connection the front-end keeps one upstream TCP connection to
+each worker.  That makes routing trivial (the client's ``rid`` space is
+private to its own upstreams, so no rid rewriting) and preserves the
+serving layer's FIFO session semantics: frames are forwarded in arrival
+order, so a session's operations reach each worker in issue order.
+
+A worker that dies mid-run surfaces as clean ``error`` replies on every
+request routed to it — never a hang — and the remaining workers keep
+serving their shards.
+
+Session-guarantee auditing stays per worker: each worker records the
+wire history of its hosted shards and checks all four guarantees at
+shutdown; the front-end aggregates the verdicts (and the metrics) into
+one report.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import multiprocessing
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import ProtocolError
+from repro.serve.metrics import ServeMetrics
+from repro.serve.wire import (
+    CODEC_BINARY,
+    CODEC_JSON,
+    SERVE_WIRE_VERSION,
+    SUPPORTED_CODECS,
+    decode_frame,
+    peek_frame_fields,
+    read_frame_bytes,
+    write_frame,
+    write_frame_bytes,
+)
+from repro.shard.map import ShardMap
+
+#: Seconds the front-end waits for a worker to report its port.
+WORKER_START_TIMEOUT = 60.0
+
+#: Seconds the front-end waits for a worker's shutdown report.
+WORKER_STOP_TIMEOUT = 60.0
+
+
+def partition_shards(shards: int, procs: int) -> List[Tuple[int, ...]]:
+    """Round-robin shard→worker assignment; worker *i* gets ``s % procs == i``."""
+    procs = max(1, min(procs, shards))
+    return [
+        tuple(s for s in range(shards) if s % procs == i)
+        for i in range(procs)
+    ]
+
+
+def merge_tokens(tokens: Sequence[str]) -> str:
+    """Union per-worker session tokens into one full-space token.
+
+    Each worker's token covers only its hosted shards, and workers host
+    disjoint shard sets — so the merged frontier is a plain dict union.
+    The merged token round-trips through the ordinary importer (which
+    prunes non-maximal labels per shard on import).
+    """
+    session: Optional[str] = None
+    frontier: Dict[str, list] = {}
+    for token in tokens:
+        document = json.loads(token)
+        session = document.get("session", session)
+        for shard_key, pairs in document.get("frontier", {}).items():
+            merged = {tuple(pair) for pair in frontier.get(shard_key, [])}
+            merged |= {tuple(pair) for pair in pairs}
+            frontier[shard_key] = sorted(list(pair) for pair in merged)
+    return json.dumps(
+        {
+            "v": 1,
+            "session": session,
+            "frontier": {key: frontier[key] for key in sorted(frontier)},
+        },
+        separators=(",", ":"),
+    )
+
+
+# -- the worker process ------------------------------------------------------
+
+
+def _worker_main(
+    control,
+    shards: int,
+    members_per_shard: int,
+    seed: int,
+    shard_ids: Tuple[int, ...],
+    host: str,
+    repair_interval: float,
+    batch_window: float,
+) -> None:
+    """Entry point of one shard worker (spawned process)."""
+    import signal
+
+    # A ^C lands on the whole process group; workers must survive it so
+    # the front-end can still drain them and collect their reports (the
+    # stop order arrives over the control pipe, not as a signal).
+    try:
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    except (ValueError, OSError):  # pragma: no cover - exotic platforms
+        pass
+    asyncio.run(
+        _worker_async(
+            control, shards, members_per_shard, seed, shard_ids, host,
+            repair_interval, batch_window,
+        )
+    )
+
+
+async def _worker_async(
+    control,
+    shards: int,
+    members_per_shard: int,
+    seed: int,
+    shard_ids: Tuple[int, ...],
+    host: str,
+    repair_interval: float,
+    batch_window: float,
+) -> None:
+    from repro.serve.server import ServeServer
+    from repro.shard.cluster import ShardedCluster
+
+    cluster = ShardedCluster(
+        shards=shards,
+        members_per_shard=members_per_shard,
+        seed=seed,
+        shard_ids=shard_ids,
+        hop_events="off",
+    )
+    server = ServeServer(
+        cluster=cluster, host=host, port=0,
+        repair_interval=repair_interval, batch_window=batch_window,
+    )
+    await server.start()
+    control.send({"port": server.port, "shards": list(shard_ids)})
+    loop = asyncio.get_event_loop()
+    try:
+        command = await loop.run_in_executor(None, control.recv)
+    except (EOFError, OSError):
+        # The front-end died without saying stop; nothing left to report.
+        return
+    heal = bool(command.get("heal", True)) if isinstance(command, dict) else True
+    await server.shutdown(heal=heal)
+    try:
+        control.send({
+            "stats": server.metrics.snapshot(),
+            "heal_violations": [str(v) for v in server.heal_violations],
+            "session_guarantee_violations": [
+                str(v) for v in server.session_guarantee_violations()
+            ],
+        })
+    except (BrokenPipeError, OSError):
+        pass
+    # Reap connection-handler tasks before asyncio.run() tears the loop
+    # down, so a reader blocked on a half-closed socket does not spew a
+    # CancelledError traceback into the worker's stderr.
+    leftovers = [
+        task for task in asyncio.all_tasks()
+        if task is not asyncio.current_task()
+    ]
+    for task in leftovers:
+        task.cancel()
+    await asyncio.gather(*leftovers, return_exceptions=True)
+
+
+class _Worker:
+    """Front-end-side handle on one worker process."""
+
+    def __init__(self, index: int, shard_ids: Tuple[int, ...]) -> None:
+        self.index = index
+        self.shard_ids = shard_ids
+        self.process: Optional[multiprocessing.process.BaseProcess] = None
+        self.control = None
+        self.port: Optional[int] = None
+        self.report: Optional[Dict[str, Any]] = None
+
+    @property
+    def alive(self) -> bool:
+        return self.process is not None and self.process.is_alive()
+
+
+# -- per-connection routing state --------------------------------------------
+
+
+class _Route:
+    """One client request in flight at one worker."""
+
+    __slots__ = ("kind", "started", "future")
+
+    def __init__(
+        self,
+        kind: str,
+        started: float,
+        future: "Optional[asyncio.Future]" = None,
+    ) -> None:
+        self.kind = kind
+        self.started = started
+        #: Present for fan-out verbs; ``None`` means forward verbatim.
+        self.future = future
+
+
+class _Upstream:
+    """One client's connection to one worker."""
+
+    __slots__ = (
+        "worker", "reader", "writer", "codec", "pending", "pump", "dead",
+    )
+
+    def __init__(
+        self,
+        worker: _Worker,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        self.worker = worker
+        self.reader = reader
+        self.writer = writer
+        self.codec = CODEC_JSON
+        self.pending: Dict[int, _Route] = {}
+        self.pump: Optional[asyncio.Task] = None
+        self.dead = False
+
+
+class _FrontConn:
+    """Per-client-connection state at the front-end."""
+
+    def __init__(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        self.reader = reader
+        self.writer = writer
+        self.codec = CODEC_JSON
+        self.session: Optional[str] = None
+        #: worker index -> upstream connection (opened at hello time).
+        self.upstreams: Dict[int, _Upstream] = {}
+        self.tasks: Set[asyncio.Task] = set()
+        self.closed = False
+
+
+# -- the front-end -----------------------------------------------------------
+
+
+class MultiProcServeServer:
+    """Routing front-end over per-shard-subset worker processes.
+
+    API mirrors :class:`~repro.serve.server.ServeServer` where it
+    matters (``start``/``serve_forever``/``shutdown``, ``port``,
+    ``metrics``) so the load generator and the CLI can drive either.
+    """
+
+    def __init__(
+        self,
+        *,
+        shards: int = 2,
+        members_per_shard: int = 3,
+        seed: int = 0,
+        procs: int = 2,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        repair_interval: float = 0.25,
+        batch_window: float = 0.0,
+    ) -> None:
+        if shards < 1:
+            raise ProtocolError("need at least one shard")
+        self.shards = shards
+        self.members_per_shard = members_per_shard
+        self.seed = seed
+        self.host = host
+        self.port = port
+        self.repair_interval = repair_interval
+        #: Worker-side batch coalescing window (seconds of real time).
+        #: 0 batches whatever one event-loop tick delivers; a positive
+        #: window parks the worker so requests staggered through the
+        #: front-end hop can pile up into bigger drain cycles, at the
+        #: cost of sleeping on every cycle.  Measured on the dev box the
+        #: sleep costs more than the bigger batches save, so the default
+        #: stays 0 — the knob is for deployments where the per-cycle
+        #: fixed cost dominates (many shards per worker).
+        self.batch_window = batch_window
+        self.shard_map = ShardMap(shards)
+        self.workers: List[_Worker] = [
+            _Worker(index, shard_ids)
+            for index, shard_ids in enumerate(partition_shards(shards, procs))
+        ]
+        #: shard id -> index of the worker hosting it.
+        self.worker_of_shard: Dict[int, int] = {
+            shard: worker.index
+            for worker in self.workers
+            for shard in worker.shard_ids
+        }
+        self.procs = len(self.workers)
+        self.metrics = ServeMetrics()
+        self.worker_reports: List[Optional[Dict[str, Any]]] = []
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._connections: Set[_FrontConn] = set()
+        self._draining = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> None:
+        """Spawn the workers, collect their ports, bind the acceptor."""
+        context = multiprocessing.get_context("spawn")
+        loop = asyncio.get_event_loop()
+        for worker in self.workers:
+            parent, child = context.Pipe()
+            worker.control = parent
+            worker.process = context.Process(
+                target=_worker_main,
+                args=(
+                    child, self.shards, self.members_per_shard, self.seed,
+                    worker.shard_ids, self.host, self.repair_interval,
+                    self.batch_window,
+                ),
+                daemon=True,
+            )
+            worker.process.start()
+            child.close()
+        for worker in self.workers:
+            try:
+                ready = await asyncio.wait_for(
+                    loop.run_in_executor(None, worker.control.recv),
+                    WORKER_START_TIMEOUT,
+                )
+            except (asyncio.TimeoutError, EOFError, OSError) as exc:
+                await self._kill_workers()
+                raise ProtocolError(
+                    f"worker {worker.index} failed to start: {exc!r}"
+                ) from exc
+            worker.port = ready["port"]
+        self._server = await asyncio.start_server(
+            self._handle_client, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "start() first"
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def shutdown(self, *, heal: bool = True) -> None:
+        """Close client connections, stop every worker, collect reports."""
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for conn in list(self._connections):
+            try:
+                write_frame(conn.writer, {"t": "bye"}, conn.codec)
+                await conn.writer.drain()
+            except (ConnectionError, RuntimeError):
+                pass
+            await self._close_conn(conn)
+        loop = asyncio.get_event_loop()
+        self.worker_reports = [None] * len(self.workers)
+        stopped: List[_Worker] = []
+        for worker in self.workers:
+            if worker.process is None:
+                continue
+            try:
+                worker.control.send({"stop": True, "heal": heal})
+                stopped.append(worker)
+            except (BrokenPipeError, OSError):
+                pass
+        for worker in stopped:
+            # A crashed worker's pipe EOFs immediately; a healthy one
+            # answers with its final report once its drain completes.
+            try:
+                report = await asyncio.wait_for(
+                    loop.run_in_executor(None, worker.control.recv),
+                    WORKER_STOP_TIMEOUT,
+                )
+                worker.report = report
+                self.worker_reports[worker.index] = report
+            except (asyncio.TimeoutError, EOFError, OSError):
+                pass
+        await self._kill_workers()
+
+    async def _kill_workers(self) -> None:
+        loop = asyncio.get_event_loop()
+        for worker in self.workers:
+            process = worker.process
+            if process is None:
+                continue
+            await loop.run_in_executor(None, process.join, 5.0)
+            if process.is_alive():
+                process.terminate()
+                await loop.run_in_executor(None, process.join, 5.0)
+
+    # -- aggregated auditing ----------------------------------------------
+
+    @property
+    def heal_violations(self) -> List[str]:
+        return [
+            violation
+            for report in self.worker_reports
+            if report is not None
+            for violation in report.get("heal_violations", [])
+        ]
+
+    def session_guarantee_violations(self) -> List[str]:
+        """Union of every worker's session-guarantee verdicts."""
+        return [
+            violation
+            for report in self.worker_reports
+            if report is not None
+            for violation in report.get("session_guarantee_violations", [])
+        ]
+
+    def aggregate_stats(self) -> Dict[str, Any]:
+        """One coherent ``stats`` document from per-worker snapshots.
+
+        Counters sum across workers; gauges (``inflight``,
+        ``queue_depth``) sum too (they are per-worker pipelines);
+        ``batch_mean`` is the ops-weighted mean.  The per-worker
+        snapshots ride along untouched, as does the front-end's own
+        metrics view, so nothing is lost to the aggregation.
+        """
+        snapshots = [
+            report["stats"]
+            for report in self.worker_reports
+            if report is not None and "stats" in report
+        ]
+        return _merge_stats(
+            snapshots, procs=self.procs, frontend=self.metrics.snapshot()
+        )
+
+    # -- client handling ---------------------------------------------------
+
+    async def _handle_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        conn = _FrontConn(reader, writer)
+        self._connections.add(conn)
+        self.metrics.bump("connections_opened")
+        try:
+            while True:
+                body = await read_frame_bytes(reader)
+                if body is None:
+                    break
+                # Routing needs only a handful of top-level fields; for
+                # binary bodies peeking skips the full decode (the bytes
+                # are forwarded verbatim anyway).  For JSON the peek IS
+                # the full decode.
+                frame = peek_frame_fields(
+                    body, conn.codec, ("t", "rid", "key", "shard", "shards")
+                )
+                kind = frame.get("t")
+                if kind == "bye":
+                    break
+                self.metrics.bump("frames_in")
+                if kind == "hello":
+                    await self._handle_hello(
+                        conn, decode_frame(body, conn.codec)
+                    )
+                elif kind in ("put", "get", "chaos"):
+                    await self._route_single(conn, frame, body)
+                elif kind in ("read", "token", "stats"):
+                    await self._route_fanout(conn, frame)
+                else:
+                    await self._send_error(
+                        conn, frame.get("rid"),
+                        f"unknown request type: {kind!r}",
+                    )
+        except ProtocolError as exc:
+            await self._send_error(conn, None, str(exc))
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            await self._close_conn(conn)
+
+    async def _close_conn(self, conn: _FrontConn) -> None:
+        if conn.closed:
+            return
+        conn.closed = True
+        self._connections.discard(conn)
+        self.metrics.bump("connections_closed")
+        for upstream in conn.upstreams.values():
+            if upstream.pump is not None:
+                upstream.pump.cancel()
+            try:
+                upstream.writer.close()
+            except RuntimeError:
+                pass
+        for task in list(conn.tasks):
+            task.cancel()
+        try:
+            conn.writer.close()
+        except RuntimeError:
+            pass
+
+    async def _send(self, conn: _FrontConn, document: Dict[str, Any]) -> None:
+        if conn.closed:
+            return
+        try:
+            write_frame(conn.writer, document, conn.codec)
+            self.metrics.bump("frames_out")
+            await conn.writer.drain()
+        except (ConnectionError, RuntimeError):
+            pass
+
+    async def _send_error(
+        self, conn: _FrontConn, rid: Optional[int], message: str
+    ) -> None:
+        self.metrics.bump("errors")
+        await self._send(conn, {"t": "error", "rid": rid, "error": message})
+
+    # -- hello: connect upstreams, negotiate, merge ------------------------
+
+    async def _handle_hello(
+        self, conn: _FrontConn, frame: Dict[str, Any]
+    ) -> None:
+        rid = frame.get("rid")
+        name = frame.get("session")
+        if not isinstance(name, str) or not name:
+            await self._send_error(conn, rid, "hello needs a session name")
+            return
+        requested = frame.get("codec", CODEC_JSON)
+        if requested not in SUPPORTED_CODECS:
+            self.metrics.bump("errors")
+            await self._send(conn, {
+                "t": "error", "rid": rid,
+                "error": f"unknown codec: {requested!r}",
+                "codecs": list(SUPPORTED_CODECS),
+            })
+            return
+        if self._draining:
+            await self._send_error(conn, rid, "server is draining")
+            return
+        try:
+            await self._ensure_upstreams(conn)
+        except ProtocolError as exc:
+            await self._send_error(conn, rid, str(exc))
+            return
+        conn.session = name
+        sub_hello = {
+            "t": "hello", "rid": rid, "session": name,
+            "token": frame.get("token"), "codec": requested,
+        }
+        replies = await self._gather(conn, rid, "hello", sub_hello)
+        error = _first_error(replies)
+        if error is not None:
+            await self._send(conn, {**error, "rid": rid})
+            return
+        granted = [r for r in replies if r is not None]
+        if len(granted) < len(self.workers):
+            await self._send_error(conn, rid, "a shard worker is unavailable")
+            return
+        merged = {
+            "t": "reply", "rid": rid, "ok": True,
+            "wire_version": SERVE_WIRE_VERSION,
+            "session": name,
+            "shards": sum(r.get("shards", 0) for r in granted),
+            "procs": self.procs,
+            "codec": requested,
+            "codecs": list(SUPPORTED_CODECS),
+            "token": merge_tokens([r["token"] for r in granted]),
+            "token_labels_dropped": sum(
+                r.get("token_labels_dropped", 0) for r in granted
+            ),
+        }
+        await self._send(conn, merged)
+        # Reply went out in the old codec; both hops speak the granted
+        # codec from here on (the workers switched when they replied).
+        conn.codec = requested
+        self.metrics.bump(f"codec_{requested}")
+
+    async def _ensure_upstreams(self, conn: _FrontConn) -> None:
+        for worker in self.workers:
+            if worker.index in conn.upstreams:
+                continue
+            if not worker.alive or worker.port is None:
+                raise ProtocolError(
+                    f"worker {worker.index} (shards {list(worker.shard_ids)}) "
+                    "is not running"
+                )
+            try:
+                reader, writer = await asyncio.open_connection(
+                    self.host, worker.port
+                )
+            except (ConnectionError, OSError) as exc:
+                raise ProtocolError(
+                    f"cannot reach worker {worker.index}: {exc}"
+                ) from exc
+            upstream = _Upstream(worker, reader, writer)
+            conn.upstreams[worker.index] = upstream
+            upstream.pump = asyncio.ensure_future(self._pump(conn, upstream))
+
+    # -- single-worker verbs: forward, reply verbatim ----------------------
+
+    async def _route_single(
+        self, conn: _FrontConn, frame: Dict[str, Any], body: bytes
+    ) -> None:
+        rid = frame.get("rid")
+        kind = frame.get("t")
+        if conn.session is None:
+            await self._send_error(conn, rid, "hello required first")
+            return
+        if kind == "chaos":
+            shard = frame.get("shard")
+        else:
+            key = frame.get("key")
+            if not isinstance(key, str):
+                await self._send_error(conn, rid, f"{kind} needs a string key")
+                return
+            shard = self.shard_map.shard_of(key)
+        index = self.worker_of_shard.get(shard)
+        if index is None:
+            await self._send_error(conn, rid, f"unknown shard: {shard!r}")
+            return
+        upstream = conn.upstreams.get(index)
+        if upstream is None or upstream.dead:
+            await self._send_error(
+                conn, rid,
+                f"worker {index} for shard {shard} is unavailable",
+            )
+            return
+        loop = asyncio.get_event_loop()
+        upstream.pending[rid] = _Route(kind, loop.time())
+        try:
+            # No drain: frames are tiny and bounded by the clients'
+            # pipeline depth, so the transport buffer flushes on the
+            # next loop iteration without a per-frame suspension.
+            write_frame_bytes(upstream.writer, body)
+        except (ConnectionError, RuntimeError):
+            upstream.pending.pop(rid, None)
+            await self._send_error(
+                conn, rid,
+                f"worker {index} for shard {shard} is unavailable",
+            )
+
+    # -- fan-out verbs: split, gather, merge -------------------------------
+
+    async def _route_fanout(
+        self, conn: _FrontConn, frame: Dict[str, Any]
+    ) -> None:
+        rid = frame.get("rid")
+        kind = frame.get("t")
+        if conn.session is None:
+            await self._send_error(conn, rid, "hello required first")
+            return
+        per_worker: Dict[int, Dict[str, Any]] = {}
+        if kind == "read" and frame.get("shards") is not None:
+            shards = frame.get("shards")
+            if not isinstance(shards, list) or any(
+                s not in self.worker_of_shard for s in shards
+            ):
+                await self._send_error(
+                    conn, rid, f"read names unknown shards: {shards!r}"
+                )
+                return
+            for shard in shards:
+                index = self.worker_of_shard[shard]
+                sub = per_worker.setdefault(
+                    index, {"t": "read", "rid": rid, "shards": []}
+                )
+                if shard not in sub["shards"]:
+                    sub["shards"].append(shard)
+        else:
+            for worker in self.workers:
+                per_worker[worker.index] = {"t": kind, "rid": rid}
+        # Sub-requests go out synchronously, in the arrival order of the
+        # client's frames — session FIFO order reaches every worker
+        # intact.  Only the merge waits in a task.
+        futures = self._send_fanout(conn, rid, kind, per_worker)
+        task = asyncio.ensure_future(
+            self._merge_fanout(conn, rid, kind, futures)
+        )
+        conn.tasks.add(task)
+        task.add_done_callback(conn.tasks.discard)
+
+    def _send_fanout(
+        self,
+        conn: _FrontConn,
+        rid: Optional[int],
+        kind: str,
+        per_worker: Dict[int, Dict[str, Any]],
+    ) -> List["asyncio.Future"]:
+        loop = asyncio.get_event_loop()
+        futures: List[asyncio.Future] = []
+        for index, sub in sorted(per_worker.items()):
+            future: asyncio.Future = loop.create_future()
+            upstream = conn.upstreams.get(index)
+            if upstream is None or upstream.dead:
+                future.set_exception(ProtocolError(
+                    f"worker {index} is unavailable"
+                ))
+                futures.append(future)
+                continue
+            upstream.pending[rid] = _Route(kind, loop.time(), future)
+            try:
+                write_frame(upstream.writer, sub, upstream.codec)
+            except (ConnectionError, RuntimeError):
+                upstream.pending.pop(rid, None)
+                future.set_exception(ProtocolError(
+                    f"worker {index} is unavailable"
+                ))
+            futures.append(future)
+        return futures
+
+    async def _gather(
+        self,
+        conn: _FrontConn,
+        rid: Optional[int],
+        kind: str,
+        sub: Dict[str, Any],
+    ) -> List[Optional[Dict[str, Any]]]:
+        """Send ``sub`` to every worker and await all replies."""
+        futures = self._send_fanout(
+            conn, rid, kind, {w.index: sub for w in self.workers}
+        )
+        results = await asyncio.gather(*futures, return_exceptions=True)
+        replies: List[Optional[Dict[str, Any]]] = []
+        for result in results:
+            if isinstance(result, BaseException):
+                replies.append({
+                    "t": "error", "error": str(result),
+                })
+            else:
+                replies.append(result)
+        return replies
+
+    async def _merge_fanout(
+        self,
+        conn: _FrontConn,
+        rid: Optional[int],
+        kind: str,
+        futures: List["asyncio.Future"],
+    ) -> None:
+        results = await asyncio.gather(*futures, return_exceptions=True)
+        replies: List[Dict[str, Any]] = []
+        for result in results:
+            if isinstance(result, BaseException):
+                await self._send_error(conn, rid, str(result))
+                return
+            replies.append(result)
+        error = _first_error(replies)
+        if error is not None:
+            self.metrics.bump("errors")
+            await self._send(conn, {**error, "rid": rid})
+            return
+        if kind == "read":
+            merged = self._merge_read(rid, replies)
+        elif kind == "token":
+            merged = {
+                "t": "reply", "rid": rid, "ok": True,
+                "token": merge_tokens([r["token"] for r in replies]),
+            }
+        else:  # stats
+            merged = {
+                "t": "reply", "rid": rid, "ok": True,
+                "stats": _merge_stats(
+                    [r["stats"] for r in replies],
+                    procs=self.procs,
+                    frontend=self.metrics.snapshot(),
+                ),
+            }
+        await self._send(conn, merged)
+
+    def _merge_read(
+        self, rid: Optional[int], replies: List[Dict[str, Any]]
+    ) -> Dict[str, Any]:
+        value: Dict[str, Any] = {}
+        shards: List[int] = []
+        barrier_labels: Dict[str, list] = {}
+        tokens: List[str] = []
+        rounds = 0
+        for reply in replies:
+            value.update(reply.get("value", {}))
+            shards.extend(reply.get("shards", []))
+            barrier_labels.update(reply.get("barrier_labels", {}))
+            rounds = max(rounds, reply.get("rounds", 0))
+            if "token" in reply:
+                tokens.append(reply["token"])
+        return {
+            "t": "reply", "rid": rid, "ok": True,
+            "value": value,
+            "shards": sorted(shards),
+            "rounds": rounds,
+            "barrier_labels": barrier_labels,
+            "token": merge_tokens(tokens),
+        }
+
+    # -- the reply pump ----------------------------------------------------
+
+    async def _pump(self, conn: _FrontConn, upstream: _Upstream) -> None:
+        """Read one worker's replies: resolve gathers, forward the rest."""
+        try:
+            while True:
+                body = await read_frame_bytes(upstream.reader)
+                if body is None:
+                    break
+                codec_in = upstream.codec
+                # Pass-through replies only need matching up by rid; the
+                # full decode is reserved for gathered (fan-out) replies.
+                fields = peek_frame_fields(body, codec_in, ("t", "rid"))
+                kind_in = fields.get("t")
+                if kind_in == "bye":
+                    break
+                route = upstream.pending.pop(fields.get("rid"), None)
+                if route is None:
+                    continue
+                frame = fields
+                if route.future is not None and codec_in == CODEC_BINARY:
+                    frame = decode_frame(body, codec_in)
+                if route.kind == "hello" and kind_in != "error":
+                    # Mirror the worker's codec switch before the next
+                    # frame on this upstream is decoded.
+                    upstream.codec = frame.get("codec", CODEC_JSON)
+                loop = asyncio.get_event_loop()
+                millis = (loop.time() - route.started) * 1000.0
+                self.metrics.record_latency(route.kind, millis)
+                self.metrics.record_latency("op", millis)
+                if route.future is not None:
+                    if not route.future.done():
+                        route.future.set_result(frame)
+                    continue
+                # Pass-through reply: the worker's bytes are already in
+                # the client's codec — forward them verbatim.
+                if not conn.closed:
+                    try:
+                        # No drain: reply frames are as bounded as the
+                        # requests that provoked them.
+                        write_frame_bytes(conn.writer, body)
+                        self.metrics.bump("frames_out")
+                    except (ConnectionError, RuntimeError):
+                        pass
+        except (ProtocolError, ConnectionError):
+            pass
+        finally:
+            upstream.dead = True
+            await self._fail_pending(conn, upstream)
+
+    async def _fail_pending(
+        self, conn: _FrontConn, upstream: _Upstream
+    ) -> None:
+        """A worker connection died: answer everything it still owed."""
+        pending, upstream.pending = upstream.pending, {}
+        message = (
+            f"worker {upstream.worker.index} "
+            f"(shards {list(upstream.worker.shard_ids)}) connection lost"
+        )
+        for rid, route in pending.items():
+            if route.future is not None:
+                if not route.future.done():
+                    route.future.set_exception(ProtocolError(message))
+            else:
+                await self._send_error(conn, rid, message)
+
+
+def _first_error(
+    replies: Sequence[Optional[Dict[str, Any]]],
+) -> Optional[Dict[str, Any]]:
+    for reply in replies:
+        if reply is not None and reply.get("t") == "error":
+            return dict(reply)
+    return None
+
+
+def _merge_stats(
+    snapshots: Sequence[Dict[str, Any]],
+    *,
+    procs: int,
+    frontend: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Sum worker metric snapshots into one coherent report."""
+    merged: Dict[str, Any] = {"procs": procs}
+    total_batches = 0
+    total_batched = 0.0
+    batch_max: Optional[int] = None
+    for snapshot in snapshots:
+        for key, value in snapshot.items():
+            if key in ("latency", "batch_mean", "batch_max"):
+                continue
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                merged[key] = merged.get(key, 0) + value
+        batches = snapshot.get("batches", 0) or 0
+        mean = snapshot.get("batch_mean")
+        if batches and mean is not None:
+            total_batches += batches
+            total_batched += batches * mean
+        if snapshot.get("batch_max") is not None:
+            batch_max = max(batch_max or 0, snapshot["batch_max"])
+    merged["batch_mean"] = (
+        total_batched / total_batches if total_batches else None
+    )
+    merged["batch_max"] = batch_max
+    merged["workers"] = {
+        str(index): snapshot for index, snapshot in enumerate(snapshots)
+    }
+    if frontend is not None:
+        merged["frontend"] = frontend
+    return merged

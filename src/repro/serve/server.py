@@ -57,7 +57,9 @@ from repro.apps.kvstore import fold_ledger
 from repro.errors import ProtocolError
 from repro.serve.metrics import ServeMetrics
 from repro.serve.wire import (
+    CODEC_JSON,
     SERVE_WIRE_VERSION,
+    SUPPORTED_CODECS,
     read_frame,
     write_frame,
 )
@@ -85,6 +87,10 @@ class _Connection:
         self.reader = reader
         self.writer = writer
         self.session: Optional[Session] = None
+        #: Active frame codec.  Every connection starts in JSON; the
+        #: ``hello`` exchange may switch it (reply still goes out in the
+        #: codec the hello arrived in, so the switch is race-free).
+        self.codec = CODEC_JSON
         self.inflight = 0
         self.can_admit = asyncio.Event()
         self.can_admit.set()
@@ -124,14 +130,25 @@ class ServeServer:
         port: int = 0,
         max_inflight: int = MAX_INFLIGHT,
         repair_interval: float = REPAIR_INTERVAL,
+        batch_window: float = 0.0,
     ) -> None:
+        # Serving-path clusters skip per-hop trace events: nothing on
+        # the serve path reads them, and the hot delivery loop would pay
+        # for assembling one per network hop.
         self.cluster = cluster if cluster is not None else ShardedCluster(
-            shards=shards, members_per_shard=members_per_shard, seed=seed
+            shards=shards, members_per_shard=members_per_shard, seed=seed,
+            hop_events="off",
         )
         self.host = host
         self.port = port
         self.max_inflight = max_inflight
         self.repair_interval = repair_interval
+        #: Seconds a flush waits for more requests to coalesce before
+        #: running the cycle.  0 batches only within one loop tick (the
+        #: single-process default); multi-process workers use a few
+        #: milliseconds so requests staggered through the front-end hop
+        #: still land in one simulator drive.
+        self.batch_window = batch_window
         self.metrics = ServeMetrics()
         #: session name -> answered ops, in issue order.  Entries are
         #: ("write", label) or ("read", BarrierRead).
@@ -185,7 +202,7 @@ class ServeServer:
             self._repair_task = None
         for conn in list(self._connections):
             try:
-                write_frame(conn.writer, {"t": "bye"})
+                write_frame(conn.writer, {"t": "bye"}, conn.codec)
                 self.metrics.bump("frames_out")
                 await conn.writer.drain()
             except (ConnectionError, RuntimeError):
@@ -239,7 +256,7 @@ class ServeServer:
         self.metrics.bump("connections_opened")
         try:
             while True:
-                frame = await read_frame(reader)
+                frame = await read_frame(reader, conn.codec)
                 if frame is None or frame.get("t") == "bye":
                     break
                 self.metrics.bump("frames_in")
@@ -266,7 +283,7 @@ class ServeServer:
         if conn.closed:
             return
         try:
-            write_frame(conn.writer, document)
+            write_frame(conn.writer, document, conn.codec)
             self.metrics.bump("frames_out")
             await conn.writer.drain()
         except (ConnectionError, RuntimeError):
@@ -332,6 +349,18 @@ class ServeServer:
         if not isinstance(name, str) or not name:
             await self._send_error(conn, rid, "hello needs a session name")
             return
+        requested = frame.get("codec", CODEC_JSON)
+        if requested not in SUPPORTED_CODECS:
+            # Clean reject, still in the codec the hello arrived in: the
+            # client gets a parseable error plus what it *could* ask for,
+            # instead of a codec-mismatch hang.
+            self.metrics.bump("errors")
+            await self._send(conn, {
+                "t": "error", "rid": rid,
+                "error": f"unknown codec: {requested!r}",
+                "codecs": list(SUPPORTED_CODECS),
+            })
+            return
         session = self.cluster.router.session(name)
         token = frame.get("token")
         dropped: int = 0
@@ -350,9 +379,15 @@ class ServeServer:
             "wire_version": SERVE_WIRE_VERSION,
             "session": name,
             "shards": len(self.cluster.shard_ids),
+            "codec": requested,
+            "codecs": list(SUPPORTED_CODECS),
             "token": session.export_token(),
             "token_labels_dropped": dropped,
         })
+        # Reply went out in the old codec; everything after speaks the
+        # negotiated one.
+        conn.codec = requested
+        self.metrics.bump(f"codec_{requested}")
 
     async def _handle_chaos(
         self, conn: _Connection, frame: Dict[str, Any]
@@ -411,6 +446,13 @@ class ServeServer:
         # joins the same cycle — this is where pipelining turns into
         # batching.
         await asyncio.sleep(0)
+        if self.batch_window > 0.0:
+            # Coalesce across the window with a real sleep: it parks
+            # this process so peers (the front-end, sibling workers) get
+            # scheduled and their in-flight requests join this cycle.
+            # Busy-yielding here would steal the CPU those requests need
+            # to arrive at all.
+            await asyncio.sleep(self.batch_window)
         while self._pending:
             batch, self._pending = self._pending, []
             self.metrics.queue_depth = 0
@@ -451,6 +493,15 @@ class ServeServer:
                     )
                     continue
                 shard = self.cluster.shard_map.shard_of(key)
+                if shard not in self.cluster.groups:
+                    # A subset cluster (multi-process worker) only hosts
+                    # some shards; a misrouted key must error cleanly,
+                    # not KeyError the whole batch cycle.
+                    op.error = (
+                        f"key {key!r} routes to shard {shard}, "
+                        "which this server does not host"
+                    )
+                    continue
                 per_shard[shard] = per_shard.get(shard, 0) + 1
                 session.put(
                     key,
@@ -485,7 +536,7 @@ class ServeServer:
             self.metrics.record_latency("op", millis)
             if not op.conn.closed:
                 try:
-                    write_frame(op.conn.writer, reply)
+                    write_frame(op.conn.writer, reply, op.conn.codec)
                     self.metrics.bump("frames_out")
                     drains.append(op.conn)
                 except (ConnectionError, RuntimeError):

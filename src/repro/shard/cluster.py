@@ -33,7 +33,7 @@ from repro.core.stable_points import StablePointDetector
 from repro.errors import ConfigurationError, ProtocolError, SimulationError
 from repro.graph.depgraph import DependencyGraph
 from repro.net.latency import LatencyModel
-from repro.shard.ledger import COMMUTATIVE_KINDS, OpRecord
+from repro.shard.ledger import COMMUTATIVE_KINDS, DATA_KINDS, OpRecord
 from repro.shard.map import ShardMap
 from repro.shard.rebalance import Rebalancer
 from repro.shard.router import ShardRouter
@@ -91,17 +91,34 @@ class ShardedCluster:
         seed: int = 0,
         *,
         num_slots: int = 16,
+        shard_ids: Optional[Iterable[int]] = None,
         latency: Optional[LatencyModel] = None,
         overlap: bool = False,
         auto_membership: bool = True,
         scan_interval: float = 2.0,
         nack_backoff: float = 4.0,
+        hop_events: str = "full",
     ) -> None:
         if shards < 1:
             raise ConfigurationError("a sharded cluster needs >= 1 shard")
         self.scheduler = Scheduler()
+        # The map always spans the full shard space, even when this
+        # cluster hosts a subset (`shard_ids`): a multi-process worker
+        # must route keys exactly like its siblings, and member names /
+        # derived seeds stay identical to the full-cluster layout so a
+        # hosted shard's group is bit-for-bit the same either way.
         self.shard_map = ShardMap(shards, num_slots=num_slots)
-        self.shard_ids: Tuple[int, ...] = tuple(range(shards))
+        if shard_ids is None:
+            self.shard_ids: Tuple[int, ...] = tuple(range(shards))
+        else:
+            self.shard_ids = tuple(sorted(set(shard_ids)))
+            if not self.shard_ids:
+                raise ConfigurationError("shard_ids must name >= 1 shard")
+            bad = [s for s in self.shard_ids if not 0 <= s < shards]
+            if bad:
+                raise ConfigurationError(
+                    f"shard_ids {bad} outside range 0..{shards - 1}"
+                )
         self.groups: Dict[int, ChaosCluster] = {}
         self.shard_of_member: Dict[EntityId, int] = {}
         for shard in self.shard_ids:
@@ -120,6 +137,7 @@ class ShardedCluster:
                 overlap=overlap,
                 auto_membership=auto_membership,
                 scheduler=self.scheduler,
+                hop_events=hop_events,
             )
             self.groups[shard] = group
             for member in members:
@@ -129,31 +147,105 @@ class ShardedCluster:
         self.ops: Dict[MessageId, OpRecord] = {}
         self.issue_order: List[MessageId] = []
         self.shard_of_label: Dict[MessageId, int] = {}
+        #: shard -> its data-carrying labels (``DATA_KINDS`` only) — lets
+        #: the barrier restrict a causal cut to one shard's writes with a
+        #: single set intersection instead of a per-label kind lookup.
+        self.write_labels: Dict[int, Set[MessageId]] = {
+            shard: set() for shard in self.shard_ids
+        }
         #: session -> issue-order batches (a write is a singleton batch; a
         #: read's barrier labels form one batch — they are concurrent).
         self.session_batches: Dict[str, List[List[MessageId]]] = {}
         #: label -> callbacks fired on its first delivery anywhere.
         self._watchers: Dict[MessageId, List[Callable[[EntityId], None]]] = {}
         self.detectors: Dict[EntityId, StablePointDetector] = {}
+        #: member -> running maximal frontier of its settled ledger
+        #: labels (mapped to their issue index), maintained incrementally
+        #: by the delivery hook so `delivered_frontier` is O(frontier)
+        #: instead of a maximal scan over the member's whole delivered
+        #: history.  The index lets domination tests skip closure lookups
+        #: (a label's causal past only holds earlier-issued labels).
+        self._frontiers: Dict[EntityId, Dict[MessageId, int]] = {}
+        #: member -> `_settled_version` the frontier was last synced at; a
+        #: mismatch means `_delivered_ids` mutated outside delivery
+        #: (restart wipe, stable-prefix skip, state transfer) and the
+        #: frontier must be rebuilt from scratch.
+        self._frontier_sync: Dict[EntityId, int] = {}
+        #: Members whose frontier is maintained incrementally by the
+        #: delivery hook.  Only queried members (the per-shard contacts,
+        #: in practice) pay the per-delivery frontier update; the rest
+        #: join on their first `delivered_frontier` query with one
+        #: rebuild from their settled set.
+        self._frontier_active: Set[EntityId] = set()
         spec = CommutativitySpec(commutative_ops=COMMUTATIVE_KINDS)
         for shard, group in self.groups.items():
             for member, stack in group.stacks.items():
                 detector = StablePointDetector(member, spec)
                 self.detectors[member] = detector
-                stack.on_deliver(self._delivery_hook(member, detector))
+                self._frontiers[member] = {}
+                self._frontier_sync[member] = stack._settled_version
+                stack.on_deliver(
+                    self._delivery_hook(member, detector, group)
+                )
         self.router = ShardRouter(self)
         self.rebalancer = Rebalancer(self)
         self.barrier_reads: List["BarrierRead"] = []
+        #: touched-shard-set (sorted tuple) -> per-shard (barrier label,
+        #: covered cut, folded values) of the newest zero-round barrier
+        #: read over exactly those shards.  A later read whose barrier
+        #: causally dominates the cached label seeds its cut and fold
+        #: from the entry and only processes the delta — without it every
+        #: read re-folds (and re-closure-scans) the whole shard history.
+        #: Entries are replaced wholesale, never mutated: in-flight reads
+        #: hold a reference to the entry they seeded from.
+        self._snapshot_cache: Dict[
+            Tuple[int, ...],
+            Dict[
+                int,
+                Tuple[
+                    MessageId,
+                    FrozenSet[MessageId],
+                    Dict[str, Tuple[int, object]],
+                ],
+            ],
+        ] = {}
         self.barriers_started = 0
         self.reads_failed = 0
         self._livelock: Optional[str] = None
 
     # -- delivery plumbing -------------------------------------------------
 
-    def _delivery_hook(self, member: EntityId, detector: StablePointDetector):
+    def _delivery_hook(
+        self, member: EntityId, detector: StablePointDetector, group
+    ):
+        frontier = self._frontiers[member]
+        data_labels = group.data_labels
+        causal_past = self.graph.causal_past
+        ops = self.ops
+        active = self._frontier_active
+
         def hook(envelope) -> None:
             detector.observe(envelope, self.scheduler.now)
-            watchers = self._watchers.pop(envelope.msg_id, None)
+            label = envelope.msg_id
+            if label in data_labels and member in active:
+                # Incremental maximal: causal delivery means no in-group
+                # ancestor of `label` arrives after it, so `label` either
+                # shadows frontier members (via its global causal past) or
+                # is itself shadowed by one that got here first through a
+                # cross-shard edge.  Only a later-issued head can shadow
+                # `label`, so the index guard skips the closure lookup for
+                # the (overwhelmingly common) newest-label delivery.
+                index = ops[label].index
+                for head, head_index in frontier.items():
+                    if head_index > index and label in causal_past(head):
+                        break
+                else:
+                    past = causal_past(label)
+                    shadowed = [h for h in frontier if h in past]
+                    for head in shadowed:
+                        del frontier[head]
+                    frontier[label] = index
+            watchers = self._watchers.pop(label, None)
             if watchers:
                 for watcher in watchers:
                     watcher(member)
@@ -270,6 +362,8 @@ class ShardedCluster:
         )
         self.issue_order.append(label)
         self.shard_of_label[label] = shard
+        if kind in DATA_KINDS:
+            self.write_labels[shard].add(label)
         group = self.groups[shard]
         group.data_labels.add(label)
         group.dependencies[label] = deps
@@ -284,8 +378,22 @@ class ShardedCluster:
     # -- causal-order utilities -------------------------------------------
 
     def maximal(self, labels: Iterable[MessageId]) -> FrozenSet[MessageId]:
-        """Prune ``labels`` to its maximal elements under the graph."""
-        return self.graph.maximal_elements(labels)
+        """Prune ``labels`` to its maximal elements under the graph.
+
+        Labels are presented newest-issued-first: a later ledger label is
+        the likelier dominator, so the graph's shadowing scan usually
+        swallows the whole pool within its first few closures.
+        """
+        pool = set(labels)
+        if len(pool) <= 1:
+            return frozenset(pool)
+        ops = self.ops
+        ordered = sorted(
+            pool,
+            key=lambda l: ops[l].index if l in ops else -1,
+            reverse=True,
+        )
+        return self.graph.maximal_elements(ordered)
 
     def project(
         self, labels: Iterable[MessageId], shard: int
@@ -296,13 +404,22 @@ class ShardedCluster:
         which is what lets a session that observed a label on shard B
         correctly depend on that label's shard-A ancestors.
         """
+        group = self.groups.get(shard)
+        if group is None:
+            # A subset cluster (multi-process worker) does not host this
+            # shard, so no ledger label can live there.
+            return frozenset()
+        shard_labels = group.data_labels
+        pool = tuple(labels)
+        if len(pool) == 1 and pool[0] in shard_labels:
+            # The label dominates its own causal past, so restricted to
+            # its home shard it is the unique maximum.
+            return frozenset(pool)
         result: Set[MessageId] = set()
-        for label in labels:
-            if self.shard_of_label.get(label) == shard:
+        for label in pool:
+            if label in shard_labels:
                 result.add(label)
-            for ancestor in self.graph.causal_past(label):
-                if self.shard_of_label.get(ancestor) == shard:
-                    result.add(ancestor)
+            result |= self.graph.causal_past(label) & shard_labels
         return self.maximal(result)
 
     def contact(self, shard: int) -> Optional[EntityId]:
@@ -319,13 +436,29 @@ class ShardedCluster:
         """Maximal ledger labels ``member`` has settled in its group."""
         group = self.groups[shard]
         stack = group.stacks[member]
-        settled = {
-            e.msg_id
-            for e in stack._delivered_envelopes
-            if e.msg_id in group.data_labels
-        }
-        settled |= set(stack._skipped_stable) & group.data_labels
-        return self.maximal(settled)
+        frontier = self._frontiers[member]
+        version = stack._settled_version
+        if member not in self._frontier_active:
+            # First query for this member: the delivery hook has been
+            # skipping its frontier, so activate it and force a rebuild.
+            self._frontier_active.add(member)
+            self._frontier_sync[member] = version - 1
+        if self._frontier_sync[member] != version:
+            # `_delivered_ids` mutated outside delivery (restart wipe,
+            # stable-prefix skip, state transfer) or the member was just
+            # activated: the incremental frontier is stale, so rebuild it
+            # from the full settled set — delivered ∪ skip-settled — and
+            # resync.
+            ops = self.ops
+            frontier.clear()
+            frontier.update(
+                (label, ops[label].index)
+                for label in self.maximal(
+                    stack._delivered_ids & group.data_labels
+                )
+            )
+            self._frontier_sync[member] = version
+        return frozenset(frontier)
 
     # -- campaign execution ------------------------------------------------
 

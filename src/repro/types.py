@@ -40,6 +40,17 @@ class MessageId:
     sender: EntityId
     seqno: int
 
+    def __post_init__(self) -> None:
+        # Labels live in the hot sets of every layer (dedup, delivery,
+        # closures, frontiers); hashing the field tuple on every lookup
+        # is measurable, so compute it once.  The cached value matches
+        # the generated dataclass hash, and being a plain attribute it
+        # stays out of equality, ordering, and repr.
+        object.__setattr__(self, "_hash", hash((self.sender, self.seqno)))
+
+    def __hash__(self) -> int:
+        return self._hash
+
     def __str__(self) -> str:  # pragma: no cover - trivial
         return f"{self.sender}:{self.seqno}"
 

@@ -1,0 +1,159 @@
+"""Multi-process serving tests: routing, aggregation, worker crashes.
+
+These spawn real worker processes (``multiprocessing`` spawn context),
+so each test pays a fraction of a second of interpreter start-up per
+worker — the scenarios are batched to keep that bounded.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from contextlib import asynccontextmanager
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.serve import ServeClient, ServeError
+from repro.serve.procs import MultiProcServeServer, partition_shards
+from repro.serve.wire import CODEC_BINARY, CODEC_JSON
+
+
+@asynccontextmanager
+async def server(**kwargs):
+    kwargs.setdefault("shards", 2)
+    kwargs.setdefault("members_per_shard", 3)
+    kwargs.setdefault("seed", 9)
+    kwargs.setdefault("procs", 2)
+    srv = MultiProcServeServer(**kwargs)
+    await srv.start()
+    try:
+        yield srv
+    finally:
+        await srv.shutdown()
+
+
+@asynccontextmanager
+async def client(srv, name="c", codec=CODEC_JSON):
+    cli = ServeClient("127.0.0.1", srv.port, name, codec=codec)
+    await cli.connect()
+    try:
+        yield cli
+    finally:
+        await cli.close()
+
+
+def run(coro_fn):
+    return asyncio.run(coro_fn())
+
+
+def keys_per_shard(srv, count=2):
+    """Concrete keys that land on each shard, via the real shard map."""
+    found = {shard: [] for shard in range(srv.shards)}
+    index = 0
+    while any(len(keys) < count for keys in found.values()):
+        key = f"key{index}"
+        shard = srv.shard_map.shard_of(key)
+        if len(found[shard]) < count:
+            found[shard].append(key)
+        index += 1
+    return found
+
+
+class TestPartition:
+    def test_round_robin_split(self):
+        assert partition_shards(4, 2) == [(0, 2), (1, 3)]
+
+    def test_remainder_spread(self):
+        assert partition_shards(5, 2) == [(0, 2, 4), (1, 3)]
+
+    def test_more_procs_than_shards_collapses(self):
+        assert partition_shards(2, 8) == [(0,), (1,)]
+
+
+class TestEndToEnd:
+    def test_puts_reads_and_stats_across_workers(self):
+        async def scenario():
+            async with server() as srv:
+                assert srv.procs == 2
+                per_shard = keys_per_shard(srv)
+                async with client(srv) as cli:
+                    for keys in per_shard.values():
+                        for key in keys:
+                            reply = await cli.put_wait(key, f"v-{key}")
+                            assert reply["ok"] is True
+                    # Read-your-writes through the front-end, for keys
+                    # on both workers.
+                    for keys in per_shard.values():
+                        assert await cli.get(keys[0]) == f"v-{keys[0]}"
+                    # A barrier read spans both workers' shards and
+                    # merges their cuts.
+                    read = await cli.read()
+                    assert sorted(read["shards"]) == [0, 1]
+                    for keys in per_shard.values():
+                        for key in keys:
+                            assert read["value"][key] == f"v-{key}"
+                    # The stats verb aggregates worker snapshots.
+                    stats = await cli.stats()
+                    assert stats["procs"] == 2
+                    assert stats["puts"] == sum(
+                        len(keys) for keys in per_shard.values()
+                    )
+                # Worker-side audits come back with the final reports.
+                assert srv.session_guarantee_violations() == []
+                assert srv.aggregate_stats()["procs"] == 2
+
+        run(scenario)
+
+    def test_mixed_codecs_through_the_front_end(self):
+        async def scenario():
+            async with server() as srv:
+                async with client(srv, "cb", codec=CODEC_BINARY) as cb:
+                    async with client(srv, "cj", codec=CODEC_JSON) as cj:
+                        assert cb.negotiated_codec == CODEC_BINARY
+                        await cb.put_wait("b-key", 1)
+                        await cj.put_wait("j-key", 2)
+                        for cli in (cb, cj):
+                            read = await cli.read()
+                            assert read["value"]["b-key"] == 1
+                            assert read["value"]["j-key"] == 2
+
+        run(scenario)
+
+
+class TestWorkerCrash:
+    def test_crashed_worker_surfaces_clean_errors(self):
+        async def scenario():
+            async with server() as srv:
+                per_shard = keys_per_shard(srv)
+                async with client(srv) as cli:
+                    for keys in per_shard.values():
+                        await cli.put_wait(keys[0], "before-crash")
+                    victim = srv.workers[0]
+                    victim_shard = victim.shard_ids[0]
+                    survivor_shard = next(
+                        shard for shard in per_shard
+                        if shard not in victim.shard_ids
+                    )
+                    victim.process.kill()
+                    victim.process.join(5.0)
+                    # Requests routed at the dead worker fail with a
+                    # parseable error reply, not a hang or a dropped
+                    # connection.
+                    with pytest.raises((ServeError, ProtocolError)):
+                        await asyncio.wait_for(
+                            cli.put_wait(
+                                per_shard[victim_shard][1], "after-crash"
+                            ),
+                            timeout=10.0,
+                        )
+                    # A fresh connection is told at hello time, cleanly
+                    # (the front-end cannot fence a session across a
+                    # missing shard worker, so it refuses the session
+                    # rather than serving it partially).
+                    late = ServeClient("127.0.0.1", srv.port, "late")
+                    with pytest.raises((ServeError, ProtocolError)):
+                        await asyncio.wait_for(late.connect(), timeout=10.0)
+                    await late.close()
+                    del survivor_shard  # routing spans both workers
+
+        run(scenario)

@@ -5,12 +5,18 @@ from __future__ import annotations
 import asyncio
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.errors import ProtocolError
 from repro.serve.wire import (
+    CODEC_BINARY,
+    CODEC_JSON,
     MAX_FRAME,
     decode_frame,
     encode_frame,
+    encode_frame_body,
+    peek_frame_fields,
     read_frame,
     write_frame,
 )
@@ -111,3 +117,74 @@ class TestEdges:
         # Forward compatibility: framing does not police the schema.
         blob = encode_frame({"t": "put", "future_field": [1, 2]})
         assert decode_frame(blob[4:])["future_field"] == [1, 2]
+
+
+# Frame documents: string keys (request/reply fields) over the value
+# domain both wire codecs carry.
+frame_values = st.recursive(
+    st.none()
+    | st.booleans()
+    | st.integers(-(2**53), 2**53)
+    | st.text(max_size=8)
+    | st.builds(MessageId, st.text(min_size=1, max_size=4), st.integers(0, 999)),
+    lambda children: st.lists(children, max_size=3)
+    | st.dictionaries(st.text(max_size=5), children, max_size=3)
+    | st.lists(children, max_size=3).map(tuple),
+    max_leaves=8,
+)
+frame_documents = st.dictionaries(
+    st.text(min_size=1, max_size=8), frame_values, max_size=6
+)
+
+
+class TestCodecAgreement:
+    """JSON and binary frame bodies carry the same document."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(document=frame_documents)
+    def test_frame_bodies_agree(self, document):
+        via_json = decode_frame(
+            encode_frame_body(document, CODEC_JSON), CODEC_JSON
+        )
+        via_binary = decode_frame(
+            encode_frame_body(document, CODEC_BINARY), CODEC_BINARY
+        )
+        assert via_json == via_binary == document
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        document=frame_documents,
+        wanted=st.frozensets(st.text(min_size=1, max_size=8), max_size=4),
+    )
+    def test_peek_agrees_with_full_decode(self, document, wanted):
+        """``peek_frame_fields`` (which byte-skips unwanted values, so
+        this exercises ``_skip_value`` over every tag) returns exactly
+        the full decode restricted to the wanted keys."""
+        body = encode_frame_body(document, CODEC_BINARY)
+        peeked = peek_frame_fields(body, CODEC_BINARY, tuple(wanted))
+        full = decode_frame(body, CODEC_BINARY)
+        assert peeked == {
+            key: value for key, value in full.items() if key in wanted
+        }
+
+    def test_peek_json_is_a_full_decode(self):
+        body = encode_frame_body({"t": "put", "key": "k", "value": 1})
+        peeked = peek_frame_fields(body, CODEC_JSON, ("t",))
+        assert peeked == {"t": "put", "key": "k", "value": 1}
+
+    @settings(max_examples=40, deadline=None)
+    @given(document=frame_documents)
+    def test_peek_survives_truncation_with_an_error(self, document):
+        body = encode_frame_body(
+            {"pad": list(range(4)), **document}, CODEC_BINARY
+        )
+        for cut in (1, 2, len(body) // 2, len(body) - 1):
+            with pytest.raises(ProtocolError):
+                peek_frame_fields(body[:cut], CODEC_BINARY, ("no-such",))
+
+    def test_binary_magic_enforced(self):
+        body = encode_frame_body({"t": "put"}, CODEC_JSON)
+        with pytest.raises(ProtocolError):
+            decode_frame(body, CODEC_BINARY)
+        with pytest.raises(ProtocolError):
+            peek_frame_fields(body, CODEC_BINARY, ("t",))
