@@ -13,13 +13,22 @@ shows every axis the serving layer optimises:
 * ``procs > 1`` runs each shard subset in its own worker process behind
   the routing front-end (:class:`repro.serve.MultiProcServeServer`).
 
+A second, get-heavy *replica sweep* measures the read-anywhere routing:
+each (members_per_shard, read_policy) case warms a key set per client,
+then times pipelined causally gated gets.  Under ``replica`` policy the
+gets are served directly from any covering member's settled state;
+under ``coordinator`` every get rides the batch cycle — the
+pre-replica-routing behaviour, kept as the in-sweep baseline.
+
 Run as a script (or via ``make bench-quick``) to write
 ``BENCH_wire.json``; ``make perf-guard`` replays the sweep and compares
 ops/sec against the committed baseline.  Absolute numbers are
 machine-relative — the portable acceptances are only that batching works
 at all (8 pipelined clients clear a modest ops/sec floor with mean ops
-per drain cycle well above 1) and that the fast path is actually fast
-(multi-process binary at 8x8 must not lose to single-process JSON).
+per drain cycle well above 1), that the fast path is actually fast
+(multi-process binary at 8x8 must not lose to single-process JSON), and
+that four replicas serving reads beat the single coordinator by the
+replica scaling floor (advisory on single-core hosts).
 """
 
 from __future__ import annotations
@@ -31,7 +40,13 @@ import time
 from pathlib import Path
 from typing import Callable
 
-from repro.serve import MultiProcServeServer, ServeServer, run_load
+from repro.serve import (
+    MultiProcServeServer,
+    ServeClient,
+    ServeServer,
+    run_load,
+)
+from repro.serve.metrics import percentile
 
 #: (clients, pipeline, procs, codec) shapes; constant total ops so the
 #: sweep isolates the serving shape from ledger growth.
@@ -54,6 +69,23 @@ SEED = 11
 #: Portable floor: 8x8 must beat this many ops/s *and* out-run 1x1.
 MIN_PIPELINED_OPS = 150.0
 REPORT_PATH = Path(__file__).resolve().parent.parent / "BENCH_wire.json"
+
+#: Replica sweep: (members_per_shard, read_policy) shapes for a
+#: get-heavy phase.  ``coordinator`` routes every get through the batch
+#: cycle (the pre-replica-routing behaviour); ``replica`` serves each
+#: get from any covering member's settled state.  The guard's portable
+#: acceptance compares replica@4 against coordinator@4 from the same
+#: sweep.
+REPLICA_CASES = (
+    (4, "coordinator"),
+    (2, "replica"),
+    (3, "replica"),
+    (4, "replica"),
+)
+REPLICA_CLIENTS = 8
+REPLICA_KEYS = 8
+REPLICA_GETS = 60  # timed gets per client (480 total, matching TOTAL_OPS)
+REPLICA_PIPELINE = 8
 
 
 async def _run_case_async(
@@ -117,6 +149,119 @@ def run_case(
     return asyncio.run(_run_case_async(clients, pipeline, procs, codec))
 
 
+async def _replica_reader(
+    client: ServeClient, latencies: list
+) -> None:
+    """One client's timed phase: pipelined gets over its own key set."""
+    outstanding: list = []
+
+    async def reap(down_to: int) -> None:
+        while len(outstanding) > down_to:
+            future = outstanding.pop(0)
+            await future
+            latencies.append(
+                (time.perf_counter() - future._bench_started) * 1000.0
+            )
+
+    for n in range(REPLICA_GETS):
+        key = f"{client.session}-k{n % REPLICA_KEYS}"
+        future = client.get_submit(key)
+        future._bench_started = time.perf_counter()
+        outstanding.append(future)
+        await reap(REPLICA_PIPELINE - 1)
+    await reap(0)
+
+
+async def _run_replica_case_async(members: int, policy: str) -> dict:
+    server = ServeServer(
+        shards=2, members_per_shard=members, seed=SEED, read_policy=policy
+    )
+    await server.start()
+    latencies: list = []
+    try:
+        clients = [
+            ServeClient("127.0.0.1", server.port, f"rep{index}")
+            for index in range(REPLICA_CLIENTS)
+        ]
+        for client in clients:
+            await client.connect()
+        try:
+            # Untimed warmup: every session writes its key set (the puts
+            # drain through the batch cycle, settling all replicas), so
+            # the timed phase measures reads alone.
+            for client in clients:
+                puts = [
+                    client.put(f"{client.session}-k{index}", index)
+                    for index in range(REPLICA_KEYS)
+                ]
+                for put in puts:
+                    await put
+            started = time.perf_counter()
+            await asyncio.gather(*[
+                _replica_reader(client, latencies) for client in clients
+            ])
+            elapsed = time.perf_counter() - started
+        finally:
+            for client in clients:
+                await client.close()
+    finally:
+        await server.shutdown()
+    if server.session_guarantee_violations():
+        raise AssertionError(
+            f"members={members} policy={policy}: replica-sweep load "
+            "violated session guarantees"
+        )
+    counters = server.metrics.counters
+    gets = REPLICA_CLIENTS * REPLICA_GETS
+    return {
+        "members": members,
+        "policy": policy,
+        "gets": gets,
+        "gets_per_sec": gets / elapsed,
+        "p50_ms": percentile(latencies, 0.50),
+        "p99_ms": percentile(latencies, 0.99),
+        "gets_direct": counters.get("gets_direct", 0),
+        "replicas_serving": sum(
+            1 for key in counters if key.startswith("replica_reads_")
+        ),
+    }
+
+
+def run_replica_case(members: int, policy: str) -> dict:
+    return asyncio.run(_run_replica_case_async(members, policy))
+
+
+def run_replica_sweep(cases=REPLICA_CASES, repeats=REPEATS) -> dict:
+    results = []
+    for members, policy in cases:
+        row = max(
+            (run_replica_case(members, policy) for _ in range(repeats)),
+            key=lambda r: r["gets_per_sec"],
+        )
+        results.append({
+            "members": row["members"],
+            "policy": row["policy"],
+            "gets_per_sec": round(row["gets_per_sec"], 1),
+            "p50_ms": round(row["p50_ms"], 2),
+            "p99_ms": round(row["p99_ms"], 2),
+            "gets_direct": row["gets_direct"],
+            "replicas_serving": row["replicas_serving"],
+        })
+    return {
+        "unit": "replica-routed gets/sec over localhost TCP",
+        "config": {
+            "shards": 2,
+            "clients": REPLICA_CLIENTS,
+            "keys_per_client": REPLICA_KEYS,
+            "gets_per_client": REPLICA_GETS,
+            "pipeline": REPLICA_PIPELINE,
+            "cases": [list(case) for case in cases],
+            "repeats": repeats,
+        },
+        "results": results,
+    }
+
+
 def best_of(repeats: int, case: Callable[[], dict]) -> dict:
     return max((case() for _ in range(repeats)),
                key=lambda row: row["ops_per_sec"])
@@ -151,6 +296,7 @@ def run_sweep(cases=CASES, repeats=REPEATS) -> dict:
             "repeats": repeats,
         },
         "results": results,
+        "replica_sweep": run_replica_sweep(repeats=repeats),
     }
 
 
@@ -184,6 +330,15 @@ def test_multiproc_binary_case_keeps_session_guarantees():
     run_case(4, 4, procs=2, codec="binary")  # raises on violations
 
 
+def test_replica_sweep_case_keeps_session_guarantees():
+    """Replica-routed gets spread over members and pass the audit."""
+    row = run_replica_case(2, "replica")  # raises on violations
+    assert row["gets_direct"] > 0, "no get took the direct replica path"
+    assert row["replicas_serving"] >= 2, (
+        f"only {row['replicas_serving']} replica(s) served reads"
+    )
+
+
 def main() -> int:
     report = write_report()
     print(f"wrote {REPORT_PATH}")
@@ -194,6 +349,13 @@ def main() -> int:
             f"{row['ops_per_sec']:>8.1f} ops/s "
             f"p50={row['p50_ms']}ms p99={row['p99_ms']}ms "
             f"(mean batch {row['mean_batch']})"
+        )
+    for row in report["replica_sweep"]["results"]:
+        print(
+            f"  members={row['members']} policy={row['policy']:<11}: "
+            f"{row['gets_per_sec']:>8.1f} gets/s "
+            f"p50={row['p50_ms']}ms p99={row['p99_ms']}ms "
+            f"({row['replicas_serving']} replica(s) serving)"
         )
     top = max(row["ops_per_sec"] for row in report["results"])
     return 0 if top >= MIN_PIPELINED_OPS else 1

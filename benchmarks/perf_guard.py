@@ -9,10 +9,12 @@ override with ``PERF_GUARD_TOLERANCE=0.4`` etc.; the socket-crossing
 wire sweep gets extra slack).  The shard guard additionally enforces
 the portable acceptance ratio (>= 3x throughput from 1 to 8 shards at
 0% cross-shard traffic), and the wire guard enforces that pipelined
-writes genuinely coalesce into multi-op batch cycles and that the
-serving fast path (multi-process workers + binary codec) does not lose
-to single-process JSON at the 8x8 shape within the same sweep
-(advisory on single-core hosts, where workers cannot run in parallel).
+writes genuinely coalesce into multi-op batch cycles, that the serving
+fast path (multi-process workers + binary codec) does not lose to
+single-process JSON at the 8x8 shape within the same sweep, and that
+replica-routed reads at four members clear the single-coordinator
+baseline by the replica scaling floor (both same-run ratios are
+advisory on single-core hosts, where nothing can run in parallel).
 
 The committed baselines are machine-relative: after intentional changes
 (or on a different machine class), regenerate them with
@@ -46,6 +48,14 @@ WIRE_EXTRA_TOLERANCE = 0.15
 #: must at least match single-process JSON at the 8x8 shape (it should
 #: win outright wherever the workers get real cores).
 MIN_WIRE_SCALING = 1.0
+
+#: Same-run ratio floor for replica-routed reads: four replicas serving
+#: gets directly must at least double the single-coordinator (all reads
+#: through the batch cycle) throughput.  Replica routing's win is
+#: parallel service capacity, so on a single-core host — where both
+#: policies share one CPU and the comparison measures only per-frame
+#: overhead — the floor is advisory (printed, never failing).
+MIN_REPLICA_SCALING = 2.0
 
 
 def guard_shard_scale(tolerance: float) -> int:
@@ -121,9 +131,9 @@ def guard_wire(tolerance: float) -> int:
         print(f"no baseline at {path}; run bench_wire_throughput.py first")
         return 1
     tolerance = min(0.95, tolerance + WIRE_EXTRA_TOLERANCE)
+    baseline_report = json.loads(path.read_text())
     baseline_by_case = {
-        _wire_key(row): row
-        for row in json.loads(path.read_text())["results"]
+        _wire_key(row): row for row in baseline_report["results"]
     }
     current = bench_wire_throughput.run_sweep(repeats=1)
     failures = []
@@ -176,7 +186,88 @@ def guard_wire(tolerance: float) -> int:
         )
         confirmed.append(("batching", 0, 0, ""))
     confirmed.extend(_wire_scaling_floor(current))
+    confirmed.extend(_replica_guard(current, baseline_report, tolerance))
     return len(confirmed)
+
+
+def _replica_guard(
+    current: dict, baseline_report: dict, tolerance: float
+) -> list:
+    """Replica-sweep section: per-row baselines plus the scaling floor.
+
+    Rows are keyed (members, policy); a baseline that predates the
+    replica sweep guards nothing.  The portable acceptance is the
+    same-run ratio of replica@4 against coordinator@4 (see
+    :data:`MIN_REPLICA_SCALING` for why it is advisory on single-core
+    hosts).
+    """
+    sweep = current.get("replica_sweep")
+    if not sweep:
+        return []
+    baseline_rows = {
+        (row["members"], row["policy"]): row
+        for row in baseline_report.get("replica_sweep", {}).get("results", [])
+    }
+    confirmed = []
+    rows = {}
+    for row in sweep["results"]:
+        key = (row["members"], row["policy"])
+        rows[key] = row
+        base = baseline_rows.get(key)
+        if base is None:
+            continue  # baseline predates the replica sweep
+        floor = base["gets_per_sec"] * (1.0 - tolerance)
+        ok = row["gets_per_sec"] >= floor
+        print(
+            f"  replica members={row['members']} policy={row['policy']:<11}: "
+            f"{row['gets_per_sec']:>8.1f} vs baseline "
+            f"{base['gets_per_sec']:>8.1f} ({'ok' if ok else 'REGRESSED'})"
+        )
+        if ok:
+            continue
+        retried = max(
+            bench_wire_throughput.run_replica_case(*key)["gets_per_sec"]
+            for _ in range(3)
+        )
+        print(
+            f"  retry replica members={key[0]} policy={key[1]}: "
+            f"{retried:.1f} vs floor {floor:.1f} "
+            f"({'ok' if retried >= floor else 'REGRESSED'})"
+        )
+        if retried < floor:
+            confirmed.append(("replica",) + key)
+    replica = rows.get((4, "replica"))
+    coordinator = rows.get((4, "coordinator"))
+    if replica is None or coordinator is None:
+        return confirmed
+    advisory = (os.cpu_count() or 1) < 2
+    ratio = replica["gets_per_sec"] / max(1e-9, coordinator["gets_per_sec"])
+    ok = ratio >= MIN_REPLICA_SCALING
+    print(
+        f"  replica scaling floor: 4 replicas {replica['gets_per_sec']:.1f} "
+        f"vs coordinator {coordinator['gets_per_sec']:.1f} = {ratio:.2f}x "
+        f"(need >= {MIN_REPLICA_SCALING}x"
+        f"{', advisory on single-core host' if advisory else ''})"
+    )
+    if ok or advisory:
+        return confirmed
+    fast_retry = max(
+        bench_wire_throughput.run_replica_case(4, "replica")["gets_per_sec"]
+        for _ in range(3)
+    )
+    slow_retry = max(
+        bench_wire_throughput.run_replica_case(4, "coordinator")["gets_per_sec"]
+        for _ in range(3)
+    )
+    ratio = fast_retry / max(1e-9, slow_retry)
+    ok = ratio >= MIN_REPLICA_SCALING
+    print(
+        f"  retry replica scaling floor: {fast_retry:.1f} vs "
+        f"{slow_retry:.1f} = {ratio:.2f}x ({'ok' if ok else 'REGRESSED'})"
+    )
+    if not ok:
+        confirmed.append(("replica-scaling", 4, ""))
+    return confirmed
 
 
 def _wire_scaling_floor(current: dict) -> list:

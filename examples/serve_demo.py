@@ -11,11 +11,16 @@ causal object space on an ephemeral TCP port, then:
 2. crashes one replica of shard 0 **while the load is running** — the
    server's repair loop and retrying session layer carry traffic over
    the remaining replicas;
-3. walks one scripted session through the visible API: pipelined puts,
-   a session-local get, a barrier read, and a token reconnect that
+3. runs a get-heavy load against the replica-routed read path and kills
+   the replica currently serving a probe's reads mid-run — the router
+   must drop the corpse from the eligible set and reroute every later
+   get with zero session-guarantee violations;
+4. walks one scripted session through the visible API: pipelined puts,
+   a causally gated get, a barrier read, and a token reconnect that
    provably preserves read-your-writes;
-4. drains gracefully, heals the crashed replica, and replays the entire
-   recorded wire history through the session-guarantee checker.
+5. drains gracefully, heals the crashed replicas, and replays the
+   entire recorded wire history through the session-guarantee checker
+   (including the per-key freshness audit of every replica-served get).
 
 Every step asserts, so this doubles as the CI smoke test for the wire
 path.  Run::
@@ -54,6 +59,41 @@ async def main() -> None:
     assert report.reconnects >= 8, "every client should have reconnected"
     assert report.ops == 8 * 40
 
+    # -- replica failover: kill the serving read target mid-run ------------
+    get_load = asyncio.ensure_future(run_load(
+        "127.0.0.1", server.port,
+        clients=6, ops_per_client=50, pipeline=4,
+        read_every=0, get_every=2, seed=5,
+        session_prefix="fail",
+    ))
+    await asyncio.sleep(0.05)  # let the get-heavy load get going first
+
+    probe = ServeClient("127.0.0.1", server.port, "probe")
+    await probe.connect()
+    await probe.put_wait("probe-key", "v")
+    first = await probe.get_submit("probe-key")
+    target, shard = first["replica"], first["shard"]
+    await probe.chaos("crash", shard=shard, member=target)
+    print(f"crashed {target} (serving probe's reads on shard {shard}) "
+          "mid-get-load")
+    # The sticky hint points at the corpse; the router must ignore it
+    # and serve the same causal floor from a surviving replica.
+    assert await probe.get("probe-key") == "v", "failover lost the value"
+    rerouted = probe.replica_hints["probe-key"]
+    assert rerouted != target, "get still routed to the crashed replica"
+    print(f"probe rerouted to {rerouted}; read-your-writes held")
+
+    report = await get_load
+    print(f"get-load: {report.summary()}")
+    assert report.errors == 0, f"get-load saw errors: {report.errors}"
+    assert report.gets > 0, "get-heavy load issued no gets"
+    served = {
+        key for key, count in server.metrics.counters.items()
+        if key.startswith("replica_reads_") and count > 0
+    }
+    assert len(served) >= 2, f"reads never spread beyond one replica: {served}"
+    await probe.close()
+
     # -- one scripted session, narrated ------------------------------------
     alice = ServeClient("127.0.0.1", server.port, "alice")
     await alice.connect()
@@ -61,7 +101,10 @@ async def main() -> None:
     replies = await asyncio.gather(*futures)
     print(f"alice pipelined 4 puts: labels {[r['label'] for r in replies]}")
 
-    assert await alice.get("demo3") == "v3"  # read-your-writes, same conn
+    reply = await alice.get_submit("demo3")  # read-your-writes, same conn
+    assert reply["value"] == "v3"
+    print(f"alice's causally gated get served by replica "
+          f"{reply.get('replica')} of shard {reply.get('shard')}")
 
     snapshot = await alice.read()
     assert all(snapshot["value"][f"demo{i}"] == f"v{i}" for i in range(4))

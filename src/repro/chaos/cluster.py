@@ -50,7 +50,7 @@ flush tie-break and re-forms the quorum).  See ``docs/ROBUSTNESS.md``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.analysis.invariants import InvariantMonitor, Violation
 from repro.broadcast import (
@@ -262,6 +262,10 @@ class ChaosCluster:
         self.sends_skipped = 0
         self.crashes = 0
         self.restarts = 0
+        # Invoked with the member id after every restart (wiped volatile
+        # state); lets an embedding layer drop caches keyed on settled
+        # prefixes (e.g. ShardedCluster's barrier snapshot cache).
+        self.on_restart: Optional[Callable[[EntityId], None]] = None
         # Crash times per member (latest crash), for suspicion-delay and
         # handoff-delay accounting.
         self._crash_log: Dict[EntityId, float] = {}
@@ -371,6 +375,8 @@ class ChaosCluster:
     def restart(self, member: EntityId) -> None:
         self.stacks[member].restart()
         self.restarts += 1
+        if self.on_restart is not None:
+            self.on_restart(member)
 
     def partition(self, *groups: Sequence[EntityId]) -> None:
         self.faults.partition(*groups)

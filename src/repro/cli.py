@@ -376,6 +376,7 @@ def run_loadgen(args: argparse.Namespace) -> int:
             ops_per_client=args.ops,
             pipeline=args.pipeline,
             read_every=args.read_every,
+            get_every=args.get_every,
             reconnect_every=args.reconnect_every,
             rate=args.rate,
             seed=args.seed,
@@ -526,6 +527,10 @@ def build_parser() -> argparse.ArgumentParser:
     loadgen.add_argument(
         "--read-every", type=int, default=10,
         help="every Nth op is a consistent barrier read (0 disables)",
+    )
+    loadgen.add_argument(
+        "--get-every", type=int, default=0,
+        help="every Nth op is a causally gated replica get (0 disables)",
     )
     loadgen.add_argument(
         "--reconnect-every", type=int, default=0,

@@ -4,9 +4,11 @@ The paper's Section 6.1 front-end managers, made real: an asyncio TCP
 server (:mod:`repro.serve.server`) fronts a
 :class:`~repro.shard.cluster.ShardedCluster` for external clients over a
 length-prefixed JSON protocol (:mod:`repro.serve.wire`), with pipelining,
-per-cycle write batching, admission control, and causal *session tokens*
+per-cycle write batching, admission control, causal *session tokens*
 that let a client reconnect anywhere without losing read-your-writes or
-monotonic causal order.  A pipelined client and a closed/open-loop load
+monotonic causal order, and read-anywhere replica routing that serves
+each ``get`` from any shard member whose settled prefix covers the
+session's causal floor.  A pipelined client and a closed/open-loop load
 generator ride along; see ``docs/SERVING.md``.
 """
 
@@ -18,6 +20,8 @@ from repro.serve.server import ServeServer
 from repro.serve.wire import (
     CODEC_BINARY,
     CODEC_JSON,
+    DEFAULT_RETRY_AFTER,
+    FRAME_RETRY,
     MAX_FRAME,
     SERVE_WIRE_VERSION,
     SUPPORTED_CODECS,
@@ -31,6 +35,8 @@ from repro.serve.wire import (
 __all__ = [
     "CODEC_BINARY",
     "CODEC_JSON",
+    "DEFAULT_RETRY_AFTER",
+    "FRAME_RETRY",
     "FrameBuffer",
     "LoadReport",
     "MAX_FRAME",

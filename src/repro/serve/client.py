@@ -28,10 +28,16 @@ from typing import Any, Dict, List, Optional, Sequence
 from repro.errors import ProtocolError
 from repro.serve.wire import (
     CODEC_JSON,
+    DEFAULT_RETRY_AFTER,
+    FRAME_RETRY,
     decode_frame,
     read_frame_bytes,
     write_frame,
 )
+
+#: How many ``retry`` frames :meth:`ServeClient.get` absorbs (sleeping
+#: each frame's ``retry_after``) before giving up with a ServeError.
+GET_RETRIES = 8
 
 
 class ServeError(ProtocolError):
@@ -66,6 +72,12 @@ class ServeClient:
         self._recv_dead = False
         self.server_said_bye = False
         self.hello_reply: Optional[Dict[str, Any]] = None
+        #: key -> member that last served a replica-routed get for it.
+        #: Echoed as a sticky hint on later gets of the same key; the
+        #: server honours it only while that replica stays eligible.
+        self.replica_hints: Dict[str, str] = {}
+        #: ``retry`` frames absorbed across this connection's gets.
+        self.retries = 0
 
     # -- connection lifecycle ----------------------------------------------
 
@@ -189,10 +201,44 @@ class ServeClient:
     async def put_wait(self, key: str, value: object) -> Dict[str, Any]:
         return await self.put(key, value)
 
-    async def get(self, key: str) -> Optional[object]:
-        """Session-local read (read-your-writes; no global snapshot)."""
-        reply = await self._request({"t": "get", "key": key})
-        return reply.get("value")
+    def get_submit(self, key: str) -> "asyncio.Future[Dict[str, Any]]":
+        """Pipelined get: send the frame now, resolve the reply later.
+
+        The reply may be a ``retry`` frame (``t == "retry"``) when the
+        server runs reject-with-retry and no replica covers the session
+        floor yet — pipelining callers handle it themselves; one-at-a-
+        time callers should use :meth:`get`, which absorbs retries.
+        """
+        document: Dict[str, Any] = {"t": "get", "key": key}
+        hint = self.replica_hints.get(key)
+        if hint is not None:
+            document["replica"] = hint
+        return self.submit(document)
+
+    async def get(
+        self, key: str, *, retries: int = GET_RETRIES
+    ) -> Optional[object]:
+        """Causally gated read (read-your-writes; no global snapshot).
+
+        Served by any replica covering the session's causal floor; waits
+        out up to ``retries`` reject-with-retry answers (sleeping each
+        frame's ``retry_after``) before raising.
+        """
+        for _ in range(retries + 1):
+            reply = await self.get_submit(key)
+            if reply.get("t") == FRAME_RETRY:
+                self.retries += 1
+                await asyncio.sleep(
+                    float(reply.get("retry_after") or DEFAULT_RETRY_AFTER)
+                )
+                continue
+            replica = reply.get("replica")
+            if isinstance(replica, str):
+                self.replica_hints[key] = replica
+            return reply.get("value")
+        raise ServeError(
+            f"get {key!r}: no covering replica after {retries} retries"
+        )
 
     async def read(
         self, shards: Optional[Sequence[int]] = None

@@ -11,10 +11,12 @@ against one server in either of two shapes:
   fixed offered load, the shape that exposes queueing.
 
 Every ``read_every``-th operation is a consistent barrier read (a sync
-point for the session's pipeline).  With ``reconnect_every`` set, a
-client periodically drains its pipeline, disconnects, and reconnects
-presenting its causal token — exercising exactly the session-continuity
-path the tokens exist for.
+point for the session's pipeline), and every ``get_every``-th is a
+pipelined causally gated ``get`` of a previously written key — the
+replica-routed read path.  With ``reconnect_every`` set, a client
+periodically drains its pipeline, disconnects, and reconnects presenting
+its causal token — exercising exactly the session-continuity path the
+tokens exist for.
 
 Latencies are measured client-side (request write to reply dispatch) and
 reported as p50/p99 over all clients; the report also folds in the
@@ -46,6 +48,8 @@ class LoadReport:
     errors: int
     reconnects: int
     elapsed: float
+    gets: int = 0
+    retries: int = 0
     latencies_ms: List[float] = field(repr=False, default_factory=list)
     server_stats: Optional[Dict[str, object]] = field(
         repr=False, default=None
@@ -68,8 +72,8 @@ class LoadReport:
         p99 = f"{self.p99_ms:.2f}" if self.p99_ms is not None else "-"
         return (
             f"clients={self.clients} pipeline={self.pipeline} "
-            f"ops={self.ops} reads={self.reads} errors={self.errors} "
-            f"reconnects={self.reconnects} "
+            f"ops={self.ops} reads={self.reads} gets={self.gets} "
+            f"errors={self.errors} reconnects={self.reconnects} "
             f"{self.ops_per_sec:.0f} ops/s p50={p50}ms p99={p99}ms"
         )
 
@@ -82,6 +86,7 @@ async def _drive_client(
     ops: int,
     pipeline: int,
     read_every: int,
+    get_every: int,
     reconnect_every: int,
     key_space: int,
     rate: Optional[float],
@@ -93,6 +98,7 @@ async def _drive_client(
     client = ServeClient(host, port, name, codec=codec)
     await client.connect()
     outstanding: List[asyncio.Future] = []
+    written: List[str] = []
     issued = 0
 
     async def reap(down_to: int) -> None:
@@ -101,12 +107,19 @@ async def _drive_client(
             future = outstanding.pop(0)
             started = getattr(future, "_lg_started", None)
             try:
-                await future
+                reply = await future
+                if isinstance(reply, dict) and reply.get("t") == "retry":
+                    # Reject-with-retry on a pipelined get: let the
+                    # client's retrying get absorb the wait (rare).
+                    report.retries += 1
+                    await client.get(getattr(future, "_lg_key"))
                 if started is not None:
                     report.latencies_ms.append(
                         (time.perf_counter() - started) * 1000.0
                     )
                 report.ops += 1
+                if getattr(future, "_lg_get", False):
+                    report.gets += 1
             except ServeError:
                 report.errors += 1
 
@@ -127,8 +140,19 @@ async def _drive_client(
                     report.reads += 1
                 except ServeError:
                     report.errors += 1
+            elif get_every and issued % get_every == 0 and written:
+                # A causally gated get of a key this session wrote —
+                # pipelined like a put; the replica routing serves it.
+                key = rng.choice(written)
+                future = client.get_submit(key)
+                future._lg_started = time.perf_counter()  # type: ignore[attr-defined]
+                future._lg_get = True  # type: ignore[attr-defined]
+                future._lg_key = key  # type: ignore[attr-defined]
+                outstanding.append(future)
+                await reap(pipeline - 1)
             else:
                 key = f"k{rng.randrange(key_space)}"
+                written.append(key)
                 future = client.put(key, f"{name}:{issued}")
                 future._lg_started = time.perf_counter()  # type: ignore[attr-defined]
                 outstanding.append(future)
@@ -152,6 +176,7 @@ async def run_load(
     ops_per_client: int = 50,
     pipeline: int = 8,
     read_every: int = 10,
+    get_every: int = 0,
     reconnect_every: int = 0,
     key_space: int = 64,
     rate: Optional[float] = None,
@@ -172,6 +197,7 @@ async def run_load(
             ops=ops_per_client,
             pipeline=max(1, pipeline),
             read_every=read_every,
+            get_every=get_every,
             reconnect_every=reconnect_every,
             key_space=key_space,
             rate=rate,

@@ -39,7 +39,7 @@ from __future__ import annotations
 import asyncio
 import json
 import multiprocessing
-from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import ProtocolError
 from repro.serve.metrics import ServeMetrics
@@ -72,29 +72,55 @@ def partition_shards(shards: int, procs: int) -> List[Tuple[int, ...]]:
     ]
 
 
-def merge_tokens(tokens: Sequence[str]) -> str:
-    """Union per-worker session tokens into one full-space token.
+def merge_tokens(
+    tokens: Sequence[str],
+    *,
+    owners: Optional[Dict[str, int]] = None,
+    on_overlap: Optional[Callable[[str], None]] = None,
+) -> str:
+    """Merge per-worker session tokens into one full-space token.
 
-    Each worker's token covers only its hosted shards, and workers host
-    disjoint shard sets — so the merged frontier is a plain dict union.
-    The merged token round-trips through the ordinary importer (which
-    prunes non-maximal labels per shard on import).
+    Workers host disjoint shard sets, so normally each shard's frontier
+    comes from exactly one token and the merge is a plain union.  If a
+    shard ever shows up in more than one token (mid-rebalance races,
+    misconfigured subset clusters) a blind union would *fabricate* a
+    frontier no worker actually holds — and the front-end has no
+    dependency graph, so it cannot prune the combined label set to a
+    true per-shard ``maximal``.  Instead the shard's *owning* token
+    (``owners``: shard key -> token position, derived from the routing
+    table) wins outright, and the overlap is surfaced through
+    ``on_overlap`` so it lands in stats rather than vanishing.  The
+    owning worker's importer prunes its pairs to the maximal antichain
+    when the token comes back, which is the closest sound approximation
+    of ``maximal`` available off-graph.  Without an ``owners`` entry the
+    overlapping shard falls back to the deduplicated union (the old
+    behaviour), still reported via ``on_overlap``.
     """
     session: Optional[str] = None
-    frontier: Dict[str, list] = {}
-    for token in tokens:
+    per_shard: Dict[str, Dict[int, set]] = {}
+    for position, token in enumerate(tokens):
         document = json.loads(token)
         session = document.get("session", session)
         for shard_key, pairs in document.get("frontier", {}).items():
-            merged = {tuple(pair) for pair in frontier.get(shard_key, [])}
-            merged |= {tuple(pair) for pair in pairs}
-            frontier[shard_key] = sorted(list(pair) for pair in merged)
+            per_shard.setdefault(shard_key, {})[position] = {
+                tuple(pair) for pair in pairs
+            }
+    frontier: Dict[str, list] = {}
+    for shard_key in sorted(per_shard):
+        contributions = per_shard[shard_key]
+        if len(contributions) > 1:
+            if on_overlap is not None:
+                on_overlap(shard_key)
+            owner = None if owners is None else owners.get(shard_key)
+            if owner in contributions:
+                chosen = contributions[owner]
+            else:
+                chosen = set().union(*contributions.values())
+        else:
+            (chosen,) = contributions.values()
+        frontier[shard_key] = sorted(list(pair) for pair in chosen)
     return json.dumps(
-        {
-            "v": 1,
-            "session": session,
-            "frontier": {key: frontier[key] for key in sorted(frontier)},
-        },
+        {"v": 1, "session": session, "frontier": frontier},
         separators=(",", ":"),
     )
 
@@ -111,6 +137,8 @@ def _worker_main(
     host: str,
     repair_interval: float,
     batch_window: float,
+    read_policy: str = "replica",
+    read_fallback: str = "forward",
 ) -> None:
     """Entry point of one shard worker (spawned process)."""
     import signal
@@ -125,7 +153,7 @@ def _worker_main(
     asyncio.run(
         _worker_async(
             control, shards, members_per_shard, seed, shard_ids, host,
-            repair_interval, batch_window,
+            repair_interval, batch_window, read_policy, read_fallback,
         )
     )
 
@@ -139,6 +167,8 @@ async def _worker_async(
     host: str,
     repair_interval: float,
     batch_window: float,
+    read_policy: str = "replica",
+    read_fallback: str = "forward",
 ) -> None:
     from repro.serve.server import ServeServer
     from repro.shard.cluster import ShardedCluster
@@ -153,6 +183,7 @@ async def _worker_async(
     server = ServeServer(
         cluster=cluster, host=host, port=0,
         repair_interval=repair_interval, batch_window=batch_window,
+        read_policy=read_policy, read_fallback=read_fallback,
     )
     await server.start()
     control.send({"port": server.port, "shards": list(shard_ids)})
@@ -284,9 +315,13 @@ class MultiProcServeServer:
         port: int = 0,
         repair_interval: float = 0.25,
         batch_window: float = 0.0,
+        read_policy: str = "replica",
+        read_fallback: str = "forward",
     ) -> None:
         if shards < 1:
             raise ProtocolError("need at least one shard")
+        self.read_policy = read_policy
+        self.read_fallback = read_fallback
         self.shards = shards
         self.members_per_shard = members_per_shard
         self.seed = seed
@@ -313,6 +348,12 @@ class MultiProcServeServer:
             for worker in self.workers
             for shard in worker.shard_ids
         }
+        #: Token-merge authority for full fan-outs (hello/token): every
+        #: worker replies in index order, so the token at position *i*
+        #: belongs to worker *i* and a shard's owner is its routed worker.
+        self._token_owners: Dict[str, int] = {
+            str(shard): index for shard, index in self.worker_of_shard.items()
+        }
         self.procs = len(self.workers)
         self.metrics = ServeMetrics()
         self.worker_reports: List[Optional[Dict[str, Any]]] = []
@@ -334,7 +375,7 @@ class MultiProcServeServer:
                 args=(
                     child, self.shards, self.members_per_shard, self.seed,
                     worker.shard_ids, self.host, self.repair_interval,
-                    self.batch_window,
+                    self.batch_window, self.read_policy, self.read_fallback,
                 ),
                 daemon=True,
             )
@@ -578,7 +619,11 @@ class MultiProcServeServer:
             "procs": self.procs,
             "codec": requested,
             "codecs": list(SUPPORTED_CODECS),
-            "token": merge_tokens([r["token"] for r in granted]),
+            "token": merge_tokens(
+                [r["token"] for r in granted],
+                owners=self._token_owners,
+                on_overlap=self._note_token_overlap,
+            ),
             "token_labels_dropped": sum(
                 r.get("token_labels_dropped", 0) for r in granted
             ),
@@ -768,7 +813,11 @@ class MultiProcServeServer:
         elif kind == "token":
             merged = {
                 "t": "reply", "rid": rid, "ok": True,
-                "token": merge_tokens([r["token"] for r in replies]),
+                "token": merge_tokens(
+                    [r["token"] for r in replies],
+                    owners=self._token_owners,
+                    on_overlap=self._note_token_overlap,
+                ),
             }
         else:  # stats
             merged = {
@@ -781,6 +830,10 @@ class MultiProcServeServer:
             }
         await self._send(conn, merged)
 
+    def _note_token_overlap(self, shard_key: str) -> None:
+        """A shard appeared in two worker tokens — count it, loudly."""
+        self.metrics.bump("token_shard_overlaps")
+
     def _merge_read(
         self, rid: Optional[int], replies: List[Dict[str, Any]]
     ) -> Dict[str, Any]:
@@ -788,6 +841,11 @@ class MultiProcServeServer:
         shards: List[int] = []
         barrier_labels: Dict[str, list] = {}
         tokens: List[str] = []
+        #: shard key -> position in ``tokens`` of its *serving* worker's
+        #: token (a subset read only gathers some workers, so positions
+        #: are derived from each reply's own shard list rather than the
+        #: global routing table).
+        owners: Dict[str, int] = {}
         rounds = 0
         for reply in replies:
             value.update(reply.get("value", {}))
@@ -795,6 +853,8 @@ class MultiProcServeServer:
             barrier_labels.update(reply.get("barrier_labels", {}))
             rounds = max(rounds, reply.get("rounds", 0))
             if "token" in reply:
+                for shard in reply.get("shards", []):
+                    owners[str(shard)] = len(tokens)
                 tokens.append(reply["token"])
         return {
             "t": "reply", "rid": rid, "ok": True,
@@ -802,7 +862,9 @@ class MultiProcServeServer:
             "shards": sorted(shards),
             "rounds": rounds,
             "barrier_labels": barrier_labels,
-            "token": merge_tokens(tokens),
+            "token": merge_tokens(
+                tokens, owners=owners, on_overlap=self._note_token_overlap
+            ),
         }
 
     # -- the reply pump ----------------------------------------------------

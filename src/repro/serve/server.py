@@ -53,11 +53,12 @@ from repro.analysis.session_guarantees import (
     check_all_session_guarantees,
 )
 from repro.analysis.invariants import Violation
-from repro.apps.kvstore import fold_ledger
 from repro.errors import ProtocolError
 from repro.serve.metrics import ServeMetrics
 from repro.serve.wire import (
     CODEC_JSON,
+    DEFAULT_RETRY_AFTER,
+    FRAME_RETRY,
     SERVE_WIRE_VERSION,
     SUPPORTED_CODECS,
     read_frame,
@@ -74,6 +75,19 @@ MAX_INFLIGHT = 64
 #: Wall-clock seconds between background repair rounds (anti-entropy +
 #: stability gossip at every up replica) while the server is idle.
 REPAIR_INTERVAL = 0.25
+
+#: Read-routing policies: ``replica`` serves eligible gets directly from
+#: any covering member (round-robin, sticky hints honoured); the
+#: ``coordinator`` policy funnels every get through the batch cycle at
+#: the shard contact — the PR-5/PR-6 behaviour, kept for comparison.
+READ_POLICIES = ("replica", "coordinator")
+
+#: What to do with a get no replica can serve yet: ``forward`` sends it
+#: through the batch cycle (the coordinator path always qualifies after
+#: the cycle's drain); ``retry`` answers immediately with a parseable
+#: :data:`~repro.serve.wire.FRAME_RETRY` frame carrying ``retry_after``
+#: seconds.
+READ_FALLBACKS = ("forward", "retry")
 
 
 class _Connection:
@@ -131,7 +145,14 @@ class ServeServer:
         max_inflight: int = MAX_INFLIGHT,
         repair_interval: float = REPAIR_INTERVAL,
         batch_window: float = 0.0,
+        read_policy: str = "replica",
+        read_fallback: str = "forward",
+        retry_after: float = DEFAULT_RETRY_AFTER,
     ) -> None:
+        if read_policy not in READ_POLICIES:
+            raise ProtocolError(f"unknown read policy: {read_policy!r}")
+        if read_fallback not in READ_FALLBACKS:
+            raise ProtocolError(f"unknown read fallback: {read_fallback!r}")
         # Serving-path clusters skip per-hop trace events: nothing on
         # the serve path reads them, and the hot delivery loop would pay
         # for assembling one per network hop.
@@ -149,10 +170,19 @@ class ServeServer:
         #: milliseconds so requests staggered through the front-end hop
         #: still land in one simulator drive.
         self.batch_window = batch_window
+        self.read_policy = read_policy
+        self.read_fallback = read_fallback
+        self.retry_after = retry_after
         self.metrics = ServeMetrics()
         #: session name -> answered ops, in issue order.  Entries are
-        #: ("write", label) or ("read", BarrierRead).
+        #: ("write", label), ("read", BarrierRead), or
+        #: ("get", (key, shard, served label | None, member | None)).
         self.history: Dict[str, List[Tuple[str, object]]] = {}
+        #: shard -> round-robin cursor over its eligible read replicas.
+        self._rr: Dict[int, int] = {}
+        #: session name -> ops of that session still inside the batch
+        #: pipeline; a direct replica get must not overtake them.
+        self._session_pending: Dict[str, int] = {}
         self._pending: List[_PendingOp] = []
         self._flush_task: Optional[asyncio.Task] = None
         self._repair_task: Optional[asyncio.Task] = None
@@ -312,6 +342,9 @@ class ServeServer:
             if self._draining:
                 await self._send_error(conn, rid, "server is draining")
                 return
+            if kind == "get" and self.read_policy == "replica":
+                if await self._direct_get(conn, frame):
+                    return  # answered (or told to retry) off the cycle path
             while conn.inflight >= self.max_inflight:
                 # Admission control: stop reading this socket until the
                 # pipeline drains below the cap — the client feels it as
@@ -432,14 +465,109 @@ class ServeServer:
             "action": action, "shard": shard, "member": member,
         })
 
+    # -- replica-routed reads ----------------------------------------------
+
+    async def _direct_get(
+        self, conn: _Connection, frame: Dict[str, Any]
+    ) -> bool:
+        """Serve a get from a covering replica, off the batch cycle.
+
+        Eligibility: a member of the key's shard has settled the session
+        token's projection onto that shard (plus any migration handoff) —
+        then its local last-writer-wins state is already causally after
+        everything this session may rely on, so it answers without any
+        broadcast, barrier, or simulator drive.  Returns False to route
+        the get through the batch cycle instead (fallback ``forward``,
+        pipelined session ops in flight, unhosted shard); with fallback
+        ``retry`` an uncovered get is answered with a ``retry`` frame.
+        """
+        session = conn.session
+        if not session.idle or self._session_pending.get(session.name, 0):
+            # The session has ops inside the batch pipeline (e.g. a
+            # pipelined put this get must observe); the cycle path keeps
+            # issue order.
+            return False
+        key = frame.get("key")
+        if not isinstance(key, str):
+            return False
+        shard, _slot, floor = session.read_floor(key)
+        if shard not in self.cluster.groups:
+            return False
+        loop = asyncio.get_event_loop()
+        started = loop.time()
+        member = self._choose_replica(frame, shard, floor)
+        if member is None:
+            self.metrics.bump("read_misses")
+            if self.read_fallback != "retry":
+                return False
+            self.metrics.bump("gets_retried")
+            await self._send(conn, {
+                "t": FRAME_RETRY, "rid": frame.get("rid"),
+                "key": key, "shard": shard,
+                "retry_after": self.retry_after,
+            })
+            return True
+        value, label = self.cluster.member_read(shard, member, key)
+        if label is not None:
+            # The session now depends on what it saw: monotonic reads
+            # and writes-follow-reads hold by construction.
+            session.observe(label)
+        self.history[session.name].append(("get", (key, shard, label, member)))
+        self.metrics.bump("ops")
+        self.metrics.bump("gets")
+        self.metrics.bump("gets_direct")
+        self.metrics.bump(f"replica_reads_{member}")
+        millis = (loop.time() - started) * 1000.0
+        self.metrics.record_latency("get", millis)
+        self.metrics.record_latency("op", millis)
+        await self._send(conn, {
+            "t": "reply", "rid": frame.get("rid"), "ok": True,
+            "key": key, "value": value,
+            "shard": shard, "replica": member,
+            "token": session.export_token(),
+        })
+        return True
+
+    def _choose_replica(
+        self, frame: Dict[str, Any], shard: int, floor
+    ) -> Optional[EntityId]:
+        """Pick an eligible read replica: sticky hint, else round-robin."""
+        members = self.cluster.read_members(shard)
+        eligible = [
+            member for member in members
+            if self.cluster.covers(shard, member, floor)
+        ]
+        if not eligible:
+            return None
+        hint = frame.get("replica")
+        if hint in eligible:
+            self.metrics.bump("sticky_hits")
+            return hint
+        cursor = self._rr.get(shard, 0)
+        self._rr[shard] = cursor + 1
+        return eligible[cursor % len(eligible)]
+
     # -- the batch cycle ---------------------------------------------------
 
     def _enqueue(self, conn: _Connection, frame: Dict[str, Any]) -> None:
         loop = asyncio.get_event_loop()
         self._pending.append(_PendingOp(conn, frame, loop.time()))
+        name = conn.session.name
+        self._session_pending[name] = self._session_pending.get(name, 0) + 1
         self.metrics.queue_depth = len(self._pending)
         if self._flush_task is None or self._flush_task.done():
             self._flush_task = asyncio.ensure_future(self._flush())
+
+    def _op_done(self, op: _PendingOp) -> None:
+        """Release one batch op's admission slot and pipeline count."""
+        op.conn.release()
+        self.metrics.inflight -= 1
+        name = op.conn.session.name
+        count = self._session_pending.get(name, 0)
+        if count > 1:
+            self._session_pending[name] = count - 1
+        else:
+            self._session_pending.pop(name, None)
 
     async def _flush(self) -> None:
         # Yield once so every request already parsed in this loop tick
@@ -463,8 +591,7 @@ class ServeServer:
                 # releases admission slots — a wedged pipeline would
                 # otherwise deadlock every client on the connection.
                 for op in batch:
-                    self.metrics.inflight -= 1
-                    op.conn.release()
+                    self._op_done(op)
                     await self._send_error(
                         op.conn, op.frame.get("rid"), f"server error: {exc}"
                     )
@@ -541,8 +668,7 @@ class ServeServer:
                     drains.append(op.conn)
                 except (ConnectionError, RuntimeError):
                     self._close_connection(op.conn)
-            op.conn.release()
-            self.metrics.inflight -= 1
+            self._op_done(op)
         # Slow-client write pausing: drain each touched connection; a
         # stalled reader delays only its own replies.
         for conn in dict.fromkeys(drains):
@@ -583,12 +709,22 @@ class ServeServer:
         if kind == "get":
             self.metrics.bump("gets")
             key = frame.get("key")
-            return {
+            value, label, member, shard = self._cycle_get(session, key)
+            if label is not None:
+                session.observe(label)
+            if isinstance(key, str):
+                self.history[session.name].append(
+                    ("get", (key, shard, label, member))
+                )
+            reply = {
                 "t": "reply", "rid": rid, "ok": True,
-                "key": key,
-                "value": self._session_get(session, key),
+                "key": key, "value": value,
                 "token": session.export_token(),
             }
+            if member is not None:
+                reply["shard"] = shard
+                reply["replica"] = member
+            return reply
         self.metrics.bump("reads")
         read = op.read
         if read is None:
@@ -611,13 +747,48 @@ class ServeServer:
             "token": session.export_token(),
         }
 
-    def _session_get(self, session: Session, key: str) -> Optional[object]:
-        """Session-local fast read: fold the session's own causal past.
+    def _cycle_get(
+        self, session: Session, key: object
+    ) -> Tuple[Optional[object], Optional[MessageId], Optional[EntityId], Optional[int]]:
+        """Serve a batch-path get, post-drain, as (value, label, member, shard).
 
-        Cheaper than a barrier (no broadcast, no stable point): the value
-        under the session's current frontier — read-your-writes for this
-        session, no cross-session freshness promise.  Spontaneous reads
-        wanting a consistent global cut use ``read``.
+        Runs after the cycle's ``cluster.drain()``, so any put this get
+        was pipelined behind has already issued and (normally) settled
+        at the contact.  Prefers a member read — the contact first (the
+        coordinator path proper, and what the ``forward`` fallback lands
+        on), then any other covering replica — and only falls back to
+        the session-local ledger fold when nobody covers the floor yet
+        (e.g. the shard is mid-repair); the fold is always safe but
+        carries no label for the freshness audit.
+        """
+        cluster = self.cluster
+        if isinstance(key, str):
+            shard, _slot, floor = session.read_floor(key)
+            if shard in cluster.groups:
+                order = cluster.read_members(shard)
+                contact = cluster.contact(shard)
+                if contact in order:
+                    order = [contact] + [m for m in order if m != contact]
+                for member in order:
+                    if cluster.covers(shard, member, floor):
+                        value, label = cluster.member_read(shard, member, key)
+                        self.metrics.bump("gets_cycle")
+                        self.metrics.bump(f"replica_reads_{member}")
+                        return value, label, member, shard
+            value, label = self._session_get(session, key)
+            return value, label, None, shard
+        value, _label = self._session_get(session, key)
+        return value, None, None, None
+
+    def _session_get(
+        self, session: Session, key: object
+    ) -> Tuple[Optional[object], Optional[MessageId]]:
+        """Session-local fallback read: fold the session's own causal past.
+
+        The newest (value, write label) for ``key`` under the session's
+        current frontier — read-your-writes for this session, no
+        cross-session freshness promise.  Last resort behind the
+        replica/coordinator member reads.
         """
         cluster = self.cluster
         past: Set[MessageId] = set()
@@ -625,16 +796,25 @@ class ServeServer:
             for label in labels:
                 past.add(label)
                 past |= cluster.graph.causal_past(label)
-        records = sorted(
-            (
-                cluster.ops[label]
-                for label in past
-                if label in cluster.ops
-                and cluster.ops[label].kind in DATA_KINDS
-            ),
-            key=lambda record: record.index,
-        )
-        return fold_ledger(records).get(key)
+        best_index = -1
+        best_value: Optional[object] = None
+        best_label: Optional[MessageId] = None
+        for label in past:
+            record = cluster.ops.get(label)
+            if record is None or record.kind not in DATA_KINDS:
+                continue
+            if record.index <= best_index:
+                continue
+            if record.kind == "put":
+                if record.key == key:
+                    best_index = record.index
+                    best_value = record.value["value"]
+                    best_label = label
+            elif key in record.value["entries"]:
+                best_index = record.index
+                best_value = record.value["entries"][key]
+                best_label = label
+        return best_value, best_label
 
     # -- auditing ----------------------------------------------------------
 
@@ -657,6 +837,12 @@ class ServeServer:
         for name, entries in self.history.items():
             log: List[SessionOp] = []
             for entry in entries:
+                if entry[0] == "get":
+                    # Replica-served gets are audited by index floors in
+                    # `get_violations` — their served label is a foreign
+                    # write, not a session operation, so shoehorning it
+                    # into SessionOp would fabricate anchor edges.
+                    continue
                 if entry[0] == "write":
                     log.append(SessionOp("write", entry[1]))
                 else:
@@ -675,8 +861,70 @@ class ServeServer:
             logs[name] = log
         return logs
 
+    def get_violations(self) -> List[GuaranteeViolation]:
+        """Audit replica-served gets for per-key session monotonicity.
+
+        Walking each session's history in answer order, a key's *floor*
+        is the newest (by issue index) write of that key the session is
+        entitled to: its own puts, writes observed by its barrier reads,
+        and writes served by its earlier gets.  Every get must return a
+        write at or above the floor — returning an older value (or no
+        value where the floor names one) means some replica answered
+        below the session's causal context, i.e. the eligibility gate
+        failed.
+        """
+        cluster = self.cluster
+        ops = cluster.ops
+        violations: List[GuaranteeViolation] = []
+        for name, entries in self.history.items():
+            floor: Dict[str, Tuple[int, MessageId]] = {}
+
+            def raise_floor(key: Optional[str], label: MessageId) -> None:
+                record = ops.get(label)
+                if record is None:
+                    return
+                if record.kind == "put":
+                    keys = [record.key] if record.key is not None else []
+                elif record.kind == "migrate":
+                    keys = list(record.value["entries"])
+                else:
+                    return
+                if key is not None:
+                    keys = [key] if key in keys else []
+                for each in keys:
+                    held = floor.get(each)
+                    if held is None or record.index > held[0]:
+                        floor[each] = (record.index, label)
+
+            for entry in entries:
+                if entry[0] == "write":
+                    raise_floor(None, entry[1])
+                elif entry[0] == "read":
+                    for label in entry[1].labels:
+                        raise_floor(None, label)
+                else:
+                    key, _shard, label, _member = entry[1]
+                    held = floor.get(key)
+                    if label is None:
+                        if held is not None:
+                            violations.append(GuaranteeViolation(
+                                "get-freshness", name, held[1], held[1]
+                            ))
+                        continue
+                    if held is not None and ops[label].index < held[0]:
+                        violations.append(GuaranteeViolation(
+                            "get-freshness", name, label, held[1]
+                        ))
+                    raise_floor(key, label)
+        return violations
+
     def session_guarantee_violations(self) -> List[GuaranteeViolation]:
-        """Check the recorded wire history against all four guarantees."""
+        """Check the recorded wire history against all four guarantees.
+
+        The four classic checkers run over writes and barrier reads;
+        replica-served gets get their own per-key freshness audit
+        (:meth:`get_violations`), appended to the same list.
+        """
         results = check_all_session_guarantees(
             self.cluster.graph, self.session_logs()
         )
@@ -684,7 +932,7 @@ class ServeServer:
             violation
             for violations in results.values()
             for violation in violations
-        ]
+        ] + self.get_violations()
 
     def check_invariants(self) -> List[Violation]:
         """Full cluster battery + cross-shard audit + wire guarantees."""

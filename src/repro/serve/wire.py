@@ -21,7 +21,11 @@ client-chosen correlation id echoed on the reply) — nothing in the
 framing layer assumes requests are answered in order, which is what
 makes pipelining possible.  Unknown document fields are preserved by
 :func:`decode_frame` and ignored by the server, mirroring the envelope
-codec's forward-compatibility rule.
+codec's forward-compatibility rule.  Besides ``reply``/``error``, a
+``get`` may be answered with a :data:`FRAME_RETRY` frame (reject-with-
+retry under replica routing), and replica-served replies carry the
+:data:`FIELD_REPLICA`/``shard`` fields so clients can stick to a warm
+replica.
 
 The frame length is bounded (:data:`MAX_FRAME`): a malformed or
 malicious length prefix must not make the server allocate gigabytes.
@@ -56,6 +60,22 @@ _LENGTH_BYTES = 4
 CODEC_JSON = "json"
 CODEC_BINARY = "binary"
 SUPPORTED_CODECS = (CODEC_JSON, CODEC_BINARY)
+
+#: Frame type of a reject-with-retry answer to a ``get``: no replica of
+#: the key's shard currently covers the session's causal floor, so the
+#: server asks the client to resubmit after ``retry_after`` seconds
+#: (fields: ``rid``, ``key``, ``shard``, ``retry_after``).  Only sent
+#: when the server runs with ``read_fallback="retry"``.
+FRAME_RETRY = "retry"
+
+#: Default client back-off carried by ``retry`` frames, in seconds.
+DEFAULT_RETRY_AFTER = 0.05
+
+#: Reply fields identifying which member answered a replica-routed get:
+#: ``replica`` (the member id) and ``shard`` (its shard).  Clients may
+#: echo ``replica`` on later gets of the same key as a sticky-routing
+#: hint; the server honours it only while that member stays eligible.
+FIELD_REPLICA = "replica"
 
 #: First body byte of every binary frame — catches a peer that switched
 #: codecs out of step (a JSON body can never start with 0xB1).

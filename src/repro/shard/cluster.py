@@ -33,6 +33,7 @@ from repro.core.stable_points import StablePointDetector
 from repro.errors import ConfigurationError, ProtocolError, SimulationError
 from repro.graph.depgraph import DependencyGraph
 from repro.net.latency import LatencyModel
+from repro.shard.frontier import FrontierTracker
 from repro.shard.ledger import COMMUTATIVE_KINDS, DATA_KINDS, OpRecord
 from repro.shard.map import ShardMap
 from repro.shard.rebalance import Rebalancer
@@ -140,6 +141,14 @@ class ShardedCluster:
                 hop_events=hop_events,
             )
             self.groups[shard] = group
+            # A restart wipes the member's volatile settled prefix, so
+            # any barrier snapshot touching its shard may describe a cut
+            # the group can no longer serve verbatim — drop those
+            # entries (satellite of the PR-6 cache; see
+            # `invalidate_snapshots`).
+            group.on_restart = (
+                lambda member, shard=shard: self.invalidate_snapshots(shard)
+            )
             for member in members:
                 self.shard_of_member[member] = shard
         # -- the global ledger (ground truth; see repro.shard.ledger) ----
@@ -153,6 +162,13 @@ class ShardedCluster:
         self.write_labels: Dict[int, Set[MessageId]] = {
             shard: set() for shard in self.shard_ids
         }
+        #: shard -> key -> its writes in issue order (puts, plus the
+        #: migrate labels that carried the key between shards).  Lets a
+        #: replica read answer "newest delivered write of this key" with
+        #: a short reversed scan instead of a ledger fold.
+        self.key_writes: Dict[int, Dict[str, List[MessageId]]] = {
+            shard: {} for shard in self.shard_ids
+        }
         #: session -> issue-order batches (a write is a singleton batch; a
         #: read's barrier labels form one batch — they are concurrent).
         self.session_batches: Dict[str, List[List[MessageId]]] = {}
@@ -160,12 +176,11 @@ class ShardedCluster:
         self._watchers: Dict[MessageId, List[Callable[[EntityId], None]]] = {}
         self.detectors: Dict[EntityId, StablePointDetector] = {}
         #: member -> running maximal frontier of its settled ledger
-        #: labels (mapped to their issue index), maintained incrementally
-        #: by the delivery hook so `delivered_frontier` is O(frontier)
-        #: instead of a maximal scan over the member's whole delivered
-        #: history.  The index lets domination tests skip closure lookups
-        #: (a label's causal past only holds earlier-issued labels).
-        self._frontiers: Dict[EntityId, Dict[MessageId, int]] = {}
+        #: labels, maintained incrementally by the delivery hook (via
+        #: :class:`~repro.shard.frontier.FrontierTracker`) so
+        #: `delivered_frontier` is O(frontier) instead of a maximal scan
+        #: over the member's whole delivered history.
+        self._frontiers: Dict[EntityId, FrontierTracker] = {}
         #: member -> `_settled_version` the frontier was last synced at; a
         #: mismatch means `_delivered_ids` mutated outside delivery
         #: (restart wipe, stable-prefix skip, state transfer) and the
@@ -182,7 +197,9 @@ class ShardedCluster:
             for member, stack in group.stacks.items():
                 detector = StablePointDetector(member, spec)
                 self.detectors[member] = detector
-                self._frontiers[member] = {}
+                self._frontiers[member] = FrontierTracker(
+                    self.graph.causal_past, self._op_index
+                )
                 self._frontier_sync[member] = stack._settled_version
                 stack.on_deliver(
                     self._delivery_hook(member, detector, group)
@@ -215,13 +232,14 @@ class ShardedCluster:
 
     # -- delivery plumbing -------------------------------------------------
 
+    def _op_index(self, label: MessageId) -> int:
+        return self.ops[label].index
+
     def _delivery_hook(
         self, member: EntityId, detector: StablePointDetector, group
     ):
-        frontier = self._frontiers[member]
+        tracker = self._frontiers[member]
         data_labels = group.data_labels
-        causal_past = self.graph.causal_past
-        ops = self.ops
         active = self._frontier_active
 
         def hook(envelope) -> None:
@@ -232,19 +250,9 @@ class ShardedCluster:
                 # ancestor of `label` arrives after it, so `label` either
                 # shadows frontier members (via its global causal past) or
                 # is itself shadowed by one that got here first through a
-                # cross-shard edge.  Only a later-issued head can shadow
-                # `label`, so the index guard skips the closure lookup for
-                # the (overwhelmingly common) newest-label delivery.
-                index = ops[label].index
-                for head, head_index in frontier.items():
-                    if head_index > index and label in causal_past(head):
-                        break
-                else:
-                    past = causal_past(label)
-                    shadowed = [h for h in frontier if h in past]
-                    for head in shadowed:
-                        del frontier[head]
-                    frontier[label] = index
+                # cross-shard edge (see repro.shard.frontier for why the
+                # issue-index guard makes this sound).
+                tracker.note(label)
             watchers = self._watchers.pop(label, None)
             if watchers:
                 for watcher in watchers:
@@ -364,6 +372,12 @@ class ShardedCluster:
         self.shard_of_label[label] = shard
         if kind in DATA_KINDS:
             self.write_labels[shard].add(label)
+            by_key = self.key_writes[shard]
+            if kind == "put":
+                by_key.setdefault(key, []).append(label)
+            else:  # migrate: the label carries every moved key
+                for entry_key in value["entries"]:
+                    by_key.setdefault(entry_key, []).append(label)
         group = self.groups[shard]
         group.data_labels.add(label)
         group.dependencies[label] = deps
@@ -422,13 +436,135 @@ class ShardedCluster:
             result |= self.graph.causal_past(label) & shard_labels
         return self.maximal(result)
 
+    def _lagging(self, group: ChaosCluster, member: EntityId) -> bool:
+        """Is ``member`` an amnesiac — settled prefix empty of data?
+
+        A just-restarted replica whose state transfer has not landed yet
+        has wiped `_delivered_ids`; until anti-entropy refills it, the
+        member has delivered *none* of the group's data labels.  The
+        `isdisjoint` is O(1) expected for a healthy member (its first
+        settled label hits) and cheap for an amnesiac (small settled
+        set scanned against the data-label set).
+        """
+        if not group.data_labels:
+            return False
+        stack = group.stacks[member]
+        return stack._delivered_ids.isdisjoint(group.data_labels)
+
     def contact(self, shard: int) -> Optional[EntityId]:
-        """The first up, in-view member of ``shard``'s group, if any."""
+        """The first up, in-view, non-amnesiac member of ``shard``, if any.
+
+        Falls back to the first up in-view member when every candidate
+        is amnesiac (a freshly restarted group still needs *a* contact
+        to rebuild through).
+        """
         group = self.groups[shard]
+        fallback: Optional[EntityId] = None
         for member in group.members:
-            if not group.stacks[member].crashed and member in group.group.view:
+            if group.stacks[member].crashed or member not in group.group.view:
+                continue
+            if not self._lagging(group, member):
                 return member
-        return None
+            if fallback is None:
+                fallback = member
+        return fallback
+
+    def read_members(self, shard: int) -> List[EntityId]:
+        """Members of ``shard`` eligible to serve replica reads.
+
+        Up, in-view, and caught up past amnesia; when *every* up member
+        is amnesiac they are all returned (the coverage gate still
+        protects correctness — an empty settled set covers nothing).
+        """
+        group = self.groups[shard]
+        fresh: List[EntityId] = []
+        lagging: List[EntityId] = []
+        for member in group.members:
+            if group.stacks[member].crashed or member not in group.group.view:
+                continue
+            if self._lagging(group, member):
+                lagging.append(member)
+            else:
+                fresh.append(member)
+        return fresh if fresh else lagging
+
+    def covers(
+        self, shard: int, member: EntityId, labels: Iterable[MessageId]
+    ) -> bool:
+        """Has ``member`` settled every label in ``labels``?
+
+        The replica-read eligibility gate: a member may serve a session's
+        read of a shard iff it has delivered the session frontier's
+        projection onto that shard (plus any migration handoff).  Checked
+        against the raw settled set — no frontier activation, no closure
+        walks — so probing many members stays cheap.
+        """
+        delivered = self.groups[shard].stacks[member]._delivered_ids
+        return all(label in delivered for label in labels)
+
+    def member_read(
+        self, shard: int, member: EntityId, key: str
+    ) -> Tuple[Optional[object], Optional[MessageId]]:
+        """``key``'s newest write ``member`` has settled, as (value, label).
+
+        Walks the key's per-shard write history newest-first and returns
+        the first write inside the member's settled set — the exact
+        value a last-writer-wins fold of that member's delivered prefix
+        would produce for the key, without folding anything.
+        """
+        delivered = self.groups[shard].stacks[member]._delivered_ids
+        for label in reversed(self.key_writes[shard].get(key, ())):
+            if label not in delivered:
+                continue
+            record = self.ops[label]
+            if record.kind == "put":
+                return record.value["value"], label
+            return record.value["entries"][key], label
+        return None, None
+
+    def read_contact(
+        self, shard: int, floor: Iterable[MessageId]
+    ) -> Optional[EntityId]:
+        """A read-serving member of ``shard`` covering ``floor``.
+
+        Prefers the stable contact (keeping frontier maintenance lazy on
+        everyone else); only when the contact does not cover the floor
+        does it probe the other read members, and when nobody covers it
+        falls back to the contact — the caller's retry/dependency
+        machinery handles the wait.
+        """
+        floor = tuple(floor)
+        contact = self.contact(shard)
+        if not floor or (
+            contact is not None and self.covers(shard, contact, floor)
+        ):
+            return contact
+        for member in self.read_members(shard):
+            if self.covers(shard, member, floor):
+                return member
+        return contact
+
+    def invalidate_snapshots(self, *shards: int) -> None:
+        """Drop barrier snapshot-cache entries touching any of ``shards``.
+
+        Called on rebalance cutover (the moved slot's keys change home,
+        so a cached fold for source or dest describes a pre-move world)
+        and on member restart (the member's settled prefix was wiped; a
+        cut cached against the old incarnation may no longer be
+        servable as-is).  With no arguments, clears everything.  Entries
+        are dropped, never mutated — in-flight reads keep whatever entry
+        they already seeded from, which stays sound because cached cuts
+        only describe the barrier's fixed causal past.
+        """
+        if not shards:
+            self._snapshot_cache.clear()
+            return
+        affected = set(shards)
+        stale = [
+            key for key in self._snapshot_cache if affected.intersection(key)
+        ]
+        for key in stale:
+            del self._snapshot_cache[key]
 
     def delivered_frontier(
         self, shard: int, member: EntityId
@@ -436,7 +572,7 @@ class ShardedCluster:
         """Maximal ledger labels ``member`` has settled in its group."""
         group = self.groups[shard]
         stack = group.stacks[member]
-        frontier = self._frontiers[member]
+        tracker = self._frontiers[member]
         version = stack._settled_version
         if member not in self._frontier_active:
             # First query for this member: the delivery hook has been
@@ -448,17 +584,17 @@ class ShardedCluster:
             # stable-prefix skip, state transfer) or the member was just
             # activated: the incremental frontier is stale, so rebuild it
             # from the full settled set — delivered ∪ skip-settled — and
-            # resync.
+            # resync.  `maximal` is the fast closure-intersection path;
+            # the tracker adopts its result as-is.
             ops = self.ops
-            frontier.clear()
-            frontier.update(
-                (label, ops[label].index)
+            tracker.reset({
+                label: ops[label].index
                 for label in self.maximal(
                     stack._delivered_ids & group.data_labels
                 )
-            )
+            })
             self._frontier_sync[member] = version
-        return frozenset(frontier)
+        return tracker.labels()
 
     # -- campaign execution ------------------------------------------------
 

@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import json
 from collections import deque
-from typing import TYPE_CHECKING, Callable, Deque, Dict, FrozenSet, List, Optional, Sequence, Set
+from typing import TYPE_CHECKING, Callable, Deque, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import ProtocolError
 from repro.types import MessageId
@@ -287,6 +287,47 @@ class Session:
             },
             cross=dict(self.frontier),
         ).start()
+
+    def read_floor(
+        self, key: str
+    ) -> Tuple[int, int, FrozenSet[MessageId]]:
+        """What a replica must have settled to serve ``key`` to us.
+
+        Returns ``(shard, slot, floor)``: the key's current home shard
+        and slot, and the session token's projection onto that shard —
+        the frontier labels the session already holds there, plus the
+        slot's migration handoff when one is pending.  A member whose
+        settled set covers ``floor`` can answer the read without
+        violating any session guarantee (the replica-read eligibility
+        rule; see docs/SERVING.md).
+        """
+        slot = self.router.map.slot_of(key)
+        shard = self.router.map.shard_for_slot(slot)
+        floor = set(self.frontier.get(shard, ()))
+        handoff = self.router.handoff_dep(slot)
+        if handoff is not None:
+            floor.add(handoff)
+        return shard, slot, frozenset(floor)
+
+    def observe(self, label: MessageId) -> None:
+        """Fold an externally observed write into the session frontier.
+
+        The serving layer calls this when a replica read returned
+        ``label``'s value: from then on the session's reads and writes
+        must stay causally after it (monotonic reads / writes-follow-
+        reads by construction).  Cheap no-op when the frontier already
+        dominates the label.
+        """
+        cluster = self.router.cluster
+        shard = cluster.shard_of_label.get(label)
+        if shard is not None:
+            current = self.frontier.get(shard, ())
+            if label in current:
+                return
+            graph = cluster.graph
+            if any(graph.precedes(label, head) for head in current):
+                return
+        self._absorb(label)
 
     def _absorb(self, label: MessageId) -> None:
         """Fold ``label``'s transitive causal past into the frontier."""

@@ -8,13 +8,18 @@ worker — the scenarios are batched to keep that bounded.
 from __future__ import annotations
 
 import asyncio
+import json
 from contextlib import asynccontextmanager
 
 import pytest
 
 from repro.errors import ProtocolError
 from repro.serve import ServeClient, ServeError
-from repro.serve.procs import MultiProcServeServer, partition_shards
+from repro.serve.procs import (
+    MultiProcServeServer,
+    merge_tokens,
+    partition_shards,
+)
 from repro.serve.wire import CODEC_BINARY, CODEC_JSON
 
 
@@ -68,6 +73,75 @@ class TestPartition:
 
     def test_more_procs_than_shards_collapses(self):
         assert partition_shards(2, 8) == [(0,), (1,)]
+
+
+def token(session, frontier):
+    return json.dumps({"v": 1, "session": session, "frontier": frontier})
+
+
+class TestMergeTokens:
+    """Regression: overlapping per-worker frontiers were blindly unioned.
+
+    Workers host disjoint shards, so overlap is the exception — but when
+    it happens (mid-rebalance races, subset clusters) a union fabricates
+    a frontier no worker holds.  The shard's owning token must win, and
+    the overlap must surface in stats instead of vanishing.
+    """
+
+    def test_disjoint_tokens_union_cleanly(self):
+        merged = json.loads(merge_tokens([
+            token("s", {"0": [["a", 1]]}),
+            token("s", {"1": [["b", 2]]}),
+        ]))
+        assert merged["session"] == "s"
+        assert merged["frontier"] == {"0": [["a", 1]], "1": [["b", 2]]}
+
+    def test_overlap_resolves_to_the_owning_token(self):
+        overlaps = []
+        merged = json.loads(merge_tokens(
+            [
+                token("s", {"0": [["a", 1]]}),
+                token("s", {"0": [["a", 3], ["b", 2]], "1": [["c", 1]]}),
+            ],
+            owners={"0": 1, "1": 1},
+            on_overlap=overlaps.append,
+        ))
+        # Token 1 owns shard 0: its pairs win outright; token 0's stale
+        # contribution must not leak into the merged frontier.
+        assert merged["frontier"]["0"] == [["a", 3], ["b", 2]]
+        assert merged["frontier"]["1"] == [["c", 1]]
+        assert overlaps == ["0"]
+
+    def test_overlap_without_owner_falls_back_to_union(self):
+        overlaps = []
+        merged = json.loads(merge_tokens(
+            [
+                token("s", {"0": [["a", 1]]}),
+                token("s", {"0": [["a", 1], ["b", 2]]}),
+            ],
+            on_overlap=overlaps.append,
+        ))
+        assert merged["frontier"]["0"] == [["a", 1], ["b", 2]]
+        assert overlaps == ["0"]
+
+    def test_owner_that_contributed_nothing_defers_to_union(self):
+        merged = json.loads(merge_tokens(
+            [
+                token("s", {"0": [["a", 1]]}),
+                token("s", {"0": [["b", 2]]}),
+            ],
+            owners={"0": 7},  # points at a token position not present
+        ))
+        assert merged["frontier"]["0"] == [["a", 1], ["b", 2]]
+
+    def test_no_overlap_means_no_callback(self):
+        overlaps = []
+        merge_tokens(
+            [token("s", {"0": [["a", 1]]}), token("s", {"1": [["b", 1]]})],
+            owners={"0": 0, "1": 1},
+            on_overlap=overlaps.append,
+        )
+        assert overlaps == []
 
 
 class TestEndToEnd:

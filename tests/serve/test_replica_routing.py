@@ -1,0 +1,255 @@
+"""Replica-routed gets: eligibility gating, spread, stickiness, failover.
+
+The read-anywhere front end routes each ``get`` to any up member of the
+key's shard whose settled prefix covers the session token's projection
+onto that shard — round-robin over the eligible set, sticky hints
+honoured while they stay eligible, falling back to the batch cycle
+(``forward``) or a parseable ``retry`` frame (``retry``) when nobody
+covers.  These tests drive the whole stack over localhost sockets.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from contextlib import asynccontextmanager
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.serve import ServeClient, ServeError, ServeServer
+from repro.serve.server import READ_FALLBACKS, READ_POLICIES
+
+
+@asynccontextmanager
+async def server(**kwargs):
+    kwargs.setdefault("shards", 1)
+    kwargs.setdefault("members_per_shard", 3)
+    kwargs.setdefault("seed", 5)
+    srv = ServeServer(**kwargs)
+    await srv.start()
+    try:
+        yield srv
+    finally:
+        await srv.shutdown()
+
+
+@asynccontextmanager
+async def client(srv: ServeServer, name: str = "c", token=None):
+    cli = ServeClient("127.0.0.1", srv.port, name, token=token)
+    await cli.connect()
+    try:
+        yield cli
+    finally:
+        await cli.close()
+
+
+def run(coro_fn):
+    return asyncio.run(coro_fn())
+
+
+def replica_counters(srv) -> dict:
+    return {
+        key: value
+        for key, value in srv.metrics.counters.items()
+        if key.startswith("replica_reads_")
+    }
+
+
+class TestConfig:
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ProtocolError):
+            ServeServer(read_policy="psychic")
+
+    def test_unknown_fallback_rejected(self):
+        with pytest.raises(ProtocolError):
+            ServeServer(read_fallback="shrug")
+
+    def test_knob_domains(self):
+        assert "replica" in READ_POLICIES
+        assert "coordinator" in READ_POLICIES
+        assert set(READ_FALLBACKS) == {"forward", "retry"}
+
+
+class TestDirectGets:
+    def test_direct_get_names_its_replica(self):
+        async def scenario():
+            async with server() as srv, client(srv) as cli:
+                await cli.put_wait("k", "v")
+                reply = await cli.get_submit("k")
+                assert reply["value"] == "v"
+                assert isinstance(reply["replica"], str)
+                assert reply["shard"] in srv.cluster.groups
+                assert srv.metrics.counters["gets_direct"] == 1
+                assert srv.session_guarantee_violations() == []
+
+        run(scenario)
+
+    def test_round_robin_spreads_over_covering_replicas(self):
+        async def scenario():
+            async with server() as srv, client(srv) as cli:
+                await cli.put_wait("k", "v")
+                served = set()
+                for _ in range(6):
+                    # Raw submits carry no sticky hint, so the cursor
+                    # walks the whole eligible set.
+                    reply = await cli.submit({"t": "get", "key": "k"})
+                    assert reply["value"] == "v"
+                    served.add(reply["replica"])
+                assert len(served) == 3
+                assert set(replica_counters(srv)) == {
+                    f"replica_reads_{member}" for member in served
+                }
+
+        run(scenario)
+
+    def test_sticky_hint_pins_the_replica(self):
+        async def scenario():
+            async with server() as srv, client(srv) as cli:
+                await cli.put_wait("k", "v")
+                assert await cli.get("k") == "v"
+                first = cli.replica_hints["k"]
+                for _ in range(4):
+                    assert await cli.get("k") == "v"
+                    assert cli.replica_hints["k"] == first
+                assert srv.metrics.counters["sticky_hits"] == 4
+
+        run(scenario)
+
+    def test_pipelined_put_then_get_keeps_issue_order(self):
+        async def scenario():
+            async with server() as srv, client(srv) as cli:
+                # The get is submitted while the put is still in flight:
+                # the direct path must decline (ops pending in the batch
+                # pipeline) and the cycle path must observe the put.
+                put = cli.put("k", "pipelined")
+                get = cli.get_submit("k")
+                assert (await put)["ok"]
+                assert (await get)["value"] == "pipelined"
+                assert srv.metrics.counters.get("gets_direct", 0) == 0
+                assert srv.metrics.counters["gets_cycle"] == 1
+                assert srv.session_guarantee_violations() == []
+
+        run(scenario)
+
+    def test_coordinator_policy_serves_through_the_cycle(self):
+        async def scenario():
+            async with server(read_policy="coordinator") as srv:
+                async with client(srv) as cli:
+                    await cli.put_wait("k", "v")
+                    assert await cli.get("k") == "v"
+                    assert srv.metrics.counters.get("gets_direct", 0) == 0
+                    assert srv.session_guarantee_violations() == []
+
+        run(scenario)
+
+
+def orphan_the_write(srv):
+    """Leave no up replica covering the session's floor.
+
+    The write's origin goes down (its outbox replay would self-recover
+    it); the other two members restart amnesiac — up, in view, but with
+    empty settled prefixes that cover nothing.
+    """
+    (group,) = srv.cluster.groups.values()
+    origin, *others = group.members
+    group.crash(origin)
+    for member in others:
+        group.crash(member)
+        group.restart(member)
+    return group, origin
+
+
+class TestFallbacks:
+    def test_forward_fallback_serves_from_session_state(self):
+        async def scenario():
+            async with server() as srv, client(srv) as cli:
+                await cli.put_wait("k", "v")
+                orphan_the_write(srv)
+                # No replica covers, so the get forwards to the batch
+                # cycle, which folds the session's own causal past —
+                # read-your-writes survives losing every covering copy.
+                assert await cli.get("k") == "v"
+                assert srv.metrics.counters["read_misses"] >= 1
+                assert srv.session_guarantee_violations() == []
+
+        run(scenario)
+
+    def test_retry_fallback_emits_parseable_frames(self):
+        async def scenario():
+            async with server(read_fallback="retry") as srv:
+                async with client(srv) as cli:
+                    await cli.put_wait("k", "v")
+                    orphan_the_write(srv)
+                    reply = await cli.get_submit("k")
+                    assert reply["t"] == "retry"
+                    assert reply["key"] == "k"
+                    assert reply["shard"] in srv.cluster.groups
+                    assert reply["retry_after"] > 0
+
+        run(scenario)
+
+    def test_client_absorbs_retries_until_exhaustion(self):
+        async def scenario():
+            async with server(read_fallback="retry", retry_after=0.005) as srv:
+                async with client(srv) as cli:
+                    await cli.put_wait("k", "v")
+                    group, origin = orphan_the_write(srv)
+                    with pytest.raises(ServeError, match="no covering"):
+                        await cli.get("k", retries=2)
+                    assert cli.retries == 3
+                    # Recovery: the origin comes back, replays its
+                    # outbox, and anti-entropy refills the amnesiacs.
+                    group.restart(origin)
+                    srv._repair_round()
+                    assert await cli.get("k") == "v"
+                    assert srv.session_guarantee_violations() == []
+
+        run(scenario)
+
+
+class TestFailover:
+    def test_killing_the_serving_replica_reroutes(self):
+        async def scenario():
+            async with server() as srv, client(srv) as cli:
+                await cli.put_wait("k", "v")
+                assert await cli.get("k") == "v"
+                target = cli.replica_hints["k"]
+                (shard,) = srv.cluster.groups
+                await cli.chaos("crash", shard, target)
+                # The sticky hint now points at a corpse; the server
+                # must ignore it and reroute to a covering survivor.
+                assert await cli.get("k") == "v"
+                assert cli.replica_hints["k"] != target
+                assert srv.session_guarantee_violations() == []
+
+        run(scenario)
+
+
+class TestGetAudit:
+    def test_clean_run_has_no_get_violations(self):
+        async def scenario():
+            async with server() as srv, client(srv) as cli:
+                await cli.put_wait("k", "v1")
+                await cli.put_wait("k", "v2")
+                assert await cli.get("k") == "v2"
+                assert srv.get_violations() == []
+
+        run(scenario)
+
+    def test_stale_serve_is_flagged(self):
+        async def scenario():
+            async with server() as srv, client(srv) as cli:
+                await cli.put_wait("k", "v1")
+                await cli.put_wait("k", "v2")
+                first, _second = srv.cluster.issue_order
+                (shard,) = srv.cluster.groups
+                # Fabricate the bug the audit exists for: a get answered
+                # with the older write after the session issued a newer
+                # one.
+                srv.history["c"].append(("get", ("k", shard, first, "s0n0")))
+                violations = srv.get_violations()
+                assert len(violations) == 1
+                assert violations[0].guarantee == "get-freshness"
+                assert violations[0].session == "c"
+
+        run(scenario)
