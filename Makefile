@@ -1,6 +1,6 @@
 # Convenience targets for the causal-broadcast reproduction.
 
-.PHONY: install test bench bench-quick perf-guard chaos-quick serve-smoke serve-smoke-procs examples demos lint-clean
+.PHONY: install test bench bench-quick perf-guard chaos-quick chaos-wire serve-smoke serve-smoke-procs examples demos lint-clean
 
 install:
 	python setup.py develop
@@ -47,6 +47,23 @@ serve-smoke-procs:
 	  --codec binary --stats || { kill -INT $$SERVER_PID; exit 1; }; \
 	kill -INT $$SERVER_PID; \
 	wait $$SERVER_PID
+
+# Chaos over the wire: 12 seeded end-to-end campaigns through a
+# fault-injecting TCP proxy (cuts mid-frame, stalls, delays, duplicated
+# and truncated frames, replica crash/restart, worker SIGKILL+respawn,
+# queue-full overload) against single-proc and multi-proc servers on
+# both codecs.  Self-healing clients drive the traffic; afterwards the
+# black-box auditor checks CC/CCv over what the clients *observed* —
+# zero violations, zero hangs, or the target fails.
+chaos-wire:
+	PYTHONPATH=src python -m repro chaos-wire --procs 1 --codec json \
+	  --seed 11 --campaigns disconnects,stalls,truncations,overload
+	PYTHONPATH=src python -m repro chaos-wire --procs 1 --codec binary \
+	  --seed 21 --campaigns disconnects,truncations
+	PYTHONPATH=src python -m repro chaos-wire --procs 2 --codec json \
+	  --seed 31 --campaigns disconnects,workers,overload
+	PYTHONPATH=src python -m repro chaos-wire --procs 2 --codec binary \
+	  --seed 41 --campaigns stalls,workers,truncations
 
 # Seeded fault-injection campaigns (crash/partition/loss/churn) across
 # every crash-eligible protocol; fails on any safety-invariant violation.

@@ -20,7 +20,12 @@ causal object space on an ephemeral TCP port, then:
    provably preserves read-your-writes;
 5. drains gracefully, heals the crashed replicas, and replays the
    entire recorded wire history through the session-guarantee checker
-   (including the per-key freshness audit of every replica-served get).
+   (including the per-key freshness audit of every replica-served get);
+6. boots a *fresh* server behind a fault-injecting TCP proxy (cuts
+   mid-frame, duplicated and delayed frames) and drives self-healing
+   clients through it — then audits what the clients *observed* with
+   the black-box causal-consistency checker: no simulator stamps, no
+   server cooperation.
 
 Every step asserts, so this doubles as the CI smoke test for the wire
 path.  Run::
@@ -32,7 +37,20 @@ from __future__ import annotations
 
 import asyncio
 
-from repro.serve import ServeClient, ServeServer, reconnect, run_load
+from repro.analysis.wire_history import (
+    WireHistory,
+    WireRecorder,
+    check_wire_history,
+)
+from repro.serve import (
+    ChaosProxy,
+    FaultPlan,
+    ResilientClient,
+    ServeClient,
+    ServeServer,
+    reconnect,
+    run_load,
+)
 
 
 async def main() -> None:
@@ -134,6 +152,55 @@ async def main() -> None:
           f"{events} history events across {len(server.history)} sessions")
     print("session-guarantee audit over the full wire history: OK "
           "(zero violations)")
+
+    # -- chaos over the wire + the black-box audit -------------------------
+    await wire_chaos_pass()
+
+
+async def wire_chaos_pass() -> None:
+    """Faulty network, self-healing clients, black-box verdict."""
+    server = ServeServer(shards=2, members_per_shard=3, seed=11)
+    await server.start()
+    plan = FaultPlan(13, cut_rate=0.02, dup_rate=0.05, delay_rate=0.08,
+                     delay_seconds=0.02)
+    proxy = ChaosProxy("127.0.0.1", server.port, plan=plan)
+    await proxy.start()
+    print(f"\nchaos proxy up on 127.0.0.1:{proxy.port} "
+          f"(cuts mid-frame, dups, delays) -> server :{server.port}")
+
+    recorders = []
+
+    async def drive(index: int) -> None:
+        name = f"wchaos{index}"
+        recorder = WireRecorder(name)
+        recorders.append(recorder)
+        client = ResilientClient(
+            "127.0.0.1", proxy.port, name,
+            request_timeout=2.0, seed=index,
+            recorder=recorder,
+        )
+        await client.connect()
+        for i in range(12):
+            key = f"wkey{i % 3}"
+            if i % 3 == 2:
+                await client.get(key)
+            else:
+                await client.put(key, f"{name}:{i}")
+        await client.close()
+        healing = {k: v for k, v in client.counters.items() if v}
+        print(f"  {name}: {healing}")
+
+    await asyncio.gather(*[drive(i) for i in range(3)])
+    await proxy.stop()
+    await server.shutdown(heal=True)
+
+    faults = {k: v for k, v in proxy.counters.items() if v}
+    print(f"proxy injected: {faults}")
+    history = WireHistory.merge(recorders)
+    violations = check_wire_history(history)
+    assert violations == [], violations
+    print(f"black-box audit over {len(history)} client-observed ops: OK "
+          "(CC, CCv and CM all hold)")
 
 
 if __name__ == "__main__":

@@ -57,6 +57,13 @@ from repro.analysis.serializability import (
     check_one_copy_serializability,
     check_sequence_legal,
 )
+from repro.analysis.wire_history import (
+    WireHistory,
+    WireOp,
+    WireRecorder,
+    WireViolation,
+    check_wire_history,
+)
 
 __all__ = [
     "CausalViolation",
@@ -71,7 +78,12 @@ __all__ = [
     "SummaryStats",
     "ThroughputReport",
     "TimelineOptions",
+    "WireHistory",
+    "WireOp",
+    "WireRecorder",
+    "WireViolation",
     "check_all_session_guarantees",
+    "check_wire_history",
     "check_monotonic_reads",
     "check_monotonic_writes",
     "check_read_your_writes",

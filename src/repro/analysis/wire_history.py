@@ -1,0 +1,499 @@
+"""Black-box causal-consistency auditing of client-observed histories.
+
+Everything else in :mod:`repro.analysis` audits the system from the
+*inside*: ground-truth stamps, the simulator's dependency graph, the
+server's own session records.  A wire-layer bug — a codec that reorders
+fields, a batch cycle that answers a get before the put it was pipelined
+behind, a routing front-end that merges tokens wrongly — is invisible to
+those audits because they never see what the *client* saw.
+
+This module closes that gap with the polynomial-time checks of
+"On Verifying Causal Consistency" (Bouajjani, Enea, Guerraoui, Hamza —
+POPL'17, arXiv:1611.00580).  For *differentiated* histories (no value is
+written twice to the same key — the recorder enforces it), causal
+consistency and its two classic strengthenings are each equivalent to
+the absence of a small set of *bad patterns* over the history's
+program order ``po`` and read-from relation ``wr``:
+
+========================  =====================================================
+``cyclic-co``             ``po ∪ wr`` has a cycle (CC)
+``thin-air-read``         a read returns a value nobody wrote (CC)
+``write-co-init-read``    a read returns the initial value although a
+                          write of its key is in its causal past (CC)
+``write-co-read``         a read returns a value overwritten in its own
+                          causal past (CC)
+``cyclic-cf``             causality plus the conflict order induced by
+                          reads has a cycle (CCv — causal convergence)
+``write-hb-init-read``    like write-co-init-read under the per-operation
+                          happened-before of causal memory (CM)
+``cyclic-hb``             a per-operation happened-before cycle (CM)
+========================  =====================================================
+
+The checker is black-box by construction: its only inputs are the
+operations a client issued and the values it got back.  No simulator
+stamps, no server cooperation — if the whole serving stack between the
+socket and the ledger lies, the history still convicts it.
+
+Reads of *many* keys (the serve layer's barrier reads) are recorded as a
+block of single-key reads in deterministic key order.  For a genuinely
+causally-closed snapshot the intra-block order is immaterial (a closed
+cut's values are pairwise causally consistent under any serialisation);
+for a broken snapshot some order exhibits the anomaly, which is exactly
+what an auditor wants.
+
+Causal pasts are kept as integer bitmasks, so the transitive closures
+behind every pattern are O(n²/word) — comfortably polynomial, and fast
+enough to run inside every chaos campaign and CI smoke.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+#: Consistency levels, weakest first.  ``CC`` is implied by both others;
+#: ``CCv`` (convergence) and ``CM`` (causal memory) are incomparable.
+LEVELS = ("CC", "CCv", "CM")
+
+#: Bad pattern -> the weakest level it refutes.
+PATTERN_LEVEL = {
+    "undifferentiated": "CC",
+    "cyclic-co": "CC",
+    "thin-air-read": "CC",
+    "write-co-init-read": "CC",
+    "write-co-read": "CC",
+    "cyclic-cf": "CCv",
+    "write-hb-init-read": "CM",
+    "cyclic-hb": "CM",
+}
+
+
+@dataclass(frozen=True)
+class WireOp:
+    """One client-observed operation.
+
+    ``kind`` is ``"put"`` (value = what was written) or ``"get"``
+    (value = what came back; ``None`` means the initial/absent value).
+    ``block`` groups the single-key reads of one barrier read; ``None``
+    for standalone operations.
+    """
+
+    session: str
+    index: int
+    kind: str
+    key: str
+    value: object
+    block: Optional[int] = None
+
+    def describe(self) -> str:
+        if self.kind == "put":
+            return f"{self.session}[{self.index}] put {self.key}={self.value!r}"
+        return f"{self.session}[{self.index}] get {self.key} -> {self.value!r}"
+
+
+@dataclass(frozen=True)
+class WireViolation:
+    """One bad pattern found in a client-observed history."""
+
+    pattern: str
+    detail: str
+
+    @property
+    def level(self) -> str:
+        return PATTERN_LEVEL.get(self.pattern, "CC")
+
+    def __str__(self) -> str:  # pragma: no cover - diagnostics
+        return f"[{self.level}] {self.pattern}: {self.detail}"
+
+
+class WireRecorder:
+    """Client-side capture of one session's observed operations.
+
+    Attach one to a client; call :meth:`put` on every *acknowledged*
+    write, :meth:`get` on every answered read, :meth:`read` on every
+    barrier-read snapshot.  Operations the client gave up on (deadline,
+    exhausted retries) are never recorded — the auditor judges what the
+    server claimed, not what the client hoped.
+    """
+
+    def __init__(self, session: str) -> None:
+        self.session = session
+        self.ops: List[WireOp] = []
+        self._blocks = 0
+
+    def put(self, key: str, value: object) -> None:
+        self.ops.append(
+            WireOp(self.session, len(self.ops), "put", key, value)
+        )
+
+    def get(self, key: str, value: object) -> None:
+        self.ops.append(
+            WireOp(self.session, len(self.ops), "get", key, value)
+        )
+
+    def read(self, values: Mapping[str, object]) -> None:
+        """Record one barrier-read snapshot as a block of keyed reads."""
+        block = self._blocks
+        self._blocks += 1
+        for key in sorted(values):
+            self.ops.append(WireOp(
+                self.session, len(self.ops), "get", key, values[key],
+                block=block,
+            ))
+
+
+class WireHistory:
+    """A multi-session client-observed history, ready for checking."""
+
+    def __init__(self, sessions: Mapping[str, Sequence[WireOp]]) -> None:
+        #: session -> its operations in program order (re-indexed).
+        self.sessions: Dict[str, List[WireOp]] = {
+            name: [
+                WireOp(name, index, op.kind, op.key, op.value, op.block)
+                for index, op in enumerate(ops)
+            ]
+            for name, ops in sessions.items()
+        }
+
+    @classmethod
+    def merge(cls, recorders: Iterable[WireRecorder]) -> "WireHistory":
+        sessions: Dict[str, List[WireOp]] = {}
+        for recorder in recorders:
+            sessions.setdefault(recorder.session, []).extend(recorder.ops)
+        return cls(sessions)
+
+    @property
+    def ops(self) -> List[WireOp]:
+        return [op for ops in self.sessions.values() for op in ops]
+
+    def __len__(self) -> int:
+        return sum(len(ops) for ops in self.sessions.values())
+
+
+# -- the checker -------------------------------------------------------------
+
+
+@dataclass
+class _Indexed:
+    """The history flattened to integer ids with po/wr edges resolved."""
+
+    ops: List[WireOp] = field(default_factory=list)
+    po: List[Tuple[int, int]] = field(default_factory=list)
+    #: read op id -> writer op id (resolved via the read value).
+    wr: Dict[int, int] = field(default_factory=dict)
+    #: key -> ids of its writes.
+    writes: Dict[str, List[int]] = field(default_factory=dict)
+    #: read ids that returned the initial value.
+    init_reads: List[int] = field(default_factory=list)
+    violations: List[WireViolation] = field(default_factory=list)
+
+
+def _index(history: WireHistory) -> _Indexed:
+    out = _Indexed()
+    by_value: Dict[Tuple[str, object], List[int]] = {}
+    for ops in history.sessions.values():
+        previous: Optional[int] = None
+        for op in ops:
+            op_id = len(out.ops)
+            out.ops.append(op)
+            if previous is not None:
+                out.po.append((previous, op_id))
+            previous = op_id
+            if op.kind == "put":
+                out.writes.setdefault(op.key, []).append(op_id)
+                try:
+                    by_value.setdefault((op.key, op.value), []).append(op_id)
+                except TypeError:
+                    # Unhashable written value: key it by repr — the
+                    # auditor only needs equality, and a client that
+                    # writes unhashable values already failed the put.
+                    by_value.setdefault(
+                        (op.key, repr(op.value)), []
+                    ).append(op_id)
+    for key, writers in by_value.items():
+        if len(writers) > 1:
+            out.violations.append(WireViolation(
+                "undifferentiated",
+                f"value {key[1]!r} written to {key[0]!r} "
+                f"{len(writers)} times — wr is ambiguous: "
+                + ", ".join(out.ops[w].describe() for w in writers),
+            ))
+    for op_id, op in enumerate(out.ops):
+        if op.kind != "get":
+            continue
+        if op.value is None:
+            out.init_reads.append(op_id)
+            continue
+        try:
+            writers = by_value.get((op.key, op.value), [])
+        except TypeError:
+            writers = by_value.get((op.key, repr(op.value)), [])
+        if not writers:
+            out.violations.append(WireViolation(
+                "thin-air-read",
+                f"{op.describe()} — nobody wrote that value",
+            ))
+        else:
+            out.wr[op_id] = writers[0]
+    return out
+
+
+def _closure(n: int, edges: Iterable[Tuple[int, int]]) -> List[int]:
+    """Strict transitive closure as per-node successor bitmasks.
+
+    Warshall with integer bitsets: ``reach[a] >> b & 1`` iff a path
+    a → … → b exists.  O(n² / wordsize) per pivot — plenty for the few
+    hundred operations a campaign history carries.
+    """
+    reach = [0] * n
+    for a, b in edges:
+        reach[a] |= 1 << b
+    for k in range(n):
+        bit = 1 << k
+        mask = reach[k]
+        if not mask:
+            continue
+        for a in range(n):
+            if reach[a] & bit:
+                updated = reach[a] | mask
+                if updated != reach[a]:
+                    reach[a] = updated
+    return reach
+
+
+def _cycle_members(reach: List[int]) -> List[int]:
+    return [a for a in range(len(reach)) if reach[a] >> a & 1]
+
+
+def check_wire_history(
+    history: WireHistory, levels: Sequence[str] = LEVELS
+) -> List[WireViolation]:
+    """Check a client-observed history for CC/CCv/CM bad patterns.
+
+    Returns every violation found (empty list = the history is causally
+    consistent at all requested ``levels``).  A violation's ``level``
+    names the weakest guarantee it refutes, so callers can gate on CC
+    only, or on the full causal-memory contract.
+    """
+    unknown = set(levels) - set(LEVELS)
+    if unknown:
+        raise ValueError(f"unknown consistency levels: {sorted(unknown)}")
+    indexed = _index(history)
+    violations = list(indexed.violations)
+    ops = indexed.ops
+    n = len(ops)
+    if n == 0:
+        return violations
+    co_edges = indexed.po + [(w, r) for r, w in indexed.wr.items()]
+    co = _closure(n, co_edges)
+    cyclic = _cycle_members(co)
+    if cyclic:
+        violations.append(WireViolation(
+            "cyclic-co",
+            "po ∪ wr is cyclic through "
+            + ", ".join(ops[a].describe() for a in cyclic[:4]),
+        ))
+        # Every downstream pattern assumes co is a partial order; report
+        # the cycle alone rather than cascading artifacts of it.
+        return violations
+
+    def co_before(a: int, b: int) -> bool:
+        return bool(co[a] >> b & 1)
+
+    # write-co-read: r reads w1 although w1 -> w2 -> r for a sibling
+    # write w2 of the same key.
+    for r, w1 in indexed.wr.items():
+        key = ops[r].key
+        for w2 in indexed.writes.get(key, ()):
+            if w2 != w1 and co_before(w1, w2) and co_before(w2, r):
+                violations.append(WireViolation(
+                    "write-co-read",
+                    f"{ops[r].describe()} is stale: "
+                    f"{ops[w2].describe()} overwrote it inside the "
+                    f"read's causal past",
+                ))
+                break
+    # write-co-init-read: r reads the initial value although a write of
+    # its key is in r's causal past.
+    for r in indexed.init_reads:
+        key = ops[r].key
+        for w in indexed.writes.get(key, ()):
+            if co_before(w, r):
+                violations.append(WireViolation(
+                    "write-co-init-read",
+                    f"{ops[r].describe()} returned the initial value "
+                    f"although {ops[w].describe()} is in its causal past",
+                ))
+                break
+    if "CCv" in levels:
+        violations.extend(_check_ccv(indexed, co))
+    if "CM" in levels:
+        violations.extend(_check_cm(indexed))
+    return violations
+
+
+def _check_ccv(indexed: _Indexed, co: List[int]) -> List[WireViolation]:
+    """CCv's extra pattern: the conflict order must embed in a total.
+
+    ``w1 -> cf -> w2`` when some read of ``w2``'s value has ``w1`` (a
+    sibling write) in its causal past: any convergent arbitration must
+    then order ``w1`` before ``w2``.  A ``co ∪ cf`` cycle means no
+    arbitration total order exists.
+    """
+    ops = indexed.ops
+    n = len(ops)
+    cf_edges: List[Tuple[int, int]] = []
+    for r, w2 in indexed.wr.items():
+        key = ops[r].key
+        for w1 in indexed.writes.get(key, ()):
+            if w1 != w2 and bool(co[w1] >> r & 1):
+                cf_edges.append((w1, w2))
+    combined = cf_edges + [
+        (a, b) for a in range(n) for b in range(n) if co[a] >> b & 1
+    ]
+    reach = _closure(n, combined)
+    cyclic = _cycle_members(reach)
+    if cyclic:
+        return [WireViolation(
+            "cyclic-cf",
+            "no convergent write order exists: co ∪ cf cycles through "
+            + ", ".join(ops[a].describe() for a in cyclic[:4]),
+        )]
+    return []
+
+
+def _check_cm(indexed: _Indexed) -> List[WireViolation]:
+    """CM's patterns under the per-operation happened-before relations.
+
+    ``hb_o`` is the smallest transitive relation over the causal past of
+    ``o`` containing po ∪ wr there, closed under: if ``w1 -> hb_o -> r``
+    and ``r`` reads sibling write ``w2``, then ``w1 -> hb_o -> w2``.
+    Both patterns are monotone in ``o`` along program order (the causal
+    past and the closure only grow), so checking each session's final
+    operation covers every ``o``.
+    """
+    ops = indexed.ops
+    n = len(ops)
+    violations: List[WireViolation] = []
+    co = _closure(
+        n, indexed.po + [(w, r) for r, w in indexed.wr.items()]
+    )
+    base_edges = indexed.po + [(w, r) for r, w in indexed.wr.items()]
+    lasts: Dict[str, int] = {}
+    for op_id, op in enumerate(ops):
+        lasts[op.session] = max(lasts.get(op.session, -1), op_id)
+    seen_patterns = set()
+    for session, o in sorted(lasts.items()):
+        past = co[o] | (1 << o)
+        members = [a for a in range(n) if past >> a & 1]
+        edges = [
+            (a, b) for a, b in base_edges
+            if past >> a & 1 and past >> b & 1
+        ]
+        reach = _closure(n, edges)
+        while True:
+            added = False
+            for r, w2 in indexed.wr.items():
+                if not past >> r & 1:
+                    continue
+                for w1 in indexed.writes.get(ops[r].key, ()):
+                    if (
+                        w1 != w2 and past >> w1 & 1
+                        and reach[w1] >> r & 1
+                        and not reach[w1] >> w2 & 1
+                    ):
+                        edges.append((w1, w2))
+                        added = True
+            if not added:
+                break
+            reach = _closure(n, edges)
+        cyclic = _cycle_members([reach[a] if past >> a & 1 else 0 for a in range(n)])
+        if cyclic and "cyclic-hb" not in seen_patterns:
+            seen_patterns.add("cyclic-hb")
+            violations.append(WireViolation(
+                "cyclic-hb",
+                f"happened-before at {session}'s final operation cycles "
+                "through "
+                + ", ".join(ops[a].describe() for a in cyclic[:4]),
+            ))
+        for r in indexed.init_reads:
+            if ops[r].session != session:
+                continue
+            for w in indexed.writes.get(ops[r].key, ()):
+                if past >> w & 1 and reach[w] >> r & 1:
+                    violations.append(WireViolation(
+                        "write-hb-init-read",
+                        f"{ops[r].describe()} returned the initial value "
+                        f"although {ops[w].describe()} happened before it",
+                    ))
+                    break
+    return violations
+
+
+# -- history corruption (auditor self-tests) ---------------------------------
+
+
+def corrupt_reorder_session(
+    history: WireHistory, session: Optional[str] = None
+) -> WireHistory:
+    """Swap a session's two neighbouring write-then-read ops.
+
+    Models a wire layer that answers a session's operations out of issue
+    order.  The checker must flag the result for any history where the
+    swap is observable (the campaign suites assert it).
+    """
+    sessions = {k: list(v) for k, v in history.sessions.items()}
+    for name, ops in sorted(sessions.items()):
+        if session is not None and name != session:
+            continue
+        for i in range(len(ops) - 1):
+            a, b = ops[i], ops[i + 1]
+            if a.kind == "put" and b.kind == "get" and a.key == b.key \
+                    and b.value == a.value:
+                ops[i], ops[i + 1] = b, a
+                return WireHistory(sessions)
+    raise ValueError("no adjacent put/get of one key to reorder")
+
+
+def corrupt_stale_read(history: WireHistory) -> WireHistory:
+    """Rewrite one read to return a value the session had overwritten.
+
+    Models a replica answering below the session's causal floor — the
+    canonical get-freshness bug.
+    """
+    sessions = {k: list(v) for k, v in history.sessions.items()}
+    for name, ops in sorted(sessions.items()):
+        newest: Dict[str, List[WireOp]] = {}
+        for i, op in enumerate(ops):
+            if op.kind == "put":
+                newest.setdefault(op.key, []).append(op)
+            elif op.kind == "get" and len(newest.get(op.key, ())) > 1:
+                stale = newest[op.key][-2]
+                ops[i] = WireOp(
+                    op.session, op.index, "get", op.key, stale.value,
+                    block=op.block,
+                )
+                return WireHistory(sessions)
+    raise ValueError("no read behind two writes of one key to stale out")
+
+
+def corrupt_lost_put(history: WireHistory) -> WireHistory:
+    """Blank one read whose session had written the key.
+
+    Models an acknowledged put that never reached the object space: the
+    ack stands in the history, the data is gone.
+    """
+    sessions = {k: list(v) for k, v in history.sessions.items()}
+    for name, ops in sorted(sessions.items()):
+        written = set()
+        for i, op in enumerate(ops):
+            if op.kind == "put":
+                written.add(op.key)
+            elif op.kind == "get" and op.key in written \
+                    and op.value is not None:
+                ops[i] = WireOp(
+                    op.session, op.index, "get", op.key, None,
+                    block=op.block,
+                )
+                return WireHistory(sessions)
+    raise ValueError("no read of a session-written key to blank")

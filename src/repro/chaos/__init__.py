@@ -23,6 +23,25 @@ from repro.chaos.cluster import (
     ChaosCluster,
 )
 
+#: Lazily re-exported from :mod:`repro.chaos.wire` — importing it
+#: eagerly here would close an import cycle (wire -> serve.procs ->
+#: shard -> chaos.campaign -> this package).
+_WIRE_EXPORTS = (
+    "WIRE_CAMPAIGNS",
+    "WireCampaignResult",
+    "run_wire_campaign",
+    "run_wire_campaigns",
+)
+
+
+def __getattr__(name):
+    if name in _WIRE_EXPORTS:
+        from repro.chaos import wire
+
+        return getattr(wire, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
     "CHAOS_PROTOCOLS",
     "CampaignResult",
@@ -30,5 +49,9 @@ __all__ = [
     "ChaosCluster",
     "ChaosEvent",
     "DISTURBANCES",
+    "WIRE_CAMPAIGNS",
+    "WireCampaignResult",
     "random_campaign",
+    "run_wire_campaign",
+    "run_wire_campaigns",
 ]

@@ -398,6 +398,45 @@ def run_loadgen(args: argparse.Namespace) -> int:
     return asyncio.run(main())
 
 
+def run_chaos_wire(args: argparse.Namespace) -> int:
+    """Run seeded chaos-over-the-wire campaigns with black-box auditing."""
+    import asyncio
+
+    from repro.chaos.wire import WIRE_CAMPAIGNS, run_wire_campaigns
+
+    kinds = [k.strip() for k in args.campaigns.split(",") if k.strip()]
+    for kind in kinds:
+        if kind not in WIRE_CAMPAIGNS:
+            print(
+                f"unknown campaign {kind!r} "
+                f"(know {', '.join(WIRE_CAMPAIGNS)})"
+            )
+            return 2
+
+    async def main() -> int:
+        failures = 0
+        total = 0
+        for offset in range(args.runs):
+            results = await run_wire_campaigns(
+                kinds, args.seed + offset * 101,
+                procs=args.procs, codec=args.codec,
+                clients=args.clients, ops_per_client=args.ops,
+            )
+            for result in results:
+                total += 1
+                print(result.summary())
+                if not result.ok:
+                    failures += 1
+        status = "all clean" if not failures else f"{failures} FAILED"
+        print(
+            f"\nchaos-wire: {total} campaign(s) "
+            f"(procs={args.procs}, codec={args.codec}), {status}"
+        )
+        return 1 if failures else 0
+
+    return asyncio.run(main())
+
+
 DEMOS: Dict[str, Callable[[argparse.Namespace], int]] = {
     "counter": demo_counter,
     "lock": demo_lock,
@@ -550,6 +589,36 @@ def build_parser() -> argparse.ArgumentParser:
         help="also fetch and print the server metrics snapshot",
     )
 
+    chaos_wire = subparsers.add_parser(
+        "chaos-wire",
+        help="end-to-end wire fault injection with black-box "
+        "causal-consistency auditing",
+    )
+    chaos_wire.add_argument(
+        "--campaigns",
+        default="disconnects,stalls,truncations,overload",
+        help="comma-separated campaign kinds "
+        "(disconnects, stalls, truncations, overload, workers)",
+    )
+    chaos_wire.add_argument("--seed", type=int, default=1, help="first seed")
+    chaos_wire.add_argument(
+        "--runs", type=int, default=1,
+        help="repeat the campaign list this many times with shifted seeds",
+    )
+    chaos_wire.add_argument(
+        "--procs", type=int, default=1,
+        help="1 = single-process server; >1 = multi-process front-end "
+        "(required for the workers campaign)",
+    )
+    chaos_wire.add_argument(
+        "--codec", choices=["json", "binary"], default="json",
+        help="frame codec the campaign clients negotiate",
+    )
+    chaos_wire.add_argument("--clients", type=int, default=4)
+    chaos_wire.add_argument(
+        "--ops", type=int, default=20, help="operations per client session"
+    )
+
     experiment = subparsers.add_parser(
         "experiment", help="run a reproduced experiment and print its table"
     )
@@ -586,6 +655,8 @@ def main(argv: List[str] | None = None) -> int:
         return run_serve(args)
     if args.command == "loadgen":
         return run_loadgen(args)
+    if args.command == "chaos-wire":
+        return run_chaos_wire(args)
     if args.command == "experiment":
         from repro.errors import ConfigurationError
         from repro.experiments import get_experiment

@@ -12,15 +12,25 @@ session's causal floor.  A pipelined client and a closed/open-loop load
 generator ride along; see ``docs/SERVING.md``.
 """
 
-from repro.serve.client import ServeClient, ServeError, reconnect
+from repro.serve.client import (
+    DEFAULT_REQUEST_TIMEOUT,
+    ServeClient,
+    ServeError,
+    ServeOverload,
+    reconnect,
+)
+from repro.serve.faults import ChaosProxy, FaultPlan
 from repro.serve.loadgen import LoadReport, run_load
 from repro.serve.metrics import ServeMetrics, percentile
 from repro.serve.procs import MultiProcServeServer, merge_tokens, partition_shards
+from repro.serve.resilient import GaveUp, ResilientClient
 from repro.serve.server import ServeServer
 from repro.serve.wire import (
     CODEC_BINARY,
     CODEC_JSON,
+    DEFAULT_OVERLOAD_RETRY_AFTER,
     DEFAULT_RETRY_AFTER,
+    FRAME_OVERLOAD,
     FRAME_RETRY,
     MAX_FRAME,
     SERVE_WIRE_VERSION,
@@ -35,17 +45,25 @@ from repro.serve.wire import (
 __all__ = [
     "CODEC_BINARY",
     "CODEC_JSON",
+    "ChaosProxy",
+    "DEFAULT_OVERLOAD_RETRY_AFTER",
+    "DEFAULT_REQUEST_TIMEOUT",
     "DEFAULT_RETRY_AFTER",
+    "FRAME_OVERLOAD",
     "FRAME_RETRY",
+    "FaultPlan",
     "FrameBuffer",
+    "GaveUp",
     "LoadReport",
     "MAX_FRAME",
     "MultiProcServeServer",
+    "ResilientClient",
     "SERVE_WIRE_VERSION",
     "SUPPORTED_CODECS",
     "ServeClient",
     "ServeError",
     "ServeMetrics",
+    "ServeOverload",
     "ServeServer",
     "decode_frame",
     "encode_frame",

@@ -23,12 +23,14 @@ on JSON, so new clients work against old servers and vice versa.
 from __future__ import annotations
 
 import asyncio
+import random
 from typing import Any, Dict, List, Optional, Sequence
 
 from repro.errors import ProtocolError
 from repro.serve.wire import (
     CODEC_JSON,
     DEFAULT_RETRY_AFTER,
+    FRAME_OVERLOAD,
     FRAME_RETRY,
     decode_frame,
     read_frame_bytes,
@@ -39,9 +41,36 @@ from repro.serve.wire import (
 #: each frame's ``retry_after``) before giving up with a ServeError.
 GET_RETRIES = 8
 
+#: Default per-request deadline, in seconds.  Generous on purpose: it is
+#: a hang-breaker, not a latency target — a stalled (but open) socket
+#: must never hang a caller forever.  Pass ``request_timeout=None`` to
+#: disable, or a smaller value for fault-injection tests.
+DEFAULT_REQUEST_TIMEOUT = 30.0
+
 
 class ServeError(ProtocolError):
     """An error reply (or a dead connection) surfaced to the caller."""
+
+
+class ServeOverload(ServeError):
+    """The server shed this request (queue full or deadline passed).
+
+    Carries the server-suggested ``retry_after`` so callers can back off
+    intelligently rather than hammering an overloaded server.
+    """
+
+    def __init__(self, message: str, retry_after: float) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+def _raise_if_overload(reply: Dict[str, Any]) -> Dict[str, Any]:
+    if reply.get("t") == FRAME_OVERLOAD:
+        raise ServeOverload(
+            f"server overloaded: {reply.get('reason') or 'load shed'}",
+            float(reply.get("retry_after") or DEFAULT_RETRY_AFTER),
+        )
+    return reply
 
 
 class ServeClient:
@@ -54,11 +83,18 @@ class ServeClient:
         session: str,
         token: Optional[str] = None,
         codec: str = CODEC_JSON,
+        request_timeout: Optional[float] = DEFAULT_REQUEST_TIMEOUT,
     ) -> None:
         self.host = host
         self.port = port
         self.session = session
         self.token = token
+        #: Per-request deadline in seconds (``None`` disables).  A
+        #: request still unanswered when its deadline fires raises
+        #: :class:`ServeError` *and poisons the connection*: replies are
+        #: matched by rid on one ordered stream, so after abandoning one
+        #: we could mis-trust the stream's timing for every later reply.
+        self.request_timeout = request_timeout
         #: The codec this client *asks* for; ``negotiated_codec`` is what
         #: the server actually granted (JSON until the hello confirms).
         self.codec = codec
@@ -78,6 +114,13 @@ class ServeClient:
         self.replica_hints: Dict[str, str] = {}
         #: ``retry`` frames absorbed across this connection's gets.
         self.retries = 0
+        #: Requests that hit their deadline on this connection.
+        self.timeouts = 0
+        self._deadlines: Dict[int, asyncio.TimerHandle] = {}
+        # Jitter source for retry sleeps — seeded per session name so a
+        # fault campaign replays the same backoff pattern, while distinct
+        # sessions desynchronise (no retry storms).
+        self._rng = random.Random(f"jitter:{session}")
 
     # -- connection lifecycle ----------------------------------------------
 
@@ -131,17 +174,27 @@ class ServeClient:
         self._next_rid += 1
         document = dict(document)
         document["rid"] = rid
+        if self.request_timeout is not None and "ttl" not in document:
+            # Tell the server how long this request is worth executing:
+            # queued work whose client deadline already fired gets shed
+            # with an ``overload`` frame instead of burning a cycle.
+            document["ttl"] = self.request_timeout
         if document.get("t") == "hello":
             # Remember which reply may carry the codec grant; the switch
             # happens when it resolves, before any later reply is sent.
             self._hello_rid = rid
-        future: asyncio.Future = asyncio.get_event_loop().create_future()
+        loop = asyncio.get_event_loop()
+        future: asyncio.Future = loop.create_future()
         self._waiting[rid] = future
         try:
             write_frame(self._writer, document, self.negotiated_codec)
         except (ConnectionError, RuntimeError) as exc:
             self._waiting.pop(rid, None)
             raise ServeError(f"send failed: {exc}") from exc
+        if self.request_timeout is not None:
+            self._deadlines[rid] = loop.call_later(
+                self.request_timeout, self._on_deadline, rid
+            )
         return future
 
     async def _request(self, document: Dict[str, Any]) -> Dict[str, Any]:
@@ -168,9 +221,44 @@ class ServeClient:
             self._recv_dead = True
             self._fail_outstanding("connection lost")
 
+    def _on_deadline(self, rid: int) -> None:
+        """A request outlived its deadline: fail it and poison the wire."""
+        self._deadlines.pop(rid, None)
+        future = self._waiting.pop(rid, None)
+        if future is None or future.done():
+            return
+        self.timeouts += 1
+        future.set_exception(ServeError(
+            f"request rid={rid} exceeded deadline of "
+            f"{self.request_timeout}s"
+        ))
+        self._poison("deadline exceeded")
+
+    def _poison(self, reason: str) -> None:
+        """Tear the connection down without waiting on the peer.
+
+        Used when the stream can no longer be trusted (deadline fired).
+        Outstanding futures fail immediately; the reader task dies on the
+        aborted transport.
+        """
+        self._recv_dead = True
+        self._fail_outstanding(reason)
+        if self._writer is not None:
+            transport = self._writer.transport
+            try:
+                if transport is not None:
+                    transport.abort()
+                else:  # pragma: no cover - defensive
+                    self._writer.close()
+            except RuntimeError:
+                pass
+
     def _dispatch_reply(self, frame: Dict[str, Any]) -> None:
         rid = frame.get("rid")
         future = self._waiting.pop(rid, None)
+        handle = self._deadlines.pop(rid, None)
+        if handle is not None:
+            handle.cancel()
         if rid is not None and rid == self._hello_rid:
             self._hello_rid = None
             if frame.get("t") != "error":
@@ -187,6 +275,9 @@ class ServeClient:
             future.set_result(frame)
 
     def _fail_outstanding(self, reason: str) -> None:
+        for handle in self._deadlines.values():
+            handle.cancel()
+        self._deadlines.clear()
         for future in self._waiting.values():
             if not future.done():
                 future.set_exception(ServeError(reason))
@@ -194,12 +285,26 @@ class ServeClient:
 
     # -- convenience API ---------------------------------------------------
 
-    def put(self, key: str, value: object) -> "asyncio.Future[Dict[str, Any]]":
-        """Pipelined write; the reply carries the label and a fresh token."""
-        return self.submit({"t": "put", "key": key, "value": value})
+    def put(
+        self, key: str, value: object, *, opid: Optional[str] = None
+    ) -> "asyncio.Future[Dict[str, Any]]":
+        """Pipelined write; the reply carries the label and a fresh token.
 
-    async def put_wait(self, key: str, value: object) -> Dict[str, Any]:
-        return await self.put(key, value)
+        ``opid`` is an optional client-chosen idempotency id: the server
+        remembers which opids a session has applied, so a put retried
+        after an ambiguous failure (connection lost between send and
+        reply) is applied **at most once** — the duplicate just gets the
+        original's label back.
+        """
+        document: Dict[str, Any] = {"t": "put", "key": key, "value": value}
+        if opid is not None:
+            document["opid"] = opid
+        return self.submit(document)
+
+    async def put_wait(
+        self, key: str, value: object, *, opid: Optional[str] = None
+    ) -> Dict[str, Any]:
+        return _raise_if_overload(await self.put(key, value, opid=opid))
 
     def get_submit(self, key: str) -> "asyncio.Future[Dict[str, Any]]":
         """Pipelined get: send the frame now, resolve the reply later.
@@ -225,12 +330,15 @@ class ServeClient:
         frame's ``retry_after``) before raising.
         """
         for _ in range(retries + 1):
-            reply = await self.get_submit(key)
+            reply = _raise_if_overload(await self.get_submit(key))
             if reply.get("t") == FRAME_RETRY:
                 self.retries += 1
-                await asyncio.sleep(
-                    float(reply.get("retry_after") or DEFAULT_RETRY_AFTER)
-                )
+                # Jittered sleep: every rejected client sleeping exactly
+                # the server-advertised interval would resubmit in
+                # lock-step — a synchronized retry storm.  Spread the
+                # herd over [0.5, 1.5) of the advertised interval.
+                base = float(reply.get("retry_after") or DEFAULT_RETRY_AFTER)
+                await asyncio.sleep(base * (0.5 + self._rng.random()))
                 continue
             replica = reply.get("replica")
             if isinstance(replica, str):
@@ -247,14 +355,14 @@ class ServeClient:
         document: Dict[str, Any] = {"t": "read"}
         if shards is not None:
             document["shards"] = list(shards)
-        return await self._request(document)
+        return _raise_if_overload(await self._request(document))
 
     async def fetch_token(self) -> str:
-        reply = await self._request({"t": "token"})
+        reply = _raise_if_overload(await self._request({"t": "token"}))
         return reply["token"]
 
     async def stats(self) -> Dict[str, Any]:
-        reply = await self._request({"t": "stats"})
+        reply = _raise_if_overload(await self._request({"t": "stats"}))
         return reply["stats"]
 
     async def chaos(
@@ -297,6 +405,7 @@ async def reconnect(client: ServeClient) -> ServeClient:
     fresh = ServeClient(
         client.host, client.port, client.session,
         token=token, codec=client.codec,
+        request_timeout=client.request_timeout,
     )
     await fresh.connect()
     return fresh

@@ -32,7 +32,13 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from repro.serve.client import ServeClient, ServeError, reconnect
+from repro.serve.client import (
+    DEFAULT_REQUEST_TIMEOUT,
+    ServeClient,
+    ServeError,
+    ServeOverload,
+    reconnect,
+)
 from repro.serve.metrics import percentile
 from repro.serve.wire import CODEC_JSON
 
@@ -50,6 +56,9 @@ class LoadReport:
     elapsed: float
     gets: int = 0
     retries: int = 0
+    #: Degradation counters: how much the run had to heal or shed.
+    timeouts: int = 0
+    overloads: int = 0
     latencies_ms: List[float] = field(repr=False, default_factory=list)
     server_stats: Optional[Dict[str, object]] = field(
         repr=False, default=None
@@ -74,6 +83,7 @@ class LoadReport:
             f"clients={self.clients} pipeline={self.pipeline} "
             f"ops={self.ops} reads={self.reads} gets={self.gets} "
             f"errors={self.errors} reconnects={self.reconnects} "
+            f"timeouts={self.timeouts} overloads={self.overloads} "
             f"{self.ops_per_sec:.0f} ops/s p50={p50}ms p99={p99}ms"
         )
 
@@ -92,10 +102,13 @@ async def _drive_client(
     rate: Optional[float],
     seed: int,
     codec: str,
+    request_timeout: Optional[float],
     report: LoadReport,
 ) -> None:
     rng = random.Random(seed)
-    client = ServeClient(host, port, name, codec=codec)
+    client = ServeClient(
+        host, port, name, codec=codec, request_timeout=request_timeout
+    )
     await client.connect()
     outstanding: List[asyncio.Future] = []
     written: List[str] = []
@@ -120,6 +133,8 @@ async def _drive_client(
                 report.ops += 1
                 if getattr(future, "_lg_get", False):
                     report.gets += 1
+            except ServeOverload:
+                report.overloads += 1
             except ServeError:
                 report.errors += 1
 
@@ -138,6 +153,8 @@ async def _drive_client(
                     )
                     report.ops += 1
                     report.reads += 1
+                except ServeOverload:
+                    report.overloads += 1
                 except ServeError:
                     report.errors += 1
             elif get_every and issued % get_every == 0 and written:
@@ -165,6 +182,7 @@ async def _drive_client(
                 await asyncio.sleep(rng.expovariate(rate))
         await reap(0)
     finally:
+        report.timeouts += client.timeouts
         await client.close()
 
 
@@ -184,6 +202,7 @@ async def run_load(
     session_prefix: str = "load",
     fetch_stats: bool = False,
     codec: str = CODEC_JSON,
+    request_timeout: Optional[float] = DEFAULT_REQUEST_TIMEOUT,
 ) -> LoadReport:
     """Run the load shape and return a :class:`LoadReport`."""
     report = LoadReport(
@@ -203,6 +222,7 @@ async def run_load(
             rate=rate,
             seed=seed * 10_007 + index,
             codec=codec,
+            request_timeout=request_timeout,
             report=report,
         )
         for index in range(clients)

@@ -43,6 +43,9 @@ class ServeMetrics:
             "ops": 0,
             "puts": 0,
             "puts_dropped": 0,
+            "puts_deduped": 0,
+            "sheds": 0,
+            "deadline_drops": 0,
             "gets": 0,
             "reads": 0,
             "reads_failed": 0,

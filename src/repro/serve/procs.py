@@ -46,6 +46,7 @@ from repro.serve.metrics import ServeMetrics
 from repro.serve.wire import (
     CODEC_BINARY,
     CODEC_JSON,
+    FRAME_OVERLOAD,
     SERVE_WIRE_VERSION,
     SUPPORTED_CODECS,
     decode_frame,
@@ -139,6 +140,7 @@ def _worker_main(
     batch_window: float,
     read_policy: str = "replica",
     read_fallback: str = "forward",
+    max_queue: Optional[int] = None,
 ) -> None:
     """Entry point of one shard worker (spawned process)."""
     import signal
@@ -154,6 +156,7 @@ def _worker_main(
         _worker_async(
             control, shards, members_per_shard, seed, shard_ids, host,
             repair_interval, batch_window, read_policy, read_fallback,
+            max_queue,
         )
     )
 
@@ -169,6 +172,7 @@ async def _worker_async(
     batch_window: float,
     read_policy: str = "replica",
     read_fallback: str = "forward",
+    max_queue: Optional[int] = None,
 ) -> None:
     from repro.serve.server import ServeServer
     from repro.shard.cluster import ShardedCluster
@@ -184,6 +188,7 @@ async def _worker_async(
         cluster=cluster, host=host, port=0,
         repair_interval=repair_interval, batch_window=batch_window,
         read_policy=read_policy, read_fallback=read_fallback,
+        max_queue=max_queue,
     )
     await server.start()
     control.send({"port": server.port, "shards": list(shard_ids)})
@@ -317,11 +322,14 @@ class MultiProcServeServer:
         batch_window: float = 0.0,
         read_policy: str = "replica",
         read_fallback: str = "forward",
+        max_queue: Optional[int] = None,
     ) -> None:
         if shards < 1:
             raise ProtocolError("need at least one shard")
         self.read_policy = read_policy
         self.read_fallback = read_fallback
+        #: Per-worker batch-queue shed threshold (None disables).
+        self.max_queue = max_queue
         self.shards = shards
         self.members_per_shard = members_per_shard
         self.seed = seed
@@ -363,40 +371,83 @@ class MultiProcServeServer:
 
     # -- lifecycle ---------------------------------------------------------
 
+    def _spawn_worker(self, worker: _Worker) -> None:
+        context = multiprocessing.get_context("spawn")
+        parent, child = context.Pipe()
+        worker.control = parent
+        worker.process = context.Process(
+            target=_worker_main,
+            args=(
+                child, self.shards, self.members_per_shard, self.seed,
+                worker.shard_ids, self.host, self.repair_interval,
+                self.batch_window, self.read_policy, self.read_fallback,
+                self.max_queue,
+            ),
+            daemon=True,
+        )
+        worker.process.start()
+        child.close()
+
+    async def _await_worker_ready(self, worker: _Worker) -> None:
+        loop = asyncio.get_event_loop()
+        try:
+            ready = await asyncio.wait_for(
+                loop.run_in_executor(None, worker.control.recv),
+                WORKER_START_TIMEOUT,
+            )
+        except (asyncio.TimeoutError, EOFError, OSError) as exc:
+            await self._kill_workers()
+            raise ProtocolError(
+                f"worker {worker.index} failed to start: {exc!r}"
+            ) from exc
+        worker.port = ready["port"]
+
     async def start(self) -> None:
         """Spawn the workers, collect their ports, bind the acceptor."""
-        context = multiprocessing.get_context("spawn")
-        loop = asyncio.get_event_loop()
         for worker in self.workers:
-            parent, child = context.Pipe()
-            worker.control = parent
-            worker.process = context.Process(
-                target=_worker_main,
-                args=(
-                    child, self.shards, self.members_per_shard, self.seed,
-                    worker.shard_ids, self.host, self.repair_interval,
-                    self.batch_window, self.read_policy, self.read_fallback,
-                ),
-                daemon=True,
-            )
-            worker.process.start()
-            child.close()
+            self._spawn_worker(worker)
         for worker in self.workers:
-            try:
-                ready = await asyncio.wait_for(
-                    loop.run_in_executor(None, worker.control.recv),
-                    WORKER_START_TIMEOUT,
-                )
-            except (asyncio.TimeoutError, EOFError, OSError) as exc:
-                await self._kill_workers()
-                raise ProtocolError(
-                    f"worker {worker.index} failed to start: {exc!r}"
-                ) from exc
-            worker.port = ready["port"]
+            await self._await_worker_ready(worker)
         self._server = await asyncio.start_server(
             self._handle_client, self.host, self.port
         )
         self.port = self._server.sockets[0].getsockname()[1]
+
+    # -- worker fault injection (chaos campaigns) --------------------------
+
+    async def kill_worker(self, index: int) -> None:
+        """SIGKILL one worker process — no drain, no goodbye.
+
+        Everything the worker hosted is gone (workers are in-memory);
+        requests routed to it get clean error replies, and new hellos
+        are refused until :meth:`respawn_worker` brings it back — the
+        deliberate no-partial-sessions rule.
+        """
+        worker = self.workers[index]
+        process = worker.process
+        if process is None or not process.is_alive():
+            return
+        loop = asyncio.get_event_loop()
+        process.kill()
+        await loop.run_in_executor(None, process.join, 5.0)
+
+    async def respawn_worker(self, index: int) -> None:
+        """Start a fresh (empty) process for one killed worker's shards.
+
+        The replacement hosts the same shard ids with the same seeds but
+        none of the dead worker's data — clients must treat the shards as
+        reset, exactly as they would a wiped replica set.
+        """
+        worker = self.workers[index]
+        if worker.alive:
+            return
+        if worker.control is not None:
+            try:
+                worker.control.close()
+            except OSError:
+                pass
+        self._spawn_worker(worker)
+        await self._await_worker_ready(worker)
 
     async def serve_forever(self) -> None:
         assert self._server is not None, "start() first"
@@ -805,7 +856,9 @@ class MultiProcServeServer:
             replies.append(result)
         error = _first_error(replies)
         if error is not None:
-            self.metrics.bump("errors")
+            self.metrics.bump(
+                "sheds" if error.get("t") == FRAME_OVERLOAD else "errors"
+            )
             await self._send(conn, {**error, "rid": rid})
             return
         if kind == "read":
@@ -937,8 +990,14 @@ class MultiProcServeServer:
 def _first_error(
     replies: Sequence[Optional[Dict[str, Any]]],
 ) -> Optional[Dict[str, Any]]:
+    """First non-success reply (error or overload) to forward, or None.
+
+    An overloaded worker sheds with a parseable ``overload`` frame; the
+    fan-out cannot merge a partial answer, so the front-end forwards the
+    shed verbatim — the client backs off and retries the whole verb.
+    """
     for reply in replies:
-        if reply is not None and reply.get("t") == "error":
+        if reply is not None and reply.get("t") in ("error", FRAME_OVERLOAD):
             return dict(reply)
     return None
 

@@ -45,6 +45,7 @@ assert exactly that.
 from __future__ import annotations
 
 import asyncio
+from collections import OrderedDict
 from typing import Any, Dict, List, Optional, Set, Tuple
 
 from repro.analysis.session_guarantees import (
@@ -57,7 +58,9 @@ from repro.errors import ProtocolError
 from repro.serve.metrics import ServeMetrics
 from repro.serve.wire import (
     CODEC_JSON,
+    DEFAULT_OVERLOAD_RETRY_AFTER,
     DEFAULT_RETRY_AFTER,
+    FRAME_OVERLOAD,
     FRAME_RETRY,
     SERVE_WIRE_VERSION,
     SUPPORTED_CODECS,
@@ -116,10 +119,19 @@ class _Connection:
             self.can_admit.set()
 
 
+#: Sentinel recorded under an opid before its put issues — an opid whose
+#: value is still this sentinel after the drain means the original was
+#: dropped, so a duplicate must report the drop, not invent a label.
+_PUT_PENDING = object()
+
+
 class _PendingOp:
     """One admitted request waiting for (or resolved by) a batch cycle."""
 
-    __slots__ = ("conn", "frame", "started", "label", "read", "error")
+    __slots__ = (
+        "conn", "frame", "started", "label", "read", "error",
+        "deadline", "shed", "opid", "dup",
+    )
 
     def __init__(self, conn: _Connection, frame: Dict[str, Any], now: float):
         self.conn = conn
@@ -128,6 +140,19 @@ class _PendingOp:
         self.label: Optional[MessageId] = None
         self.read = None
         self.error: Optional[str] = None
+        #: Absolute loop time past which executing this op is pointless
+        #: (the client's deadline will already have fired) — from the
+        #: request's optional ``ttl`` field.
+        self.deadline: Optional[float] = None
+        ttl = frame.get("ttl")
+        if isinstance(ttl, (int, float)) and ttl > 0:
+            self.deadline = now + float(ttl)
+        self.shed = False
+        opid = frame.get("opid")
+        self.opid: Optional[str] = opid if isinstance(opid, str) else None
+        #: True when this put's opid was already applied by this session —
+        #: answer from the idempotency record instead of re-applying.
+        self.dup = False
 
 
 class ServeServer:
@@ -148,6 +173,8 @@ class ServeServer:
         read_policy: str = "replica",
         read_fallback: str = "forward",
         retry_after: float = DEFAULT_RETRY_AFTER,
+        max_queue: Optional[int] = None,
+        overload_retry_after: float = DEFAULT_OVERLOAD_RETRY_AFTER,
     ) -> None:
         if read_policy not in READ_POLICIES:
             raise ProtocolError(f"unknown read policy: {read_policy!r}")
@@ -173,7 +200,17 @@ class ServeServer:
         self.read_policy = read_policy
         self.read_fallback = read_fallback
         self.retry_after = retry_after
+        #: Load shedding: with a batch queue at or past this depth, new
+        #: work is answered with a parseable ``overload`` frame instead
+        #: of being admitted — the server degrades loudly, not silently.
+        #: ``None`` (the default) disables shedding; per-connection
+        #: admission still applies.
+        self.max_queue = max_queue
+        self.overload_retry_after = overload_retry_after
         self.metrics = ServeMetrics()
+        #: session name -> opid -> issued label (or the pending
+        #: sentinel): the at-most-once memory behind put idempotency.
+        self._applied_puts: Dict[str, "OrderedDict[str, object]"] = {}
         #: session name -> answered ops, in issue order.  Entries are
         #: ("write", label), ("read", BarrierRead), or
         #: ("get", (key, shard, served label | None, member | None)).
@@ -327,6 +364,21 @@ class ServeServer:
             conn, {"t": "error", "rid": rid, "error": message}
         )
 
+    def _overload_frame(
+        self, rid: Optional[int], reason: str
+    ) -> Dict[str, Any]:
+        self.metrics.bump("sheds")
+        return {
+            "t": FRAME_OVERLOAD, "rid": rid, "reason": reason,
+            "retry_after": self.overload_retry_after,
+            "queue_depth": len(self._pending),
+        }
+
+    async def _send_overload(
+        self, conn: _Connection, rid: Optional[int], reason: str
+    ) -> None:
+        await self._send(conn, self._overload_frame(rid, reason))
+
     # -- request dispatch --------------------------------------------------
 
     async def _dispatch(self, conn: _Connection, frame: Dict[str, Any]) -> None:
@@ -341,6 +393,15 @@ class ServeServer:
         if kind in ("put", "read", "get"):
             if self._draining:
                 await self._send_error(conn, rid, "server is draining")
+                return
+            if (
+                self.max_queue is not None
+                and len(self._pending) >= self.max_queue
+            ):
+                # Shed before admitting: a parseable refusal now beats a
+                # reply that arrives after the client gave up.  Nothing
+                # was applied — the frame is safe to retry.
+                await self._send_overload(conn, rid, "queue-full")
                 return
             if kind == "get" and self.read_policy == "replica":
                 if await self._direct_get(conn, frame):
@@ -599,15 +660,26 @@ class ServeServer:
 
     async def _run_cycle(self, batch: List[_PendingOp]) -> None:
         per_shard: Dict[int, int] = {}
+        now = asyncio.get_event_loop().time()
         for op in batch:
             frame = op.frame
             kind = frame.get("t")
             session = op.conn.session
+            if op.deadline is not None and now > op.deadline:
+                # Deadline-aware admission: the client's deadline has
+                # already fired, so executing would waste a simulator
+                # drive on an answer nobody is waiting for — shed it
+                # loudly instead.
+                op.shed = True
+                self.metrics.bump("deadline_drops")
+                continue
             if kind == "put":
                 key = frame.get("key")
                 if not isinstance(key, str):
                     op.error = "put needs a string key"
                     continue
+                if op.opid is not None and self._register_opid(op):
+                    continue  # duplicate: answered from the record
                 try:
                     # The kv fold stores state as a frozenset of pairs,
                     # so values must be hashable; reject per-op here
@@ -677,11 +749,38 @@ class ServeServer:
             except (ConnectionError, RuntimeError):
                 self._close_connection(conn)
 
+    #: Idempotency memory per session, in applied opids.  Bounds the
+    #: at-most-once window: a put retried more than this many acked puts
+    #: later could re-apply — far beyond any sane replay horizon.
+    OPID_MEMORY = 1024
+
+    def _register_opid(self, op: _PendingOp) -> bool:
+        """Record ``op``'s opid; True if it was already applied (dup).
+
+        The pending sentinel goes in *before* ``session.put`` so a
+        duplicate in the same batch (e.g. a duplicated frame) dedupes
+        too; :meth:`_put_issued` overwrites it with the real label.
+        """
+        session = op.conn.session
+        applied = self._applied_puts.setdefault(session.name, OrderedDict())
+        if op.opid in applied:
+            op.dup = True
+            self.metrics.bump("puts_deduped")
+            return True
+        applied[op.opid] = _PUT_PENDING
+        while len(applied) > self.OPID_MEMORY:
+            applied.popitem(last=False)
+        return False
+
     def _put_issued(self, op: _PendingOp, label: Optional[MessageId]) -> None:
         op.label = label
         if label is not None:
             session = op.conn.session
             self.history[session.name].append(("write", label))
+            if op.opid is not None:
+                applied = self._applied_puts.get(session.name)
+                if applied is not None and op.opid in applied:
+                    applied[op.opid] = label
 
     def _build_reply(self, op: _PendingOp) -> Dict[str, Any]:
         frame = op.frame
@@ -689,12 +788,39 @@ class ServeServer:
         kind = frame.get("t")
         session = op.conn.session
         self.metrics.bump("ops")
+        if op.shed:
+            return self._overload_frame(rid, "deadline")
         if op.error is not None:
             self.metrics.bump("errors")
             return {"t": "error", "rid": rid, "error": op.error}
+        if kind == "put" and op.dup:
+            # The opid was applied before (possibly in this very batch):
+            # answer with the original's label, apply nothing twice.
+            applied = self._applied_puts.get(session.name, {})
+            recorded = applied.get(op.opid)
+            if recorded is _PUT_PENDING or recorded is None:
+                self.metrics.bump("puts_dropped")
+                self.metrics.bump("errors")
+                return {
+                    "t": "error", "rid": rid,
+                    "error": "put was dropped (shard unreachable)",
+                }
+            self.metrics.bump("puts")
+            return {
+                "t": "reply", "rid": rid, "ok": True,
+                "label": recorded, "deduped": True,
+                "token": session.export_token(),
+            }
         if kind == "put":
             self.metrics.bump("puts")
             if op.label is None:
+                if op.opid is not None:
+                    # Nothing was applied, so forget the opid: a retry
+                    # of this put must be a real re-attempt, not a
+                    # replay of this failure.
+                    applied = self._applied_puts.get(session.name)
+                    if applied is not None:
+                        applied.pop(op.opid, None)
                 self.metrics.bump("puts_dropped")
                 self.metrics.bump("errors")
                 return {

@@ -71,6 +71,18 @@ FRAME_RETRY = "retry"
 #: Default client back-off carried by ``retry`` frames, in seconds.
 DEFAULT_RETRY_AFTER = 0.05
 
+#: Frame type of a load-shed answer: the server refused (queue full) or
+#: abandoned (deadline passed before execution) the request instead of
+#: stalling silently.  Fields: ``rid``, ``reason`` (``"queue-full"`` or
+#: ``"deadline"``), ``retry_after`` (suggested back-off, seconds) and
+#: ``queue_depth``.  Nothing was applied — the request is safe to retry.
+FRAME_OVERLOAD = "overload"
+
+#: Default client back-off carried by ``overload`` frames, in seconds.
+#: Longer than :data:`DEFAULT_RETRY_AFTER` — overload means *shed load*,
+#: not *try the next replica*.
+DEFAULT_OVERLOAD_RETRY_AFTER = 0.1
+
 #: Reply fields identifying which member answered a replica-routed get:
 #: ``replica`` (the member id) and ``shard`` (its shard).  Clients may
 #: echo ``replica`` on later gets of the same key as a sticky-routing

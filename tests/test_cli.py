@@ -131,6 +131,25 @@ class TestServeCommands:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["serve", "--port", "lots"])
 
+    def test_chaos_wire_parser_defaults(self):
+        args = build_parser().parse_args(["chaos-wire"])
+        assert args.campaigns == "disconnects,stalls,truncations,overload"
+        assert (args.procs, args.codec) == (1, "json")
+        assert (args.clients, args.ops, args.runs) == (4, 20, 1)
+
+    def test_chaos_wire_rejects_unknown_campaign(self, capsys):
+        assert main(["chaos-wire", "--campaigns", "meteors"]) == 2
+        assert "unknown campaign" in capsys.readouterr().out
+
+    def test_chaos_wire_small_campaign_runs_clean(self, capsys):
+        assert main([
+            "chaos-wire", "--campaigns", "overload", "--seed", "5",
+            "--clients", "2", "--ops", "6",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "[ok] overload" in out
+        assert "all clean" in out
+
     def test_loadgen_cli_against_live_server(self, capsys):
         import asyncio
         import threading
